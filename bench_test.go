@@ -1,0 +1,466 @@
+package pastas_test
+
+// The benchmark harness: one benchmark per paper figure and reported
+// number, as indexed in DESIGN.md §4. Shared fixtures are built once per
+// scale; the E1/E3 benchmarks run at the paper's full 168,000-patient
+// scale (set -short to cap at 21,000).
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pastas/internal/align"
+	"pastas/internal/cluster"
+	"pastas/internal/cohort"
+	"pastas/internal/core"
+	"pastas/internal/graph"
+	"pastas/internal/mining"
+	"pastas/internal/model"
+	"pastas/internal/perception"
+	"pastas/internal/query"
+	"pastas/internal/render"
+	"pastas/internal/seqalign"
+	"pastas/internal/stats"
+	"pastas/internal/synth"
+	"pastas/internal/temporal"
+	"pastas/internal/terminology"
+	"pastas/internal/webapp"
+)
+
+// --- fixtures ---------------------------------------------------------------
+
+var (
+	fixtures   = map[int]*core.Workbench{}
+	fixturesMu sync.Mutex
+)
+
+// workbenchAt returns a cached workbench for a population size.
+func workbenchAt(b *testing.B, n int) *core.Workbench {
+	b.Helper()
+	fixturesMu.Lock()
+	defer fixturesMu.Unlock()
+	if wb, ok := fixtures[n]; ok {
+		return wb
+	}
+	wb, err := core.Synthesize(synth.DefaultConfig(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fixtures[n] = wb
+	return wb
+}
+
+// fullScale is the paper's population, capped under -short.
+func fullScale() int {
+	if testing.Short() {
+		return 21000
+	}
+	return 168000
+}
+
+func studyCohort(b *testing.B, wb *core.Workbench) *cohort.Cohort {
+	b.Helper()
+	window := model.Period{Start: model.Date(2010, 1, 1), End: model.Date(2012, 1, 1)}
+	c, err := cohort.FromExpr(wb.Store, "study", cohort.StudyCriteria(window))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// --- F1: workbench render (Fig. 1) -------------------------------------------
+
+func BenchmarkF1_WorkbenchRender(b *testing.B) {
+	for _, rows := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			wb := workbenchAt(b, 21000)
+			col := cohort.All(wb.Store, "all").Sample(rows, 1).Collection()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				svg := render.Timeline(col, render.TimelineOptions{Legend: true})
+				if len(svg) == 0 {
+					b.Fatal("empty render")
+				}
+			}
+		})
+	}
+}
+
+// --- F2: NSEPter merge and layout (Fig. 2) -----------------------------------
+
+func diabeticSeqs(b *testing.B, wb *core.Workbench, max int) [][]string {
+	b.Helper()
+	diab, err := cohort.FromExpr(wb.Store, "diab", query.Has{
+		Pred: query.AllOf{query.TypeIs(model.TypeDiagnosis), query.MustCode("ICPC2", "T90")}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seqs [][]string
+	for _, h := range diab.Sample(max, 2).Collection().Histories() {
+		var seq []string
+		for _, c := range h.CodeSequence(model.TypeDiagnosis) {
+			if c.System == "ICPC2" {
+				seq = append(seq, c.Value)
+			}
+		}
+		if len(seq) >= 2 {
+			seqs = append(seqs, seq)
+		}
+	}
+	return seqs
+}
+
+func BenchmarkF2a_NSEPterMerge(b *testing.B) {
+	wb := workbenchAt(b, 21000)
+	seqs := diabeticSeqs(b, wb, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := graph.SerialMerge(seqs, graph.SerialOptions{Pattern: "T90", Depth: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = render.Graph(g, graph.Layered(g), render.GraphOptions{Labels: true})
+	}
+}
+
+func BenchmarkF2b_FullGraphLayout(b *testing.B) {
+	wb := workbenchAt(b, 21000)
+	seqs := diabeticSeqs(b, wb, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := graph.SerialMerge(seqs, graph.SerialOptions{Pattern: "T90", Depth: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		l := graph.Layered(g)
+		if graph.Crossings(g, l) < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// --- F3: visual search simulation (Fig. 3) -----------------------------------
+
+func BenchmarkF3_VisualSearch(b *testing.B) {
+	m := perception.DefaultModel()
+	ns := []int{1, 5, 10, 20, 30, 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := m.Series(perception.Feature, ns, 200, 1)
+		c := m.Series(perception.Conjunction, ns, 200, 1)
+		if _, slope := perception.FitLine(c); slope < 10 {
+			b.Fatal("conjunction slope collapsed")
+		}
+		_ = f
+	}
+}
+
+// --- F4: query builder (Fig. 4), with the regex-cache ablation ----------------
+
+func BenchmarkF4_QueryBuilder(b *testing.B) {
+	wb := workbenchAt(b, 21000)
+	spec := query.NewBuilder().HasCodeIn("ICPC2", `F.*|H.*`).MinContacts("gp", 2).Spec()
+	data, err := spec.MarshalJSONSpec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("parse+compile+eval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			back, err := query.ParseSpec(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			expr, err := back.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			bits, err := query.EvalIndexed(wb.Store, expr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bits.Count() == 0 {
+				b.Fatal("empty cohort")
+			}
+		}
+	})
+	// Ablation: what the compiled-pattern cache buys (DESIGN.md §5).
+	b.Run("regex-cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := terminology.CompileCodePattern(`F.*|H.*`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("regex-uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := terminology.CompileCodePatternUncached(`F.*|H.*`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E1: the 168k → 13k selection ---------------------------------------------
+
+func BenchmarkE1_CohortSelection168k(b *testing.B) {
+	wb := workbenchAt(b, fullScale())
+	b.ResetTimer()
+	var got int
+	for i := 0; i < b.N; i++ {
+		got = studyCohort(b, wb).Count()
+	}
+	b.ReportMetric(float64(got), "selected")
+	b.ReportMetric(100*float64(got)/float64(wb.Patients()), "selected_%")
+}
+
+// --- E2: recognition survey -----------------------------------------------------
+
+func BenchmarkE2_RecognitionSurvey(b *testing.B) {
+	wb := workbenchAt(b, fullScale())
+	col := studyCohort(b, wb).Collection()
+	b.ResetTimer()
+	var res stats.SurveyResult
+	for i := 0; i < b.N; i++ {
+		res = stats.SimulateSurvey(col, stats.DefaultSurveyParams())
+	}
+	rec, notRem, wrong := res.Proportions()
+	b.ReportMetric(100*rec, "recognized_%")
+	b.ReportMetric(100*notRem, "not_remember_%")
+	b.ReportMetric(100*wrong, "all_wrong_%")
+}
+
+// --- E3: large-cohort analysis, index vs scan ------------------------------------
+
+func BenchmarkE3_LargeCohortAnalysis(b *testing.B) {
+	wb := workbenchAt(b, fullScale())
+	pattern := `T90|E11(\..*)?`
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bits, err := wb.Store.WithCodeRegex("", pattern)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bits.Count() == 0 {
+				b.Fatal("no diabetics")
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bits, err := wb.Store.WithCodeRegexScan("", pattern)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bits.Count() == 0 {
+				b.Fatal("no diabetics")
+			}
+		}
+	})
+	b.Run("align+aggregate", func(b *testing.B) {
+		bits, err := wb.Store.WithCodeRegex("", pattern)
+		if err != nil {
+			b.Fatal(err)
+		}
+		diabetics := wb.Store.Subset(bits)
+		anchor := align.First(query.AllOf{
+			query.TypeIs(model.TypeDiagnosis), query.MustCode("", "T90")})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := align.Align(diabetics, anchor)
+			months := map[int]int{}
+			for _, h := range res.Col.Histories() {
+				off := res.Offsets[h.Patient.ID]
+				for j := range h.Entries {
+					e := &h.Entries[j]
+					if e.Type == model.TypeContact {
+						months[int((e.Start-off)/model.Month)]++
+					}
+				}
+			}
+			if len(months) == 0 {
+				b.Fatal("no aggregate")
+			}
+		}
+	})
+}
+
+// --- E4: web timelines -------------------------------------------------------------
+
+func BenchmarkE4_WebTimelines(b *testing.B) {
+	wb := workbenchAt(b, 21000)
+	srv := httptest.NewServer(webapp.NewServer(wb, webapp.DefaultConfig()))
+	defer srv.Close()
+	client := srv.Client()
+	ids := wb.Store.Collection().IDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := ids[i%len(ids)]
+		resp, err := client.Get(fmt.Sprintf("%s/timeline?patient=%d&pw=tromsø", srv.URL, uint64(id)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// --- E5: interaction latency ---------------------------------------------------------
+
+func BenchmarkE5_InteractionLatency(b *testing.B) {
+	for _, size := range []int{1000, 10000, 100000} {
+		wbSize := size
+		b.Run(fmt.Sprintf("n=%d/extract", size), func(b *testing.B) {
+			wb := workbenchAt(b, wbSize)
+			expr := query.Has{Pred: query.AllOf{
+				query.TypeIs(model.TypeDiagnosis), query.MustCode("", `K8.|T90`)}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess := core.NewSession(wb)
+				if err := sess.Extract(expr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/align", size), func(b *testing.B) {
+			wb := workbenchAt(b, wbSize)
+			anchor := align.First(query.AllOf{
+				query.TypeIs(model.TypeDiagnosis), query.MustCode("", `K8.|T90`)})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess := core.NewSession(wb)
+				if err := sess.AlignOn(anchor); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/render50", size), func(b *testing.B) {
+			wb := workbenchAt(b, wbSize)
+			sess := core.NewSession(wb)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if svg := sess.RenderTimeline(render.TimelineOptions{MaxRows: 50}); len(svg) == 0 {
+					b.Fatal("empty")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/details", size), func(b *testing.B) {
+			wb := workbenchAt(b, wbSize)
+			sess := core.NewSession(wb)
+			h := sess.View().At(0)
+			if h.Len() == 0 {
+				b.Skip("empty first history")
+			}
+			at := h.Entries[0].Start
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = sess.Details(h.Patient.ID, at)
+			}
+		})
+	}
+}
+
+// --- A1: merge noise ablation -----------------------------------------------------------
+
+func BenchmarkA1_MergeNoiseAblation(b *testing.B) {
+	backbone := []string{"A04", "T90", "K86", "F83", "K77"}
+	noise := []string{"R74", "L03", "D01"}
+	gen := func(eps float64, n int) [][]string {
+		r := synth.NewRand(11)
+		out := make([][]string, n)
+		for i := range out {
+			var seq []string
+			for _, c := range backbone {
+				for r.Bernoulli(eps) {
+					seq = append(seq, Pick(r, noise))
+				}
+				seq = append(seq, c)
+			}
+			out[i] = seq
+		}
+		return out
+	}
+	seqs := gen(0.10, 40)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, err := graph.SerialMerge(seqs, graph.SerialOptions{Pattern: "T90", Depth: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = g.Compression()
+		}
+	})
+	b.Run("msa", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := graph.MSAMerge(seqs, seqalign.ChapterCost{System: "ICPC2"})
+			_ = g.Compression()
+		}
+	})
+}
+
+// Pick re-exports synth.Pick for the bench generator.
+func Pick[T any](r *synth.Rand, xs []T) T { return synth.Pick(r, xs) }
+
+// --- A2: interval reasoning ---------------------------------------------------------------
+
+func BenchmarkA2_IntervalReasoning(b *testing.B) {
+	// An 8-interval chain network with erased edges.
+	periods := make([]model.Period, 8)
+	names := make([]string, 8)
+	for i := range periods {
+		start := model.Time(i) * 100
+		periods[i] = model.Period{Start: start, End: start + 60}
+		names[i] = fmt.Sprintf("ep%d", i)
+	}
+	base, err := temporal.FromPeriods(names, periods)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := base.Clone()
+		for j := 0; j+2 < net.Size(); j += 2 {
+			net.Erase(j, j+2)
+		}
+		if !net.PathConsistency() {
+			b.Fatal("inconsistent")
+		}
+	}
+}
+
+// --- A3: association mining ------------------------------------------------------------------
+
+func BenchmarkA3_AssociationMining(b *testing.B) {
+	wb := workbenchAt(b, 21000)
+	seqs := diabeticSeqs(b, wb, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		co := mining.CoOccurrence(seqs, mining.Options{MinSupport: 0.05})
+		sq := mining.Sequential(seqs, mining.Options{MinSupport: 0.05})
+		if len(co) == 0 || len(sq) == 0 {
+			b.Fatal("no rules")
+		}
+	}
+}
+
+// --- X1: trajectory clustering -----------------------------------------------------------------
+
+func BenchmarkX1_TrajectoryClustering(b *testing.B) {
+	wb := workbenchAt(b, 21000)
+	seqs := diabeticSeqs(b, wb, 60)
+	cost := seqalign.ChapterCost{System: "ICPC2"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Sequences(seqs, cost, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Order()) != len(seqs) {
+			b.Fatal("order lost items")
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command cohortctl runs cohort queries against a registry extract: the
+// command-line face of the Query-Builder. Queries are the JSON trees the
+// builder produces (see internal/query.Spec); the built-in "study" query is
+// the paper's predefined-characteristics selection.
+//
+// Usage:
+//
+//	cohortctl -data ./data -query query.json
+//	cohortctl -synth 168000 -study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pastas/internal/cohort"
+	"pastas/internal/core"
+	"pastas/internal/integrate"
+	"pastas/internal/model"
+	"pastas/internal/query"
+	"pastas/internal/sources"
+	"pastas/internal/stats"
+	"pastas/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cohortctl: ")
+
+	dataDir := flag.String("data", "", "registry extract directory (from datagen)")
+	synthN := flag.Int("synth", 0, "generate a synthetic population of this size instead")
+	queryFile := flag.String("query", "", "JSON query-spec file")
+	study := flag.Bool("study", false, "run the paper's predefined-characteristics selection")
+	limit := flag.Int("limit", 20, "IDs to print")
+	indicators := flag.Bool("indicators", false, "print utilization indicators for the cohort")
+	flag.Parse()
+
+	wb, window, err := loadWorkbench(*dataDir, *synthN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d patients, %d entries\n", wb.Patients(), wb.Entries())
+
+	var expr query.Expr
+	switch {
+	case *study:
+		expr = cohort.StudyCriteria(window)
+	case *queryFile != "":
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err := query.ParseSpec(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		expr, err = spec.Compile()
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("need -query FILE or -study")
+	}
+
+	c, err := cohort.FromExpr(wb.Store, "query", expr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\n", expr)
+	fmt.Printf("cohort: %d of %d patients (%.2f%%)\n",
+		c.Count(), wb.Patients(), 100*float64(c.Count())/float64(wb.Patients()))
+	ids := c.IDs()
+	if len(ids) > *limit {
+		ids = ids[:*limit]
+	}
+	for _, id := range ids {
+		fmt.Printf("  %s\n", id)
+	}
+	if c.Count() > *limit {
+		fmt.Printf("  … and %d more\n", c.Count()-*limit)
+	}
+
+	if *indicators {
+		fmt.Println()
+		fmt.Print(stats.ComputeIndicators(c.Collection(), window).Table())
+	}
+}
+
+func loadWorkbench(dataDir string, synthN int) (*core.Workbench, model.Period, error) {
+	window := model.Period{Start: model.Date(2010, 1, 1), End: model.Date(2012, 1, 1)}
+	switch {
+	case dataDir != "":
+		bundle, err := sources.ReadDir(dataDir)
+		if err != nil {
+			return nil, window, err
+		}
+		wb, err := core.FromBundle(bundle, integrate.DefaultOptions(), window)
+		return wb, window, err
+	case synthN > 0:
+		cfg := synth.DefaultConfig(synthN)
+		wb, err := core.Synthesize(cfg)
+		return wb, cfg.Window(), err
+	default:
+		return nil, window, fmt.Errorf("need -data DIR or -synth N")
+	}
+}

@@ -1,0 +1,62 @@
+// Command datagen emits a synthetic multi-registry extract to disk: the
+// per-source files (CSV and JSONL) the integration layer consumes. It
+// stands in for the Norwegian registry deliveries the paper aggregated.
+//
+// Usage:
+//
+//	datagen -patients 168000 -seed 42 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"pastas/internal/sources"
+	"pastas/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	patients := flag.Int("patients", 10000, "population size")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("out", "data", "output directory")
+	flag.Parse()
+
+	cfg := synth.DefaultConfig(*patients)
+	cfg.Seed = *seed
+	bundle := synth.Generate(cfg)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, fn func(f *os.File) error) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			log.Fatalf("%s: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		info, _ := os.Stat(path)
+		fmt.Printf("  %-24s %8.1f KiB\n", name, float64(info.Size())/1024)
+	}
+
+	fmt.Printf("writing %d patients (%d records) to %s\n", *patients, bundle.TotalRecords(), *out)
+	write("persons.csv", func(f *os.File) error { return sources.WritePersons(f, bundle.Persons) })
+	write("gp_claims.csv", func(f *os.File) error { return sources.WriteGPClaims(f, bundle.GPClaims) })
+	write("episodes.csv", func(f *os.File) error { return sources.WriteEpisodes(f, bundle.Episodes) })
+	write("municipal.csv", func(f *os.File) error { return sources.WriteMunicipal(f, bundle.Municipal) })
+	write("prescriptions.jsonl", func(f *os.File) error { return sources.WriteJSONL(f, bundle.Prescriptions) })
+	write("specialist.jsonl", func(f *os.File) error { return sources.WriteJSONL(f, bundle.Specialist) })
+	write("physio.jsonl", func(f *os.File) error { return sources.WriteJSONL(f, bundle.Physio) })
+}

@@ -1,0 +1,93 @@
+// Command pastas renders the workbench views as SVG: the Fig. 1 timeline
+// (calendar or aligned), the Fig. 2 NSEPter merged graph, and the Fig. 3
+// preattentive stimulus.
+//
+// Usage:
+//
+//	pastas -synth 2000 -view workbench -rows 100 -out fig1.svg
+//	pastas -synth 2000 -view graph -pattern T90 -depth 2 -out fig2a.svg
+//	pastas -view preattentive -out fig3.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pastas/internal/align"
+	"pastas/internal/core"
+	"pastas/internal/model"
+	"pastas/internal/query"
+	"pastas/internal/render"
+	"pastas/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pastas: ")
+
+	synthN := flag.Int("synth", 2000, "synthetic population size")
+	view := flag.String("view", "workbench", "view: workbench | aligned | graph | graph-msa | eventchart | preattentive")
+	rows := flag.Int("rows", 100, "max histories to draw")
+	pattern := flag.String("pattern", "T90", "merge/alignment code pattern")
+	depth := flag.Int("depth", 2, "neighbour merge recursion depth")
+	zoomX := flag.Float64("zoomx", 1, "horizontal zoom slider")
+	zoomY := flag.Float64("zoomy", 1, "vertical zoom slider")
+	out := flag.String("out", "view.svg", "output SVG path")
+	flag.Parse()
+
+	var svg string
+	switch *view {
+	case "preattentive":
+		svg, _ = render.PreattentiveStimulus(render.StimulusOptions{Distractors: 48, Seed: 3})
+	default:
+		wb, err := core.Synthesize(synth.DefaultConfig(*synthN))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess := core.NewSession(wb)
+		diagPred := query.AllOf{query.TypeIs(model.TypeDiagnosis), query.MustCode("", *pattern)}
+		if err := sess.Extract(query.Has{Pred: diagPred}); err != nil {
+			log.Fatal(err)
+		}
+		if err := sess.SetZoom(*zoomX, *zoomY); err != nil {
+			log.Fatal(err)
+		}
+		switch *view {
+		case "workbench":
+			svg = sess.RenderTimeline(render.TimelineOptions{MaxRows: *rows, Legend: true, Tooltips: true})
+		case "aligned":
+			if err := sess.AlignOn(align.First(diagPred)); err != nil {
+				log.Fatal(err)
+			}
+			svg = sess.RenderTimeline(render.TimelineOptions{MaxRows: *rows, Tooltips: true})
+		case "graph":
+			svg, err = sess.RenderGraph(*pattern, *depth, render.GraphOptions{Labels: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+		case "graph-msa":
+			svg = sess.RenderGraphMSA(render.GraphOptions{Labels: true})
+		case "eventchart":
+			// Hits of "index diagnosis then a GP follow-up within 90
+			// days" — the Fails et al. temporal-query view.
+			seq := query.Sequence{Steps: []query.Step{
+				{Pred: diagPred},
+				{Pred: query.AllOf{
+					query.TypeIs(model.TypeContact),
+					query.SourceIs(model.SourceGP),
+				}, MaxGap: query.Days(90)},
+			}}
+			svg = sess.RenderEventChart(seq, render.EventChartOptions{Tooltips: true, MaxLines: *rows})
+		default:
+			log.Fatalf("unknown view %q", *view)
+		}
+		fmt.Println(sess.Budget().String())
+	}
+
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d KiB)\n", *out, len(svg)/1024)
+}

@@ -1,0 +1,39 @@
+// Command timeline-server runs the personal-timeline web service — the
+// paper's pastas.no deployment: interactive personal health timelines plus
+// the cohort-query API, behind the sample password.
+//
+// Usage:
+//
+//	timeline-server -synth 10000 -addr :8080 -password tromsø
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"pastas/internal/core"
+	"pastas/internal/synth"
+	"pastas/internal/webapp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("timeline-server: ")
+
+	synthN := flag.Int("synth", 10000, "synthetic population size")
+	addr := flag.String("addr", ":8080", "listen address")
+	password := flag.String("password", "tromsø", "sample password ('' = open)")
+	flag.Parse()
+
+	wb, err := core.Synthesize(synth.DefaultConfig(*synthN))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d patients (%d entries)\n", wb.Patients(), wb.Entries())
+	fmt.Printf("serving on %s — try /timeline?patient=1&pw=%s\n", *addr, *password)
+
+	srv := webapp.NewServer(wb, webapp.Config{Password: *password, MaxCohortSample: 100})
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,72 @@
+// Patternsearch: the workbench's temporal-pattern operations end to end —
+// search for an acute-care pathway (stroke admission → GP follow-up →
+// municipal home care), draw the hits as a Fails-style event chart, and
+// stack similar trajectories adjacently with the clustering extension.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pastas/internal/core"
+	"pastas/internal/model"
+	"pastas/internal/query"
+	"pastas/internal/render"
+	"pastas/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	wb, err := core.Synthesize(synth.DefaultConfig(20000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := core.NewSession(wb)
+
+	// The acute pathway of the paper's title: a stroke admission, primary
+	// care follow-up within three months, then municipal home care.
+	stroke := query.AllOf{
+		query.TypeIs(model.TypeDiagnosis),
+		query.MustCode("", `K90|I6[134](\..*)?`),
+	}
+	pathway := query.Sequence{Steps: []query.Step{
+		{Pred: stroke},
+		{Pred: query.AllOf{
+			query.TypeIs(model.TypeContact), query.SourceIs(model.SourceGP),
+		}, MaxGap: query.Days(90)},
+		{Pred: query.TypeIs(model.TypeService), MaxGap: query.Days(180)},
+	}}
+
+	ids := sess.SearchPattern(pathway)
+	fmt.Printf("stroke → GP follow-up → home care: %d of %d patients\n", len(ids), wb.Patients())
+
+	// Narrow the view to the hits and draw the event chart.
+	if err := sess.Extract(query.Has{Pred: stroke}); err != nil {
+		log.Fatal(err)
+	}
+	chart := sess.RenderEventChart(pathway, render.EventChartOptions{Tooltips: true, MaxLines: 60})
+	write("pathway_eventchart.svg", chart)
+
+	// Cluster the stroke cohort by trajectory similarity and render the
+	// timeline in clustered order.
+	if err := sess.SortByCluster(4); err != nil {
+		log.Fatal(err)
+	}
+	timeline := sess.RenderTimeline(render.TimelineOptions{MaxRows: 60, Legend: true})
+	write("pathway_clustered_timeline.svg", timeline)
+
+	fmt.Println("\nsession history:")
+	for _, op := range sess.History() {
+		fmt.Printf("  %-18s %s\n", op.Op, op.Detail)
+	}
+	fmt.Println("\n" + sess.CostOfKnowledge().String())
+}
+
+func write(name, svg string) {
+	if err := os.WriteFile(name, []byte(svg), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d KiB)\n", name, len(svg)/1024)
+}

@@ -1,0 +1,30 @@
+// Webtimelines: serve interactive personal health timelines for thousands
+// of patients — the paper's pastas.no deployment ("interactive personal
+// health time-lines for more than 10,000 individuals on the web", sample
+// password "tromsø").
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+
+	"pastas"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	wb, err := pastas.Synthesize(pastas.DefaultSynthConfig(10000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d patients (%d entries)\n", wb.Patients(), wb.Entries())
+
+	srv := pastas.NewWebServer(wb, pastas.DefaultWebConfig())
+	fmt.Println("serving on http://localhost:8080")
+	fmt.Println("  index:    http://localhost:8080/?pw=tromsø")
+	fmt.Println("  timeline: http://localhost:8080/timeline?patient=1&pw=tromsø")
+	fmt.Println("  API:      http://localhost:8080/api/timeline?patient=1&pw=tromsø")
+	log.Fatal(http.ListenAndServe(":8080", srv))
+}

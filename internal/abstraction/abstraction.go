@@ -1,0 +1,211 @@
+// Package abstraction computes the higher-level views the paper layers over
+// raw entries: code→chapter abstraction ("medications can be shown using a
+// name for the group of drugs"), contact→episode derivation, and the
+// medication-period interval concepts drawn as background colorings in
+// Fig. 1. The previous project [7] "calculated abstractions over sequences
+// of diagnosis instances"; this package is that machinery.
+package abstraction
+
+import (
+	"sort"
+
+	"pastas/internal/model"
+	"pastas/internal/terminology"
+)
+
+// ChapterOf abstracts a code to its chapter: ICPC-2 chapter letter, ICD-10
+// chapter numeral, or ATC anatomical group. Returns "" for unknown codes.
+func ChapterOf(c model.Code) string {
+	cs := terminology.For(terminology.System(c.System))
+	if cs == nil {
+		return ""
+	}
+	return cs.Chapter(c.Value)
+}
+
+// GroupOf abstracts a code one level up its hierarchy (the parent), falling
+// back to the code itself at the top.
+func GroupOf(c model.Code) string {
+	cs := terminology.For(terminology.System(c.System))
+	if cs == nil {
+		return c.Value
+	}
+	if p := cs.Parent(c.Value); p != "" {
+		return p
+	}
+	return c.Value
+}
+
+// AbstractCodes maps a code sequence to chapter level, dropping unknowns.
+// This is the abstraction NSEPter's merging benefits from: T89 and T90
+// both become T, so near-miss histories merge.
+func AbstractCodes(codes []model.Code) []string {
+	out := make([]string, 0, len(codes))
+	for _, c := range codes {
+		if ch := ChapterOf(c); ch != "" {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// Episode is a burst of care activity: entries whose starts are separated
+// by no more than the gap parameter, summarized by period and dominant
+// diagnosis code.
+type Episode struct {
+	Period   model.Period
+	Entries  []*model.Entry
+	Dominant model.Code // most frequent diagnosis code, ties by code value
+}
+
+// Episodes groups a history's entries into episodes separated by quiet
+// gaps of at least gap. Interval entries extend an episode to their end.
+func Episodes(h *model.History, gap model.Time) []Episode {
+	h.Sort()
+	if h.Len() == 0 {
+		return nil
+	}
+	var eps []Episode
+	var cur *Episode
+	for i := range h.Entries {
+		e := &h.Entries[i]
+		end := e.Start
+		if e.Kind == model.Interval {
+			end = e.End
+		}
+		if cur != nil && e.Start-cur.Period.End <= gap {
+			cur.Entries = append(cur.Entries, e)
+			if end > cur.Period.End {
+				cur.Period.End = end
+			}
+			continue
+		}
+		eps = append(eps, Episode{Period: model.Period{Start: e.Start, End: end}, Entries: []*model.Entry{e}})
+		cur = &eps[len(eps)-1]
+	}
+	for i := range eps {
+		eps[i].Dominant = dominantDiagnosis(eps[i].Entries)
+		// A point-only episode still covers its day.
+		if eps[i].Period.Empty() {
+			eps[i].Period.End = eps[i].Period.Start + model.Day
+		}
+	}
+	return eps
+}
+
+func dominantDiagnosis(entries []*model.Entry) model.Code {
+	counts := make(map[model.Code]int)
+	for _, e := range entries {
+		if e.Type == model.TypeDiagnosis && !e.Code.IsZero() {
+			counts[e.Code]++
+		}
+	}
+	var best model.Code
+	bestN := 0
+	for c, n := range counts {
+		if n > bestN || (n == bestN && (best.IsZero() || c.Value < best.Value)) {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// Band is an interval concept for rendering: a class label with its merged
+// period — e.g. "C07 Beta blocking agents" from 2010-02 to 2010-11.
+type Band struct {
+	Class  string // abstracted class code, e.g. "C07"
+	Title  string // class title from the terminology
+	Period model.Period
+	// OpenEnd marks bands whose true end is unknown (still-running
+	// services); renderers fade the tail instead of drawing a hard edge.
+	OpenEnd bool
+}
+
+// ATCLevel names the abstraction level for medication bands.
+type ATCLevel int
+
+const (
+	// ATCAnatomical is level 1 (C — cardiovascular system).
+	ATCAnatomical ATCLevel = 1
+	// ATCTherapeutic is level 2 (C07 — beta blocking agents), the class
+	// granularity of Fig. 1's colors.
+	ATCTherapeutic ATCLevel = 2
+)
+
+// classPrefix truncates an ATC code to the level's code length.
+func classPrefix(atc string, level ATCLevel) string {
+	n := 1
+	if level == ATCTherapeutic {
+		n = 3
+	}
+	if len(atc) < n {
+		return atc
+	}
+	return atc[:n]
+}
+
+// MedicationBands merges a history's medication intervals into per-class
+// bands: overlapping or touching (within bridge) periods of the same class
+// become one band. The result is sorted by class then start.
+func MedicationBands(h *model.History, level ATCLevel, bridge model.Time) []Band {
+	h.Sort()
+	periods := make(map[string][]model.Period)
+	for i := range h.Entries {
+		e := &h.Entries[i]
+		if e.Type != model.TypeMedication || e.Kind != model.Interval {
+			continue
+		}
+		cls := classPrefix(e.Code.Value, level)
+		if cls == "" {
+			continue
+		}
+		periods[cls] = append(periods[cls], e.Period())
+	}
+
+	classes := make([]string, 0, len(periods))
+	for cls := range periods {
+		classes = append(classes, cls)
+	}
+	sort.Strings(classes)
+
+	atc := terminology.ForATC()
+	var out []Band
+	for _, cls := range classes {
+		ps := periods[cls]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Start < ps[j].Start })
+		merged := ps[:1]
+		for _, p := range ps[1:] {
+			last := &merged[len(merged)-1]
+			if p.Start <= last.End+bridge {
+				if p.End > last.End {
+					last.End = p.End
+				}
+				continue
+			}
+			merged = append(merged, p)
+		}
+		for _, p := range merged {
+			out = append(out, Band{Class: cls, Title: atc.Title(cls), Period: p})
+		}
+	}
+	return out
+}
+
+// ServiceBands extracts stay/service intervals as bands labeled by source,
+// for the admission and municipal-care background colorings.
+func ServiceBands(h *model.History) []Band {
+	h.Sort()
+	var out []Band
+	for i := range h.Entries {
+		e := &h.Entries[i]
+		if e.Kind != model.Interval {
+			continue
+		}
+		switch e.Type {
+		case model.TypeStay, model.TypeService:
+			label := e.Source.String() + " " + e.Type.String()
+			out = append(out, Band{Class: label, Title: label, Period: e.Period(), OpenEnd: e.OpenEnd})
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+// Package cluster groups similar trajectories. Project [7] merged "similar
+// paths" through alignment; clustering generalizes that: agglomerative
+// (average-linkage) clustering over alignment distances yields groups of
+// patients with similar diagnosis sequences, and a display order that
+// stacks similar histories adjacently — turning the timeline's vertical
+// axis from arbitrary IDs into structure, which is how cohort-level
+// patterns become visible ("discover new hypotheses or get ideas for the
+// best analysis strategies").
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pastas/internal/seqalign"
+)
+
+// Result is a clustering of n items (indexed as given to Agglomerative).
+type Result struct {
+	// Assign maps item index to cluster ID (0..K-1, ordered by
+	// decreasing cluster size, ties by smallest member index).
+	Assign []int
+	// K is the number of clusters.
+	K int
+	// Heights records the merge distances in order — the dendrogram
+	// profile, useful for choosing K.
+	Heights []float64
+}
+
+// Sizes returns member counts per cluster.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, r.K)
+	for _, c := range r.Assign {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// Members returns item indices per cluster.
+func (r *Result) Members(cluster int) []int {
+	var out []int
+	for i, c := range r.Assign {
+		if c == cluster {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Order returns the display order: clusters by ID, members ascending — the
+// vertical arrangement for the clustered timeline.
+func (r *Result) Order() []int {
+	out := make([]int, 0, len(r.Assign))
+	for c := 0; c < r.K; c++ {
+		out = append(out, r.Members(c)...)
+	}
+	return out
+}
+
+// DistanceMatrix computes normalized pairwise alignment distances between
+// code sequences: Distance(a,b) / max(len(a), len(b)), so values lie in
+// [0, 1] regardless of sequence length.
+func DistanceMatrix(seqs [][]string, cost seqalign.Cost) [][]float64 {
+	n := len(seqs)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			denom := float64(max(len(seqs[i]), len(seqs[j])))
+			if denom == 0 {
+				continue
+			}
+			v := seqalign.Distance(seqs[i], seqs[j], cost) / denom
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return d
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Agglomerative runs average-linkage hierarchical clustering over a
+// distance matrix, cutting when k clusters remain (k ≥ 1). It returns an
+// error for ragged or empty input.
+func Agglomerative(dist [][]float64, k int) (*Result, error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty distance matrix")
+	}
+	for i := range dist {
+		if len(dist[i]) != n {
+			return nil, fmt.Errorf("cluster: ragged distance matrix at row %d", i)
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+
+	// active clusters as member lists; d holds average-linkage distances.
+	members := make([][]int, n)
+	for i := range members {
+		members[i] = []int{i}
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = append([]float64(nil), dist[i]...)
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := n
+
+	var heights []float64
+	for aliveCount > k {
+		// Find the closest pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !alive[j] {
+					continue
+				}
+				if d[i][j] < best {
+					bi, bj, best = i, j, d[i][j]
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		heights = append(heights, best)
+		// Merge bj into bi with average-linkage update.
+		ni, nj := float64(len(members[bi])), float64(len(members[bj]))
+		for x := 0; x < n; x++ {
+			if !alive[x] || x == bi || x == bj {
+				continue
+			}
+			d[bi][x] = (ni*d[bi][x] + nj*d[bj][x]) / (ni + nj)
+			d[x][bi] = d[bi][x]
+		}
+		members[bi] = append(members[bi], members[bj]...)
+		alive[bj] = false
+		aliveCount--
+	}
+
+	// Collect clusters, order by size desc then smallest member.
+	type cl struct {
+		items []int
+	}
+	var clusters []cl
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			items := append([]int(nil), members[i]...)
+			sort.Ints(items)
+			clusters = append(clusters, cl{items})
+		}
+	}
+	sort.Slice(clusters, func(a, b int) bool {
+		if len(clusters[a].items) != len(clusters[b].items) {
+			return len(clusters[a].items) > len(clusters[b].items)
+		}
+		return clusters[a].items[0] < clusters[b].items[0]
+	})
+
+	res := &Result{Assign: make([]int, n), K: len(clusters), Heights: heights}
+	for cid, c := range clusters {
+		for _, item := range c.items {
+			res.Assign[item] = cid
+		}
+	}
+	return res, nil
+}
+
+// Sequences is the convenience pipeline: distances then clustering.
+func Sequences(seqs [][]string, cost seqalign.Cost, k int) (*Result, error) {
+	return Agglomerative(DistanceMatrix(seqs, cost), k)
+}
+
+// Silhouette computes the mean silhouette coefficient of a clustering
+// (−1..1; higher = tighter, better-separated clusters). Items in singleton
+// clusters contribute 0.
+func Silhouette(dist [][]float64, r *Result) float64 {
+	n := len(r.Assign)
+	if n <= 1 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		own := r.Assign[i]
+		// a = mean distance to own cluster (excluding self).
+		var a, aN float64
+		// b = min over other clusters of mean distance.
+		bSums := make([]float64, r.K)
+		bNs := make([]float64, r.K)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			c := r.Assign[j]
+			if c == own {
+				a += dist[i][j]
+				aN++
+			} else {
+				bSums[c] += dist[i][j]
+				bNs[c]++
+			}
+		}
+		if aN == 0 {
+			continue // singleton
+		}
+		a /= aN
+		b := math.Inf(1)
+		for c := 0; c < r.K; c++ {
+			if bNs[c] > 0 {
+				if v := bSums[c] / bNs[c]; v < b {
+					b = v
+				}
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n)
+}

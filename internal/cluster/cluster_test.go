@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"pastas/internal/seqalign"
+)
+
+// Two obvious groups: diabetes-like and respiratory-like sequences.
+func groupedSeqs() [][]string {
+	return [][]string{
+		{"A04", "T90", "K86", "F83"},
+		{"A04", "T90", "K86"},
+		{"T90", "K86", "F83"},
+		{"R74", "R78", "R95"},
+		{"R74", "R95"},
+		{"R74", "R78", "R95", "R81"},
+	}
+}
+
+func TestSequencesRecoversGroups(t *testing.T) {
+	r, err := Sequences(groupedSeqs(), seqalign.UnitCost{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 2 {
+		t.Fatalf("K = %d", r.K)
+	}
+	// Items 0-2 together, 3-5 together.
+	if r.Assign[0] != r.Assign[1] || r.Assign[1] != r.Assign[2] {
+		t.Errorf("diabetes group split: %v", r.Assign)
+	}
+	if r.Assign[3] != r.Assign[4] || r.Assign[4] != r.Assign[5] {
+		t.Errorf("respiratory group split: %v", r.Assign)
+	}
+	if r.Assign[0] == r.Assign[3] {
+		t.Errorf("groups merged: %v", r.Assign)
+	}
+	sizes := r.Sizes()
+	if sizes[0] != 3 || sizes[1] != 3 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestOrderGroupsMembers(t *testing.T) {
+	r, err := Sequences(groupedSeqs(), seqalign.UnitCost{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := r.Order()
+	if len(order) != 6 {
+		t.Fatalf("order = %v", order)
+	}
+	// All members of cluster of order[0] come before the other cluster.
+	first := r.Assign[order[0]]
+	boundary := -1
+	for i, item := range order {
+		if r.Assign[item] != first {
+			boundary = i
+			break
+		}
+	}
+	if boundary != 3 {
+		t.Errorf("cluster boundary at %d: %v", boundary, order)
+	}
+	for _, item := range order[boundary:] {
+		if r.Assign[item] == first {
+			t.Errorf("interleaved clusters: %v", order)
+		}
+	}
+}
+
+func TestAgglomerativeEdgeCases(t *testing.T) {
+	if _, err := Agglomerative(nil, 2); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := Agglomerative([][]float64{{0, 1}}, 1); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	// Single item.
+	r, err := Agglomerative([][]float64{{0}}, 1)
+	if err != nil || r.K != 1 || r.Assign[0] != 0 {
+		t.Errorf("singleton clustering: %+v, %v", r, err)
+	}
+	// k > n clamps to n; k < 1 clamps to 1.
+	d := [][]float64{{0, 1}, {1, 0}}
+	if r, _ := Agglomerative(d, 10); r.K != 2 {
+		t.Errorf("k>n clamp: %d", r.K)
+	}
+	if r, _ := Agglomerative(d, 0); r.K != 1 {
+		t.Errorf("k<1 clamp: %d", r.K)
+	}
+}
+
+func TestHeightsMonotoneForUltrametric(t *testing.T) {
+	// Average linkage on well-separated groups yields increasing merge
+	// heights.
+	r, err := Sequences(groupedSeqs(), seqalign.UnitCost{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Heights) != 5 {
+		t.Fatalf("heights = %v", r.Heights)
+	}
+	last := r.Heights[len(r.Heights)-1]
+	if last <= r.Heights[0] {
+		t.Errorf("final merge not the largest: %v", r.Heights)
+	}
+}
+
+func TestDistanceMatrixProperties(t *testing.T) {
+	seqs := groupedSeqs()
+	d := DistanceMatrix(seqs, seqalign.UnitCost{})
+	for i := range d {
+		if d[i][i] != 0 {
+			t.Fatalf("nonzero diagonal at %d", i)
+		}
+		for j := range d {
+			if d[i][j] != d[j][i] {
+				t.Fatalf("asymmetry at %d,%d", i, j)
+			}
+			if d[i][j] < 0 || d[i][j] > 1 {
+				t.Fatalf("out of [0,1]: %f", d[i][j])
+			}
+		}
+	}
+	// Identical sequences are at distance 0.
+	same := DistanceMatrix([][]string{{"A04"}, {"A04"}}, seqalign.UnitCost{})
+	if same[0][1] != 0 {
+		t.Errorf("identical distance = %f", same[0][1])
+	}
+	// Empty sequences do not divide by zero.
+	empty := DistanceMatrix([][]string{{}, {}}, seqalign.UnitCost{})
+	if empty[0][1] != 0 {
+		t.Errorf("empty distance = %f", empty[0][1])
+	}
+}
+
+func TestSilhouettePrefersTrueK(t *testing.T) {
+	seqs := groupedSeqs()
+	d := DistanceMatrix(seqs, seqalign.UnitCost{})
+	r2, err := Agglomerative(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := Agglomerative(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := Silhouette(d, r2)
+	s5 := Silhouette(d, r5)
+	if s2 <= s5 {
+		t.Errorf("silhouette should prefer the true k=2: s2=%f s5=%f", s2, s5)
+	}
+	if s2 <= 0.3 {
+		t.Errorf("well-separated groups should score high: %f", s2)
+	}
+	// Degenerate inputs.
+	if got := Silhouette(d[:1], &Result{Assign: []int{0}, K: 1}); got != 0 {
+		t.Errorf("single-item silhouette = %f", got)
+	}
+}
+
+func TestMembers(t *testing.T) {
+	r := &Result{Assign: []int{0, 1, 0, 1}, K: 2}
+	if got := r.Members(0); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("Members(0) = %v", got)
+	}
+	if got := r.Members(1); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("Members(1) = %v", got)
+	}
+}

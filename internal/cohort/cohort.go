@@ -1,0 +1,130 @@
+// Package cohort implements cohort identification and manipulation: named
+// patient sets over a store, set algebra, sampling, and the paper's
+// "predefined characteristics" study selection (Section IV: 13,000 of
+// 168,000 patients).
+package cohort
+
+import (
+	"fmt"
+
+	"pastas/internal/model"
+	"pastas/internal/query"
+	"pastas/internal/store"
+)
+
+// Cohort is a named set of patients within a store.
+type Cohort struct {
+	Name string
+	st   *store.Store
+	bits *store.Bitset
+}
+
+// All returns the cohort of every patient in the store.
+func All(st *store.Store, name string) *Cohort {
+	return &Cohort{Name: name, st: st, bits: st.All()}
+}
+
+// FromExpr evaluates a query expression (index-accelerated) into a cohort.
+func FromExpr(st *store.Store, name string, e query.Expr) (*Cohort, error) {
+	bits, err := query.EvalIndexed(st, e)
+	if err != nil {
+		return nil, fmt.Errorf("cohort %q: %w", name, err)
+	}
+	return &Cohort{Name: name, st: st, bits: bits}, nil
+}
+
+// FromIDs builds a cohort from explicit patient IDs; unknown IDs are
+// ignored.
+func FromIDs(st *store.Store, name string, ids []model.PatientID) *Cohort {
+	bits := st.Empty()
+	for _, id := range ids {
+		if o, ok := st.Ordinal(id); ok {
+			bits.Set(o)
+		}
+	}
+	return &Cohort{Name: name, st: st, bits: bits}
+}
+
+// FromBits wraps an existing bitset (not copied).
+func FromBits(st *store.Store, name string, bits *store.Bitset) *Cohort {
+	return &Cohort{Name: name, st: st, bits: bits}
+}
+
+// Count returns the cohort size.
+func (c *Cohort) Count() int { return c.bits.Count() }
+
+// Contains reports membership.
+func (c *Cohort) Contains(id model.PatientID) bool {
+	o, ok := c.st.Ordinal(id)
+	return ok && c.bits.Get(o)
+}
+
+// IDs returns the member patient IDs in collection order.
+func (c *Cohort) IDs() []model.PatientID { return c.st.IDsOf(c.bits) }
+
+// Bits returns a copy of the underlying bitset.
+func (c *Cohort) Bits() *store.Bitset { return c.bits.Clone() }
+
+// Store returns the backing store.
+func (c *Cohort) Store() *store.Store { return c.st }
+
+// Collection materializes the cohort as a sub-collection — the paper's
+// "extraction of sub-collections" handed to the timeline or graph view.
+func (c *Cohort) Collection() *model.Collection { return c.st.Subset(c.bits) }
+
+// Intersect returns c ∩ other.
+func (c *Cohort) Intersect(other *Cohort) *Cohort {
+	return &Cohort{
+		Name: c.Name + "∩" + other.Name,
+		st:   c.st,
+		bits: c.bits.Clone().And(other.bits),
+	}
+}
+
+// Union returns c ∪ other.
+func (c *Cohort) Union(other *Cohort) *Cohort {
+	return &Cohort{
+		Name: c.Name + "∪" + other.Name,
+		st:   c.st,
+		bits: c.bits.Clone().Or(other.bits),
+	}
+}
+
+// Subtract returns c ∖ other.
+func (c *Cohort) Subtract(other *Cohort) *Cohort {
+	return &Cohort{
+		Name: c.Name + "∖" + other.Name,
+		st:   c.st,
+		bits: c.bits.Clone().AndNot(other.bits),
+	}
+}
+
+// Complement returns the store's patients not in c.
+func (c *Cohort) Complement() *Cohort {
+	return &Cohort{Name: "¬" + c.Name, st: c.st, bits: c.bits.Clone().Not()}
+}
+
+// Sample returns a deterministic pseudo-random sub-cohort of size at most n
+// (seeded; stable across runs). Used to cut a 13k cohort down to a
+// reviewable panel.
+func (c *Cohort) Sample(n int, seed int64) *Cohort {
+	ids := c.IDs()
+	if n >= len(ids) {
+		return &Cohort{Name: c.Name + "/all", st: c.st, bits: c.bits.Clone()}
+	}
+	// Fisher-Yates over a local PRNG (splitmix-style) so package math/rand
+	// state elsewhere cannot perturb experiment determinism.
+	state := uint64(seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	next := func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := len(ids) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	return FromIDs(c.st, fmt.Sprintf("%s/sample%d", c.Name, n), ids[:n])
+}

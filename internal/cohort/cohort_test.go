@@ -1,0 +1,146 @@
+package cohort
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pastas/internal/integrate"
+	"pastas/internal/model"
+	"pastas/internal/query"
+	"pastas/internal/store"
+	"pastas/internal/synth"
+)
+
+func testStore(t testing.TB, patients int) *store.Store {
+	t.Helper()
+	bundle := synth.Generate(synth.DefaultConfig(patients))
+	col, _, err := integrate.Build(bundle, integrate.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.New(col)
+}
+
+func TestSetAlgebra(t *testing.T) {
+	st := testStore(t, 300)
+	everyone := All(st, "all")
+	if everyone.Count() != 300 {
+		t.Fatalf("all = %d", everyone.Count())
+	}
+
+	women, err := FromExpr(st, "women", query.SexIs(model.SexFemale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	men := women.Complement()
+	if women.Count()+men.Count() != 300 {
+		t.Errorf("complement broken: %d + %d", women.Count(), men.Count())
+	}
+	if got := women.Intersect(men).Count(); got != 0 {
+		t.Errorf("women∩men = %d", got)
+	}
+	if got := women.Union(men).Count(); got != 300 {
+		t.Errorf("women∪men = %d", got)
+	}
+	if got := everyone.Subtract(women).Count(); got != men.Count() {
+		t.Errorf("all∖women = %d, want %d", got, men.Count())
+	}
+	if men.Name == "" || women.Name == "" {
+		t.Error("derived cohorts must keep names")
+	}
+}
+
+func TestFromIDsAndContains(t *testing.T) {
+	st := testStore(t, 50)
+	c := FromIDs(st, "picked", []model.PatientID{3, 7, 999})
+	if c.Count() != 2 {
+		t.Errorf("count = %d (unknown id must be ignored)", c.Count())
+	}
+	if !c.Contains(3) || c.Contains(4) || c.Contains(999) {
+		t.Error("Contains broken")
+	}
+	ids := c.IDs()
+	if !reflect.DeepEqual(ids, []model.PatientID{3, 7}) {
+		t.Errorf("IDs = %v", ids)
+	}
+	col := c.Collection()
+	if col.Len() != 2 || col.Get(7) == nil {
+		t.Error("Collection materialization broken")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	st := testStore(t, 200)
+	c := All(st, "all")
+	s1 := c.Sample(20, 7)
+	s2 := c.Sample(20, 7)
+	if !reflect.DeepEqual(s1.IDs(), s2.IDs()) {
+		t.Error("sampling must be deterministic per seed")
+	}
+	s3 := c.Sample(20, 8)
+	if reflect.DeepEqual(s1.IDs(), s3.IDs()) {
+		t.Error("different seeds should differ")
+	}
+	if s1.Count() != 20 {
+		t.Errorf("sample size = %d", s1.Count())
+	}
+	// Oversampling returns the whole cohort.
+	if got := c.Sample(1000, 1).Count(); got != 200 {
+		t.Errorf("oversample = %d", got)
+	}
+	// Samples are subsets.
+	for _, id := range s1.IDs() {
+		if !c.Contains(id) {
+			t.Fatalf("sample leaked id %v", id)
+		}
+	}
+}
+
+func TestStudyCriteriaSelectsChronicallyIll(t *testing.T) {
+	st := testStore(t, 2000)
+	window := model.Period{
+		Start: model.Date(2010, time.January, 1),
+		End:   model.Date(2012, time.January, 1),
+	}
+	crit := StudyCriteria(window)
+	c, err := FromExpr(st, "study", crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(c.Count()) / 2000
+	// Calibration target: 13k/168k ≈ 7.7%; allow generous slack at this
+	// small population size, but catch gross miscalibration.
+	if frac < 0.03 || frac > 0.15 {
+		t.Errorf("study fraction = %.3f, want ≈ 0.077", frac)
+	}
+
+	// Every selected member satisfies the raw expression too
+	// (index/scan agreement at the cohort level).
+	scan := query.Select(st.Collection(), crit)
+	if !reflect.DeepEqual(c.IDs(), scan) {
+		t.Errorf("indexed cohort differs from scan: %d vs %d", c.Count(), len(scan))
+	}
+
+	// Members must actually be chronically ill with ≥4 GP contacts.
+	chronic := ChronicDiagnosis()
+	for _, id := range c.IDs()[:min(20, c.Count())] {
+		h := st.Collection().Get(id)
+		if !chronic.Eval(h) {
+			t.Fatalf("selected %v without chronic diagnosis", id)
+		}
+		gp := h.Count(func(e *model.Entry) bool {
+			return e.Type == model.TypeContact && e.Source == model.SourceGP && window.Contains(e.Start)
+		})
+		if gp < 6 {
+			t.Fatalf("selected %v with %d GP contacts", id, gp)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

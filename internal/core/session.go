@@ -1,0 +1,437 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pastas/internal/align"
+	"pastas/internal/cluster"
+	"pastas/internal/graph"
+	"pastas/internal/model"
+	"pastas/internal/perception"
+	"pastas/internal/query"
+	"pastas/internal/render"
+	"pastas/internal/seqalign"
+)
+
+// Session is one analyst's interactive state over a workbench: the current
+// sub-collection, alignment, event filter and zoom. Every operation is
+// recorded (Shneiderman's "history" task: "allow users to retrace their
+// steps") and timed against the response budget.
+type Session struct {
+	wb     *Workbench
+	budget *perception.Budget
+
+	view    *model.Collection
+	aligned *align.Result
+	filter  query.EventPred
+	zoomX   float64
+	zoomY   float64
+
+	undo []sessionState
+	log  []OpRecord
+
+	// infoUnits counts information surfaced to the analyst (rows drawn,
+	// detail lines, pattern hits) for the cost-of-knowledge report.
+	infoUnits int
+}
+
+type sessionState struct {
+	view    *model.Collection
+	aligned *align.Result
+	filter  query.EventPred
+	zoomX   float64
+	zoomY   float64
+}
+
+// OpRecord is one step of the session history.
+type OpRecord struct {
+	Op     string
+	Detail string
+	Took   time.Duration
+}
+
+// NewSession opens a session viewing the whole collection.
+func NewSession(wb *Workbench) *Session {
+	return &Session{
+		wb:     wb,
+		budget: perception.NewBudget(perception.ShneidermanLimit),
+		view:   wb.Store.Collection(),
+		zoomX:  1,
+		zoomY:  1,
+	}
+}
+
+// Workbench returns the underlying workbench.
+func (s *Session) Workbench() *Workbench { return s.wb }
+
+// View returns the current sub-collection.
+func (s *Session) View() *model.Collection { return s.view }
+
+// Aligned returns the active alignment, or nil.
+func (s *Session) Aligned() *align.Result { return s.aligned }
+
+// Budget returns the latency audit.
+func (s *Session) Budget() *perception.Budget { return s.budget }
+
+// History returns the operation log.
+func (s *Session) History() []OpRecord { return s.log }
+
+// Zoom returns the current slider values.
+func (s *Session) Zoom() (x, y float64) { return s.zoomX, s.zoomY }
+
+func (s *Session) snapshot() {
+	s.undo = append(s.undo, sessionState{
+		view: s.view, aligned: s.aligned, filter: s.filter,
+		zoomX: s.zoomX, zoomY: s.zoomY,
+	})
+}
+
+func (s *Session) track(op, detail string, mutate bool, fn func() error) error {
+	if mutate {
+		s.snapshot()
+	}
+	var err error
+	took := s.budget.Track(op, func() { err = fn() })
+	if err != nil {
+		// Roll the snapshot back off the undo stack: nothing changed.
+		if mutate {
+			s.undo = s.undo[:len(s.undo)-1]
+		}
+		return err
+	}
+	s.log = append(s.log, OpRecord{Op: op, Detail: detail, Took: took})
+	return nil
+}
+
+// Extract narrows the view to histories matching the expression — the
+// paper's "extraction of sub-collections". When the session still views the
+// full collection the store's inverted indexes answer it; narrowed views
+// fall back to scans.
+func (s *Session) Extract(e query.Expr) error {
+	return s.track("extract", e.String(), true, func() error {
+		if s.view == s.wb.Store.Collection() {
+			bits, err := query.EvalIndexed(s.wb.Store, e)
+			if err != nil {
+				return err
+			}
+			s.view = s.wb.Store.Subset(bits)
+		} else {
+			s.view = query.Filter(s.view, e)
+		}
+		s.aligned = nil
+		return nil
+	})
+}
+
+// FilterEvents sets the display-level event filter ("This search could be
+// used to hide or show individual nodes").
+func (s *Session) FilterEvents(pred query.EventPred) error {
+	return s.track("filter-events", pred.String(), true, func() error {
+		s.filter = pred
+		return nil
+	})
+}
+
+// ClearFilter removes the event filter.
+func (s *Session) ClearFilter() error {
+	return s.track("clear-filter", "", true, func() error {
+		s.filter = nil
+		return nil
+	})
+}
+
+// AlignOn aligns the view on an index event; histories lacking it drop out
+// of the view (they are listed in Aligned().Missing).
+func (s *Session) AlignOn(anchor align.Anchor) error {
+	return s.track("align", anchor.String(), true, func() error {
+		res := align.Align(s.view, anchor)
+		s.aligned = res
+		s.view = res.Col
+		return nil
+	})
+}
+
+// ClearAlignment returns to calendar time (keeping the current view).
+func (s *Session) ClearAlignment() error {
+	return s.track("clear-alignment", "", true, func() error {
+		s.aligned = nil
+		return nil
+	})
+}
+
+// SortBy reorders the display ("sorting ... histories").
+func (s *Session) SortBy(name string, less align.Less) error {
+	return s.track("sort", name, true, func() error {
+		s.view.SortBy(less)
+		return nil
+	})
+}
+
+// SetZoom moves the two sliders.
+func (s *Session) SetZoom(x, y float64) error {
+	return s.track("zoom", fmt.Sprintf("x=%.1f y=%.1f", x, y), true, func() error {
+		if x < 1 {
+			x = 1
+		}
+		if y < 1 {
+			y = 1
+		}
+		s.zoomX, s.zoomY = x, y
+		return nil
+	})
+}
+
+// Undo reverts the last mutating operation; false when nothing to undo.
+func (s *Session) Undo() bool {
+	if len(s.undo) == 0 {
+		return false
+	}
+	st := s.undo[len(s.undo)-1]
+	s.undo = s.undo[:len(s.undo)-1]
+	s.view, s.aligned, s.filter = st.view, st.aligned, st.filter
+	s.zoomX, s.zoomY = st.zoomX, st.zoomY
+	s.log = append(s.log, OpRecord{Op: "undo"})
+	return true
+}
+
+// Details is details-on-demand at (patient, time).
+func (s *Session) Details(id model.PatientID, at model.Time) []string {
+	var out []string
+	s.budget.Track("details", func() {
+		h := s.view.Get(id)
+		if h == nil {
+			return
+		}
+		out = render.Details(h, at, 3*model.Day)
+	})
+	s.infoUnits += len(out)
+	s.log = append(s.log, OpRecord{Op: "details", Detail: id.String()})
+	return out
+}
+
+// SearchPattern runs a temporal-pattern search over the view and returns
+// the matching patients ("searching for temporal patterns").
+func (s *Session) SearchPattern(seq query.Sequence) []model.PatientID {
+	var ids []model.PatientID
+	s.budget.Track("pattern-search", func() {
+		ids = query.Select(s.view, seq)
+	})
+	s.infoUnits += len(ids)
+	s.log = append(s.log, OpRecord{Op: "pattern-search", Detail: seq.String()})
+	return ids
+}
+
+// RenderEventChart draws the hits of a temporal pattern as an event chart
+// (the Fails et al. view the paper relates its design to): one line per
+// hit, matched events as dots, unmatched events counted.
+func (s *Session) RenderEventChart(seq query.Sequence, opt render.EventChartOptions) string {
+	var svg string
+	s.budget.Track("render-eventchart", func() {
+		svg = render.EventChart(s.view, seq, opt)
+	})
+	s.log = append(s.log, OpRecord{Op: "render-eventchart", Detail: seq.String()})
+	return svg
+}
+
+// RenderTimelineDiff renders the current view with changes since the
+// previous session state highlighted (Section II.C's change-blindness
+// mitigation). With no prior state it diffs against the full collection.
+func (s *Session) RenderTimelineDiff(opt render.TimelineOptions) (string, render.DiffSummary) {
+	before := s.wb.Store.Collection()
+	if len(s.undo) > 0 {
+		before = s.undo[len(s.undo)-1].view
+	}
+	var svg string
+	var sum render.DiffSummary
+	s.budget.Track("render-diff", func() {
+		opt.Aligned = s.aligned
+		opt.ZoomX, opt.ZoomY = s.zoomX, s.zoomY
+		svg, sum = render.TimelineDiff(before, s.view, opt)
+	})
+	s.log = append(s.log, OpRecord{Op: "render-diff", Detail: sum.String()})
+	return svg, sum
+}
+
+// ForagingReport is the cost-of-knowledge account (Pirolli & Card): what
+// the analyst's interactions cost against what they surfaced. "An
+// important measure in designing an effective interaction scheme is the
+// cost of knowledge: the amount of energy that must be invested to extract
+// a certain amount of information."
+type ForagingReport struct {
+	Ops         int
+	TotalTime   time.Duration
+	InfoUnits   int
+	CostPerUnit time.Duration
+}
+
+func (f ForagingReport) String() string {
+	return fmt.Sprintf("cost of knowledge: %d ops, %v total, %d info units, %v/unit",
+		f.Ops, f.TotalTime.Round(time.Microsecond), f.InfoUnits, f.CostPerUnit.Round(time.Microsecond))
+}
+
+// CostOfKnowledge summarizes the session's information-foraging economy.
+func (s *Session) CostOfKnowledge() ForagingReport {
+	var total time.Duration
+	ops := 0
+	for _, st := range s.budget.Report() {
+		total += st.Mean * time.Duration(st.N)
+		ops += st.N
+	}
+	r := ForagingReport{Ops: ops, TotalTime: total, InfoUnits: s.infoUnits}
+	if s.infoUnits > 0 {
+		r.CostPerUnit = total / time.Duration(s.infoUnits)
+	}
+	return r
+}
+
+// RenderTimeline draws the current view as the Fig. 1 workbench image,
+// applying the session's filter, alignment and zoom.
+func (s *Session) RenderTimeline(opt render.TimelineOptions) string {
+	var svg string
+	s.budget.Track("render-timeline", func() {
+		opt.Aligned = s.aligned
+		opt.ZoomX, opt.ZoomY = s.zoomX, s.zoomY
+		col := s.view
+		if s.filter != nil {
+			rows := col.Histories()
+			if opt.MaxRows > 0 && len(rows) > opt.MaxRows {
+				rows = rows[:opt.MaxRows]
+			}
+			filtered := make([]*model.History, 0, len(rows))
+			for _, h := range rows {
+				filtered = append(filtered, query.FilterEvents(h, s.filter))
+			}
+			col = model.MustCollection(filtered...)
+		}
+		svg = render.Timeline(col, opt)
+	})
+	rows := s.view.Len()
+	if opt.MaxRows > 0 && rows > opt.MaxRows {
+		rows = opt.MaxRows
+	}
+	s.infoUnits += rows
+	s.log = append(s.log, OpRecord{Op: "render-timeline"})
+	return svg
+}
+
+// DiagnosisSequences extracts the view's ICPC-2 diagnosis-code sequences —
+// NSEPter's input.
+func (s *Session) DiagnosisSequences() [][]string {
+	out := make([][]string, 0, s.view.Len())
+	for _, h := range s.view.Histories() {
+		var seq []string
+		for _, c := range h.CodeSequence(model.TypeDiagnosis) {
+			if c.System == "ICPC2" {
+				seq = append(seq, c.Value)
+			}
+		}
+		if len(seq) > 0 {
+			out = append(out, seq)
+		}
+	}
+	return out
+}
+
+// RenderGraph builds and draws the NSEPter merged-graph view of the
+// current sub-collection (Fig. 2).
+func (s *Session) RenderGraph(pattern string, depth int, opt render.GraphOptions) (string, error) {
+	var svg string
+	var err error
+	s.budget.Track("render-graph", func() {
+		seqs := s.DiagnosisSequences()
+		var g *graph.Graph
+		g, err = graph.SerialMerge(seqs, graph.SerialOptions{
+			Pattern:        pattern,
+			MaxOccurrences: 1,
+			Depth:          depth,
+		})
+		if err != nil {
+			return
+		}
+		svg = render.Graph(g, graph.Layered(g), opt)
+	})
+	if err != nil {
+		return "", fmt.Errorf("core: render graph: %w", err)
+	}
+	s.log = append(s.log, OpRecord{Op: "render-graph", Detail: pattern})
+	return svg, nil
+}
+
+// RenderGraphMSA is the noise-resilient variant using alignment-based
+// merging.
+func (s *Session) RenderGraphMSA(opt render.GraphOptions) string {
+	var svg string
+	s.budget.Track("render-graph-msa", func() {
+		seqs := s.DiagnosisSequences()
+		g := graph.MSAMerge(seqs, seqalign.ChapterCost{System: "ICPC2"})
+		svg = render.Graph(g, graph.Layered(g), opt)
+	})
+	s.log = append(s.log, OpRecord{Op: "render-graph-msa"})
+	return svg
+}
+
+// SortByCluster reorders the view so patients with similar diagnosis
+// sequences stack adjacently: agglomerative clustering over alignment
+// distances (project [7]'s similarity machinery turned into a display
+// order). k is the cluster count; histories without ICPC-2 diagnoses sink
+// to the bottom. Quadratic in view size — intended for extracted
+// sub-collections, not the full population.
+func (s *Session) SortByCluster(k int) error {
+	return s.track("sort-cluster", fmt.Sprintf("k=%d", k), true, func() error {
+		type seqOf struct {
+			id  model.PatientID
+			seq []string
+		}
+		var withSeq []seqOf
+		for _, h := range s.view.Histories() {
+			var seq []string
+			for _, c := range h.CodeSequence(model.TypeDiagnosis) {
+				if c.System == "ICPC2" {
+					seq = append(seq, c.Value)
+				}
+			}
+			if len(seq) > 0 {
+				withSeq = append(withSeq, seqOf{h.Patient.ID, seq})
+			}
+		}
+		if len(withSeq) == 0 {
+			return nil
+		}
+		seqs := make([][]string, len(withSeq))
+		for i, ws := range withSeq {
+			seqs[i] = ws.seq
+		}
+		res, err := cluster.Sequences(seqs, seqalign.ChapterCost{System: "ICPC2"}, k)
+		if err != nil {
+			return err
+		}
+		rank := make(map[model.PatientID]int, len(withSeq))
+		for pos, item := range res.Order() {
+			rank[withSeq[item].id] = pos
+		}
+		noSeq := len(withSeq)
+		s.view.SortBy(func(a, b *model.History) bool {
+			ra, oka := rank[a.Patient.ID]
+			rb, okb := rank[b.Patient.ID]
+			if !oka {
+				ra = noSeq
+			}
+			if !okb {
+				rb = noSeq
+			}
+			return ra < rb
+		})
+		return nil
+	})
+}
+
+// Reset returns the session to the full collection with defaults.
+func (s *Session) Reset() {
+	s.snapshot()
+	s.view = s.wb.Store.Collection()
+	s.aligned = nil
+	s.filter = nil
+	s.zoomX, s.zoomY = 1, 1
+	s.log = append(s.log, OpRecord{Op: "reset"})
+}

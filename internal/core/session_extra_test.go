@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pastas/internal/model"
+	"pastas/internal/query"
+	"pastas/internal/render"
+)
+
+func TestSessionEventChart(t *testing.T) {
+	wb := testWorkbench(t, 400)
+	s := NewSession(wb)
+	// Stroke admission followed by a GP contact within 90 days.
+	seq := query.Sequence{Steps: []query.Step{
+		{Pred: query.AllOf{query.TypeIs(model.TypeDiagnosis), query.MustCode("", `K90|I63(\..*)?`)}},
+		{Pred: query.AllOf{query.TypeIs(model.TypeContact), query.SourceIs(model.SourceGP)}, MaxGap: query.Days(90)},
+	}}
+	svg := s.RenderEventChart(seq, render.EventChartOptions{Tooltips: true})
+	if !strings.Contains(svg, "event chart:") {
+		t.Error("event chart header missing")
+	}
+	found := false
+	for _, r := range s.History() {
+		if r.Op == "render-eventchart" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("event chart not logged")
+	}
+}
+
+func TestSessionRenderTimelineDiff(t *testing.T) {
+	wb := testWorkbench(t, 300)
+	s := NewSession(wb)
+	if err := s.Extract(query.Has{Pred: query.AllOf{
+		query.TypeIs(model.TypeDiagnosis), query.MustCode("", "T90")}}); err != nil {
+		t.Fatal(err)
+	}
+	svg, sum := s.RenderTimelineDiff(render.TimelineOptions{MaxRows: 50})
+	// Extraction removes histories relative to the full collection.
+	if sum.Removed == 0 {
+		t.Errorf("diff vs full collection shows no removals: %+v", sum)
+	}
+	if sum.Added != 0 {
+		t.Errorf("extraction cannot add histories: %+v", sum)
+	}
+	if !strings.Contains(svg, "changes:") {
+		t.Error("diff banner missing")
+	}
+}
+
+func TestSessionDiffNoPriorState(t *testing.T) {
+	wb := testWorkbench(t, 50)
+	s := NewSession(wb)
+	_, sum := s.RenderTimelineDiff(render.TimelineOptions{MaxRows: 10})
+	if sum.Added != 0 || sum.Removed != 0 || sum.Changed != 0 {
+		t.Errorf("fresh session diff must be empty: %+v", sum)
+	}
+}
+
+func TestCostOfKnowledge(t *testing.T) {
+	wb := testWorkbench(t, 200)
+	s := NewSession(wb)
+	if got := s.CostOfKnowledge(); got.Ops != 0 || got.InfoUnits != 0 || got.CostPerUnit != 0 {
+		t.Errorf("fresh session foraging = %+v", got)
+	}
+	_ = s.RenderTimeline(render.TimelineOptions{MaxRows: 25})
+	h := s.View().At(0)
+	if h.Len() > 0 {
+		_ = s.Details(h.Patient.ID, h.Entries[0].Start)
+	}
+	rep := s.CostOfKnowledge()
+	if rep.Ops < 2 {
+		t.Errorf("ops = %d", rep.Ops)
+	}
+	if rep.InfoUnits < 25 {
+		t.Errorf("info units = %d, want >= 25 rendered rows", rep.InfoUnits)
+	}
+	if rep.CostPerUnit <= 0 {
+		t.Error("cost per unit not computed")
+	}
+	if !strings.Contains(rep.String(), "cost of knowledge") {
+		t.Error("stringer broken")
+	}
+}
+
+func TestSortByCluster(t *testing.T) {
+	wb := testWorkbench(t, 250)
+	s := NewSession(wb)
+	// Narrow to a manageable view first (clustering is quadratic).
+	if err := s.Extract(query.Or{
+		query.Has{Pred: query.AllOf{query.TypeIs(model.TypeDiagnosis), query.MustCode("", "T90")}},
+		query.Has{Pred: query.AllOf{query.TypeIs(model.TypeDiagnosis), query.MustCode("", "R95")}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.View().Len() < 4 {
+		t.Skip("too few matching histories at this scale")
+	}
+	before := make([]model.PatientID, 0, s.View().Len())
+	for _, h := range s.View().Histories() {
+		before = append(before, h.Patient.ID)
+	}
+	if err := s.SortByCluster(2); err != nil {
+		t.Fatal(err)
+	}
+	after := make([]model.PatientID, 0, s.View().Len())
+	for _, h := range s.View().Histories() {
+		after = append(after, h.Patient.ID)
+	}
+	if len(before) != len(after) {
+		t.Fatal("clustering changed membership")
+	}
+	seen := map[model.PatientID]bool{}
+	for _, id := range after {
+		if seen[id] {
+			t.Fatal("duplicate after cluster sort")
+		}
+		seen[id] = true
+	}
+	// Undo restores.
+	if !s.Undo() {
+		t.Fatal("undo failed")
+	}
+}

@@ -1,0 +1,138 @@
+package graph
+
+import "sort"
+
+// Layered layout for the NSEPter views: node x = average sequence position
+// of its members (so time flows left to right), nodes at the same rounded
+// layer are stacked vertically with a barycenter pass to reduce crossings.
+// The crossing count is the readability metric behind Fig. 2b's "virtually
+// unreadable" claim.
+
+// Layout holds node coordinates in abstract units (renderers scale them).
+type Layout struct {
+	X, Y          map[int]float64
+	Cols          int // number of layers
+	MaxPerCol     int
+	layerOf       map[int]int
+	orderPerLayer map[int][]int
+}
+
+// Layered computes the layout.
+func Layered(g *Graph) *Layout {
+	l := &Layout{
+		X: make(map[int]float64, len(g.Nodes)),
+		Y: make(map[int]float64, len(g.Nodes)),
+
+		layerOf:       make(map[int]int, len(g.Nodes)),
+		orderPerLayer: make(map[int][]int),
+	}
+
+	// Layer = rounded mean member position.
+	maxLayer := 0
+	for _, n := range g.Nodes {
+		sum := 0
+		for _, m := range n.Members {
+			sum += m.Pos
+		}
+		layer := 0
+		if len(n.Members) > 0 {
+			layer = int(float64(sum)/float64(len(n.Members)) + 0.5)
+		}
+		l.layerOf[n.ID] = layer
+		l.orderPerLayer[layer] = append(l.orderPerLayer[layer], n.ID)
+		if layer > maxLayer {
+			maxLayer = layer
+		}
+	}
+	l.Cols = maxLayer + 1
+
+	// Initial order: node ID (deterministic); then one barycenter pass
+	// left-to-right using predecessors' y, and one right-to-left.
+	for layer := 0; layer <= maxLayer; layer++ {
+		sort.Ints(l.orderPerLayer[layer])
+	}
+	assignY := func(layer int) {
+		ids := l.orderPerLayer[layer]
+		for i, id := range ids {
+			l.Y[id] = float64(i)
+		}
+		if len(ids) > l.MaxPerCol {
+			l.MaxPerCol = len(ids)
+		}
+	}
+	for layer := 0; layer <= maxLayer; layer++ {
+		assignY(layer)
+	}
+
+	preds := make(map[int][]int)
+	succs := make(map[int][]int)
+	for _, e := range g.Edges {
+		preds[e.To] = append(preds[e.To], e.From)
+		succs[e.From] = append(succs[e.From], e.To)
+	}
+	barycenter := func(layer int, neighbours map[int][]int) {
+		ids := l.orderPerLayer[layer]
+		type ranked struct {
+			id int
+			b  float64
+		}
+		rs := make([]ranked, len(ids))
+		for i, id := range ids {
+			ns := neighbours[id]
+			if len(ns) == 0 {
+				rs[i] = ranked{id, l.Y[id]}
+				continue
+			}
+			sum := 0.0
+			for _, n := range ns {
+				sum += l.Y[n]
+			}
+			rs[i] = ranked{id, sum / float64(len(ns))}
+		}
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].b < rs[j].b })
+		for i, r := range rs {
+			ids[i] = r.id
+			l.Y[r.id] = float64(i)
+		}
+	}
+	for layer := 1; layer <= maxLayer; layer++ {
+		barycenter(layer, preds)
+	}
+	for layer := maxLayer - 1; layer >= 0; layer-- {
+		barycenter(layer, succs)
+	}
+
+	for id, layer := range l.layerOf {
+		l.X[id] = float64(layer)
+	}
+	return l
+}
+
+// Crossings counts pairwise straight-line edge crossings between edges
+// spanning the same pair of adjacent layers — the standard layered-graph
+// crossing number.
+func Crossings(g *Graph, l *Layout) int {
+	type span struct {
+		from, to int
+		y1, y2   float64
+	}
+	byGap := make(map[int][]span)
+	for _, e := range g.Edges {
+		lf, lt := l.layerOf[e.From], l.layerOf[e.To]
+		if lt == lf+1 {
+			byGap[lf] = append(byGap[lf], span{e.From, e.To, l.Y[e.From], l.Y[e.To]})
+		}
+	}
+	total := 0
+	for _, spans := range byGap {
+		for i := 0; i < len(spans); i++ {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if (a.y1-b.y1)*(a.y2-b.y2) < 0 {
+					total++
+				}
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,181 @@
+// Package mining finds relations between diagnosis codes across a
+// collection — the second predecessor project "mined for relations between
+// the diagnosis codes themselves". Co-occurrence rules (A and B in the same
+// history) and sequential rules (A followed by B) are scored with support,
+// confidence and lift.
+package mining
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rule is one mined relation between codes A and B.
+type Rule struct {
+	A, B string
+	// Sequential marks A-then-B ordering rules (vs. co-occurrence).
+	Sequential bool
+	// Support is the fraction of histories exhibiting the pair.
+	Support float64
+	// Confidence is P(pair | A present).
+	Confidence float64
+	// Lift is Confidence / P(B present); > 1 means positive association.
+	Lift float64
+	// Counts behind the ratios.
+	CountPair, CountA, CountB, N int
+}
+
+func (r Rule) String() string {
+	arrow := "∧"
+	if r.Sequential {
+		arrow = "→"
+	}
+	return fmt.Sprintf("%s %s %s (supp %.3f, conf %.2f, lift %.2f, n=%d)",
+		r.A, arrow, r.B, r.Support, r.Confidence, r.Lift, r.CountPair)
+}
+
+// Options bounds the search.
+type Options struct {
+	// MinSupport is the minimum fraction of histories exhibiting the
+	// pair (default 0.01).
+	MinSupport float64
+	// MinCount is an absolute floor on pair count (default 2).
+	MinCount int
+	// MaxGap bounds the position distance for sequential rules; 0 means
+	// unbounded.
+	MaxGap int
+}
+
+func (o *Options) defaults() {
+	if o.MinSupport <= 0 {
+		o.MinSupport = 0.01
+	}
+	if o.MinCount <= 0 {
+		o.MinCount = 2
+	}
+}
+
+// CoOccurrence mines unordered pair rules over code sequences (one
+// sequence per history). For each rule A∧B only the (A<B) orientation with
+// the code-order normalized is emitted once, but confidence is computed
+// for the A side; callers wanting both directions can swap.
+func CoOccurrence(seqs [][]string, opt Options) []Rule {
+	opt.defaults()
+	n := len(seqs)
+	if n == 0 {
+		return nil
+	}
+	single := make(map[string]int)
+	pair := make(map[[2]string]int)
+	for _, seq := range seqs {
+		present := make(map[string]bool)
+		for _, c := range seq {
+			present[c] = true
+		}
+		codes := make([]string, 0, len(present))
+		for c := range present {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			single[c]++
+		}
+		for i := 0; i < len(codes); i++ {
+			for j := i + 1; j < len(codes); j++ {
+				pair[[2]string{codes[i], codes[j]}]++
+			}
+		}
+	}
+	var out []Rule
+	for p, cnt := range pair {
+		supp := float64(cnt) / float64(n)
+		if supp < opt.MinSupport || cnt < opt.MinCount {
+			continue
+		}
+		a, b := p[0], p[1]
+		conf := float64(cnt) / float64(single[a])
+		lift := conf / (float64(single[b]) / float64(n))
+		out = append(out, Rule{
+			A: a, B: b, Support: supp, Confidence: conf, Lift: lift,
+			CountPair: cnt, CountA: single[a], CountB: single[b], N: n,
+		})
+	}
+	sortRules(out)
+	return out
+}
+
+// Sequential mines ordered rules: A appears and B appears later (within
+// MaxGap positions when set). Each history contributes at most one count
+// per ordered pair.
+func Sequential(seqs [][]string, opt Options) []Rule {
+	opt.defaults()
+	n := len(seqs)
+	if n == 0 {
+		return nil
+	}
+	single := make(map[string]int)
+	pair := make(map[[2]string]int)
+	for _, seq := range seqs {
+		present := make(map[string]bool)
+		ordered := make(map[[2]string]bool)
+		for i, a := range seq {
+			present[a] = true
+			for j := i + 1; j < len(seq); j++ {
+				if opt.MaxGap > 0 && j-i > opt.MaxGap {
+					break
+				}
+				if seq[j] != a {
+					ordered[[2]string{a, seq[j]}] = true
+				}
+			}
+		}
+		for c := range present {
+			single[c]++
+		}
+		for p := range ordered {
+			pair[p]++
+		}
+	}
+	var out []Rule
+	for p, cnt := range pair {
+		supp := float64(cnt) / float64(n)
+		if supp < opt.MinSupport || cnt < opt.MinCount {
+			continue
+		}
+		a, b := p[0], p[1]
+		conf := float64(cnt) / float64(single[a])
+		lift := conf / (float64(single[b]) / float64(n))
+		out = append(out, Rule{
+			A: a, B: b, Sequential: true,
+			Support: supp, Confidence: conf, Lift: lift,
+			CountPair: cnt, CountA: single[a], CountB: single[b], N: n,
+		})
+	}
+	sortRules(out)
+	return out
+}
+
+// sortRules orders by lift, then support, then lexicographically — the
+// order an analyst reads the rule list in.
+func sortRules(rs []Rule) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Lift != rs[j].Lift {
+			return rs[i].Lift > rs[j].Lift
+		}
+		if rs[i].Support != rs[j].Support {
+			return rs[i].Support > rs[j].Support
+		}
+		if rs[i].A != rs[j].A {
+			return rs[i].A < rs[j].A
+		}
+		return rs[i].B < rs[j].B
+	})
+}
+
+// Top returns the first k rules (or all).
+func Top(rs []Rule, k int) []Rule {
+	if k >= len(rs) {
+		return rs
+	}
+	return rs[:k]
+}

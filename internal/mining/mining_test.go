@@ -1,0 +1,149 @@
+package mining
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Population: T90 and K86 strongly associated; R74 independent noise.
+func assocSeqs() [][]string {
+	return [][]string{
+		{"T90", "K86"},
+		{"T90", "K86", "R74"},
+		{"K86", "T90"},
+		{"T90", "K86"},
+		{"R74"},
+		{"L03", "R74"},
+		{"T90", "K86", "F83"},
+		{"U71"},
+	}
+}
+
+func findRule(rs []Rule, a, b string) *Rule {
+	for i := range rs {
+		if rs[i].A == a && rs[i].B == b {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
+func TestCoOccurrenceCounts(t *testing.T) {
+	rules := CoOccurrence(assocSeqs(), Options{MinSupport: 0.1})
+	r := findRule(rules, "K86", "T90")
+	if r == nil {
+		t.Fatalf("K86∧T90 not mined: %v", rules)
+	}
+	if r.CountPair != 5 || r.N != 8 {
+		t.Errorf("counts = %d/%d", r.CountPair, r.N)
+	}
+	if math.Abs(r.Support-5.0/8) > 1e-9 {
+		t.Errorf("support = %f", r.Support)
+	}
+	if math.Abs(r.Confidence-1.0) > 1e-9 { // K86 always with T90
+		t.Errorf("confidence = %f", r.Confidence)
+	}
+	wantLift := 1.0 / (5.0 / 8.0)
+	if math.Abs(r.Lift-wantLift) > 1e-9 {
+		t.Errorf("lift = %f, want %f", r.Lift, wantLift)
+	}
+}
+
+func TestCoOccurrenceThresholds(t *testing.T) {
+	// High support threshold prunes everything but the strong pair.
+	rules := CoOccurrence(assocSeqs(), Options{MinSupport: 0.5})
+	if len(rules) != 1 {
+		t.Fatalf("rules = %v", rules)
+	}
+	// MinCount prunes singleton pairs.
+	rules = CoOccurrence(assocSeqs(), Options{MinSupport: 0.01, MinCount: 3})
+	for _, r := range rules {
+		if r.CountPair < 3 {
+			t.Errorf("rule below MinCount: %v", r)
+		}
+	}
+}
+
+func TestCoOccurrenceDedupWithinHistory(t *testing.T) {
+	// Repeated codes in one history must count once.
+	rules := CoOccurrence([][]string{
+		{"T90", "T90", "K86", "K86", "K86"},
+		{"T90", "K86"},
+	}, Options{MinSupport: 0.1})
+	r := findRule(rules, "K86", "T90")
+	if r == nil || r.CountPair != 2 {
+		t.Fatalf("rule = %v", r)
+	}
+}
+
+func TestSequentialDirectionality(t *testing.T) {
+	seqs := [][]string{
+		{"K75", "K77"},
+		{"K75", "A04", "K77"},
+		{"K75", "K77"},
+		{"K77"},
+		{"K75"},
+	}
+	rules := Sequential(seqs, Options{MinSupport: 0.1})
+	fwd := findRule(rules, "K75", "K77")
+	if fwd == nil || fwd.CountPair != 3 {
+		t.Fatalf("K75→K77 = %v", fwd)
+	}
+	if rev := findRule(rules, "K77", "K75"); rev != nil {
+		t.Errorf("reverse rule mined without evidence: %v", rev)
+	}
+	if !fwd.Sequential || !strings.Contains(fwd.String(), "→") {
+		t.Error("sequential marking broken")
+	}
+}
+
+func TestSequentialMaxGap(t *testing.T) {
+	seqs := [][]string{
+		{"K75", "X", "X", "X", "K77"},
+		{"K75", "X", "X", "X", "K77"},
+	}
+	// Gap 4 needed; MaxGap 2 must prune.
+	rules := Sequential(seqs, Options{MinSupport: 0.1, MaxGap: 2})
+	if findRule(rules, "K75", "K77") != nil {
+		t.Error("MaxGap not enforced")
+	}
+	rules = Sequential(seqs, Options{MinSupport: 0.1, MaxGap: 4})
+	if findRule(rules, "K75", "K77") == nil {
+		t.Error("MaxGap 4 should allow the rule")
+	}
+}
+
+func TestSortOrderAndTop(t *testing.T) {
+	rules := CoOccurrence(assocSeqs(), Options{MinSupport: 0.01})
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1].Lift < rules[i].Lift {
+			t.Fatal("rules not sorted by lift")
+		}
+	}
+	if got := Top(rules, 1); len(got) != 1 {
+		t.Error("Top broken")
+	}
+	if got := Top(rules, 1000); len(got) != len(rules) {
+		t.Error("Top overflow broken")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if CoOccurrence(nil, Options{}) != nil {
+		t.Error("nil seqs should mine nothing")
+	}
+	if Sequential(nil, Options{}) != nil {
+		t.Error("nil seqs should mine nothing")
+	}
+	if len(CoOccurrence([][]string{{"A"}}, Options{})) != 0 {
+		t.Error("single-code history should mine nothing")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	r := Rule{A: "T90", B: "F83", Support: 0.1, Confidence: 0.5, Lift: 2, CountPair: 4}
+	if !strings.Contains(r.String(), "∧") {
+		t.Error("co-occurrence stringer broken")
+	}
+}

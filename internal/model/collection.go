@@ -1,0 +1,152 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Collection is an ordered set of histories — the unit the workbench
+// visualizes, queries and extracts sub-collections from. Order is the
+// vertical display order in the timeline view.
+type Collection struct {
+	histories []*History
+	byID      map[PatientID]*History
+}
+
+// NewCollection builds a collection from histories; later duplicates of a
+// patient ID are rejected.
+func NewCollection(hs ...*History) (*Collection, error) {
+	c := &Collection{byID: make(map[PatientID]*History, len(hs))}
+	for _, h := range hs {
+		if err := c.Add(h); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// MustCollection is NewCollection that panics on duplicates; for tests and
+// generators that construct IDs themselves.
+func MustCollection(hs ...*History) *Collection {
+	c, err := NewCollection(hs...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Add appends a history.
+func (c *Collection) Add(h *History) error {
+	if c.byID == nil {
+		c.byID = make(map[PatientID]*History)
+	}
+	if _, dup := c.byID[h.Patient.ID]; dup {
+		return fmt.Errorf("model: duplicate patient %s in collection", h.Patient.ID)
+	}
+	c.histories = append(c.histories, h)
+	c.byID[h.Patient.ID] = h
+	return nil
+}
+
+// Len returns the number of histories.
+func (c *Collection) Len() int { return len(c.histories) }
+
+// At returns the i-th history in display order.
+func (c *Collection) At(i int) *History { return c.histories[i] }
+
+// Get returns the history for a patient, or nil.
+func (c *Collection) Get(id PatientID) *History { return c.byID[id] }
+
+// Histories returns the underlying slice in display order. Callers must not
+// mutate the slice structure (entries may be read freely).
+func (c *Collection) Histories() []*History { return c.histories }
+
+// IDs returns the patient IDs in display order.
+func (c *Collection) IDs() []PatientID {
+	ids := make([]PatientID, len(c.histories))
+	for i, h := range c.histories {
+		ids[i] = h.Patient.ID
+	}
+	return ids
+}
+
+// Filter returns a new collection with the histories for which keep returns
+// true, preserving order. This is the paper's "extraction of
+// sub-collections" primitive.
+func (c *Collection) Filter(keep func(*History) bool) *Collection {
+	out := &Collection{byID: make(map[PatientID]*History)}
+	for _, h := range c.histories {
+		if keep(h) {
+			out.histories = append(out.histories, h)
+			out.byID[h.Patient.ID] = h
+		}
+	}
+	return out
+}
+
+// Subset returns a new collection containing the given patients, in the
+// order given; unknown IDs are skipped.
+func (c *Collection) Subset(ids []PatientID) *Collection {
+	out := &Collection{byID: make(map[PatientID]*History, len(ids))}
+	for _, id := range ids {
+		if h := c.byID[id]; h != nil {
+			if _, dup := out.byID[id]; !dup {
+				out.histories = append(out.histories, h)
+				out.byID[id] = h
+			}
+		}
+	}
+	return out
+}
+
+// SortBy reorders the display order by the given less function; the sort is
+// stable so successive sorts compose predictably (sort by length, then by
+// anchor, keeps anchor groups length-ordered).
+func (c *Collection) SortBy(less func(a, b *History) bool) {
+	sort.SliceStable(c.histories, func(i, j int) bool {
+		return less(c.histories[i], c.histories[j])
+	})
+}
+
+// TotalEntries sums entries over all histories.
+func (c *Collection) TotalEntries() int {
+	n := 0
+	for _, h := range c.histories {
+		n += len(h.Entries)
+	}
+	return n
+}
+
+// Span returns the union period covered by all histories.
+func (c *Collection) Span() Period {
+	var span Period
+	first := true
+	for _, h := range c.histories {
+		s := h.Span()
+		if s.Empty() && h.Len() == 0 {
+			continue
+		}
+		if first {
+			span = s
+			first = false
+			continue
+		}
+		if s.Start < span.Start {
+			span.Start = s.Start
+		}
+		if s.End > span.End {
+			span.End = s.End
+		}
+	}
+	return span
+}
+
+// Validate validates every history.
+func (c *Collection) Validate() error {
+	for _, h := range c.histories {
+		if err := h.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// History is one patient's trajectory: the patient record plus every entry
+// aggregated for them, kept sorted by start time (ties broken by end, type,
+// then ID so orderings are deterministic).
+type History struct {
+	Patient Patient
+	Entries []Entry
+	sorted  bool
+}
+
+// NewHistory creates an empty history for a patient.
+func NewHistory(p Patient) *History {
+	return &History{Patient: p, sorted: true}
+}
+
+// Add appends an entry, invalidating sort order until Sort is called.
+func (h *History) Add(e Entry) {
+	e.Patient = h.Patient.ID
+	h.Entries = append(h.Entries, e)
+	h.sorted = false
+}
+
+// Len returns the number of entries.
+func (h *History) Len() int { return len(h.Entries) }
+
+// Sort orders entries chronologically; it is idempotent.
+func (h *History) Sort() {
+	if h.sorted {
+		return
+	}
+	sort.SliceStable(h.Entries, func(i, j int) bool {
+		a, b := &h.Entries[i], &h.Entries[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.ID < b.ID
+	})
+	h.sorted = true
+}
+
+// Sorted reports whether the entries are currently in chronological order.
+func (h *History) Sorted() bool { return h.sorted }
+
+// Span returns the period from the first start to the last end (or last
+// start for point events). Returns an empty period for empty histories.
+func (h *History) Span() Period {
+	if len(h.Entries) == 0 {
+		return Period{}
+	}
+	h.Sort()
+	start := h.Entries[0].Start
+	end := start
+	for i := range h.Entries {
+		e := &h.Entries[i]
+		if e.Start > end {
+			end = e.Start
+		}
+		if e.Kind == Interval && e.End > end {
+			end = e.End
+		}
+	}
+	return Period{Start: start, End: end}
+}
+
+// First returns the earliest entry matching pred, or nil.
+func (h *History) First(pred func(*Entry) bool) *Entry {
+	h.Sort()
+	for i := range h.Entries {
+		if pred(&h.Entries[i]) {
+			return &h.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Nth returns the n-th (1-based) entry matching pred, or nil.
+func (h *History) Nth(n int, pred func(*Entry) bool) *Entry {
+	if n <= 0 {
+		return nil
+	}
+	h.Sort()
+	seen := 0
+	for i := range h.Entries {
+		if pred(&h.Entries[i]) {
+			seen++
+			if seen == n {
+				return &h.Entries[i]
+			}
+		}
+	}
+	return nil
+}
+
+// Last returns the latest entry matching pred, or nil.
+func (h *History) Last(pred func(*Entry) bool) *Entry {
+	h.Sort()
+	for i := len(h.Entries) - 1; i >= 0; i-- {
+		if pred(&h.Entries[i]) {
+			return &h.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Count returns how many entries match pred.
+func (h *History) Count(pred func(*Entry) bool) int {
+	n := 0
+	for i := range h.Entries {
+		if pred(&h.Entries[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// Within returns the entries whose period intersects p, preserving order.
+func (h *History) Within(p Period) []*Entry {
+	h.Sort()
+	var out []*Entry
+	for i := range h.Entries {
+		e := &h.Entries[i]
+		if e.Kind == Point {
+			if p.Contains(e.Start) {
+				out = append(out, e)
+			}
+		} else if e.Period().Overlaps(p) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CodeSequence extracts the chronological sequence of code values for
+// entries of the given type; this is the view NSEPter operated on
+// ("the only information ... utilized was the diagnosis codes").
+func (h *History) CodeSequence(t Type) []Code {
+	h.Sort()
+	var out []Code
+	for i := range h.Entries {
+		e := &h.Entries[i]
+		if e.Type == t && !e.Code.IsZero() {
+			out = append(out, e.Code)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the history.
+func (h *History) Clone() *History {
+	c := &History{Patient: h.Patient, sorted: h.sorted}
+	c.Entries = make([]Entry, len(h.Entries))
+	copy(c.Entries, h.Entries)
+	return c
+}
+
+// Validate checks the history and every entry, including the paper's
+// pre-birth rule: entries dated before the patient's birth are invalid.
+func (h *History) Validate() error {
+	if err := h.Patient.Validate(); err != nil {
+		return err
+	}
+	for i := range h.Entries {
+		e := &h.Entries[i]
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		if e.Patient != h.Patient.ID {
+			return fmt.Errorf("model: history %s: entry %d owned by %s", h.Patient.ID, e.ID, e.Patient)
+		}
+		if e.Start < h.Patient.Birth {
+			return fmt.Errorf("model: history %s: entry %d predates birth", h.Patient.ID, e.ID)
+		}
+	}
+	return nil
+}

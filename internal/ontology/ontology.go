@@ -1,0 +1,248 @@
+// Package ontology implements the paper's two formalizations of patient
+// events: "One for integration and alignment of patient records and
+// observations; Another for visual presentation of individual or cohort
+// trajectories."
+//
+// The formalization is a lightweight, OWL-inspired ontology language:
+// named classes with multiple inheritance, properties with domain/range,
+// and individuals with asserted types. The reasoner computes subsumption by
+// transitive closure and classifies individuals under every superclass of
+// their asserted types — the fragment of OWL reasoning the workbench
+// actually exercises (class hierarchies and perspective mapping), kept
+// honest by cycle and dangling-reference checks at construction time.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IRI names a class, property or individual. By convention the prefix is
+// the ontology name, e.g. "int:HospitalEpisode", "viz:MedicationBand".
+type IRI string
+
+// Class is a named class with zero or more direct superclasses.
+type Class struct {
+	IRI     IRI
+	Label   string
+	Parents []IRI
+}
+
+// Property relates individuals (or an individual to a literal); Domain and
+// Range are class IRIs ("" = unconstrained).
+type Property struct {
+	IRI    IRI
+	Label  string
+	Domain IRI
+	Range  IRI
+}
+
+// Individual is an instance with asserted types and property assertions.
+type Individual struct {
+	IRI   IRI
+	Types []IRI
+	// Values maps property IRI to object IRIs or literal strings.
+	Values map[IRI][]string
+}
+
+// Ontology is an immutable class/property vocabulary with a reasoner.
+type Ontology struct {
+	Name       string
+	classes    map[IRI]*Class
+	properties map[IRI]*Property
+	// ancestors is the memoized transitive closure, including the class
+	// itself (reflexive), computed at construction.
+	ancestors map[IRI]map[IRI]bool
+}
+
+// New constructs an ontology, validating that parent references resolve and
+// that the subclass graph is acyclic.
+func New(name string, classes []Class, properties []Property) (*Ontology, error) {
+	o := &Ontology{
+		Name:       name,
+		classes:    make(map[IRI]*Class, len(classes)),
+		properties: make(map[IRI]*Property, len(properties)),
+		ancestors:  make(map[IRI]map[IRI]bool, len(classes)),
+	}
+	for i := range classes {
+		c := &classes[i]
+		if _, dup := o.classes[c.IRI]; dup {
+			return nil, fmt.Errorf("ontology %s: duplicate class %s", name, c.IRI)
+		}
+		o.classes[c.IRI] = c
+	}
+	for _, c := range o.classes {
+		for _, p := range c.Parents {
+			if _, ok := o.classes[p]; !ok {
+				return nil, fmt.Errorf("ontology %s: class %s has unknown parent %s", name, c.IRI, p)
+			}
+		}
+	}
+	for i := range properties {
+		p := &properties[i]
+		if _, dup := o.properties[p.IRI]; dup {
+			return nil, fmt.Errorf("ontology %s: duplicate property %s", name, p.IRI)
+		}
+		if p.Domain != "" {
+			if _, ok := o.classes[p.Domain]; !ok {
+				return nil, fmt.Errorf("ontology %s: property %s has unknown domain %s", name, p.IRI, p.Domain)
+			}
+		}
+		if p.Range != "" {
+			if _, ok := o.classes[p.Range]; !ok {
+				return nil, fmt.Errorf("ontology %s: property %s has unknown range %s", name, p.IRI, p.Range)
+			}
+		}
+		o.properties[p.IRI] = p
+	}
+	// Compute the reflexive-transitive closure, detecting cycles.
+	state := make(map[IRI]int, len(o.classes)) // 0 new, 1 visiting, 2 done
+	var visit func(IRI) error
+	visit = func(c IRI) error {
+		switch state[c] {
+		case 1:
+			return fmt.Errorf("ontology %s: subclass cycle through %s", name, c)
+		case 2:
+			return nil
+		}
+		state[c] = 1
+		anc := map[IRI]bool{c: true}
+		for _, p := range o.classes[c].Parents {
+			if err := visit(p); err != nil {
+				return err
+			}
+			for a := range o.ancestors[p] {
+				anc[a] = true
+			}
+		}
+		o.ancestors[c] = anc
+		state[c] = 2
+		return nil
+	}
+	for iri := range o.classes {
+		if err := visit(iri); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// MustNew panics on error; for the package-level built-in ontologies.
+func MustNew(name string, classes []Class, properties []Property) *Ontology {
+	o, err := New(name, classes, properties)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Class returns the class for an IRI, or nil.
+func (o *Ontology) Class(iri IRI) *Class { return o.classes[iri] }
+
+// Property returns the property for an IRI, or nil.
+func (o *Ontology) Property(iri IRI) *Property { return o.properties[iri] }
+
+// Classes returns all class IRIs, sorted.
+func (o *Ontology) Classes() []IRI {
+	out := make([]IRI, 0, len(o.classes))
+	for iri := range o.classes {
+		out = append(out, iri)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsSubclassOf reports whether sub ⊑ super (reflexive).
+func (o *Ontology) IsSubclassOf(sub, super IRI) bool {
+	return o.ancestors[sub][super]
+}
+
+// Superclasses returns every (reflexive) superclass of a class, sorted.
+func (o *Ontology) Superclasses(iri IRI) []IRI {
+	anc := o.ancestors[iri]
+	out := make([]IRI, 0, len(anc))
+	for a := range anc {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subclasses returns every class c with c ⊑ super (reflexive), sorted.
+func (o *Ontology) Subclasses(super IRI) []IRI {
+	var out []IRI
+	for iri, anc := range o.ancestors {
+		if anc[super] {
+			out = append(out, iri)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Classify returns every class the individual belongs to: the reflexive-
+// transitive closure over its asserted types, sorted.
+func (o *Ontology) Classify(ind *Individual) []IRI {
+	seen := make(map[IRI]bool)
+	for _, t := range ind.Types {
+		for a := range o.ancestors[t] {
+			seen[a] = true
+		}
+	}
+	out := make([]IRI, 0, len(seen))
+	for iri := range seen {
+		out = append(out, iri)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InstanceOf reports whether the individual is (directly or by subsumption)
+// an instance of the class.
+func (o *Ontology) InstanceOf(ind *Individual, class IRI) bool {
+	for _, t := range ind.Types {
+		if o.ancestors[t][class] {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckIndividual validates an individual's types and property assertions
+// against the vocabulary (unknown type/property, domain violations).
+func (o *Ontology) CheckIndividual(ind *Individual) error {
+	for _, t := range ind.Types {
+		if _, ok := o.classes[t]; !ok {
+			return fmt.Errorf("ontology %s: individual %s has unknown type %s", o.Name, ind.IRI, t)
+		}
+	}
+	for prop := range ind.Values {
+		p, ok := o.properties[prop]
+		if !ok {
+			return fmt.Errorf("ontology %s: individual %s uses unknown property %s", o.Name, ind.IRI, prop)
+		}
+		if p.Domain != "" && !o.InstanceOf(ind, p.Domain) {
+			return fmt.Errorf("ontology %s: individual %s violates domain %s of %s", o.Name, ind.IRI, p.Domain, prop)
+		}
+	}
+	return nil
+}
+
+// LeafClasses returns classes with no subclasses other than themselves.
+func (o *Ontology) LeafClasses() []IRI {
+	hasChild := make(map[IRI]bool)
+	for iri, c := range o.classes {
+		for _, p := range c.Parents {
+			_ = iri
+			hasChild[p] = true
+		}
+	}
+	var out []IRI
+	for iri := range o.classes {
+		if !hasChild[iri] {
+			out = append(out, iri)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,238 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+
+	"pastas/internal/model"
+)
+
+func TestNewRejectsUnknownParent(t *testing.T) {
+	_, err := New("t", []Class{{IRI: "a", Parents: []IRI{"missing"}}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown parent") {
+		t.Errorf("want unknown-parent error, got %v", err)
+	}
+}
+
+func TestNewRejectsCycle(t *testing.T) {
+	_, err := New("t", []Class{
+		{IRI: "a", Parents: []IRI{"b"}},
+		{IRI: "b", Parents: []IRI{"a"}},
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("want cycle error, got %v", err)
+	}
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	_, err := New("t", []Class{{IRI: "a"}, {IRI: "a"}}, nil)
+	if err == nil {
+		t.Error("want duplicate-class error")
+	}
+	_, err = New("t", []Class{{IRI: "a"}}, []Property{{IRI: "p"}, {IRI: "p"}})
+	if err == nil {
+		t.Error("want duplicate-property error")
+	}
+}
+
+func TestNewRejectsBadPropertyDomain(t *testing.T) {
+	_, err := New("t", []Class{{IRI: "a"}}, []Property{{IRI: "p", Domain: "nope"}})
+	if err == nil {
+		t.Error("want unknown-domain error")
+	}
+	_, err = New("t", []Class{{IRI: "a"}}, []Property{{IRI: "p", Range: "nope"}})
+	if err == nil {
+		t.Error("want unknown-range error")
+	}
+}
+
+func newDiamond(t *testing.T) *Ontology {
+	t.Helper()
+	o, err := New("diamond", []Class{
+		{IRI: "top"},
+		{IRI: "left", Parents: []IRI{"top"}},
+		{IRI: "right", Parents: []IRI{"top"}},
+		{IRI: "bottom", Parents: []IRI{"left", "right"}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestSubsumptionDiamond(t *testing.T) {
+	o := newDiamond(t)
+	if !o.IsSubclassOf("bottom", "top") || !o.IsSubclassOf("bottom", "left") || !o.IsSubclassOf("bottom", "right") {
+		t.Error("diamond subsumption broken")
+	}
+	if !o.IsSubclassOf("bottom", "bottom") {
+		t.Error("subsumption must be reflexive")
+	}
+	if o.IsSubclassOf("left", "right") || o.IsSubclassOf("top", "bottom") {
+		t.Error("subsumption over-approximates")
+	}
+	sup := o.Superclasses("bottom")
+	if len(sup) != 4 {
+		t.Errorf("Superclasses(bottom) = %v", sup)
+	}
+	sub := o.Subclasses("top")
+	if len(sub) != 4 {
+		t.Errorf("Subclasses(top) = %v", sub)
+	}
+	leaves := o.LeafClasses()
+	if len(leaves) != 1 || leaves[0] != "bottom" {
+		t.Errorf("LeafClasses = %v", leaves)
+	}
+}
+
+func TestClassifyIndividual(t *testing.T) {
+	o := newDiamond(t)
+	ind := &Individual{IRI: "x", Types: []IRI{"bottom"}}
+	got := o.Classify(ind)
+	if len(got) != 4 {
+		t.Errorf("Classify = %v", got)
+	}
+	if !o.InstanceOf(ind, "left") || o.InstanceOf(ind, "unknown") {
+		t.Error("InstanceOf broken")
+	}
+}
+
+func TestCheckIndividual(t *testing.T) {
+	o, err := New("t",
+		[]Class{{IRI: "rec"}, {IRI: "other"}},
+		[]Property{{IRI: "p", Domain: "rec"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &Individual{IRI: "i", Types: []IRI{"rec"}, Values: map[IRI][]string{"p": {"v"}}}
+	if err := o.CheckIndividual(good); err != nil {
+		t.Errorf("good individual rejected: %v", err)
+	}
+	badType := &Individual{IRI: "i", Types: []IRI{"zzz"}}
+	if err := o.CheckIndividual(badType); err == nil {
+		t.Error("unknown type accepted")
+	}
+	badProp := &Individual{IRI: "i", Types: []IRI{"rec"}, Values: map[IRI][]string{"q": {"v"}}}
+	if err := o.CheckIndividual(badProp); err == nil {
+		t.Error("unknown property accepted")
+	}
+	badDomain := &Individual{IRI: "i", Types: []IRI{"other"}, Values: map[IRI][]string{"p": {"v"}}}
+	if err := o.CheckIndividual(badDomain); err == nil {
+		t.Error("domain violation accepted")
+	}
+}
+
+func TestBuiltinOntologiesLoad(t *testing.T) {
+	if Integration() == nil || Presentation() == nil {
+		t.Fatal("built-in ontologies missing")
+	}
+	if !Integration().IsSubclassOf("int:EmergencyGPClaim", "int:Record") {
+		t.Error("emergency GP claim must be a record")
+	}
+	if !Presentation().IsSubclassOf("viz:MedicationBand", "viz:VisualElement") {
+		t.Error("medication band must be a visual element")
+	}
+}
+
+func TestPerspectiveMapTotalOnLeaves(t *testing.T) {
+	// Every leaf integration class that represents data (i.e. everything
+	// except the abstract roots) must reach a presentation class.
+	for _, leaf := range Integration().LeafClasses() {
+		if _, ok := PresentationClass(leaf); !ok {
+			t.Errorf("leaf class %s has no presentation mapping", leaf)
+		}
+	}
+}
+
+func TestPerspectiveMapTargetsExist(t *testing.T) {
+	p := Presentation()
+	for from, to := range perspectiveMap {
+		if Integration().Class(from) == nil {
+			t.Errorf("perspective map source %s unknown", from)
+		}
+		if p.Class(to) == nil {
+			t.Errorf("perspective map target %s unknown", to)
+		}
+	}
+}
+
+func TestClassifyEntry(t *testing.T) {
+	cases := []struct {
+		e    model.Entry
+		want IRI
+	}{
+		{model.Entry{Type: model.TypeDiagnosis, Code: model.Code{System: "ICPC2", Value: "T90"}}, "int:PrimaryCareDiagnosis"},
+		{model.Entry{Type: model.TypeDiagnosis, Code: model.Code{System: "ICD10", Value: "E11"}}, "int:SpecialistDiagnosis"},
+		{model.Entry{Type: model.TypeMeasurement}, "int:BloodPressure"},
+		{model.Entry{Type: model.TypeMedication}, "int:Prescription"},
+		{model.Entry{Type: model.TypeStay, Source: model.SourceHospital}, "int:InpatientEpisode"},
+		{model.Entry{Type: model.TypeStay, Source: model.SourceMunicipal}, "int:NursingHome"},
+		{model.Entry{Type: model.TypeService, Source: model.SourceMunicipal}, "int:HomeCare"},
+		{model.Entry{Type: model.TypeContact, Source: model.SourceGP}, "int:GPClaim"},
+		{model.Entry{Type: model.TypeContact, Source: model.SourceHospital}, "int:OutpatientVisit"},
+		{model.Entry{Type: model.TypeContact, Source: model.SourceSpecialist}, "int:SpecialistClaim"},
+		{model.Entry{Type: model.TypeContact, Source: model.SourcePhysio}, "int:PhysioClaim"},
+	}
+	for _, c := range cases {
+		if got := ClassifyEntry(&c.e); got != c.want {
+			t.Errorf("ClassifyEntry(%v/%v) = %s, want %s", c.e.Type, c.e.Source, got, c.want)
+		}
+	}
+}
+
+func TestVisualClassFor(t *testing.T) {
+	e := model.Entry{Type: model.TypeMedication, Kind: model.Interval, End: 10}
+	vc, err := VisualClassFor(&e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc != "viz:MedicationBand" {
+		t.Errorf("VisualClassFor = %s", vc)
+	}
+	bp := model.Entry{Type: model.TypeMeasurement}
+	vc, err = VisualClassFor(&bp)
+	if err != nil || vc != "viz:MeasurementArrow" {
+		t.Errorf("VisualClassFor(measurement) = %s, %v", vc, err)
+	}
+}
+
+func TestAsIndividualValidates(t *testing.T) {
+	o := Integration()
+	entries := []model.Entry{
+		{ID: 1, Type: model.TypeDiagnosis, Code: model.Code{System: "ICPC2", Value: "T90"}, Start: 100, End: 100},
+		{ID: 2, Type: model.TypeContact, Source: model.SourceGP, Start: 100, End: 100, Code: model.Code{System: "ICPC2", Value: "A04"}},
+		{ID: 3, Type: model.TypeStay, Kind: model.Interval, Source: model.SourceHospital, Start: 100, End: 500},
+	}
+	for _, e := range entries {
+		ind := AsIndividual(&e)
+		if err := o.CheckIndividual(ind); err != nil {
+			t.Errorf("entry %d individual invalid: %v", e.ID, err)
+		}
+	}
+	// Coded diagnosis carries hasCode; coded contact must not.
+	d := AsIndividual(&entries[0])
+	if len(d.Values["int:hasCode"]) != 1 {
+		t.Error("diagnosis lost its code")
+	}
+	c := AsIndividual(&entries[1])
+	if len(c.Values["int:hasCode"]) != 0 {
+		t.Error("contact record must not assert hasCode")
+	}
+	s := AsIndividual(&entries[2])
+	if len(s.Values["int:endsAt"]) != 1 {
+		t.Error("interval lost its end")
+	}
+}
+
+func TestClassesSorted(t *testing.T) {
+	o := newDiamond(t)
+	cls := o.Classes()
+	for i := 1; i < len(cls); i++ {
+		if cls[i-1] >= cls[i] {
+			t.Fatalf("Classes not sorted: %v", cls)
+		}
+	}
+	if o.Class("left") == nil || o.Class("nope") != nil {
+		t.Error("Class lookup broken")
+	}
+}

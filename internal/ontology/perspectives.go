@@ -1,0 +1,193 @@
+package ontology
+
+import (
+	"fmt"
+
+	"pastas/internal/model"
+)
+
+// This file instantiates the paper's two perspectives and the mapping
+// between them. The integration ontology describes *what was recorded where*
+// (registry record classes); the presentation ontology describes *what is
+// drawn* (visual element classes). The perspective map carries events from
+// the first into the second, which is how one event model serves both
+// "integration and alignment" and "visual presentation".
+
+// Integration returns the integration-perspective ontology.
+func Integration() *Ontology { return integrationOnt }
+
+// Presentation returns the presentation-perspective ontology.
+func Presentation() *Ontology { return presentationOnt }
+
+var integrationOnt = MustNew("integration",
+	[]Class{
+		{IRI: "int:Event", Label: "Patient event"},
+		{IRI: "int:Record", Label: "Registry record", Parents: []IRI{"int:Event"}},
+		// Claims-based sources (reimbursement).
+		{IRI: "int:ClaimRecord", Label: "Reimbursement claim", Parents: []IRI{"int:Record"}},
+		{IRI: "int:GPClaim", Label: "General practitioner claim", Parents: []IRI{"int:ClaimRecord"}},
+		{IRI: "int:EmergencyGPClaim", Label: "Emergency primary care claim", Parents: []IRI{"int:GPClaim"}},
+		{IRI: "int:SpecialistClaim", Label: "Private specialist claim", Parents: []IRI{"int:ClaimRecord"}},
+		{IRI: "int:PhysioClaim", Label: "Physiotherapist claim", Parents: []IRI{"int:ClaimRecord"}},
+		// Episode-based sources (hospital).
+		{IRI: "int:EpisodeRecord", Label: "Hospital episode", Parents: []IRI{"int:Record"}},
+		{IRI: "int:InpatientEpisode", Label: "Inpatient stay", Parents: []IRI{"int:EpisodeRecord"}},
+		{IRI: "int:OutpatientVisit", Label: "Outpatient visit", Parents: []IRI{"int:EpisodeRecord"}},
+		{IRI: "int:DayTreatment", Label: "Day treatment", Parents: []IRI{"int:EpisodeRecord"}},
+		// Municipal services.
+		{IRI: "int:ServiceRecord", Label: "Municipal service decision", Parents: []IRI{"int:Record"}},
+		{IRI: "int:HomeCare", Label: "Home care service", Parents: []IRI{"int:ServiceRecord"}},
+		{IRI: "int:NursingHome", Label: "Nursing home stay", Parents: []IRI{"int:ServiceRecord"}},
+		// Clinical statements carried by records.
+		{IRI: "int:ClinicalStatement", Label: "Clinical statement", Parents: []IRI{"int:Event"}},
+		{IRI: "int:Diagnosis", Label: "Coded diagnosis", Parents: []IRI{"int:ClinicalStatement"}},
+		{IRI: "int:PrimaryCareDiagnosis", Label: "ICPC-2 diagnosis", Parents: []IRI{"int:Diagnosis"}},
+		{IRI: "int:SpecialistDiagnosis", Label: "ICD-10 diagnosis", Parents: []IRI{"int:Diagnosis"}},
+		{IRI: "int:Measurement", Label: "Clinical measurement", Parents: []IRI{"int:ClinicalStatement"}},
+		{IRI: "int:BloodPressure", Label: "Blood pressure measurement", Parents: []IRI{"int:Measurement"}},
+		{IRI: "int:Prescription", Label: "Medication prescription", Parents: []IRI{"int:ClinicalStatement"}},
+	},
+	[]Property{
+		{IRI: "int:hasPatient", Label: "has patient", Domain: "int:Event"},
+		{IRI: "int:hasCode", Label: "has clinical code", Domain: "int:ClinicalStatement"},
+		{IRI: "int:startsAt", Label: "starts at", Domain: "int:Event"},
+		{IRI: "int:endsAt", Label: "ends at", Domain: "int:Event"},
+		{IRI: "int:derivedFrom", Label: "derived from record", Domain: "int:ClinicalStatement", Range: "int:Record"},
+		{IRI: "int:reportedBy", Label: "reported by source", Domain: "int:Event"},
+	},
+)
+
+var presentationOnt = MustNew("presentation",
+	[]Class{
+		{IRI: "viz:VisualElement", Label: "Visual element"},
+		// Point marks drawn on the history bar (Fig. 1).
+		{IRI: "viz:Mark", Label: "Point mark", Parents: []IRI{"viz:VisualElement"}},
+		{IRI: "viz:DiagnosisRect", Label: "Diagnosis rectangle", Parents: []IRI{"viz:Mark"}},
+		{IRI: "viz:MeasurementArrow", Label: "Measurement arrow", Parents: []IRI{"viz:Mark"}},
+		{IRI: "viz:ContactTick", Label: "Contact tick", Parents: []IRI{"viz:Mark"}},
+		// Interval concepts shown as background colorings (Fig. 1).
+		{IRI: "viz:Band", Label: "Interval band", Parents: []IRI{"viz:VisualElement"}},
+		{IRI: "viz:MedicationBand", Label: "Medication class band", Parents: []IRI{"viz:Band"}},
+		{IRI: "viz:StayBand", Label: "Admission band", Parents: []IRI{"viz:Band"}},
+		{IRI: "viz:ServiceBand", Label: "Municipal service band", Parents: []IRI{"viz:Band"}},
+		// The history bar itself.
+		{IRI: "viz:HistoryBar", Label: "Patient history bar", Parents: []IRI{"viz:VisualElement"}},
+	},
+	[]Property{
+		{IRI: "viz:represents", Label: "represents entry", Domain: "viz:VisualElement"},
+		{IRI: "viz:hasColor", Label: "has color", Domain: "viz:VisualElement"},
+		{IRI: "viz:hasLayer", Label: "has drawing layer", Domain: "viz:VisualElement"},
+		{IRI: "viz:hasTooltip", Label: "has details-on-demand text", Domain: "viz:VisualElement"},
+	},
+)
+
+// perspectiveMap sends leaf integration classes to presentation classes.
+var perspectiveMap = map[IRI]IRI{
+	"int:GPClaim":              "viz:ContactTick",
+	"int:EmergencyGPClaim":     "viz:ContactTick",
+	"int:SpecialistClaim":      "viz:ContactTick",
+	"int:PhysioClaim":          "viz:ContactTick",
+	"int:InpatientEpisode":     "viz:StayBand",
+	"int:DayTreatment":         "viz:StayBand",
+	"int:OutpatientVisit":      "viz:ContactTick",
+	"int:HomeCare":             "viz:ServiceBand",
+	"int:NursingHome":          "viz:ServiceBand",
+	"int:PrimaryCareDiagnosis": "viz:DiagnosisRect",
+	"int:SpecialistDiagnosis":  "viz:DiagnosisRect",
+	"int:Diagnosis":            "viz:DiagnosisRect",
+	"int:BloodPressure":        "viz:MeasurementArrow",
+	"int:Measurement":          "viz:MeasurementArrow",
+	"int:Prescription":         "viz:MedicationBand",
+}
+
+// PresentationClass maps an integration class to the presentation class
+// that draws it, walking up the integration hierarchy until a mapped class
+// is found. ok is false if nothing in the chain is mapped.
+func PresentationClass(integrationClass IRI) (IRI, bool) {
+	o := Integration()
+	cur := integrationClass
+	for {
+		if viz, ok := perspectiveMap[cur]; ok {
+			return viz, true
+		}
+		c := o.Class(cur)
+		if c == nil || len(c.Parents) == 0 {
+			return "", false
+		}
+		cur = c.Parents[0]
+	}
+}
+
+// ClassifyEntry assigns the integration class for a model entry, from its
+// type, source and kind — the bridge from the loaded data structure into
+// the integration formalization.
+func ClassifyEntry(e *model.Entry) IRI {
+	switch e.Type {
+	case model.TypeDiagnosis:
+		if e.Code.System == "ICD10" {
+			return "int:SpecialistDiagnosis"
+		}
+		return "int:PrimaryCareDiagnosis"
+	case model.TypeMeasurement:
+		return "int:BloodPressure"
+	case model.TypeMedication:
+		return "int:Prescription"
+	case model.TypeStay:
+		switch e.Source {
+		case model.SourceMunicipal:
+			return "int:NursingHome"
+		default:
+			return "int:InpatientEpisode"
+		}
+	case model.TypeService:
+		return "int:HomeCare"
+	case model.TypeContact:
+		switch e.Source {
+		case model.SourceHospital:
+			return "int:OutpatientVisit"
+		case model.SourceSpecialist:
+			return "int:SpecialistClaim"
+		case model.SourcePhysio:
+			return "int:PhysioClaim"
+		default:
+			return "int:GPClaim"
+		}
+	default:
+		return "int:Record"
+	}
+}
+
+// VisualClassFor composes ClassifyEntry with the perspective map: from an
+// entry straight to the presentation class that should draw it.
+func VisualClassFor(e *model.Entry) (IRI, error) {
+	ic := ClassifyEntry(e)
+	vc, ok := PresentationClass(ic)
+	if !ok {
+		return "", fmt.Errorf("ontology: no presentation class for %s (entry %d)", ic, e.ID)
+	}
+	return vc, nil
+}
+
+// AsIndividual expresses an entry as an integration-perspective individual,
+// for ontology-level consistency checks and export.
+func AsIndividual(e *model.Entry) *Individual {
+	iri := IRI(fmt.Sprintf("int:entry/%d", e.ID))
+	ind := &Individual{
+		IRI:   iri,
+		Types: []IRI{ClassifyEntry(e)},
+		Values: map[IRI][]string{
+			"int:hasPatient": {e.Patient.String()},
+			"int:startsAt":   {e.Start.String()},
+			"int:reportedBy": {e.Source.String()},
+		},
+	}
+	if e.Kind == model.Interval {
+		ind.Values["int:endsAt"] = []string{e.End.String()}
+	}
+	// hasCode is only admissible on clinical statements; a coded contact
+	// record keeps its code in the model but not as an ontology assertion.
+	if !e.Code.IsZero() && Integration().InstanceOf(ind, "int:ClinicalStatement") {
+		ind.Values["int:hasCode"] = []string{e.Code.String()}
+	}
+	return ind
+}

@@ -1,0 +1,134 @@
+package ontology
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Turtle serialization: the OWL-facing face of the formalizations. The
+// paper "represents and reasons with patient events in different
+// OWL-formalizations"; exporting the vocabulary and classified individuals
+// as Turtle makes the formalization inspectable by standard tools
+// (Protégé, rapper) and is the interchange format the integration
+// perspective would publish.
+
+// prefixes used in exports.
+var turtlePrefixes = []string{
+	"@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .",
+	"@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .",
+	"@prefix owl: <http://www.w3.org/2002/07/owl#> .",
+	"@prefix int: <http://pastas.example/integration#> .",
+	"@prefix viz: <http://pastas.example/presentation#> .",
+}
+
+// turtleIRI renders our compact IRIs ("int:GPClaim") as CURIEs; anything
+// without a known prefix becomes a quoted literal-safe local name.
+func turtleIRI(iri IRI) string {
+	s := string(iri)
+	if strings.HasPrefix(s, "int:") || strings.HasPrefix(s, "viz:") {
+		// Slashes are not valid in CURIE local parts; flatten them.
+		return strings.ReplaceAll(s, "/", "_")
+	}
+	return "<" + s + ">"
+}
+
+func turtleLiteral(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return `"` + r.Replace(v) + `"`
+}
+
+// WriteTurtle serializes the ontology vocabulary: classes with subclass
+// axioms and properties with domain/range.
+func (o *Ontology) WriteTurtle(w io.Writer) error {
+	var b strings.Builder
+	for _, p := range turtlePrefixes {
+		b.WriteString(p + "\n")
+	}
+	b.WriteString("\n")
+
+	for _, iri := range o.Classes() {
+		c := o.Class(iri)
+		fmt.Fprintf(&b, "%s a owl:Class", turtleIRI(iri))
+		if c.Label != "" {
+			fmt.Fprintf(&b, " ;\n    rdfs:label %s", turtleLiteral(c.Label))
+		}
+		parents := append([]IRI(nil), c.Parents...)
+		sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+		for _, p := range parents {
+			fmt.Fprintf(&b, " ;\n    rdfs:subClassOf %s", turtleIRI(p))
+		}
+		b.WriteString(" .\n")
+	}
+	b.WriteString("\n")
+
+	props := make([]IRI, 0, len(o.properties))
+	for iri := range o.properties {
+		props = append(props, iri)
+	}
+	sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
+	for _, iri := range props {
+		p := o.properties[iri]
+		fmt.Fprintf(&b, "%s a rdf:Property", turtleIRI(iri))
+		if p.Label != "" {
+			fmt.Fprintf(&b, " ;\n    rdfs:label %s", turtleLiteral(p.Label))
+		}
+		if p.Domain != "" {
+			fmt.Fprintf(&b, " ;\n    rdfs:domain %s", turtleIRI(p.Domain))
+		}
+		if p.Range != "" {
+			fmt.Fprintf(&b, " ;\n    rdfs:range %s", turtleIRI(p.Range))
+		}
+		b.WriteString(" .\n")
+	}
+
+	_, err := io.WriteString(w, b.String())
+	if err != nil {
+		return fmt.Errorf("ontology: write turtle: %w", err)
+	}
+	return nil
+}
+
+// WriteIndividualsTurtle serializes individuals with their asserted types
+// and property values (object properties referencing known IRIs stay IRIs,
+// everything else becomes a literal).
+func (o *Ontology) WriteIndividualsTurtle(w io.Writer, individuals []*Individual) error {
+	var b strings.Builder
+	for _, p := range turtlePrefixes {
+		b.WriteString(p + "\n")
+	}
+	b.WriteString("\n")
+
+	for _, ind := range individuals {
+		if err := o.CheckIndividual(ind); err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "%s", turtleIRI(ind.IRI))
+		types := append([]IRI(nil), ind.Types...)
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for i, t := range types {
+			if i == 0 {
+				fmt.Fprintf(&b, " a %s", turtleIRI(t))
+			} else {
+				fmt.Fprintf(&b, ", %s", turtleIRI(t))
+			}
+		}
+		props := make([]IRI, 0, len(ind.Values))
+		for p := range ind.Values {
+			props = append(props, p)
+		}
+		sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
+		for _, p := range props {
+			for _, v := range ind.Values[p] {
+				fmt.Fprintf(&b, " ;\n    %s %s", turtleIRI(p), turtleLiteral(v))
+			}
+		}
+		b.WriteString(" .\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	if err != nil {
+		return fmt.Errorf("ontology: write individuals: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+
+	"pastas/internal/model"
+)
+
+func TestWriteTurtleVocabulary(t *testing.T) {
+	var b strings.Builder
+	if err := Integration().WriteTurtle(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"@prefix owl:",
+		"int:GPClaim a owl:Class",
+		"rdfs:subClassOf int:ClaimRecord",
+		`rdfs:label "General practitioner claim"`,
+		"int:hasCode a rdf:Property",
+		"rdfs:domain int:ClinicalStatement",
+		"int:derivedFrom a rdf:Property",
+		"rdfs:range int:Record",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("turtle missing %q", want)
+		}
+	}
+	// Every class appears exactly once as a class declaration.
+	if got := strings.Count(out, " a owl:Class"); got != len(Integration().Classes()) {
+		t.Errorf("class declarations = %d, want %d", got, len(Integration().Classes()))
+	}
+}
+
+func TestWriteIndividualsTurtle(t *testing.T) {
+	e := model.Entry{
+		ID: 7, Kind: model.Point, Start: model.Date(2010, 3, 5), End: model.Date(2010, 3, 5),
+		Source: model.SourceGP, Type: model.TypeDiagnosis,
+		Code: model.Code{System: "ICPC2", Value: "T90"},
+	}
+	ind := AsIndividual(&e)
+	var b strings.Builder
+	if err := Integration().WriteIndividualsTurtle(&b, []*Individual{ind}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"int:entry_7 a int:PrimaryCareDiagnosis",
+		`int:hasCode "ICPC2:T90"`,
+		`int:startsAt "2010-03-05"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("individuals turtle missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteIndividualsValidates(t *testing.T) {
+	bad := &Individual{IRI: "int:x", Types: []IRI{"int:Nope"}}
+	var b strings.Builder
+	if err := Integration().WriteIndividualsTurtle(&b, []*Individual{bad}); err == nil {
+		t.Error("invalid individual serialized")
+	}
+}
+
+func TestTurtleLiteralEscaping(t *testing.T) {
+	got := turtleLiteral("line\n\"quoted\" \\slash")
+	if strings.Contains(got, "\n") || !strings.Contains(got, `\"quoted\"`) || !strings.Contains(got, `\\slash`) {
+		t.Errorf("escaping broken: %s", got)
+	}
+}
+
+func TestTurtleDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := Presentation().WriteTurtle(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Presentation().WriteTurtle(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("turtle output not deterministic")
+	}
+}

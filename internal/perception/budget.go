@@ -1,0 +1,112 @@
+package perception
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ResponseBudget audits interactive operations against a latency limit.
+// "Shneiderman states that response times for mouse and typing actions
+// should be less than 0.1 second" — the workbench session wraps every
+// interactive operation in Track, and experiment E5 reports which
+// operations blow the budget at which cohort sizes.
+
+// ShneidermanLimit is the paper's interactive-response budget.
+const ShneidermanLimit = 100 * time.Millisecond
+
+// Budget collects operation timings.
+type Budget struct {
+	Limit time.Duration
+
+	mu      sync.Mutex
+	samples map[string][]time.Duration
+}
+
+// NewBudget creates a tracker with the given limit (0 = ShneidermanLimit).
+func NewBudget(limit time.Duration) *Budget {
+	if limit <= 0 {
+		limit = ShneidermanLimit
+	}
+	return &Budget{Limit: limit, samples: make(map[string][]time.Duration)}
+}
+
+// Track measures fn under the operation name.
+func (b *Budget) Track(op string, fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	b.Record(op, d)
+	return d
+}
+
+// Record adds an externally measured sample.
+func (b *Budget) Record(op string, d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.samples[op] = append(b.samples[op], d)
+}
+
+// OpStats summarizes one operation.
+type OpStats struct {
+	Op           string
+	N            int
+	Mean, Max    time.Duration
+	WithinBudget bool // Max <= Limit
+}
+
+// Report summarizes all operations, sorted by name.
+func (b *Budget) Report() []OpStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ops := make([]string, 0, len(b.samples))
+	for op := range b.samples {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	out := make([]OpStats, 0, len(ops))
+	for _, op := range ops {
+		ss := b.samples[op]
+		var total, max time.Duration
+		for _, d := range ss {
+			total += d
+			if d > max {
+				max = d
+			}
+		}
+		out = append(out, OpStats{
+			Op:           op,
+			N:            len(ss),
+			Mean:         total / time.Duration(len(ss)),
+			Max:          max,
+			WithinBudget: max <= b.Limit,
+		})
+	}
+	return out
+}
+
+// Violations returns the operations whose worst case exceeded the limit.
+func (b *Budget) Violations() []OpStats {
+	var out []OpStats
+	for _, s := range b.Report() {
+		if !s.WithinBudget {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// String renders the report as the E5 table rows.
+func (b *Budget) String() string {
+	out := fmt.Sprintf("response budget %v:\n", b.Limit)
+	for _, s := range b.Report() {
+		status := "ok"
+		if !s.WithinBudget {
+			status = "OVER"
+		}
+		out += fmt.Sprintf("  %-24s n=%-4d mean=%-12v max=%-12v %s\n",
+			s.Op, s.N, s.Mean.Round(time.Microsecond), s.Max.Round(time.Microsecond), status)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package perception
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+var ns = []int{1, 5, 10, 20, 30, 50}
+
+func TestFeatureSearchFlat(t *testing.T) {
+	m := DefaultModel()
+	series := m.Series(Feature, ns, 400, 1)
+	_, slope := FitLine(series)
+	if slope > 5 {
+		t.Errorf("feature slope = %.2f ms/item; preattentive search must be flat", slope)
+	}
+}
+
+func TestConjunctionSearchLinear(t *testing.T) {
+	m := DefaultModel()
+	series := m.Series(Conjunction, ns, 400, 1)
+	_, slope := FitLine(series)
+	if slope < 15 || slope > 40 {
+		t.Errorf("conjunction slope = %.2f ms/item; want the literature's 20-30", slope)
+	}
+	// RT at 50 distractors clearly exceeds RT at 1.
+	if series[len(series)-1].MeanRT < series[0].MeanRT+500 {
+		t.Errorf("conjunction search did not grow: %v", series)
+	}
+}
+
+func TestSeriesDeterministic(t *testing.T) {
+	m := DefaultModel()
+	a := m.Series(Feature, ns, 50, 7)
+	b := m.Series(Feature, ns, 50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("series not deterministic")
+		}
+	}
+}
+
+func TestTrialFloor(t *testing.T) {
+	m := Model{FeatureBase: 10, NoiseSD: 0}
+	rng := rand.New(rand.NewSource(1))
+	if rt := m.Trial(rng, Feature, 0); rt != 150 {
+		t.Errorf("floor broken: %f", rt)
+	}
+}
+
+func TestFitLineEdgeCases(t *testing.T) {
+	if i, s := FitLine(nil); i != 0 || s != 0 {
+		t.Error("empty fit broken")
+	}
+	if i, s := FitLine([]Point{{Distractors: 5, MeanRT: 300}}); i != 300 || s != 0 {
+		t.Error("single-point fit broken")
+	}
+	// Same x twice: degenerate denominator.
+	pts := []Point{{Distractors: 5, MeanRT: 100}, {Distractors: 5, MeanRT: 200}}
+	if _, s := FitLine(pts); s != 0 {
+		t.Error("degenerate fit should have zero slope")
+	}
+	// Exact line.
+	exact := []Point{{Distractors: 0, MeanRT: 100}, {Distractors: 10, MeanRT: 200}}
+	i, s := FitLine(exact)
+	if i != 100 || s != 10 {
+		t.Errorf("exact fit = %f + %f·N", i, s)
+	}
+}
+
+func TestFormatSeries(t *testing.T) {
+	m := DefaultModel()
+	out := FormatSeries(Conjunction, m.Series(Conjunction, []int{1, 10}, 20, 1))
+	for _, want := range []string{"conjunction search", "N=1", "slope:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Feature.String() != "feature" || Conjunction.String() != "conjunction" {
+		t.Error("mode stringers broken")
+	}
+}
+
+func TestBudgetTracking(t *testing.T) {
+	b := NewBudget(50 * time.Millisecond)
+	d := b.Track("fast", func() {})
+	if d > 50*time.Millisecond {
+		t.Skip("machine too slow for timing assertions")
+	}
+	b.Record("slow", 80*time.Millisecond)
+	b.Record("slow", 10*time.Millisecond)
+
+	report := b.Report()
+	if len(report) != 2 {
+		t.Fatalf("report = %v", report)
+	}
+	if report[0].Op != "fast" || !report[0].WithinBudget {
+		t.Errorf("fast op misreported: %+v", report[0])
+	}
+	if report[1].Op != "slow" || report[1].WithinBudget {
+		t.Errorf("slow op misreported: %+v", report[1])
+	}
+	if report[1].N != 2 || report[1].Max != 80*time.Millisecond {
+		t.Errorf("slow stats wrong: %+v", report[1])
+	}
+	if report[1].Mean != 45*time.Millisecond {
+		t.Errorf("mean = %v", report[1].Mean)
+	}
+
+	v := b.Violations()
+	if len(v) != 1 || v[0].Op != "slow" {
+		t.Errorf("violations = %v", v)
+	}
+	if !strings.Contains(b.String(), "OVER") {
+		t.Error("budget stringer missing violation marker")
+	}
+}
+
+func TestBudgetDefaultLimit(t *testing.T) {
+	b := NewBudget(0)
+	if b.Limit != ShneidermanLimit {
+		t.Errorf("default limit = %v", b.Limit)
+	}
+}
+
+func TestBudgetConcurrentSafety(t *testing.T) {
+	b := NewBudget(0)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				b.Record("op", time.Millisecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := b.Report()[0].N; got != 800 {
+		t.Errorf("concurrent records = %d", got)
+	}
+}

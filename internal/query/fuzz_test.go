@@ -1,0 +1,36 @@
+package query
+
+import "testing"
+
+// FuzzSpecCompile feeds arbitrary JSON to the Query-Builder wire format:
+// parsing and compiling must never panic — they either produce a valid
+// expression or an error.
+func FuzzSpecCompile(f *testing.F) {
+	for _, seed := range []string{
+		`{"op":"true"}`,
+		`{"op":"has","pattern":"T90","type":"diagnosis"}`,
+		`{"op":"and","children":[{"op":"has","pattern":"F.*|H.*"}]}`,
+		`{"op":"not","children":[{"op":"sex","sex":"F"}]}`,
+		`{"op":"sequence","steps":[{"pattern":"K75"},{"type":"contact","maxGapDays":90}]}`,
+		`{"op":"age","loAge":18,"hiAge":99,"at":"2010-01-01"}`,
+		`{"op":"during","interval":{"type":"stay"},"event":{"pattern":"E11.*"}}`,
+		`{"op":"has","pattern":"("}`,
+		`{}`, `[]`, `null`, `{"op":`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		expr, err := spec.Compile()
+		if err != nil {
+			return
+		}
+		// A compiled expression must evaluate without panicking.
+		h := randomHistory(1)
+		_ = expr.Eval(h)
+		_ = expr.String()
+	})
+}

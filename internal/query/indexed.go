@@ -1,0 +1,142 @@
+package query
+
+import (
+	"pastas/internal/model"
+	"pastas/internal/store"
+)
+
+// Index-accelerated evaluation. The plain evaluator scans every entry of
+// every history; at the paper's scale (100,000+ individuals) interactive
+// filtering needs better. EvalIndexed rewrites the boolean skeleton of an
+// expression into bitset algebra and answers single-code Has leaves from
+// the store's inverted index, falling back to a per-history scan only for
+// the sub-expressions the indexes cannot answer (counting, sequences,
+// during). The E3 ablation benchmarks this against the scan evaluator.
+
+// EvalIndexed evaluates the expression over the store, returning the
+// matching patients as a bitset.
+func EvalIndexed(s *store.Store, e Expr) (*store.Bitset, error) {
+	switch q := e.(type) {
+	case TrueExpr:
+		return s.All(), nil
+	case And:
+		out := s.All()
+		for _, child := range q {
+			b, err := EvalIndexed(s, child)
+			if err != nil {
+				return nil, err
+			}
+			out.And(b)
+		}
+		return out, nil
+	case Or:
+		out := s.Empty()
+		for _, child := range q {
+			b, err := EvalIndexed(s, child)
+			if err != nil {
+				return nil, err
+			}
+			out.Or(b)
+		}
+		return out, nil
+	case Not:
+		b, err := EvalIndexed(s, q.E)
+		if err != nil {
+			return nil, err
+		}
+		return b.Not(), nil
+	case Has:
+		if b, ok := hasFromIndex(s, q); ok {
+			return b, nil
+		}
+	}
+	// Fallback: per-history scan of this sub-expression.
+	return s.Where(func(h *model.History) bool { return e.Eval(h) }), nil
+}
+
+// hasFromIndex answers Has(Code) and Has(TypeIs)/Has(SourceIs) leaves with
+// MinCount <= 1 straight from the inverted indexes.
+func hasFromIndex(s *store.Store, q Has) (*store.Bitset, bool) {
+	if q.MinCount > 1 {
+		return nil, false
+	}
+	switch p := q.Pred.(type) {
+	case *Code:
+		b, err := s.WithCodeRegex(p.System, p.Pattern)
+		if err != nil {
+			return nil, false
+		}
+		return b, true
+	case TypeIs:
+		return s.WithType(model.Type(p)), true
+	case SourceIs:
+		return s.WithSource(model.Source(p)), true
+	case AllOf:
+		// Has(TypeIs(t) & Code) can be answered from the code index only
+		// when the code systems reachable under the type constraint make
+		// the patient-level answer exact:
+		//   - diagnosis + ICPC2/ICD10: ICPC-2 codes only occur on
+		//     diagnosis entries; ICD-10 codes also occur on stay entries,
+		//     but integration always emits a same-coded diagnosis entry
+		//     alongside each stay, so the patient-level sets coincide.
+		//   - medication + ATC: ATC codes only occur on medications.
+		// Everything else falls back to the scan.
+		var code *Code
+		var typ *model.Type
+		for _, atom := range p {
+			switch a := atom.(type) {
+			case *Code:
+				if code != nil {
+					return nil, false
+				}
+				code = a
+			case TypeIs:
+				if typ != nil {
+					return nil, false
+				}
+				t := model.Type(a)
+				typ = &t
+			default:
+				return nil, false
+			}
+		}
+		if code == nil || typ == nil {
+			return nil, false
+		}
+		union := func(systems ...string) (*store.Bitset, bool) {
+			out := s.Empty()
+			for _, sys := range systems {
+				b, err := s.WithCodeRegex(sys, code.Pattern)
+				if err != nil {
+					return nil, false
+				}
+				out.Or(b)
+			}
+			return out, true
+		}
+		switch *typ {
+		case model.TypeDiagnosis:
+			switch code.System {
+			case "ICPC2", "ICD10":
+				return union(code.System)
+			case "":
+				return union("ICPC2", "ICD10")
+			}
+		case model.TypeMedication:
+			if code.System == "ATC" || code.System == "" {
+				return union("ATC")
+			}
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// SelectIndexed is EvalIndexed materialized as patient IDs.
+func SelectIndexed(s *store.Store, e Expr) ([]model.PatientID, error) {
+	b, err := EvalIndexed(s, e)
+	if err != nil {
+		return nil, err
+	}
+	return s.IDsOf(b), nil
+}

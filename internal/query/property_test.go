@@ -1,0 +1,149 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pastas/internal/model"
+)
+
+// randomHistory builds a deterministic random history.
+func randomHistory(seed int64) *model.History {
+	rng := rand.New(rand.NewSource(seed))
+	h := model.NewHistory(model.Patient{
+		ID:    model.PatientID(1 + rng.Intn(1000)),
+		Birth: model.Date(1940+rng.Intn(60), 1, 1),
+		Sex:   model.Sex(1 + rng.Intn(2)),
+	})
+	codes := []string{"T90", "K86", "R74", "A04", "F92", "H71"}
+	n := rng.Intn(12)
+	for i := 0; i < n; i++ {
+		h.Add(model.Entry{
+			ID:     uint64(i + 1),
+			Kind:   model.Point,
+			Start:  model.Date(2010, 1, 1).AddDays(rng.Intn(700)),
+			End:    model.NoTime, // fixed below
+			Source: model.Source(1 + rng.Intn(5)),
+			Type:   model.TypeDiagnosis,
+			Code:   model.Code{System: "ICPC2", Value: codes[rng.Intn(len(codes))]},
+		})
+		h.Entries[len(h.Entries)-1].End = h.Entries[len(h.Entries)-1].Start
+	}
+	h.Sort()
+	return h
+}
+
+// Boolean-algebra laws over Eval: De Morgan, double negation,
+// distributivity spot-checks on random histories.
+func TestExprAlgebraLaws(t *testing.T) {
+	a := Has{Pred: MustCode("", "T90")}
+	b := Has{Pred: MustCode("", `K8.`)}
+	c := Has{Pred: MustCode("", `F.*|H.*`)}
+
+	notAnd := Not{And{a, b}}
+	orNots := Or{Not{a}, Not{b}}
+	notOr := Not{Or{a, b}}
+	andNots := And{Not{a}, Not{b}}
+	doubleNeg := Not{Not{a}}
+	distLHS := And{a, Or{b, c}}
+	distRHS := Or{And{a, b}, And{a, c}}
+	withTrue := And{a, TrueExpr{}}
+	withFalse := Or{a, Not{TrueExpr{}}}
+
+	f := func(seed int64) bool {
+		h := randomHistory(seed)
+		// De Morgan.
+		if notAnd.Eval(h) != orNots.Eval(h) {
+			return false
+		}
+		if notOr.Eval(h) != andNots.Eval(h) {
+			return false
+		}
+		// Double negation.
+		if doubleNeg.Eval(h) != a.Eval(h) {
+			return false
+		}
+		// Distributivity.
+		if distLHS.Eval(h) != distRHS.Eval(h) {
+			return false
+		}
+		// Neutral elements.
+		if withTrue.Eval(h) != a.Eval(h) {
+			return false
+		}
+		if withFalse.Eval(h) != a.Eval(h) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FilterEvents then Has(pred) is equivalent to Has(pred) on the
+// original (filtering preserves exactly the matching events).
+func TestFilterEventsPreservesHas(t *testing.T) {
+	pred := MustCode("", `T90|K8.`)
+	f := func(seed int64) bool {
+		h := randomHistory(seed)
+		filtered := FilterEvents(h, pred)
+		want := (Has{Pred: pred}).Eval(h)
+		got := filtered.Len() > 0
+		if want != got {
+			return false
+		}
+		// Every surviving entry matches.
+		for i := range filtered.Entries {
+			if !pred.Match(&filtered.Entries[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a sequence of one step is equivalent to Has of its predicate.
+func TestSingletonSequenceEqualsHas(t *testing.T) {
+	pred := MustCode("", `R74|A04`)
+	f := func(seed int64) bool {
+		h := randomHistory(seed)
+		return Sequence{Steps: []Step{{Pred: pred}}}.Eval(h) == (Has{Pred: pred}).Eval(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AllMatches count is bounded by the match count of the first
+// step's predicate, and all matches are chronologically ordered witnesses.
+func TestAllMatchesBounds(t *testing.T) {
+	seq := Sequence{Steps: []Step{
+		{Pred: MustCode("", `T90`)},
+		{Pred: MustCode("", `K86`)},
+	}}
+	f := func(seed int64) bool {
+		h := randomHistory(seed)
+		ms := seq.AllMatches(h)
+		firsts := h.Count(func(e *model.Entry) bool { return e.Code.Value == "T90" })
+		if len(ms) > firsts {
+			return false
+		}
+		for _, m := range ms {
+			if len(m.Entries) != 2 {
+				return false
+			}
+			if m.Entries[0].Start > m.Entries[1].Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

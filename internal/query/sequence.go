@@ -1,0 +1,145 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"pastas/internal/model"
+)
+
+// Temporal-pattern search: the workbench's "searching for temporal
+// patterns" operation. A Sequence matches a history when entries
+// e1 < e2 < ... < ek exist, step i matching step predicate i, with the gap
+// between consecutive matches inside [MinGap, MaxGap].
+
+// Step is one element of a temporal pattern.
+type Step struct {
+	Pred EventPred
+	// MinGap/MaxGap constrain start-time distance to the previous step's
+	// match. MaxGap 0 means unbounded. Both ignored on the first step.
+	MinGap model.Time
+	MaxGap model.Time
+}
+
+// Sequence is an ordered temporal pattern.
+type Sequence struct {
+	Steps []Step
+}
+
+func (s Sequence) String() string {
+	parts := make([]string, len(s.Steps))
+	for i, st := range s.Steps {
+		g := ""
+		if i > 0 && (st.MinGap > 0 || st.MaxGap > 0) {
+			if st.MaxGap > 0 {
+				g = fmt.Sprintf(" [gap %d..%dd]", st.MinGap/model.Day, st.MaxGap/model.Day)
+			} else {
+				g = fmt.Sprintf(" [gap >=%dd]", st.MinGap/model.Day)
+			}
+		}
+		parts[i] = st.Pred.String() + g
+	}
+	return "seq(" + strings.Join(parts, " -> ") + ")"
+}
+
+// Eval reports whether the pattern matches anywhere in the history.
+func (s Sequence) Eval(h *model.History) bool {
+	return s.FirstMatch(h) != nil
+}
+
+// Match is one witness of the pattern: the matched entries per step.
+type Match struct {
+	Entries []*model.Entry
+}
+
+// Span returns the period from the first to the last matched entry.
+func (m *Match) Span() model.Period {
+	if len(m.Entries) == 0 {
+		return model.Period{}
+	}
+	return model.Period{Start: m.Entries[0].Start, End: m.Entries[len(m.Entries)-1].Start}
+}
+
+// FirstMatch returns the earliest witness (lexicographically earliest by
+// step times), or nil. Backtracking search: greedy earliest choice alone is
+// wrong under MaxGap constraints, since a later step-i match can be the only
+// one that leaves step i+1 feasible.
+func (s Sequence) FirstMatch(h *model.History) *Match {
+	if len(s.Steps) == 0 {
+		return nil
+	}
+	h.Sort()
+	witness := make([]*model.Entry, len(s.Steps))
+	if s.search(h, 0, 0, witness) {
+		return &Match{Entries: witness}
+	}
+	return nil
+}
+
+// AllMatches returns every non-overlapping witness, scanning left to right
+// (after a match, the search resumes after its first entry, so overlapping
+// later witnesses starting inside the previous span are still found only
+// once per distinct start). This is the semantics event charts need: one
+// line per hit.
+func (s Sequence) AllMatches(h *model.History) []*Match {
+	if len(s.Steps) == 0 {
+		return nil
+	}
+	h.Sort()
+	var out []*Match
+	from := 0
+	for from < len(h.Entries) {
+		witness := make([]*model.Entry, len(s.Steps))
+		if !s.search(h, 0, from, witness) {
+			break
+		}
+		out = append(out, &Match{Entries: witness})
+		// Resume after the first entry of this witness.
+		first := witness[0]
+		from = entryIndexAfter(h, first) // index just past the witness start
+	}
+	return out
+}
+
+func entryIndexAfter(h *model.History, e *model.Entry) int {
+	for i := range h.Entries {
+		if &h.Entries[i] == e {
+			return i + 1
+		}
+	}
+	return len(h.Entries)
+}
+
+// search tries to satisfy steps[step:] starting at entry index from;
+// witness[step-1] (when step > 0) is the previous match.
+func (s Sequence) search(h *model.History, step, from int, witness []*model.Entry) bool {
+	if step == len(s.Steps) {
+		return true
+	}
+	st := s.Steps[step]
+	for i := from; i < len(h.Entries); i++ {
+		e := &h.Entries[i]
+		if step > 0 {
+			gap := e.Start - witness[step-1].Start
+			if gap < st.MinGap {
+				continue
+			}
+			if st.MaxGap > 0 && gap > st.MaxGap {
+				// Entries are time-sorted; all later ones only grow
+				// the gap.
+				return false
+			}
+		}
+		if !st.Pred.Match(e) {
+			continue
+		}
+		witness[step] = e
+		if s.search(h, step+1, i+1, witness) {
+			return true
+		}
+	}
+	return false
+}
+
+// Days is a convenience for expressing gaps in days.
+func Days(n int) model.Time { return model.Time(n) * model.Day }

@@ -1,0 +1,69 @@
+package render
+
+import (
+	"fmt"
+
+	"pastas/internal/model"
+)
+
+// Change highlighting between successive views. The paper (citing Simons &
+// Ambinder): "If the user blinks or changes focus ... it is probable that
+// the user will be unable to detect the difference between the views ...
+// the visualization should not presume that a user is able to detect
+// changes between views without a way of highlighting the change."
+// TimelineDiff renders the after-view with per-row change markers and a
+// summary banner, so the difference survives a blink.
+
+// Diff change colors.
+const (
+	ColorAdded   = "#2e7d32" // row new in the after-view
+	ColorChanged = "#f9a825" // row present in both but with different entries
+)
+
+// DiffSummary quantifies the change between two views.
+type DiffSummary struct {
+	Added   int // histories only in after
+	Removed int // histories only in before
+	Changed int // histories in both with differing entry counts
+	Same    int
+}
+
+func (d DiffSummary) String() string {
+	return fmt.Sprintf("changes: %d added, %d removed, %d changed, %d unchanged",
+		d.Added, d.Removed, d.Changed, d.Same)
+}
+
+// Diff computes the change summary and the per-patient highlight map for
+// the after-view.
+func Diff(before, after *model.Collection) (DiffSummary, map[model.PatientID]string) {
+	var sum DiffSummary
+	high := make(map[model.PatientID]string)
+	for _, h := range after.Histories() {
+		prev := before.Get(h.Patient.ID)
+		switch {
+		case prev == nil:
+			sum.Added++
+			high[h.Patient.ID] = ColorAdded
+		case prev.Len() != h.Len():
+			sum.Changed++
+			high[h.Patient.ID] = ColorChanged
+		default:
+			sum.Same++
+		}
+	}
+	for _, h := range before.Histories() {
+		if after.Get(h.Patient.ID) == nil {
+			sum.Removed++
+		}
+	}
+	return sum, high
+}
+
+// TimelineDiff renders the after-view with change markers and the summary
+// banner. Options' Highlights and Banner fields are overwritten.
+func TimelineDiff(before, after *model.Collection, opt TimelineOptions) (string, DiffSummary) {
+	sum, high := Diff(before, after)
+	opt.Highlights = high
+	opt.Banner = sum.String()
+	return Timeline(after, opt), sum
+}

@@ -1,0 +1,175 @@
+package render
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pastas/internal/model"
+	"pastas/internal/query"
+)
+
+func chartHistory(id model.PatientID, days []int, codes []string) *model.History {
+	h := model.NewHistory(model.Patient{ID: id, Birth: model.Date(1950, time.June, 1)})
+	for i, d := range days {
+		h.Add(model.Entry{
+			ID: uint64(id)*100 + uint64(i), Kind: model.Point,
+			Start:  model.Date(2010, time.January, 1).AddDays(d),
+			End:    model.Date(2010, time.January, 1).AddDays(d),
+			Source: model.SourceGP, Type: model.TypeDiagnosis,
+			Code: model.Code{System: "ICPC2", Value: codes[i]},
+		})
+	}
+	h.Sort()
+	return h
+}
+
+func heartSeq() query.Sequence {
+	return query.Sequence{Steps: []query.Step{
+		{Pred: query.MustCode("", "K75")},
+		{Pred: query.MustCode("", "K77"), MaxGap: query.Days(365)},
+	}}
+}
+
+func TestEventChartHits(t *testing.T) {
+	col := model.MustCollection(
+		chartHistory(1, []int{0, 30, 60}, []string{"K75", "A04", "K77"}), // one hit, one unmatched inside
+		chartHistory(2, []int{10, 20}, []string{"K75", "K77"}),           // one hit, nothing else
+		chartHistory(3, []int{5}, []string{"R74"}),                       // no hit
+	)
+	svg := EventChart(col, heartSeq(), EventChartOptions{Tooltips: true})
+	if !strings.Contains(svg, "event chart: 2 hits") {
+		t.Errorf("hit count wrong in: %s", firstLine(svg, "event chart"))
+	}
+	// The unmatched A04 inside patient 1's span is counted, not drawn.
+	if !strings.Contains(svg, ">+1</text>") {
+		t.Error("unmatched-event count missing")
+	}
+	if !strings.Contains(svg, ">+0</text>") {
+		t.Error("zero-count annotation missing")
+	}
+	// Matched entries drawn as dots, two per hit.
+	if got := strings.Count(svg, "<circle"); got != 4 {
+		t.Errorf("dots = %d, want 4", got)
+	}
+	// Relative axis labels.
+	if !strings.Contains(svg, "+0d") {
+		t.Error("relative axis missing")
+	}
+	if !strings.Contains(svg, "<title>") {
+		t.Error("tooltips missing")
+	}
+}
+
+func firstLine(s, containing string) string {
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, containing) {
+			return l
+		}
+	}
+	return ""
+}
+
+func TestEventChartMultipleHitsPerHistory(t *testing.T) {
+	col := model.MustCollection(
+		chartHistory(1, []int{0, 30, 200, 230}, []string{"K75", "K77", "K75", "K77"}),
+	)
+	svg := EventChart(col, heartSeq(), EventChartOptions{})
+	if !strings.Contains(svg, "event chart: 2 hits") {
+		t.Error("per-history multiple hits not found")
+	}
+	capped := EventChart(col, heartSeq(), EventChartOptions{MaxLines: 1})
+	if strings.Count(capped, "<circle") != 2 {
+		t.Error("MaxLines not enforced")
+	}
+}
+
+func TestEventChartEmpty(t *testing.T) {
+	col := model.MustCollection(chartHistory(1, []int{0}, []string{"R74"}))
+	svg := EventChart(col, heartSeq(), EventChartOptions{})
+	if !strings.Contains(svg, "event chart: 0 hits") {
+		t.Error("empty chart mislabeled")
+	}
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("malformed empty chart")
+	}
+}
+
+func TestDiffAndHighlights(t *testing.T) {
+	before := model.MustCollection(
+		chartHistory(1, []int{0}, []string{"T90"}),
+		chartHistory(2, []int{0, 10}, []string{"T90", "K86"}),
+		chartHistory(3, []int{0}, []string{"R74"}),
+	)
+	after := model.MustCollection(
+		chartHistory(1, []int{0}, []string{"T90"}),           // same
+		chartHistory(2, []int{0}, []string{"T90"}),           // changed (fewer entries)
+		chartHistory(4, []int{0, 5}, []string{"K75", "K77"}), // added
+	)
+	svg, sum := TimelineDiff(before, after, TimelineOptions{})
+	if sum.Added != 1 || sum.Removed != 1 || sum.Changed != 1 || sum.Same != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if !strings.Contains(svg, ColorAdded) || !strings.Contains(svg, ColorChanged) {
+		t.Error("highlight markers missing")
+	}
+	if !strings.Contains(svg, "1 added, 1 removed, 1 changed, 1 unchanged") {
+		t.Errorf("banner missing: %s", firstLine(svg, "changes:"))
+	}
+}
+
+func TestHighlightsOnlyMarkListed(t *testing.T) {
+	col := model.MustCollection(
+		chartHistory(1, []int{0}, []string{"T90"}),
+		chartHistory(2, []int{0}, []string{"K86"}),
+	)
+	svg := Timeline(col, TimelineOptions{
+		Highlights: map[model.PatientID]string{2: ColorAdded},
+	})
+	if got := strings.Count(svg, ColorAdded); got != 1 {
+		t.Errorf("highlight count = %d", got)
+	}
+}
+
+func TestOpenIntervalFadeRendered(t *testing.T) {
+	h := model.NewHistory(model.Patient{ID: 1, Birth: model.Date(1940, time.June, 1)})
+	h.Add(model.Entry{
+		ID: 1, Kind: model.Interval,
+		Start: model.Date(2010, time.March, 1), End: model.Date(2011, time.December, 31),
+		Source: model.SourceMunicipal, Type: model.TypeService,
+		Text: "homecare", OpenEnd: true,
+	})
+	h.Sort()
+	col := model.MustCollection(h)
+	svg := Timeline(col, TimelineOptions{Tooltips: true})
+	if !strings.Contains(svg, "(ongoing)") {
+		t.Error("open interval missing ongoing label")
+	}
+	// The fading tail uses decreasing opacities.
+	if !strings.Contains(svg, `fill-opacity="0.45"`) || !strings.Contains(svg, `fill-opacity="0.15"`) {
+		t.Errorf("fade steps missing")
+	}
+}
+
+func TestDetailPanelRendered(t *testing.T) {
+	h := chartHistory(1, []int{0, 5}, []string{"T90", "K86"})
+	col := model.MustCollection(h)
+	svg := Timeline(col, TimelineOptions{
+		DetailPatient: 1,
+		DetailAt:      model.Date(2010, time.January, 1),
+	})
+	if !strings.Contains(svg, "detail panel") {
+		t.Fatal("detail panel missing")
+	}
+	if !strings.Contains(svg, "details: P0000001") {
+		t.Error("panel header missing")
+	}
+	if !strings.Contains(svg, "T90") {
+		t.Error("panel content missing")
+	}
+	// Unknown patient: no panel.
+	svg = Timeline(col, TimelineOptions{DetailPatient: 99, DetailAt: 0})
+	if strings.Contains(svg, "detail panel") {
+		t.Error("panel for unknown patient")
+	}
+}

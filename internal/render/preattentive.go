@@ -1,0 +1,78 @@
+package render
+
+import (
+	"math/rand"
+)
+
+// PreattentiveStimulus renders the Fig. 3 display: "Find the red circle".
+// In feature mode the target differs from the distractors in color alone
+// (preattentive pop-out); in conjunction mode half the distractors share
+// the target's color and half its shape, so only the color∧shape
+// conjunction identifies it — the search the paper's encoding guidelines
+// exist to avoid.
+type StimulusOptions struct {
+	// Distractors is the number of non-target elements.
+	Distractors int
+	// Conjunction switches to the color+shape conjunction display.
+	Conjunction bool
+	// Seed positions the elements deterministically.
+	Seed int64
+	// Size is the square canvas edge in pixels (default 360).
+	Size float64
+}
+
+// PreattentiveStimulus renders the display and returns the SVG plus the
+// target's index (for harnesses that simulate search over the elements).
+func PreattentiveStimulus(opt StimulusOptions) (svg string, targetIndex int) {
+	if opt.Size <= 0 {
+		opt.Size = 360
+	}
+	n := opt.Distractors + 1
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	s := NewSVG(opt.Size, opt.Size)
+	s.Rect(0, 0, opt.Size, opt.Size, "fill", "#ffffff")
+
+	// Jittered grid placement avoids overlaps without a physics pass.
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	cell := opt.Size / float64(cols)
+	r := cell * 0.22
+	if r > 14 {
+		r = 14
+	}
+	positions := make([][2]float64, 0, cols*cols)
+	for i := 0; i < cols; i++ {
+		for j := 0; j < cols; j++ {
+			positions = append(positions, [2]float64{
+				(float64(i)+0.5)*cell + (rng.Float64()-0.5)*cell*0.4,
+				(float64(j)+0.5)*cell + (rng.Float64()-0.5)*cell*0.4,
+			})
+		}
+	}
+	rng.Shuffle(len(positions), func(i, j int) {
+		positions[i], positions[j] = positions[j], positions[i]
+	})
+	positions = positions[:n]
+	targetIndex = rng.Intn(n)
+
+	const (
+		red  = "#cc2222"
+		blue = "#2244cc"
+	)
+	for i, p := range positions {
+		switch {
+		case i == targetIndex:
+			s.Circle(p[0], p[1], r, "fill", red) // the red circle
+		case !opt.Conjunction:
+			s.Circle(p[0], p[1], r, "fill", blue)
+		case i%2 == 0:
+			s.Circle(p[0], p[1], r, "fill", blue) // shares shape
+		default:
+			s.Rect(p[0]-r, p[1]-r, 2*r, 2*r, "fill", red) // shares color
+		}
+	}
+	return s.String(), targetIndex
+}

@@ -1,0 +1,149 @@
+// Package render draws the workbench's views as SVG documents: the Fig. 1
+// timeline workbench, the Fig. 2 NSEPter graphs and the Fig. 3 preattentive
+// stimulus. SVG substitutes for the paper's Swing canvas: every visual
+// encoding (bars, rectangles, arrows, background colorings, axes, zoom) is
+// preserved, and because output is deterministic text it is testable.
+package render
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG is a minimal scene writer. Coordinates are pixels.
+type SVG struct {
+	w, h  float64
+	body  strings.Builder
+	defs  strings.Builder
+	depth int
+}
+
+// NewSVG creates a document of the given pixel size.
+func NewSVG(width, height float64) *SVG {
+	return &SVG{w: width, h: height}
+}
+
+// Width returns the document width.
+func (s *SVG) Width() float64 { return s.w }
+
+// Height returns the document height.
+func (s *SVG) Height() float64 { return s.h }
+
+func (s *SVG) indent() string { return strings.Repeat("  ", s.depth+1) }
+
+// esc escapes text content and attribute values.
+func esc(t string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(t)
+}
+
+// num formats coordinates compactly.
+func num(v float64) string {
+	out := fmt.Sprintf("%.2f", v)
+	out = strings.TrimRight(out, "0")
+	out = strings.TrimRight(out, ".")
+	if out == "" || out == "-" {
+		return "0"
+	}
+	return out
+}
+
+// Attrs is a list of attribute key-value pairs (order preserved).
+type Attrs []string
+
+// attrString renders pairs; panics on odd length (programmer error).
+func attrString(attrs Attrs) string {
+	if len(attrs)%2 != 0 {
+		panic("render: odd attribute list")
+	}
+	var b strings.Builder
+	for i := 0; i < len(attrs); i += 2 {
+		fmt.Fprintf(&b, ` %s="%s"`, attrs[i], esc(attrs[i+1]))
+	}
+	return b.String()
+}
+
+// Rect draws a rectangle.
+func (s *SVG) Rect(x, y, w, h float64, attrs ...string) {
+	fmt.Fprintf(&s.body, "%s<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\"%s/>\n",
+		s.indent(), num(x), num(y), num(w), num(h), attrString(attrs))
+}
+
+// Circle draws a circle.
+func (s *SVG) Circle(cx, cy, r float64, attrs ...string) {
+	fmt.Fprintf(&s.body, "%s<circle cx=\"%s\" cy=\"%s\" r=\"%s\"%s/>\n",
+		s.indent(), num(cx), num(cy), num(r), attrString(attrs))
+}
+
+// Ellipse draws an ellipse.
+func (s *SVG) Ellipse(cx, cy, rx, ry float64, attrs ...string) {
+	fmt.Fprintf(&s.body, "%s<ellipse cx=\"%s\" cy=\"%s\" rx=\"%s\" ry=\"%s\"%s/>\n",
+		s.indent(), num(cx), num(cy), num(rx), num(ry), attrString(attrs))
+}
+
+// Line draws a line segment.
+func (s *SVG) Line(x1, y1, x2, y2 float64, attrs ...string) {
+	fmt.Fprintf(&s.body, "%s<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\"%s/>\n",
+		s.indent(), num(x1), num(y1), num(x2), num(y2), attrString(attrs))
+}
+
+// Polygon draws a closed polygon from x,y pairs.
+func (s *SVG) Polygon(points []float64, attrs ...string) {
+	if len(points)%2 != 0 {
+		panic("render: odd point list")
+	}
+	var pts []string
+	for i := 0; i < len(points); i += 2 {
+		pts = append(pts, num(points[i])+","+num(points[i+1]))
+	}
+	fmt.Fprintf(&s.body, "%s<polygon points=\"%s\"%s/>\n",
+		s.indent(), strings.Join(pts, " "), attrString(attrs))
+}
+
+// Text draws a text label.
+func (s *SVG) Text(x, y float64, text string, attrs ...string) {
+	fmt.Fprintf(&s.body, "%s<text x=\"%s\" y=\"%s\"%s>%s</text>\n",
+		s.indent(), num(x), num(y), attrString(attrs), esc(text))
+}
+
+// Title attaches a tooltip to the previous element by wrapping — SVG
+// renderers show <title> children on hover; our details-on-demand in the
+// static artifacts. It must be called via the WithTitle helpers below, so
+// as a primitive we expose a titled group instead.
+func (s *SVG) TitledGroup(title string, attrs ...string) func() {
+	fmt.Fprintf(&s.body, "%s<g%s>\n", s.indent(), attrString(attrs))
+	s.depth++
+	fmt.Fprintf(&s.body, "%s<title>%s</title>\n", s.indent(), esc(title))
+	return s.endGroup
+}
+
+// Group opens a <g>; the returned func closes it (use with defer).
+func (s *SVG) Group(attrs ...string) func() {
+	fmt.Fprintf(&s.body, "%s<g%s>\n", s.indent(), attrString(attrs))
+	s.depth++
+	return s.endGroup
+}
+
+func (s *SVG) endGroup() {
+	s.depth--
+	fmt.Fprintf(&s.body, "%s</g>\n", s.indent())
+}
+
+// Comment inserts an XML comment (section markers for tests and humans).
+func (s *SVG) Comment(text string) {
+	fmt.Fprintf(&s.body, "%s<!-- %s -->\n", s.indent(), strings.ReplaceAll(text, "--", "—"))
+}
+
+// String renders the complete document.
+func (s *SVG) String() string {
+	var out strings.Builder
+	fmt.Fprintf(&out, `<svg xmlns="http://www.w3.org/2000/svg" width="%s" height="%s" viewBox="0 0 %s %s" font-family="sans-serif">`,
+		num(s.w), num(s.h), num(s.w), num(s.h))
+	out.WriteString("\n")
+	if s.defs.Len() > 0 {
+		out.WriteString("  <defs>\n" + s.defs.String() + "  </defs>\n")
+	}
+	out.WriteString(s.body.String())
+	out.WriteString("</svg>\n")
+	return out.String()
+}

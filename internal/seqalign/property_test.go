@@ -1,0 +1,74 @@
+package seqalign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSeq(rng *rand.Rand, maxLen int) []string {
+	vocab := []string{"T90", "T89", "K86", "R74", "A04"}
+	n := rng.Intn(maxLen + 1)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = vocab[rng.Intn(len(vocab))]
+	}
+	return out
+}
+
+// Edit distance with unit costs is a metric: identity, symmetry, triangle
+// inequality.
+func TestDistanceIsMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSeq(rng, 7)
+		b := randomSeq(rng, 7)
+		c := randomSeq(rng, 7)
+		dab := Distance(a, b, UnitCost{})
+		dba := Distance(b, a, UnitCost{})
+		dac := Distance(a, c, UnitCost{})
+		dbc := Distance(b, c, UnitCost{})
+		daa := Distance(a, a, UnitCost{})
+		if daa != 0 {
+			return false
+		}
+		if dab != dba {
+			return false
+		}
+		return dac <= dab+dbc+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Chapter costs lower-bound nothing below the unit-cost diagonal: chapter
+// distance ≤ unit distance (it can only discount substitutions).
+func TestChapterCostDiscounts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSeq(rng, 7)
+		b := randomSeq(rng, 7)
+		return Distance(a, b, ChapterCost{System: "ICPC2"}) <= Distance(a, b, UnitCost{})+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The MSA remains structurally consistent for arbitrary inputs (gap
+// stripping recovers inputs; equal row widths).
+func TestMSAConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		seqs := make([][]string, n)
+		for i := range seqs {
+			seqs[i] = randomSeq(rng, 6)
+		}
+		return Align(seqs, UnitCost{}).Consistent()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

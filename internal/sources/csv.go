@@ -1,0 +1,225 @@
+package sources
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV codecs for the registry extracts. Every registry delivers a flat file
+// with a fixed header; numbers use plain decimal notation. The readers are
+// strict about header shape (catching wrong-file mistakes early) but
+// tolerant about record payloads — empty code fields are data, not errors.
+
+var gpHeader = []string{"person", "date", "emergency", "icpc", "systolic", "diastolic", "amount", "text"}
+
+// WriteGPClaims writes claims as CSV with header.
+func WriteGPClaims(w io.Writer, claims []GPClaim) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(gpHeader); err != nil {
+		return fmt.Errorf("sources: write gp header: %w", err)
+	}
+	for i := range claims {
+		c := &claims[i]
+		rec := []string{
+			strconv.FormatUint(c.Person, 10),
+			c.Date,
+			boolStr(c.Emergency),
+			c.ICPC,
+			strconv.Itoa(c.Systolic),
+			strconv.Itoa(c.Diastolic),
+			strconv.FormatFloat(c.Amount, 'f', 2, 64),
+			c.Text,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("sources: write gp claim %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadGPClaims parses a GP-claims CSV produced by WriteGPClaims.
+func ReadGPClaims(r io.Reader) ([]GPClaim, error) {
+	rows, err := readCSV(r, gpHeader, "gp claims")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GPClaim, 0, len(rows))
+	for i, row := range rows {
+		person, err := strconv.ParseUint(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sources: gp claims row %d: person: %w", i+1, err)
+		}
+		sys, _ := strconv.Atoi(row[4])
+		dia, _ := strconv.Atoi(row[5])
+		amount, _ := strconv.ParseFloat(row[6], 64)
+		out = append(out, GPClaim{
+			Person:    person,
+			Date:      row[1],
+			Emergency: row[2] == "1",
+			ICPC:      row[3],
+			Systolic:  sys,
+			Diastolic: dia,
+			Amount:    amount,
+			Text:      row[7],
+		})
+	}
+	return out, nil
+}
+
+var episodeHeader = []string{"person", "admitted", "discharged", "mode", "main_icd", "secondary_icd", "department"}
+
+// WriteEpisodes writes hospital episodes as CSV with header.
+func WriteEpisodes(w io.Writer, eps []HospitalEpisode) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(episodeHeader); err != nil {
+		return fmt.Errorf("sources: write episode header: %w", err)
+	}
+	for i := range eps {
+		e := &eps[i]
+		rec := []string{
+			strconv.FormatUint(e.Person, 10),
+			e.Admitted,
+			e.Discharged,
+			e.Mode,
+			e.MainICD,
+			strings.Join(e.SecondaryICD, ";"),
+			e.Department,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("sources: write episode %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadEpisodes parses a hospital-episode CSV produced by WriteEpisodes.
+func ReadEpisodes(r io.Reader) ([]HospitalEpisode, error) {
+	rows, err := readCSV(r, episodeHeader, "episodes")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HospitalEpisode, 0, len(rows))
+	for i, row := range rows {
+		person, err := strconv.ParseUint(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sources: episodes row %d: person: %w", i+1, err)
+		}
+		var secondary []string
+		if row[5] != "" {
+			secondary = strings.Split(row[5], ";")
+		}
+		out = append(out, HospitalEpisode{
+			Person:       person,
+			Admitted:     row[1],
+			Discharged:   row[2],
+			Mode:         row[3],
+			MainICD:      row[4],
+			SecondaryICD: secondary,
+			Department:   row[6],
+		})
+	}
+	return out, nil
+}
+
+var municipalHeader = []string{"person", "service", "from", "to"}
+
+// WriteMunicipal writes municipal service decisions as CSV with header.
+func WriteMunicipal(w io.Writer, svcs []MunicipalService) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(municipalHeader); err != nil {
+		return fmt.Errorf("sources: write municipal header: %w", err)
+	}
+	for i := range svcs {
+		s := &svcs[i]
+		if err := cw.Write([]string{strconv.FormatUint(s.Person, 10), s.Service, s.From, s.To}); err != nil {
+			return fmt.Errorf("sources: write municipal %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMunicipal parses a municipal-services CSV produced by WriteMunicipal.
+func ReadMunicipal(r io.Reader) ([]MunicipalService, error) {
+	rows, err := readCSV(r, municipalHeader, "municipal")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MunicipalService, 0, len(rows))
+	for i, row := range rows {
+		person, err := strconv.ParseUint(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sources: municipal row %d: person: %w", i+1, err)
+		}
+		out = append(out, MunicipalService{Person: person, Service: row[1], From: row[2], To: row[3]})
+	}
+	return out, nil
+}
+
+var personHeader = []string{"id", "birth", "sex", "municipality"}
+
+// WritePersons writes the demographic extract as CSV with header.
+func WritePersons(w io.Writer, ps []Person) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(personHeader); err != nil {
+		return fmt.Errorf("sources: write person header: %w", err)
+	}
+	for i := range ps {
+		p := &ps[i]
+		rec := []string{strconv.FormatUint(p.ID, 10), p.BirthDate, p.Sex, strconv.Itoa(p.Municipality)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("sources: write person %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPersons parses a demographic CSV produced by WritePersons.
+func ReadPersons(r io.Reader) ([]Person, error) {
+	rows, err := readCSV(r, personHeader, "persons")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Person, 0, len(rows))
+	for i, row := range rows {
+		id, err := strconv.ParseUint(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sources: persons row %d: id: %w", i+1, err)
+		}
+		mun, _ := strconv.Atoi(row[3])
+		out = append(out, Person{ID: id, BirthDate: row[1], Sex: row[2], Municipality: mun})
+	}
+	return out, nil
+}
+
+// readCSV reads all rows and validates the header.
+func readCSV(r io.Reader, header []string, what string) ([][]string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(header)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("sources: read %s: %w", what, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("sources: read %s: missing header", what)
+	}
+	for i, col := range header {
+		if rows[0][i] != col {
+			return nil, fmt.Errorf("sources: read %s: header column %d is %q, want %q", what, i, rows[0][i], col)
+		}
+	}
+	return rows[1:], nil
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}

@@ -1,0 +1,67 @@
+package sources
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ReadDir loads a bundle from the file layout datagen writes: the
+// heterogeneous registry delivery as it lands on disk.
+func ReadDir(dir string) (*Bundle, error) {
+	b := &Bundle{}
+	open := func(name string, load func(*os.File) error) error {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("sources: %w", err)
+		}
+		defer f.Close()
+		if err := load(f); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := open("persons.csv", func(f *os.File) (err error) {
+		b.Persons, err = ReadPersons(f)
+		return
+	}); err != nil {
+		return nil, err
+	}
+	if err := open("gp_claims.csv", func(f *os.File) (err error) {
+		b.GPClaims, err = ReadGPClaims(f)
+		return
+	}); err != nil {
+		return nil, err
+	}
+	if err := open("episodes.csv", func(f *os.File) (err error) {
+		b.Episodes, err = ReadEpisodes(f)
+		return
+	}); err != nil {
+		return nil, err
+	}
+	if err := open("municipal.csv", func(f *os.File) (err error) {
+		b.Municipal, err = ReadMunicipal(f)
+		return
+	}); err != nil {
+		return nil, err
+	}
+	if err := open("prescriptions.jsonl", func(f *os.File) (err error) {
+		b.Prescriptions, err = ReadJSONL[Prescription](f)
+		return
+	}); err != nil {
+		return nil, err
+	}
+	if err := open("specialist.jsonl", func(f *os.File) (err error) {
+		b.Specialist, err = ReadJSONL[SpecialistClaim](f)
+		return
+	}); err != nil {
+		return nil, err
+	}
+	if err := open("physio.jsonl", func(f *os.File) (err error) {
+		b.Physio, err = ReadJSONL[PhysioClaim](f)
+		return
+	}); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,71 @@
+package sources
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeBundleDir writes a bundle in the datagen file layout.
+func writeBundleDir(t *testing.T, dir string, b *Bundle) {
+	t.Helper()
+	write := func(name string, fn func(f *os.File) error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("persons.csv", func(f *os.File) error { return WritePersons(f, b.Persons) })
+	write("gp_claims.csv", func(f *os.File) error { return WriteGPClaims(f, b.GPClaims) })
+	write("episodes.csv", func(f *os.File) error { return WriteEpisodes(f, b.Episodes) })
+	write("municipal.csv", func(f *os.File) error { return WriteMunicipal(f, b.Municipal) })
+	write("prescriptions.jsonl", func(f *os.File) error { return WriteJSONL(f, b.Prescriptions) })
+	write("specialist.jsonl", func(f *os.File) error { return WriteJSONL(f, b.Specialist) })
+	write("physio.jsonl", func(f *os.File) error { return WriteJSONL(f, b.Physio) })
+}
+
+func TestReadDirRoundTrip(t *testing.T) {
+	in := &Bundle{
+		Persons:  []Person{{ID: 1, BirthDate: "1950-06-01", Sex: "F", Municipality: 5001}},
+		GPClaims: []GPClaim{{Person: 1, Date: "2010-01-05", ICPC: "T90", Amount: 150, Text: "kontroll"}},
+		Episodes: []HospitalEpisode{{Person: 1, Admitted: "2010-02-01", Discharged: "2010-02-08",
+			Mode: ModeInpatient, MainICD: "I21.9", SecondaryICD: []string{"E11.9"}}},
+		Municipal:     []MunicipalService{{Person: 1, Service: ServiceHomeCare, From: "2010-03-01", To: ""}},
+		Prescriptions: []Prescription{{Person: 1, Date: "2010-01-05", ATC: "A10BA02", DurationDays: 90}},
+		Specialist:    []SpecialistClaim{{Person: 1, Date: "2010-04-01", ICD: "F32", Specialty: "psychiatry"}},
+		Physio:        []PhysioClaim{{Person: 1, Date: "2010-05-01", ICPC: "L03", Sessions: 8}},
+	}
+	dir := t.TempDir()
+	writeBundleDir(t, dir, in)
+
+	out, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestReadDirMissingFile(t *testing.T) {
+	if _, err := ReadDir(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+}
+
+func TestReadDirCorruptFile(t *testing.T) {
+	in := &Bundle{Persons: []Person{{ID: 1, BirthDate: "1950-06-01", Sex: "F"}}}
+	dir := t.TempDir()
+	writeBundleDir(t, dir, in)
+	if err := os.WriteFile(filepath.Join(dir, "episodes.csv"), []byte("wrong,header\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Error("corrupt episodes file accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package sources
+
+import (
+	"regexp"
+	"strconv"
+)
+
+// Free-text extraction. The paper: "Regular expressions are also used for
+// extraction of some of the available free text data ... However, this
+// extraction is limited because of differing conventions and many typing
+// errors in the text." We extract blood-pressure readings from GP notes;
+// the extraction tests measure exactly that limitation against the typo
+// rate the synthetic notes carry.
+
+// bpPattern matches the conventions Norwegian GP notes actually use for a
+// blood pressure: "BT 140/90", "BT: 140/90", "bp 140/90", "blodtrykk
+// 140/90". Typo'd variants ("BTT 14090") intentionally fall outside it.
+var bpPattern = regexp.MustCompile(`(?i)\b(?:BT|BP|blodtrykk)[.: ]{0,2}([0-9]{2,3})\s*/\s*([0-9]{2,3})\b`)
+
+// ExtractBP pulls a systolic/diastolic pair out of a free-text note.
+// ok is false when no convention-conforming reading is present.
+func ExtractBP(text string) (systolic, diastolic int, ok bool) {
+	m := bpPattern.FindStringSubmatch(text)
+	if m == nil {
+		return 0, 0, false
+	}
+	s, err1 := strconv.Atoi(m[1])
+	d, err2 := strconv.Atoi(m[2])
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	// Plausibility gates: transposed or truncated numbers are rejected
+	// rather than imported as clinical fact.
+	if s < 60 || s > 260 || d < 30 || d > 160 || d >= s {
+		return 0, 0, false
+	}
+	return s, d, true
+}
+
+// icpcMention matches an ICPC-2 code mentioned inline in a note, e.g.
+// "kontroll T90" — used when the structured code field is empty.
+var icpcMention = regexp.MustCompile(`\b([ABDFHKLNPRSTUWXYZ][0-9]{2})\b`)
+
+// ExtractICPCMention returns the first ICPC-2-shaped code mentioned in the
+// text, or "".
+func ExtractICPCMention(text string) string {
+	m := icpcMention.FindStringSubmatch(text)
+	if m == nil {
+		return ""
+	}
+	return m[1]
+}

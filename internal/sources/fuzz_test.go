@@ -1,0 +1,58 @@
+package sources
+
+import "testing"
+
+// FuzzExtractBP exercises the free-text extraction against arbitrary note
+// content: it must never panic and never return implausible readings.
+func FuzzExtractBP(f *testing.F) {
+	for _, seed := range []string{
+		"BT 145/92",
+		"bp 120 / 80 ellers fin",
+		"Blodtrykk 160/95, oppfølging",
+		"BTT 14090",
+		"BT 90/145",
+		"BT 9999/0",
+		"", "///", "BT /", "BT -1/-2",
+		"kontroll T90, BT 145/92 og noe mer",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		sys, dia, ok := ExtractBP(text)
+		if !ok {
+			if sys != 0 || dia != 0 {
+				t.Fatalf("not-ok extraction leaked values: %d/%d", sys, dia)
+			}
+			return
+		}
+		if sys < 60 || sys > 260 || dia < 30 || dia > 160 || dia >= sys {
+			t.Fatalf("implausible extraction accepted: %d/%d from %q", sys, dia, text)
+		}
+	})
+}
+
+// FuzzExtractICPCMention must only ever return codes shaped like ICPC-2.
+func FuzzExtractICPCMention(f *testing.F) {
+	for _, seed := range []string{"kontroll T90", "icd E11", "", "A0", "Z99 X00"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		code := ExtractICPCMention(text)
+		if code == "" {
+			return
+		}
+		if len(code) != 3 {
+			t.Fatalf("malformed code %q", code)
+		}
+		ch := code[0]
+		valid := false
+		for _, c := range "ABDFHKLNPRSTUWXYZ" {
+			if ch == byte(c) {
+				valid = true
+			}
+		}
+		if !valid || code[1] < '0' || code[1] > '9' || code[2] < '0' || code[2] > '9' {
+			t.Fatalf("non-ICPC code %q extracted", code)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package sources
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONL codecs: one JSON object per line. The prescription, specialist and
+// physio extracts arrive in this shape; WriteJSONL/ReadJSONL are generic so
+// any record type round-trips.
+
+// WriteJSONL writes one JSON object per line.
+func WriteJSONL[T any](w io.Writer, records []T) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			return fmt.Errorf("sources: write jsonl record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads one JSON object per line until EOF.
+func ReadJSONL[T any](r io.Reader) ([]T, error) {
+	var out []T
+	dec := json.NewDecoder(r)
+	for i := 0; ; i++ {
+		var rec T
+		err := dec.Decode(&rec)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sources: read jsonl record %d: %w", i, err)
+		}
+		out = append(out, rec)
+	}
+}

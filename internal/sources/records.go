@@ -1,0 +1,113 @@
+// Package sources defines the heterogeneous registry record formats the
+// workbench aggregates — "any visit to a hospital (inpatient, outpatient or
+// day treatment), receiving services from the adjacent municipalities (home
+// care services, nursing home etc.) and visits to a primary care provider
+// (GP, emergency primary care services operated by GPs, physiotherapist
+// etc.) or private medical specialist where the provider had claimed
+// reimbursement" — together with CSV and JSONL codecs and the limited
+// regex-based free-text extraction the paper describes.
+//
+// Records deliberately keep registry-shaped raw fields (string dates,
+// source-local coding) — normalization into the unified model is the
+// integration layer's job, which keeps the workbench "independent of the
+// database schema".
+package sources
+
+// Person is the demographic extract shared by all registries; the person
+// number is the linkage key.
+type Person struct {
+	ID           uint64 `json:"id"`
+	BirthDate    string `json:"birth"` // YYYY-MM-DD
+	Sex          string `json:"sex"`   // "F" or "M"
+	Municipality int    `json:"municipality"`
+}
+
+// GPClaim is a primary-care reimbursement claim (KUHR-style): one row per
+// contact with a GP or the GP-operated emergency service.
+type GPClaim struct {
+	Person    uint64  `json:"person"`
+	Date      string  `json:"date"` // YYYY-MM-DD
+	Emergency bool    `json:"emergency"`
+	ICPC      string  `json:"icpc"` // may be empty for administrative contacts
+	Systolic  int     `json:"systolic,omitempty"`
+	Diastolic int     `json:"diastolic,omitempty"`
+	Text      string  `json:"text,omitempty"` // free-text note, typos and all
+	Amount    float64 `json:"amount"`         // reimbursed NOK
+}
+
+// Prescription is a dispensed-medication record (NorPD-style).
+type Prescription struct {
+	Person       uint64 `json:"person"`
+	Date         string `json:"date"`
+	ATC          string `json:"atc"`
+	DurationDays int    `json:"duration_days"`
+}
+
+// HospitalEpisode is a specialist-care episode (NPR-style): an inpatient
+// stay, outpatient visit or day treatment, with ICD-10 coding.
+type HospitalEpisode struct {
+	Person       uint64   `json:"person"`
+	Admitted     string   `json:"admitted"`
+	Discharged   string   `json:"discharged"` // empty for single-day contact
+	Mode         string   `json:"mode"`       // "inpatient", "outpatient", "day"
+	MainICD      string   `json:"main_icd"`
+	SecondaryICD []string `json:"secondary_icd,omitempty"`
+	Department   string   `json:"department,omitempty"`
+}
+
+// Episode modes.
+const (
+	ModeInpatient  = "inpatient"
+	ModeOutpatient = "outpatient"
+	ModeDay        = "day"
+)
+
+// MunicipalService is a municipal care decision (IPLOS-style): a service
+// interval such as home care or a nursing-home stay.
+type MunicipalService struct {
+	Person  uint64 `json:"person"`
+	Service string `json:"service"` // "homecare" or "nursing"
+	From    string `json:"from"`
+	To      string `json:"to"` // empty = still running at extract time
+}
+
+// Municipal service kinds.
+const (
+	ServiceHomeCare = "homecare"
+	ServiceNursing  = "nursing"
+)
+
+// SpecialistClaim is a private-specialist reimbursement claim, ICD-10 coded.
+type SpecialistClaim struct {
+	Person    uint64 `json:"person"`
+	Date      string `json:"date"`
+	ICD       string `json:"icd"`
+	Specialty string `json:"specialty,omitempty"`
+	Text      string `json:"text,omitempty"`
+}
+
+// PhysioClaim is a physiotherapy claim, ICPC-2 coded.
+type PhysioClaim struct {
+	Person   uint64 `json:"person"`
+	Date     string `json:"date"`
+	ICPC     string `json:"icpc"`
+	Sessions int    `json:"sessions"`
+}
+
+// Bundle is one extract from every registry for the same population — the
+// integration layer's input.
+type Bundle struct {
+	Persons       []Person
+	GPClaims      []GPClaim
+	Prescriptions []Prescription
+	Episodes      []HospitalEpisode
+	Municipal     []MunicipalService
+	Specialist    []SpecialistClaim
+	Physio        []PhysioClaim
+}
+
+// TotalRecords counts all records across registries (persons excluded).
+func (b *Bundle) TotalRecords() int {
+	return len(b.GPClaims) + len(b.Prescriptions) + len(b.Episodes) +
+		len(b.Municipal) + len(b.Specialist) + len(b.Physio)
+}

@@ -1,0 +1,179 @@
+package sources
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGPClaimsCSVRoundTrip(t *testing.T) {
+	in := []GPClaim{
+		{Person: 1, Date: "2010-01-05", Emergency: false, ICPC: "T90", Systolic: 145, Diastolic: 92, Amount: 152.50, Text: "kontroll, BT 145/92"},
+		{Person: 2, Date: "2010-02-10", Emergency: true, ICPC: "", Amount: 310, Text: "akutt, magesmerter"},
+		{Person: 3, Date: "2011-12-31", ICPC: "K86", Text: "text with, comma and \"quotes\""},
+	}
+	var buf bytes.Buffer
+	if err := WriteGPClaims(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadGPClaims(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestEpisodesCSVRoundTrip(t *testing.T) {
+	in := []HospitalEpisode{
+		{Person: 1, Admitted: "2010-03-01", Discharged: "2010-03-08", Mode: ModeInpatient, MainICD: "I21.9", SecondaryICD: []string{"E11.9", "I10"}, Department: "cardiology"},
+		{Person: 2, Admitted: "2010-04-01", Mode: ModeOutpatient, MainICD: "J44"},
+	}
+	var buf bytes.Buffer
+	if err := WriteEpisodes(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEpisodes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestMunicipalCSVRoundTrip(t *testing.T) {
+	in := []MunicipalService{
+		{Person: 1, Service: ServiceHomeCare, From: "2010-05-01", To: "2010-11-01"},
+		{Person: 2, Service: ServiceNursing, From: "2011-01-01", To: ""},
+	}
+	var buf bytes.Buffer
+	if err := WriteMunicipal(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMunicipal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestPersonsCSVRoundTrip(t *testing.T) {
+	in := []Person{
+		{ID: 1, BirthDate: "1950-06-01", Sex: "F", Municipality: 5001},
+		{ID: 2, BirthDate: "1980-12-24", Sex: "M", Municipality: 301},
+	}
+	var buf bytes.Buffer
+	if err := WritePersons(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadPersons(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestReadRejectsWrongHeader(t *testing.T) {
+	if _, err := ReadGPClaims(strings.NewReader("a,b,c,d,e,f,g,h\n")); err == nil {
+		t.Error("wrong header accepted")
+	}
+	if _, err := ReadPersons(strings.NewReader("")); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestReadRejectsBadPerson(t *testing.T) {
+	csv := "person,date,emergency,icpc,systolic,diastolic,amount,text\nnot-a-number,2010-01-01,0,,0,0,0,\n"
+	if _, err := ReadGPClaims(strings.NewReader(csv)); err == nil {
+		t.Error("bad person id accepted")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Prescription{
+		{Person: 1, Date: "2010-01-05", ATC: "A10BA02", DurationDays: 90},
+		{Person: 2, Date: "2010-06-01", ATC: "C07AB02", DurationDays: 30},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("expected 2 lines, got %d", got)
+	}
+	out, err := ReadJSONL[Prescription](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL[Prescription](strings.NewReader("{not json}\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestJSONLEmpty(t *testing.T) {
+	out, err := ReadJSONL[SpecialistClaim](strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty input: %v, %v", out, err)
+	}
+}
+
+func TestExtractBP(t *testing.T) {
+	cases := []struct {
+		text     string
+		sys, dia int
+		ok       bool
+	}{
+		{"kontroll, BT 145/92", 145, 92, true},
+		{"BT: 140/90 ellers fin", 140, 90, true},
+		{"bp 120 / 80", 120, 80, true},
+		{"Blodtrykk 160/95, oppfølging", 160, 95, true},
+		{"BTT 14090", 0, 0, false},                // typo'd convention
+		{"ingen måling i dag", 0, 0, false},       // no reading
+		{"BT 90/145", 0, 0, false},                // transposed (dia >= sys)
+		{"BT 300/90", 0, 0, false},                // implausible
+		{"BT 145/92 og BT 150/95", 145, 92, true}, // first wins
+	}
+	for _, c := range cases {
+		s, d, ok := ExtractBP(c.text)
+		if ok != c.ok || s != c.sys || d != c.dia {
+			t.Errorf("ExtractBP(%q) = %d/%d %v, want %d/%d %v", c.text, s, d, ok, c.sys, c.dia, c.ok)
+		}
+	}
+}
+
+func TestExtractICPCMention(t *testing.T) {
+	if got := ExtractICPCMention("kontroll T90 stabil"); got != "T90" {
+		t.Errorf("got %q", got)
+	}
+	if got := ExtractICPCMention("ingen koder her"); got != "" {
+		t.Errorf("got %q", got)
+	}
+	// E is not an ICPC-2 chapter; E11 must not be extracted as ICPC.
+	if got := ExtractICPCMention("icd E11 nevnt"); got != "" {
+		t.Errorf("ICD code extracted as ICPC: %q", got)
+	}
+}
+
+func TestBundleTotalRecords(t *testing.T) {
+	b := Bundle{
+		GPClaims:      make([]GPClaim, 3),
+		Prescriptions: make([]Prescription, 2),
+		Episodes:      make([]HospitalEpisode, 1),
+	}
+	if got := b.TotalRecords(); got != 6 {
+		t.Errorf("TotalRecords = %d", got)
+	}
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"pastas/internal/model"
+)
+
+// Utilization indicators — the paper's introduction lists "statistical
+// indicator analysis" as one of the established ways of extracting
+// knowledge from the record databases; the workbench complements it, and
+// analysts want both side by side. Indicators summarizes a cohort's
+// utilization the way registry reports do: rates per 100 patient-years by
+// source and type.
+
+// Indicators is the utilization summary for a collection over a window.
+type Indicators struct {
+	Patients     int
+	PatientYears float64
+
+	// Per-100-patient-year rates.
+	GPContacts         float64
+	EmergencyShare     float64 // share of GP contacts flagged emergency (0..1)
+	Admissions         float64
+	AdmissionDays      float64
+	OutpatientVisits   float64
+	SpecialistContacts float64
+	PhysioContacts     float64
+	HomeCareDays       float64
+	NursingDays        float64
+	Prescriptions      float64
+
+	// Demographics.
+	MeanAge     float64
+	FemaleShare float64
+}
+
+// ComputeIndicators derives the summary over the window.
+func ComputeIndicators(col *model.Collection, window model.Period) Indicators {
+	ind := Indicators{Patients: col.Len()}
+	if col.Len() == 0 || window.Empty() {
+		return ind
+	}
+	years := float64(window.Duration()) / float64(model.Year)
+	ind.PatientYears = years * float64(col.Len())
+
+	var gp, emergencyGP, admissions, outpatient, specialist, physio, rx int
+	var admissionDays, homeCareDays, nursingDays float64
+	var ages, females float64
+
+	for _, h := range col.Histories() {
+		ages += float64(h.Patient.AgeAt(window.Start))
+		if h.Patient.Sex == model.SexFemale {
+			females++
+		}
+		for i := range h.Entries {
+			e := &h.Entries[i]
+			p := e.Period().Clamp(window)
+			inWindow := e.Kind == model.Interval && !p.Empty() ||
+				e.Kind == model.Point && window.Contains(e.Start)
+			if !inWindow {
+				continue
+			}
+			switch e.Type {
+			case model.TypeContact:
+				switch e.Source {
+				case model.SourceGP:
+					gp++
+					if strings.Contains(e.Text, "legevakt") || strings.Contains(e.Text, "akutt") {
+						emergencyGP++
+					}
+				case model.SourceHospital:
+					outpatient++
+				case model.SourceSpecialist:
+					specialist++
+				case model.SourcePhysio:
+					physio++
+				}
+			case model.TypeStay:
+				switch e.Source {
+				case model.SourceHospital:
+					admissions++
+					admissionDays += float64(p.Duration()) / float64(model.Day)
+				case model.SourceMunicipal:
+					nursingDays += float64(p.Duration()) / float64(model.Day)
+				}
+			case model.TypeService:
+				homeCareDays += float64(p.Duration()) / float64(model.Day)
+			case model.TypeMedication:
+				rx++
+			}
+		}
+	}
+
+	per100 := func(n float64) float64 { return 100 * n / ind.PatientYears }
+	ind.GPContacts = per100(float64(gp))
+	if gp > 0 {
+		ind.EmergencyShare = float64(emergencyGP) / float64(gp)
+	}
+	ind.Admissions = per100(float64(admissions))
+	ind.AdmissionDays = per100(admissionDays)
+	ind.OutpatientVisits = per100(float64(outpatient))
+	ind.SpecialistContacts = per100(float64(specialist))
+	ind.PhysioContacts = per100(float64(physio))
+	ind.HomeCareDays = per100(homeCareDays)
+	ind.NursingDays = per100(nursingDays)
+	ind.Prescriptions = per100(float64(rx))
+	ind.MeanAge = ages / float64(col.Len())
+	ind.FemaleShare = females / float64(col.Len())
+	return ind
+}
+
+// Table renders the indicator report (rates per 100 patient-years).
+func (ind Indicators) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cohort: %d patients, %.0f patient-years (mean age %.1f, %.0f%% female)\n",
+		ind.Patients, ind.PatientYears, ind.MeanAge, 100*ind.FemaleShare)
+	fmt.Fprintf(&b, "  per 100 patient-years:\n")
+	fmt.Fprintf(&b, "  %-28s %8.1f\n", "GP contacts", ind.GPContacts)
+	fmt.Fprintf(&b, "  %-28s %8.1f\n", "hospital admissions", ind.Admissions)
+	fmt.Fprintf(&b, "  %-28s %8.1f\n", "hospital bed-days", ind.AdmissionDays)
+	fmt.Fprintf(&b, "  %-28s %8.1f\n", "hospital outpatient visits", ind.OutpatientVisits)
+	fmt.Fprintf(&b, "  %-28s %8.1f\n", "private specialist contacts", ind.SpecialistContacts)
+	fmt.Fprintf(&b, "  %-28s %8.1f\n", "physiotherapy contacts", ind.PhysioContacts)
+	fmt.Fprintf(&b, "  %-28s %8.1f\n", "home-care days", ind.HomeCareDays)
+	fmt.Fprintf(&b, "  %-28s %8.1f\n", "nursing-home days", ind.NursingDays)
+	fmt.Fprintf(&b, "  %-28s %8.1f\n", "prescriptions", ind.Prescriptions)
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pastas/internal/model"
+)
+
+// The recognition survey (experiment E2). Section IV: trajectories were
+// presented to the patients "in a simplified form to get their feedback";
+// "only 1% of the patients said that everything was wrong in the presented
+// trajectories/contacts we thought they had had with the health service,
+// while 92% could easily recognize their own trajectory and 7% did not
+// remember."
+//
+// We cannot survey humans, so we model the two causal mechanisms the paper
+// implies and regenerate the proportions:
+//
+//   - "everything wrong" ⇐ the aggregation linked the wrong person's
+//     records (registry linkage error), a per-patient event with a small
+//     fixed probability;
+//   - "did not remember" ⇐ recall failure, more likely the fewer and the
+//     older the patient's contacts are (recall decays with sparse recent
+//     contact).
+//
+// Parameters are calibrated so the selected-cohort distribution of contact
+// counts yields the published 92/7/1 split.
+
+// SurveyOutcome is one respondent's answer.
+type SurveyOutcome int
+
+const (
+	// Recognized: "could easily recognize their own trajectory".
+	Recognized SurveyOutcome = iota
+	// NotRemember: "did not remember".
+	NotRemember
+	// AllWrong: "everything was wrong in the presented trajectories".
+	AllWrong
+)
+
+// SurveyParams configures the model.
+type SurveyParams struct {
+	Seed int64
+	// WrongLinkageRate is the probability a presented trajectory was
+	// assembled from mislinked records.
+	WrongLinkageRate float64
+	// ForgetBase and ForgetTau shape recall failure:
+	// P(not remember) = ForgetBase · exp(-contacts/ForgetTau).
+	ForgetBase float64
+	ForgetTau  float64
+}
+
+// DefaultSurveyParams returns the calibrated parameters.
+func DefaultSurveyParams() SurveyParams {
+	return SurveyParams{
+		Seed:             2014, // the survey year (Wågbø 2014)
+		WrongLinkageRate: 0.011,
+		ForgetBase:       0.25,
+		ForgetTau:        12,
+	}
+}
+
+// SurveyResult aggregates outcomes.
+type SurveyResult struct {
+	N           int
+	Recognized  int
+	NotRemember int
+	AllWrong    int
+}
+
+// Proportions returns the three fractions in paper order (recognized, not
+// remember, all wrong).
+func (r SurveyResult) Proportions() (rec, notRem, wrong float64) {
+	if r.N == 0 {
+		return 0, 0, 0
+	}
+	n := float64(r.N)
+	return float64(r.Recognized) / n, float64(r.NotRemember) / n, float64(r.AllWrong) / n
+}
+
+func (r SurveyResult) String() string {
+	rec, notRem, wrong := r.Proportions()
+	return fmt.Sprintf("survey n=%d: recognized %.1f%%, did not remember %.1f%%, everything wrong %.1f%%",
+		r.N, 100*rec, 100*notRem, 100*wrong)
+}
+
+// SimulateSurvey presents each patient in the collection with their own
+// trajectory and samples an outcome.
+func SimulateSurvey(col *model.Collection, p SurveyParams) SurveyResult {
+	rng := rand.New(rand.NewSource(p.Seed))
+	var res SurveyResult
+	for _, h := range col.Histories() {
+		res.N++
+		switch outcome(rng, h, p) {
+		case AllWrong:
+			res.AllWrong++
+		case NotRemember:
+			res.NotRemember++
+		default:
+			res.Recognized++
+		}
+	}
+	return res
+}
+
+func outcome(rng *rand.Rand, h *model.History, p SurveyParams) SurveyOutcome {
+	if rng.Float64() < p.WrongLinkageRate {
+		return AllWrong
+	}
+	contacts := h.Count(func(e *model.Entry) bool { return e.Type == model.TypeContact })
+	pForget := p.ForgetBase * math.Exp(-float64(contacts)/p.ForgetTau)
+	if rng.Float64() < pForget {
+		return NotRemember
+	}
+	return Recognized
+}

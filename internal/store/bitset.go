@@ -1,0 +1,111 @@
+package store
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bit vector over patient ordinals. Cohort
+// queries over the 168k-patient data set reduce to AND/OR/ANDNOT over these,
+// which is what keeps interactive filtering inside the paper's 100 ms
+// budget at full scale.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// NewBitset returns an empty set with capacity n.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set marks bit i.
+func (b *Bitset) Set(i int) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear unmarks bit i.
+func (b *Bitset) Clear(i int) {
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a copy.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// And intersects in place (receiver ∩= other) and returns the receiver.
+func (b *Bitset) And(other *Bitset) *Bitset {
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+	return b
+}
+
+// Or unions in place and returns the receiver.
+func (b *Bitset) Or(other *Bitset) *Bitset {
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+	return b
+}
+
+// AndNot removes other's bits in place and returns the receiver.
+func (b *Bitset) AndNot(other *Bitset) *Bitset {
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+	}
+	return b
+}
+
+// Not complements in place (within capacity) and returns the receiver.
+func (b *Bitset) Not() *Bitset {
+	for i := range b.words {
+		b.words[i] = ^b.words[i]
+	}
+	// Mask tail bits beyond capacity.
+	if rem := b.n & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+	return b
+}
+
+// Range calls fn for every set bit in ascending order; fn returning false
+// stops the iteration.
+func (b *Bitset) Range(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*64 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Ones returns the indices of all set bits.
+func (b *Bitset) Ones() []int {
+	out := make([]int, 0, b.Count())
+	b.Range(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}

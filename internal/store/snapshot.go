@@ -1,0 +1,65 @@
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pastas/internal/model"
+)
+
+// Snapshot persistence. Loading 168k patients from the raw registry files
+// takes orders of magnitude longer than decoding a pre-integrated snapshot;
+// the workbench saves the integrated collection once and reopens instantly.
+
+// snapshotHistory is the gob wire form of one history.
+type snapshotHistory struct {
+	Patient model.Patient
+	Entries []model.Entry
+}
+
+// snapshotFile is the gob wire form of a collection.
+type snapshotFile struct {
+	Version   int
+	Histories []snapshotHistory
+}
+
+const snapshotVersion = 1
+
+// Save writes the collection as a snapshot.
+func Save(w io.Writer, col *model.Collection) error {
+	f := snapshotFile{Version: snapshotVersion}
+	f.Histories = make([]snapshotHistory, 0, col.Len())
+	for _, h := range col.Histories() {
+		h.Sort()
+		f.Histories = append(f.Histories, snapshotHistory{Patient: h.Patient, Entries: h.Entries})
+	}
+	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+		return fmt.Errorf("store: save snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot back into a collection.
+func Load(r io.Reader) (*model.Collection, error) {
+	var f snapshotFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("store: load snapshot: %w", err)
+	}
+	if f.Version != snapshotVersion {
+		return nil, fmt.Errorf("store: load snapshot: unsupported version %d", f.Version)
+	}
+	col := &model.Collection{}
+	for i := range f.Histories {
+		sh := &f.Histories[i]
+		h := model.NewHistory(sh.Patient)
+		for _, e := range sh.Entries {
+			h.Add(e)
+		}
+		h.Sort()
+		if err := col.Add(h); err != nil {
+			return nil, fmt.Errorf("store: load snapshot: %w", err)
+		}
+	}
+	return col, nil
+}

@@ -1,0 +1,74 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Free-text note synthesis. Notes follow the conventions the extraction
+// regexes expect, except for a configurable typo rate that breaks them —
+// reproducing the paper's observation that free-text extraction "is limited
+// because of differing conventions and many typing errors".
+
+var visitPhrases = []string{
+	"kontroll",
+	"oppfølging",
+	"rutinekontroll",
+	"time bestilt av pasient",
+	"årskontroll",
+	"telefonkonsultasjon",
+}
+
+var acutePhrases = []string{
+	"akutt forverring",
+	"nyoppstått",
+	"pasienten oppsøker lege",
+	"henvist fra legevakt",
+}
+
+// bpNote renders a blood-pressure reading in one of the recognized
+// conventions.
+func bpNote(r *Rand, sys, dia int) string {
+	switch r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("BT %d/%d", sys, dia)
+	case 1:
+		return fmt.Sprintf("BT: %d/%d", sys, dia)
+	case 2:
+		return fmt.Sprintf("bp %d/%d", sys, dia)
+	default:
+		return fmt.Sprintf("Blodtrykk %d/%d", sys, dia)
+	}
+}
+
+// typoBP renders a reading in a convention the extractor cannot parse.
+func typoBP(r *Rand, sys, dia int) string {
+	switch r.Intn(3) {
+	case 0:
+		return fmt.Sprintf("BTT %d%d", sys, dia) // doubled letter, no slash
+	case 1:
+		return fmt.Sprintf("B T %d-%d", sys, dia) // split token, dash
+	default:
+		return fmt.Sprintf("trykk %d over %d", sys, dia) // prose
+	}
+}
+
+// visitNote composes a GP note: a phrase, optionally the ICPC code inline,
+// optionally a BP reading (typo'd at typoRate).
+func visitNote(r *Rand, phraseSet []string, inlineCode string, sys, dia int, typoRate float64) string {
+	var b strings.Builder
+	b.WriteString(Pick(r, phraseSet))
+	if inlineCode != "" {
+		b.WriteString(" ")
+		b.WriteString(inlineCode)
+	}
+	if sys > 0 {
+		b.WriteString(", ")
+		if r.Bernoulli(typoRate) {
+			b.WriteString(typoBP(r, sys, dia))
+		} else {
+			b.WriteString(bpNote(r, sys, dia))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,311 @@
+package synth
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"pastas/internal/model"
+	"pastas/internal/sources"
+)
+
+// Config controls the synthetic population.
+type Config struct {
+	// Seed drives all randomness; equal configs produce equal bundles.
+	Seed int64
+	// Patients is the population size (the paper's full data set: 168,000).
+	Patients int
+	// WindowStart/WindowEnd delimit the two-year observation window.
+	WindowStart model.Time
+	WindowEnd   model.Time
+	// DuplicateRate is the chance a claim is delivered twice (registry
+	// double-billing noise).
+	DuplicateRate float64
+	// InvalidDateRate is the chance a claim carries a clearly invalid
+	// date (before the patient's birth), which integration must drop.
+	InvalidDateRate float64
+	// MissingCodeRate is the chance a GP claim lacks its structured ICPC
+	// code; half of those mention the code in free text instead.
+	MissingCodeRate float64
+	// TypoRate is the chance a free-text blood-pressure reading uses a
+	// convention the extraction regex cannot parse.
+	TypoRate float64
+	// Workers bounds generation parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the calibrated configuration for n patients with
+// the 2010–2011 observation window.
+func DefaultConfig(n int) Config {
+	return Config{
+		Seed:            42,
+		Patients:        n,
+		WindowStart:     model.Date(2010, time.January, 1),
+		WindowEnd:       model.Date(2012, time.January, 1),
+		DuplicateRate:   0.010,
+		InvalidDateRate: 0.002,
+		MissingCodeRate: 0.050,
+		TypoRate:        0.050,
+	}
+}
+
+// Window returns the observation window as a period.
+func (c *Config) Window() model.Period {
+	return model.Period{Start: c.WindowStart, End: c.WindowEnd}
+}
+
+// Generate produces the full multi-registry bundle for the population.
+// Generation is parallel across patients; output order and content are
+// deterministic for a given config.
+func Generate(cfg Config) *sources.Bundle {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Patients && cfg.Patients > 0 {
+		workers = cfg.Patients
+	}
+	if cfg.Patients == 0 {
+		return &sources.Bundle{}
+	}
+
+	parts := make([]*sources.Bundle, workers)
+	var wg sync.WaitGroup
+	per := (cfg.Patients + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w*per + 1
+		hi := (w + 1) * per
+		if hi > cfg.Patients {
+			hi = cfg.Patients
+		}
+		if lo > hi {
+			parts[w] = &sources.Bundle{}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			out := &sources.Bundle{}
+			for id := lo; id <= hi; id++ {
+				generatePatient(&cfg, uint64(id), out)
+			}
+			parts[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := &sources.Bundle{}
+	for _, p := range parts {
+		total.Persons = append(total.Persons, p.Persons...)
+		total.GPClaims = append(total.GPClaims, p.GPClaims...)
+		total.Prescriptions = append(total.Prescriptions, p.Prescriptions...)
+		total.Episodes = append(total.Episodes, p.Episodes...)
+		total.Municipal = append(total.Municipal, p.Municipal...)
+		total.Specialist = append(total.Specialist, p.Specialist...)
+		total.Physio = append(total.Physio, p.Physio...)
+	}
+	return total
+}
+
+// municipalities is a weighted pick of real Norwegian municipality numbers.
+var municipalities = []int{301, 1103, 4601, 5001, 5401, 3401, 1108, 5035}
+
+// patientCtx carries one patient's generation state; condition emitters
+// append records through its helper methods, which also inject the
+// configured noise.
+type patientCtx struct {
+	cfg    *Config
+	r      *Rand
+	id     uint64
+	birth  model.Time
+	sex    model.Sex
+	age    int // at window start
+	window model.Period
+	out    *sources.Bundle
+}
+
+func generatePatient(cfg *Config, id uint64, out *sources.Bundle) {
+	r := NewRand(personSeed(cfg.Seed, id))
+
+	// Age structure: [0-17], [18-39], [40-59], [60-74], [75-94].
+	bracket := r.Weighted([]float64{22, 29, 26, 15, 8})
+	var lo, hi int
+	switch bracket {
+	case 0:
+		lo, hi = 0, 17
+	case 1:
+		lo, hi = 18, 39
+	case 2:
+		lo, hi = 40, 59
+	case 3:
+		lo, hi = 60, 74
+	default:
+		lo, hi = 75, 94
+	}
+	age := lo + r.Intn(hi-lo+1)
+	birth := cfg.WindowStart.AddDays(-age*365 - r.Intn(365))
+	sex := model.SexFemale
+	if r.Bernoulli(0.5) {
+		sex = model.SexMale
+	}
+
+	p := &patientCtx{
+		cfg:    cfg,
+		r:      r,
+		id:     id,
+		birth:  birth,
+		sex:    sex,
+		age:    age,
+		window: cfg.Window(),
+		out:    out,
+	}
+
+	out.Persons = append(out.Persons, sources.Person{
+		ID:           id,
+		BirthDate:    dateStr(birth),
+		Sex:          sex.String(),
+		Municipality: Pick(r, municipalities),
+	})
+
+	p.emitBackground()
+	for _, c := range conditions {
+		if r.Bernoulli(c.prev(age, sex)) {
+			c.emit(p)
+		}
+	}
+	p.emitAcuteEvents()
+}
+
+// years is the window length in (365-day) years.
+func (p *patientCtx) years() float64 {
+	return float64(p.window.Duration()) / float64(model.Year)
+}
+
+// visitDays samples Poisson(ratePerYear × window) day-aligned visit times.
+func (p *patientCtx) visitDays(ratePerYear float64) []model.Time {
+	n := p.r.Poisson(ratePerYear * p.years())
+	out := make([]model.Time, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, p.r.DayIn(p.window))
+	}
+	return out
+}
+
+func dateStr(t model.Time) string {
+	return t.AsTime().Format("2006-01-02")
+}
+
+// gpVisit appends a GP claim, applying the noise model: missing structured
+// codes (half recoverable from text), typo'd BP conventions, pre-birth
+// dates, and duplicate delivery.
+func (p *patientCtx) gpVisit(t model.Time, icpc string, emergency bool, sys, dia int, phrases []string) {
+	r := p.r
+	date := t
+	if r.Bernoulli(p.cfg.InvalidDateRate) {
+		date = p.birth.AddDays(-(500 + r.Intn(5000)))
+	}
+
+	structured := icpc
+	inline := ""
+	if icpc != "" && r.Bernoulli(p.cfg.MissingCodeRate) {
+		structured = ""
+		if r.Bernoulli(0.5) {
+			inline = icpc // recoverable from the note
+		}
+	}
+
+	// Structured BP fields are filled 70% of the time; otherwise the
+	// reading lives only in the note (and may be typo'd beyond recovery).
+	sSys, sDia := sys, dia
+	textSys, textDia := 0, 0
+	if sys > 0 {
+		if r.Bernoulli(0.7) {
+			textSys, textDia = sys, dia // both structured and noted
+		} else {
+			sSys, sDia = 0, 0
+			textSys, textDia = sys, dia // note only
+		}
+	}
+
+	claim := sources.GPClaim{
+		Person:    p.id,
+		Date:      dateStr(date),
+		Emergency: emergency,
+		ICPC:      structured,
+		Systolic:  sSys,
+		Diastolic: sDia,
+		Amount:    140 + float64(r.Intn(220)),
+		Text:      visitNote(r, phrases, inline, textSys, textDia, p.cfg.TypoRate),
+	}
+	p.out.GPClaims = append(p.out.GPClaims, claim)
+	if r.Bernoulli(p.cfg.DuplicateRate) {
+		p.out.GPClaims = append(p.out.GPClaims, claim)
+	}
+}
+
+// refills appends prescriptions of the ATC code every intervalDays through
+// the window, starting at from.
+func (p *patientCtx) refills(from model.Time, atc string, intervalDays int) {
+	for t := from; t.Before(p.window.End); t = t.AddDays(intervalDays) {
+		if !t.Before(p.window.Start) {
+			p.out.Prescriptions = append(p.out.Prescriptions, sources.Prescription{
+				Person: p.id, Date: dateStr(t), ATC: atc, DurationDays: intervalDays,
+			})
+		}
+	}
+}
+
+// inpatient appends an inpatient episode of the given length.
+func (p *patientCtx) inpatient(t model.Time, days int, mainICD string, secondary ...string) {
+	end := t.AddDays(days)
+	if end.After(p.window.End) {
+		end = p.window.End
+	}
+	p.out.Episodes = append(p.out.Episodes, sources.HospitalEpisode{
+		Person: p.id, Admitted: dateStr(t), Discharged: dateStr(end),
+		Mode: sources.ModeInpatient, MainICD: mainICD, SecondaryICD: secondary,
+	})
+}
+
+// outpatient appends a single-day hospital outpatient visit.
+func (p *patientCtx) outpatient(t model.Time, icd string) {
+	p.out.Episodes = append(p.out.Episodes, sources.HospitalEpisode{
+		Person: p.id, Admitted: dateStr(t), Mode: sources.ModeOutpatient, MainICD: icd,
+	})
+}
+
+// dayTreatment appends a day-treatment episode.
+func (p *patientCtx) dayTreatment(t model.Time, mainICD string, secondary ...string) {
+	p.out.Episodes = append(p.out.Episodes, sources.HospitalEpisode{
+		Person: p.id, Admitted: dateStr(t), Mode: sources.ModeDay,
+		MainICD: mainICD, SecondaryICD: secondary,
+	})
+}
+
+// municipal appends a service interval; pass model.NoTime as to for a
+// service still running at extract time.
+func (p *patientCtx) municipal(from, to model.Time, service string) {
+	toStr := ""
+	if to.Valid() {
+		toStr = dateStr(to)
+	}
+	p.out.Municipal = append(p.out.Municipal, sources.MunicipalService{
+		Person: p.id, Service: service, From: dateStr(from), To: toStr,
+	})
+}
+
+// specialist appends a private-specialist claim, with duplicate noise.
+func (p *patientCtx) specialist(t model.Time, icd, specialty string) {
+	claim := sources.SpecialistClaim{Person: p.id, Date: dateStr(t), ICD: icd, Specialty: specialty}
+	p.out.Specialist = append(p.out.Specialist, claim)
+	if p.r.Bernoulli(p.cfg.DuplicateRate) {
+		p.out.Specialist = append(p.out.Specialist, claim)
+	}
+}
+
+// physio appends a physiotherapy claim.
+func (p *patientCtx) physio(t model.Time, icpc string, sessions int) {
+	p.out.Physio = append(p.out.Physio, sources.PhysioClaim{
+		Person: p.id, Date: dateStr(t), ICPC: icpc, Sessions: sessions,
+	})
+}

@@ -1,0 +1,114 @@
+// Package synth generates the synthetic Norwegian-style registry population
+// the experiments run on. The paper's data — "somatic primary and specialist
+// health care utilization for a two-year period" for 168,000 patients — is
+// unobtainable (privacy), so this package substitutes a seeded generator
+// that reproduces its statistical shape: age-dependent chronic-disease
+// prevalence, heavy-tailed contact counts, multi-source duplication, free-
+// text notes with typos, and a small rate of clearly invalid (pre-birth)
+// dates for the integration layer to drop.
+//
+// All randomness derives from (Config.Seed, patient ID), so output is
+// deterministic and independent of generation order or parallelism.
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"pastas/internal/model"
+)
+
+// Rand wraps math/rand with the distribution helpers the generator needs.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a seeded generator.
+func NewRand(seed int64) *Rand {
+	return &Rand{rand.New(rand.NewSource(seed))}
+}
+
+// personSeed mixes the config seed with a patient ID (splitmix64 finalizer)
+// so each patient's stream is independent of every other's.
+func personSeed(seed int64, id uint64) int64 {
+	z := uint64(seed) + id*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Poisson samples a Poisson-distributed count (Knuth's method; fine for the
+// small lambdas used here).
+func (r *Rand) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 { // guard against pathological lambdas
+			return k
+		}
+	}
+}
+
+// NormalInt samples round(N(mean, sd)) clamped to [lo, hi].
+func (r *Rand) NormalInt(mean, sd float64, lo, hi int) int {
+	v := int(math.Round(r.NormFloat64()*sd + mean))
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// DayIn picks a uniform day-aligned time in [p.Start, p.End).
+func (r *Rand) DayIn(p model.Period) model.Time {
+	days := int64(p.Duration() / model.Day)
+	if days <= 0 {
+		return p.Start.DayFloor()
+	}
+	return p.Start.DayFloor().AddDays(int(r.Int63n(days)))
+}
+
+// Pick returns a uniformly chosen element.
+func Pick[T any](r *Rand, xs []T) T {
+	return xs[r.Intn(len(xs))]
+}
+
+// Weighted returns an index sampled proportionally to weights (which need
+// not be normalized). Returns len(weights)-1 as a safe fallback.
+func (r *Rand) Weighted(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,257 @@
+// Package temporal implements Allen's interval algebra and a qualitative
+// constraint network with path consistency. The paper's prototype
+// "represents and reasons with patient events" and cites CNTRO's temporal
+// semantics; its conclusion reports "investigating the use of constraint
+// logic programming to handle interval reasoning" — this package is that
+// reasoning substrate, used over episodes derived from histories.
+package temporal
+
+import (
+	"strings"
+
+	"pastas/internal/model"
+)
+
+// Rel is a set of Allen relations (a bitmask over the 13 basics). A
+// constraint "A r B" with several bits set means the true relation is one
+// of them.
+type Rel uint16
+
+// The 13 basic Allen relations, A relative to B.
+const (
+	Before       Rel = 1 << iota // A ends before B starts
+	Meets                        // A ends exactly where B starts
+	Overlaps                     // A starts first, they overlap, B ends last
+	Starts                       // same start, A ends first
+	During                       // A strictly inside B
+	Finishes                     // same end, A starts last
+	Equal                        // identical intervals
+	FinishedBy                   // same end, A starts first (conv. Finishes)
+	Contains                     // B strictly inside A (conv. During)
+	StartedBy                    // same start, A ends last (conv. Starts)
+	OverlappedBy                 // conv. Overlaps
+	MetBy                        // conv. Meets
+	After                        // conv. Before
+
+	// Full is the vacuous constraint (anything possible).
+	Full Rel = 1<<13 - 1
+	// None is the inconsistent constraint.
+	None Rel = 0
+)
+
+var basicNames = map[Rel]string{
+	Before: "b", Meets: "m", Overlaps: "o", Starts: "s", During: "d",
+	Finishes: "f", Equal: "e", FinishedBy: "fi", Contains: "di",
+	StartedBy: "si", OverlappedBy: "oi", MetBy: "mi", After: "bi",
+}
+
+// Basics lists the 13 basic relations in declaration order.
+func Basics() []Rel {
+	out := make([]Rel, 0, 13)
+	for r := Before; r <= After; r <<= 1 {
+		out = append(out, r)
+	}
+	return out
+}
+
+// IsBasic reports whether exactly one relation bit is set.
+func (r Rel) IsBasic() bool { return r != 0 && r&(r-1) == 0 }
+
+// Has reports whether all of q's bits are included in r.
+func (r Rel) Has(q Rel) bool { return r&q == q }
+
+// Count returns the number of basic relations in the set.
+func (r Rel) Count() int {
+	n := 0
+	for _, b := range Basics() {
+		if r&b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (r Rel) String() string {
+	if r == None {
+		return "⊥"
+	}
+	if r == Full {
+		return "⊤"
+	}
+	var parts []string
+	for _, b := range Basics() {
+		if r&b != 0 {
+			parts = append(parts, basicNames[b])
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Converse returns the relation of B to A given A to B.
+func Converse(r Rel) Rel {
+	pairs := [...][2]Rel{
+		{Before, After}, {Meets, MetBy}, {Overlaps, OverlappedBy},
+		{Starts, StartedBy}, {During, Contains}, {Finishes, FinishedBy},
+	}
+	out := r & Equal
+	for _, p := range pairs {
+		if r&p[0] != 0 {
+			out |= p[1]
+		}
+		if r&p[1] != 0 {
+			out |= p[0]
+		}
+	}
+	return out
+}
+
+// Between computes the basic relation between two concrete periods.
+// Periods must be non-empty (Start < End).
+func Between(a, b model.Period) Rel {
+	switch {
+	case a.End < b.Start:
+		return Before
+	case a.End == b.Start:
+		return Meets
+	case b.End < a.Start:
+		return After
+	case b.End == a.Start:
+		return MetBy
+	}
+	// They overlap in time; discriminate on endpoints.
+	switch {
+	case a.Start == b.Start && a.End == b.End:
+		return Equal
+	case a.Start == b.Start:
+		if a.End < b.End {
+			return Starts
+		}
+		return StartedBy
+	case a.End == b.End:
+		if a.Start > b.Start {
+			return Finishes
+		}
+		return FinishedBy
+	case a.Start > b.Start && a.End < b.End:
+		return During
+	case a.Start < b.Start && a.End > b.End:
+		return Contains
+	case a.Start < b.Start:
+		return Overlaps
+	default:
+		return OverlappedBy
+	}
+}
+
+// --- composition ------------------------------------------------------------
+
+// Point-algebra relation masks over {<, =, >}.
+type pointRel uint8
+
+const (
+	ptLT pointRel = 1 << iota
+	ptEQ
+	ptGT
+	ptAll = ptLT | ptEQ | ptGT
+)
+
+// composePoint is transitivity in the point algebra, lifted to masks.
+func composePoint(a, b pointRel) pointRel {
+	var out pointRel
+	for _, x := range [3]pointRel{ptLT, ptEQ, ptGT} {
+		if a&x == 0 {
+			continue
+		}
+		for _, y := range [3]pointRel{ptLT, ptEQ, ptGT} {
+			if b&y == 0 {
+				continue
+			}
+			out |= composeBasicPoint(x, y)
+		}
+	}
+	return out
+}
+
+func composeBasicPoint(x, y pointRel) pointRel {
+	switch {
+	case x == ptEQ:
+		return y
+	case y == ptEQ:
+		return x
+	case x == y: // < then <, or > then >
+		return x
+	default: // < then >, or > then <
+		return ptAll
+	}
+}
+
+// endpointSig is the signature of a basic Allen relation as the four point
+// relations (A⁻B⁻, A⁻B⁺, A⁺B⁻, A⁺B⁺).
+type endpointSig struct{ ss, se, es, ee pointRel }
+
+var signatures = map[Rel]endpointSig{
+	Before:       {ptLT, ptLT, ptLT, ptLT},
+	Meets:        {ptLT, ptLT, ptEQ, ptLT},
+	Overlaps:     {ptLT, ptLT, ptGT, ptLT},
+	Starts:       {ptEQ, ptLT, ptGT, ptLT},
+	During:       {ptGT, ptLT, ptGT, ptLT},
+	Finishes:     {ptGT, ptLT, ptGT, ptEQ},
+	Equal:        {ptEQ, ptLT, ptGT, ptEQ},
+	FinishedBy:   {ptLT, ptLT, ptGT, ptEQ},
+	Contains:     {ptLT, ptLT, ptGT, ptGT},
+	StartedBy:    {ptEQ, ptLT, ptGT, ptGT},
+	OverlappedBy: {ptGT, ptLT, ptGT, ptGT},
+	MetBy:        {ptGT, ptEQ, ptGT, ptGT},
+	After:        {ptGT, ptGT, ptGT, ptGT},
+}
+
+// basicComposition[i][j] is the composition of basic relations 1<<i ∘ 1<<j,
+// derived from endpoint signatures at package init. Deriving the table
+// (rather than transcribing the published 13×13 matrix) eliminates
+// transcription errors; the tests pin the published identities.
+var basicComposition [13][13]Rel
+
+func init() {
+	basics := Basics()
+	for i, r1 := range basics {
+		s1 := signatures[r1]
+		for j, r2 := range basics {
+			s2 := signatures[r2]
+			// Derive A-vs-C endpoint masks through B's endpoints,
+			// intersecting the two derivation paths (via B⁻ and via
+			// B⁺): e.g. A⁻C⁻ ⊆ (A⁻B⁻ ∘ B⁻C⁻) ∩ (A⁻B⁺ ∘ B⁺C⁻).
+			ss := composePoint(s1.ss, s2.ss) & composePoint(s1.se, s2.es)
+			se := composePoint(s1.ss, s2.se) & composePoint(s1.se, s2.ee)
+			es := composePoint(s1.es, s2.ss) & composePoint(s1.ee, s2.es)
+			ee := composePoint(s1.es, s2.se) & composePoint(s1.ee, s2.ee)
+			var out Rel
+			for _, r3 := range basics {
+				s3 := signatures[r3]
+				if s3.ss&ss != 0 && s3.se&se != 0 && s3.es&es != 0 && s3.ee&ee != 0 {
+					out |= r3
+				}
+			}
+			basicComposition[i][j] = out
+		}
+	}
+}
+
+// Compose returns the composition r1 ∘ r2 (unions over the basic table).
+func Compose(r1, r2 Rel) Rel {
+	var out Rel
+	for i, b1 := range Basics() {
+		if r1&b1 == 0 {
+			continue
+		}
+		for j, b2 := range Basics() {
+			if r2&b2 == 0 {
+				continue
+			}
+			out |= basicComposition[i][j]
+			if out == Full {
+				return Full
+			}
+		}
+	}
+	return out
+}

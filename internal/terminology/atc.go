@@ -1,0 +1,102 @@
+package terminology
+
+// atcConcepts returns the embedded ATC table: all 14 anatomical main groups
+// and the therapeutic/pharmacological/chemical subset the synthetic
+// prescriptions draw from. Fig. 1's "colors in the visualization show
+// different classes of medication" — the classes are ATC level-2 groups.
+func atcConcepts() []Concept {
+	level1 := []struct{ code, title string }{
+		{"A", "Alimentary tract and metabolism"},
+		{"B", "Blood and blood forming organs"},
+		{"C", "Cardiovascular system"},
+		{"D", "Dermatologicals"},
+		{"G", "Genito-urinary system and sex hormones"},
+		{"H", "Systemic hormonal preparations"},
+		{"J", "Antiinfectives for systemic use"},
+		{"L", "Antineoplastic and immunomodulating agents"},
+		{"M", "Musculo-skeletal system"},
+		{"N", "Nervous system"},
+		{"P", "Antiparasitic products"},
+		{"R", "Respiratory system"},
+		{"S", "Sensory organs"},
+		{"V", "Various"},
+	}
+	level2 := []struct{ code, title string }{
+		{"A02", "Drugs for acid related disorders"},
+		{"A10", "Drugs used in diabetes"},
+		{"B01", "Antithrombotic agents"},
+		{"B03", "Antianemic preparations"},
+		{"C01", "Cardiac therapy"},
+		{"C03", "Diuretics"},
+		{"C07", "Beta blocking agents"},
+		{"C08", "Calcium channel blockers"},
+		{"C09", "Agents acting on the renin-angiotensin system"},
+		{"C10", "Lipid modifying agents"},
+		{"H03", "Thyroid therapy"},
+		{"J01", "Antibacterials for systemic use"},
+		{"M01", "Antiinflammatory and antirheumatic products"},
+		{"M05", "Drugs for treatment of bone diseases"},
+		{"N02", "Analgesics"},
+		{"N05", "Psycholeptics"},
+		{"N06", "Psychoanaleptics"},
+		{"R03", "Drugs for obstructive airway diseases"},
+	}
+	level3 := []struct{ code, title string }{
+		{"A02B", "Drugs for peptic ulcer and GORD"},
+		{"A10A", "Insulins and analogues"},
+		{"A10B", "Blood glucose lowering drugs, excl. insulins"},
+		{"B01A", "Antithrombotic agents"},
+		{"B03A", "Iron preparations"},
+		{"C01D", "Vasodilators used in cardiac diseases"},
+		{"C03A", "Low-ceiling diuretics, thiazides"},
+		{"C03C", "High-ceiling diuretics"},
+		{"C07A", "Beta blocking agents"},
+		{"C08C", "Selective calcium channel blockers, vascular"},
+		{"C09A", "ACE inhibitors, plain"},
+		{"C09C", "Angiotensin II receptor blockers, plain"},
+		{"C10A", "Lipid modifying agents, plain"},
+		{"H03A", "Thyroid preparations"},
+		{"J01C", "Beta-lactam antibacterials, penicillins"},
+		{"M01A", "Antiinflammatory/antirheumatic products, non-steroids"},
+		{"M05B", "Drugs affecting bone structure and mineralization"},
+		{"N02B", "Other analgesics and antipyretics"},
+		{"N05C", "Hypnotics and sedatives"},
+		{"N06A", "Antidepressants"},
+		{"R03A", "Adrenergics, inhalants"},
+		{"R03B", "Other drugs for obstructive airway diseases, inhalants"},
+	}
+	level4 := []struct{ code, title string }{
+		{"A10BA", "Biguanides"},
+		{"C07AB", "Beta blocking agents, selective"},
+		{"C09AA", "ACE inhibitors, plain"},
+		{"C10AA", "HMG CoA reductase inhibitors"},
+		{"N06AB", "Selective serotonin reuptake inhibitors"},
+		{"R03AC", "Selective beta-2-adrenoreceptor agonists"},
+	}
+	level5 := []struct{ code, title string }{
+		{"A10BA02", "Metformin"},
+		{"C07AB02", "Metoprolol"},
+		{"C09AA05", "Ramipril"},
+		{"C10AA01", "Simvastatin"},
+		{"N06AB04", "Citalopram"},
+		{"R03AC02", "Salbutamol"},
+	}
+
+	out := make([]Concept, 0, len(level1)+len(level2)+len(level3)+len(level4)+len(level5))
+	for _, c := range level1 {
+		out = append(out, Concept{System: ATC, Code: c.code, Title: c.title, Level: LevelChapter})
+	}
+	for _, c := range level2 {
+		out = append(out, Concept{System: ATC, Code: c.code, Title: c.title, Parent: c.code[:1], Level: LevelBlock})
+	}
+	for _, c := range level3 {
+		out = append(out, Concept{System: ATC, Code: c.code, Title: c.title, Parent: c.code[:3], Level: LevelCode})
+	}
+	for _, c := range level4 {
+		out = append(out, Concept{System: ATC, Code: c.code, Title: c.title, Parent: c.code[:4], Level: LevelSubCode})
+	}
+	for _, c := range level5 {
+		out = append(out, Concept{System: ATC, Code: c.code, Title: c.title, Parent: c.code[:5], Level: LevelSubCode})
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package terminology
+
+import "strings"
+
+// The ICPC-2 ↔ ICD-10 cross-mapping. Primary-care records arrive coded in
+// ICPC-2 and specialist records in ICD-10; the integration layer uses this
+// mapping to recognize that a GP's T90 and a hospital's E11.9 describe the
+// same condition when aggregating a trajectory.
+//
+// The table is the diagnosis-level subset of the official ICPC-2→ICD-10
+// conversion covering the embedded code tables. It is many-to-many: one
+// ICPC code can map to several ICD categories (K90 → I61/I63/I64) and
+// vice versa.
+var icpcToICD = map[string][]string{
+	"T89": {"E10"},
+	"T90": {"E11"},
+	"T85": {"E05"},
+	"T86": {"E03"},
+	"T93": {"E78"},
+	"T82": {"E66"},
+	"K74": {"I20"},
+	"K75": {"I21"},
+	"K76": {"I25"},
+	"K77": {"I50"},
+	"K78": {"I48"},
+	"K86": {"I10"},
+	"K87": {"I11"},
+	"K89": {"G45"},
+	"K90": {"I61", "I63", "I64"},
+	"K92": {"I70"},
+	"K95": {"I83"},
+	"R74": {"J06"},
+	"R80": {"J10"},
+	"R81": {"J18"},
+	"R95": {"J44"},
+	"R96": {"J45"},
+	"N86": {"G35"},
+	"N87": {"G20"},
+	"N88": {"G40"},
+	"N89": {"G43"},
+	"P70": {"F03"},
+	"P74": {"F41"},
+	"P76": {"F32"},
+	"L72": {"S52"},
+	"L73": {"S82"},
+	"L75": {"S72"},
+	"L84": {"M54"},
+	"L89": {"M16"},
+	"L90": {"M17"},
+	"L95": {"M81"},
+	"U71": {"N39"},
+	"Y85": {"N40"},
+	"Y77": {"C61"},
+	"X76": {"C50"},
+	"F92": {"H25"},
+	"F93": {"H40"},
+	"H71": {"H66"},
+	"D73": {"A09"},
+	"D85": {"K25"},
+	"D86": {"K25"},
+	"D93": {"K58"},
+	"B80": {"D50"},
+	"S87": {"L20"},
+	"S91": {"L40"},
+	"A77": {"B34"},
+	"A04": {"R53"},
+	"A11": {"R07"},
+}
+
+var icdToICPC = func() map[string][]string {
+	inv := make(map[string][]string, len(icpcToICD))
+	for icpc, icds := range icpcToICD {
+		for _, icd := range icds {
+			inv[icd] = append(inv[icd], icpc)
+		}
+	}
+	return inv
+}()
+
+// ICPCToICD maps an ICPC-2 code to its ICD-10 categories; nil if unmapped.
+func ICPCToICD(code string) []string {
+	out := icpcToICD[code]
+	if out == nil {
+		return nil
+	}
+	cp := make([]string, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// ICDToICPC maps an ICD-10 code to its ICPC-2 codes. Subcategory codes
+// (E11.9) fall back to their category (E11); nil if unmapped.
+func ICDToICPC(code string) []string {
+	out := icdToICPC[code]
+	if out == nil {
+		if dot := strings.IndexByte(code, '.'); dot > 0 {
+			out = icdToICPC[code[:dot]]
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	cp := make([]string, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// SameCondition reports whether two codes — possibly from different
+// systems — plausibly describe the same condition: equal codes, one being
+// an ancestor of the other within a system, or linked by the cross-mapping.
+func SameCondition(sysA, codeA, sysB, codeB string) bool {
+	if sysA == sysB {
+		cs := For(System(sysA))
+		if cs == nil {
+			return codeA == codeB
+		}
+		return cs.IsA(codeA, codeB) || cs.IsA(codeB, codeA)
+	}
+	// Cross-system: normalize both to ICPC-2 space.
+	aICPC := toICPCSet(sysA, codeA)
+	bICPC := toICPCSet(sysB, codeB)
+	for c := range aICPC {
+		if bICPC[c] {
+			return true
+		}
+	}
+	return false
+}
+
+func toICPCSet(sys, code string) map[string]bool {
+	set := make(map[string]bool)
+	switch System(sys) {
+	case ICPC2:
+		set[code] = true
+	case ICD10:
+		for _, c := range ICDToICPC(code) {
+			set[c] = true
+		}
+	}
+	return set
+}
+
+// CanonicalICPC returns the preferred ICPC-2 code for a coded entry from
+// any system ("" when no mapping exists). Integration uses it to give every
+// diagnosis a primary-care-comparable code for cohort queries.
+func CanonicalICPC(sys, code string) string {
+	switch System(sys) {
+	case ICPC2:
+		return code
+	case ICD10:
+		if m := ICDToICPC(code); len(m) > 0 {
+			return m[0]
+		}
+	}
+	return ""
+}

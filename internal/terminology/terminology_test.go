@@ -1,0 +1,342 @@
+package terminology
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTablesLoad(t *testing.T) {
+	if n := ForICPC2().Len(); n < 150 {
+		t.Errorf("ICPC2 table suspiciously small: %d", n)
+	}
+	if n := ForICD10().Len(); n < 100 {
+		t.Errorf("ICD10 table suspiciously small: %d", n)
+	}
+	if n := ForATC().Len(); n < 50 {
+		t.Errorf("ATC table suspiciously small: %d", n)
+	}
+}
+
+func TestICPC2Chapters(t *testing.T) {
+	cs := ForICPC2()
+	chapters := cs.AtLevel(LevelChapter)
+	if len(chapters) != 17 {
+		t.Fatalf("ICPC-2 has %d chapters, want 17", len(chapters))
+	}
+	for _, want := range []string{"A", "B", "D", "F", "H", "K", "L", "N", "P", "R", "S", "T", "U", "W", "X", "Y", "Z"} {
+		if !cs.Known(want) {
+			t.Errorf("missing chapter %s", want)
+		}
+	}
+	// No C, E, G, I etc. chapters in ICPC-2.
+	for _, absent := range []string{"C", "E", "G", "I", "J", "M", "O", "Q", "V"} {
+		if cs.Known(absent) {
+			t.Errorf("ICPC-2 must not have chapter %s", absent)
+		}
+	}
+}
+
+func TestHierarchyNavigation(t *testing.T) {
+	cs := ForICPC2()
+	if got := cs.Parent("T90"); got != "T" {
+		t.Errorf("Parent(T90) = %q", got)
+	}
+	if got := cs.Chapter("T90"); got != "T" {
+		t.Errorf("Chapter(T90) = %q", got)
+	}
+	if !cs.IsA("T90", "T") || !cs.IsA("T90", "T90") {
+		t.Error("IsA broken for T90")
+	}
+	if cs.IsA("T90", "K") {
+		t.Error("T90 must not be cardiovascular")
+	}
+	if cs.IsA("NOPE", "NOPE") {
+		t.Error("unknown codes must not IsA themselves")
+	}
+	kids := cs.Children("T")
+	if len(kids) == 0 {
+		t.Fatal("chapter T has no children")
+	}
+	found := false
+	for _, k := range kids {
+		if k == "T90" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("T90 not among children of T")
+	}
+}
+
+func TestICD10Hierarchy(t *testing.T) {
+	cs := ForICD10()
+	if got := cs.Chapter("E11.9"); got != "IV" {
+		t.Errorf("Chapter(E11.9) = %q, want IV", got)
+	}
+	anc := cs.Ancestors("E11.9")
+	want := []string{"E11", "E10-E14", "IV"}
+	if len(anc) != len(want) {
+		t.Fatalf("Ancestors(E11.9) = %v", anc)
+	}
+	for i := range want {
+		if anc[i] != want[i] {
+			t.Errorf("Ancestors[%d] = %q, want %q", i, anc[i], want[i])
+		}
+	}
+	if !cs.IsA("E11.9", "E10-E14") {
+		t.Error("E11.9 should be a diabetes-block code")
+	}
+}
+
+func TestATCHierarchy(t *testing.T) {
+	cs := ForATC()
+	if got := cs.Chapter("A10BA02"); got != "A" {
+		t.Errorf("Chapter(A10BA02) = %q", got)
+	}
+	if !cs.IsA("A10BA02", "A10") {
+		t.Error("metformin must be a diabetes drug")
+	}
+	if cs.IsA("C07AB02", "A10") {
+		t.Error("metoprolol is not a diabetes drug")
+	}
+}
+
+func TestExpandEyeOrEar(t *testing.T) {
+	// The paper's canonical example: F.*|H.* = eye or ear diagnoses.
+	cs := ForICPC2()
+	codes, err := cs.Expand(`F.*|H.*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) == 0 {
+		t.Fatal("no matches for F.*|H.*")
+	}
+	for _, c := range codes {
+		if c[0] != 'F' && c[0] != 'H' {
+			t.Errorf("Expand leaked %q", c)
+		}
+	}
+	// Must include both chapters' content.
+	joined := strings.Join(codes, ",")
+	for _, want := range []string{"F92", "H71", "F", "H"} {
+		if !strings.Contains(","+joined+",", ","+want+",") {
+			t.Errorf("Expand missing %s", want)
+		}
+	}
+}
+
+func TestExpandAnchored(t *testing.T) {
+	cs := ForICPC2()
+	// "T9" without a wildcard must not match T90 (whole-code anchoring).
+	codes, err := cs.Expand(`T9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) != 0 {
+		t.Errorf("unanchored match leaked: %v", codes)
+	}
+	codes, err = cs.Expand(`T9.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range codes {
+		if !strings.HasPrefix(c, "T9") || len(c) != 3 {
+			t.Errorf("T9. matched %q", c)
+		}
+	}
+}
+
+func TestExpandBadPattern(t *testing.T) {
+	if _, err := ForICPC2().Expand(`(`); err == nil {
+		t.Error("want error for bad pattern")
+	}
+}
+
+func TestCompileCodePatternCache(t *testing.T) {
+	a, err := CompileCodePattern(`K8[67]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompileCodePattern(`K8[67]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache did not return the same compiled pattern")
+	}
+	if !a.MatchString("K86") || a.MatchString("K86X") || a.MatchString("XK86") {
+		t.Error("anchoring broken")
+	}
+}
+
+func TestDisjunction(t *testing.T) {
+	pat := Disjunction(`F.*`, `H.*`, `T90`)
+	re, err := CompileCodePattern(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, yes := range []string{"F92", "H03", "T90"} {
+		if !re.MatchString(yes) {
+			t.Errorf("disjunction should match %s", yes)
+		}
+	}
+	if re.MatchString("T89") {
+		t.Error("disjunction must not match T89")
+	}
+}
+
+func TestMappingRoundTrip(t *testing.T) {
+	// Every mapped ICD target must exist in the ICD table, and inverse
+	// lookups must return the original.
+	icd := ForICD10()
+	icpc := ForICPC2()
+	for from, tos := range icpcToICD {
+		if !icpc.Known(from) {
+			t.Errorf("mapping source %s not in ICPC table", from)
+		}
+		for _, to := range tos {
+			if !icd.Known(to) {
+				t.Errorf("mapping target %s not in ICD table", to)
+			}
+			back := ICDToICPC(to)
+			found := false
+			for _, b := range back {
+				if b == from {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("inverse mapping of %s missing %s", to, from)
+			}
+		}
+	}
+}
+
+func TestMappingSubcodeFallback(t *testing.T) {
+	got := ICDToICPC("E11.9")
+	if len(got) != 1 || got[0] != "T90" {
+		t.Errorf("ICDToICPC(E11.9) = %v, want [T90]", got)
+	}
+	if ICDToICPC("Q99") != nil {
+		t.Error("unmapped code must return nil")
+	}
+}
+
+func TestSameCondition(t *testing.T) {
+	cases := []struct {
+		sysA, codeA, sysB, codeB string
+		want                     bool
+	}{
+		{"ICPC2", "T90", "ICD10", "E11", true},
+		{"ICPC2", "T90", "ICD10", "E11.9", true},
+		{"ICPC2", "T90", "ICD10", "I10", false},
+		{"ICPC2", "K90", "ICD10", "I63", true},
+		{"ICPC2", "K90", "ICD10", "I64", true},
+		{"ICPC2", "T90", "ICPC2", "T90", true},
+		{"ICPC2", "T90", "ICPC2", "T", true}, // hierarchy subsumption
+		{"ICPC2", "T90", "ICPC2", "K86", false},
+		{"ICD10", "E11.9", "ICD10", "E11", true},
+	}
+	for _, c := range cases {
+		if got := SameCondition(c.sysA, c.codeA, c.sysB, c.codeB); got != c.want {
+			t.Errorf("SameCondition(%s:%s, %s:%s) = %v, want %v",
+				c.sysA, c.codeA, c.sysB, c.codeB, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalICPC(t *testing.T) {
+	if got := CanonicalICPC("ICD10", "E11.9"); got != "T90" {
+		t.Errorf("CanonicalICPC(E11.9) = %q", got)
+	}
+	if got := CanonicalICPC("ICPC2", "K86"); got != "K86" {
+		t.Errorf("CanonicalICPC(K86) = %q", got)
+	}
+	if got := CanonicalICPC("ICD10", "Q99"); got != "" {
+		t.Errorf("CanonicalICPC(unmapped) = %q", got)
+	}
+}
+
+func TestLeavesAndLevels(t *testing.T) {
+	cs := ForICPC2()
+	leaves := cs.Leaves()
+	for _, l := range leaves {
+		if len(cs.Children(l)) != 0 {
+			t.Errorf("leaf %s has children", l)
+		}
+	}
+	if len(leaves)+len(cs.AtLevel(LevelChapter)) != cs.Len() {
+		t.Error("ICPC-2: every non-chapter should be a leaf")
+	}
+}
+
+func TestExpandMatchesManualRegexp(t *testing.T) {
+	// Property: Expand agrees with a manually anchored regexp.
+	cs := ForICPC2()
+	patterns := []string{`K.*`, `T90|T89`, `[FH]..`, `.9.`}
+	for _, p := range patterns {
+		re := regexp.MustCompile(`\A(?:` + p + `)\z`)
+		want := map[string]bool{}
+		for _, c := range cs.All() {
+			if re.MatchString(c) {
+				want[c] = true
+			}
+		}
+		got, err := cs.Expand(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("Expand(%q) = %d codes, want %d", p, len(got), len(want))
+		}
+		for _, c := range got {
+			if !want[c] {
+				t.Errorf("Expand(%q) leaked %s", p, c)
+			}
+		}
+	}
+}
+
+func TestIsAReflexiveForKnown(t *testing.T) {
+	cs := ForICPC2()
+	all := cs.All()
+	f := func(i uint16) bool {
+		c := all[int(i)%len(all)]
+		return cs.IsA(c, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsATransitivity(t *testing.T) {
+	// For ICD-10: code → block → chapter chains must be transitive.
+	cs := ForICD10()
+	for _, code := range cs.All() {
+		for _, anc := range cs.Ancestors(code) {
+			if !cs.IsA(code, anc) {
+				t.Errorf("IsA(%s, %s) = false for ancestor", code, anc)
+			}
+		}
+	}
+}
+
+func TestSystemsRegistry(t *testing.T) {
+	for _, sys := range Systems() {
+		if For(sys) == nil {
+			t.Errorf("For(%s) = nil", sys)
+		}
+	}
+	if For("BOGUS") != nil {
+		t.Error("unknown system must return nil")
+	}
+}
+
+func TestSortCodes(t *testing.T) {
+	got := SortCodes([]string{"T90", "A04", "K86"})
+	if got[0] != "A04" || got[2] != "T90" {
+		t.Errorf("SortCodes = %v", got)
+	}
+}

@@ -1,0 +1,366 @@
+// Package webapp serves interactive personal health timelines over HTTP —
+// the paper's patient-facing web deployment ("we have also used the tool to
+// produce interactive personal health time-lines (for more than 10,000
+// individuals) on the web", pastas.no, "sample password: tromsø"). It also
+// exposes the cohort-query API the Query-Builder front end posts to.
+package webapp
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"pastas/internal/core"
+	"pastas/internal/model"
+	"pastas/internal/query"
+	"pastas/internal/render"
+	"pastas/internal/stats"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Password gates every data endpoint (the paper's sample password is
+	// "tromsø"). Empty means open access.
+	Password string
+	// MaxCohortSample bounds how many IDs a cohort query returns inline.
+	MaxCohortSample int
+}
+
+// DefaultConfig mirrors the paper's demo deployment.
+func DefaultConfig() Config {
+	return Config{Password: "tromsø", MaxCohortSample: 100}
+}
+
+// Server is the HTTP service.
+type Server struct {
+	wb  *core.Workbench
+	cfg Config
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler tree over a workbench.
+func NewServer(wb *core.Workbench, cfg Config) *Server {
+	if cfg.MaxCohortSample <= 0 {
+		cfg.MaxCohortSample = 100
+	}
+	s := &Server{wb: wb, cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/patients", s.auth(s.handlePatients))
+	s.mux.HandleFunc("GET /api/timeline", s.auth(s.handleTimelineJSON))
+	s.mux.HandleFunc("GET /api/details", s.auth(s.handleDetails))
+	s.mux.HandleFunc("POST /api/cohort", s.auth(s.handleCohort))
+	s.mux.HandleFunc("POST /api/indicators", s.auth(s.handleIndicators))
+	s.mux.HandleFunc("GET /timeline", s.auth(s.handleTimelinePage))
+	s.mux.HandleFunc("GET /cohort-view", s.auth(s.handleCohortView))
+	s.mux.HandleFunc("GET /{$}", s.auth(s.handleIndex))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// auth wraps a handler with the sample-password gate: password accepted
+// via ?pw= or the pastas_pw cookie.
+func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Password != "" {
+			pw := r.URL.Query().Get("pw")
+			if pw == "" {
+				// Cookie values are ASCII-only, so the password is
+				// stored URL-escaped ("tromsø" → "troms%C3%B8").
+				if c, err := r.Cookie("pastas_pw"); err == nil {
+					if v, err := url.QueryUnescape(c.Value); err == nil {
+						pw = v
+					}
+				}
+			}
+			if pw != s.cfg.Password {
+				http.Error(w, "password required (hint: the sample password)", http.StatusUnauthorized)
+				return
+			}
+		}
+		next(w, r)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"patients": s.wb.Patients(),
+		"entries":  s.wb.Entries(),
+	})
+}
+
+func (s *Server) handlePatients(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	ids := s.wb.Store.Collection().IDs()
+	if len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	writeJSON(w, map[string]any{"patients": out, "total": s.wb.Patients()})
+}
+
+// entryJSON is the wire form of one entry.
+type entryJSON struct {
+	ID     uint64  `json:"id"`
+	Kind   string  `json:"kind"`
+	Start  string  `json:"start"`
+	End    string  `json:"end,omitempty"`
+	Source string  `json:"source"`
+	Type   string  `json:"type"`
+	Code   string  `json:"code,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Aux    float64 `json:"aux,omitempty"`
+}
+
+func (s *Server) patientFromQuery(w http.ResponseWriter, r *http.Request) (*model.History, bool) {
+	idStr := r.URL.Query().Get("patient")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad patient id %q", idStr)
+		return nil, false
+	}
+	h := s.wb.Store.Collection().Get(model.PatientID(id))
+	if h == nil {
+		httpError(w, http.StatusNotFound, "no patient %d", id)
+		return nil, false
+	}
+	return h, true
+}
+
+func (s *Server) handleTimelineJSON(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.patientFromQuery(w, r)
+	if !ok {
+		return
+	}
+	entries := make([]entryJSON, 0, h.Len())
+	for i := range h.Entries {
+		e := &h.Entries[i]
+		ej := entryJSON{
+			ID: e.ID, Kind: e.Kind.String(), Start: e.Start.String(),
+			Source: e.Source.String(), Type: e.Type.String(),
+			Value: e.Value, Aux: e.Aux,
+		}
+		if e.Kind == model.Interval {
+			ej.End = e.End.String()
+		}
+		if !e.Code.IsZero() {
+			ej.Code = e.Code.String()
+		}
+		entries = append(entries, ej)
+	}
+	writeJSON(w, map[string]any{
+		"patient": uint64(h.Patient.ID),
+		"birth":   h.Patient.Birth.String(),
+		"sex":     h.Patient.Sex.String(),
+		"entries": entries,
+	})
+}
+
+func (s *Server) handleDetails(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.patientFromQuery(w, r)
+	if !ok {
+		return
+	}
+	at, err := model.ParseDate(r.URL.Query().Get("t"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad time: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"details": render.Details(h, at, 3*model.Day)})
+}
+
+func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	spec, err := query.ParseSpec(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	expr, err := spec.Compile()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	bits, err := query.EvalIndexed(s.wb.Store, expr)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	ids := s.wb.Store.IDsOf(bits)
+	sample := ids
+	if len(sample) > s.cfg.MaxCohortSample {
+		sample = sample[:s.cfg.MaxCohortSample]
+	}
+	out := make([]uint64, len(sample))
+	for i, id := range sample {
+		out[i] = uint64(id)
+	}
+	writeJSON(w, map[string]any{"count": len(ids), "sample": out, "query": expr.String()})
+}
+
+// handleIndicators computes utilization indicators for the cohort selected
+// by the posted query spec (empty body or {"op":"true"} = everyone).
+func (s *Server) handleIndicators(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	expr := query.Expr(query.TrueExpr{})
+	if len(body) > 0 {
+		spec, err := query.ParseSpec(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		expr, err = spec.Compile()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	bits, err := query.EvalIndexed(s.wb.Store, expr)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	col := s.wb.Store.Subset(bits)
+	ind := stats.ComputeIndicators(col, s.wb.Window)
+	writeJSON(w, map[string]any{
+		"query":      expr.String(),
+		"indicators": ind,
+		"table":      ind.Table(),
+	})
+}
+
+var pageTemplate = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>body{font-family:sans-serif;margin:2em}svg{border:1px solid #ddd}</style>
+</head><body>
+<h1>{{.Title}}</h1>
+{{.Body}}
+</body></html>
+`))
+
+type pageData struct {
+	Title string
+	Body  template.HTML
+}
+
+func (s *Server) handleTimelinePage(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.patientFromQuery(w, r)
+	if !ok {
+		return
+	}
+	// The "simplified form" presented to patients: one history, enlarged,
+	// with tooltips and legend.
+	single := model.MustCollection(h)
+	svg := render.Timeline(single, render.TimelineOptions{
+		Width: 1000, Height: 220, ZoomY: 5, Tooltips: true, Legend: true,
+	})
+	body := fmt.Sprintf("<p>Your contacts with the health service. Hover any mark for details.</p>%s", svg)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := pageTemplate.Execute(w, pageData{
+		Title: "Personal health timeline — " + h.Patient.ID.String(),
+		Body:  template.HTML(body), // svg is produced by our renderer, with escaped payloads
+	}); err != nil {
+		httpError(w, http.StatusInternalServerError, "render: %v", err)
+	}
+}
+
+// handleCohortView renders the researcher-facing workbench view for a
+// regex-identified cohort: ?pattern=T90|E11(\..*)? draws the first rows of
+// the matching sub-collection as the Fig. 1 timeline.
+func (s *Server) handleCohortView(w http.ResponseWriter, r *http.Request) {
+	pattern := r.URL.Query().Get("pattern")
+	if pattern == "" {
+		httpError(w, http.StatusBadRequest, "need ?pattern=<code regex>")
+		return
+	}
+	code, err := query.NewCode("", pattern)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	expr := query.Has{Pred: query.AllOf{query.TypeIs(model.TypeDiagnosis), code}}
+	bits, err := query.EvalIndexed(s.wb.Store, expr)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	col := s.wb.Store.Subset(bits)
+	rows := 50
+	if v := r.URL.Query().Get("rows"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 500 {
+			rows = n
+		}
+	}
+	svg := render.Timeline(col, render.TimelineOptions{
+		MaxRows: rows, Tooltips: true, Legend: true,
+	})
+	body := fmt.Sprintf("<p>%d of %d patients match <code>%s</code>; first %d drawn.</p>%s",
+		col.Len(), s.wb.Patients(), template.HTMLEscapeString(pattern), min(rows, col.Len()), svg)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := pageTemplate.Execute(w, pageData{
+		Title: "Cohort view — " + template.HTMLEscapeString(pattern),
+		Body:  template.HTML(body),
+	}); err != nil {
+		httpError(w, http.StatusInternalServerError, "render: %v", err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	ids := s.wb.Store.Collection().IDs()
+	if len(ids) > 25 {
+		ids = ids[:25]
+	}
+	body := "<p>PaSTAs — patient story timelines. Sample patients:</p><ul>"
+	for _, id := range ids {
+		body += fmt.Sprintf(`<li><a href="/timeline?patient=%d&pw=%s">%s</a></li>`,
+			uint64(id), template.URLQueryEscaper(s.cfg.Password), id)
+	}
+	body += "</ul>"
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := pageTemplate.Execute(w, pageData{Title: "PaSTAs timelines", Body: template.HTML(body)}); err != nil {
+		httpError(w, http.StatusInternalServerError, "render: %v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}

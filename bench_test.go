@@ -16,7 +16,9 @@ import (
 	"pastas/internal/cluster"
 	"pastas/internal/cohort"
 	"pastas/internal/core"
+	"pastas/internal/engine"
 	"pastas/internal/graph"
+	"pastas/internal/integrate"
 	"pastas/internal/mining"
 	"pastas/internal/model"
 	"pastas/internal/perception"
@@ -24,6 +26,7 @@ import (
 	"pastas/internal/render"
 	"pastas/internal/seqalign"
 	"pastas/internal/stats"
+	"pastas/internal/store"
 	"pastas/internal/synth"
 	"pastas/internal/temporal"
 	"pastas/internal/terminology"
@@ -177,7 +180,7 @@ func BenchmarkF4_QueryBuilder(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			bits, err := query.EvalIndexed(wb.Store, expr)
+			bits, err := wb.Query(expr)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -282,6 +285,112 @@ func BenchmarkE3_LargeCohortAnalysis(b *testing.B) {
 			}
 			if len(months) == 0 {
 				b.Fatal("no aggregate")
+			}
+		}
+	})
+}
+
+// --- E6: query planner/executor vs the legacy interpreter --------------------------
+
+// BenchmarkE6_PlannerVsInterpreter runs the E3 large-cohort workload — the
+// diabetic cohort intersected with a scan-only utilization criterion —
+// through the legacy single-store interpreter and through the engine. The
+// engine wins twice: cold, because the optimizer hoists the
+// index-answerable diagnosis leaf and masks the expensive counting scan
+// down to the surviving candidates (and fans shards out across cores);
+// warm, because the refinement loop re-hits the plan cache.
+func BenchmarkE6_PlannerVsInterpreter(b *testing.B) {
+	wb := workbenchAt(b, fullScale())
+	diabetic := query.Has{Pred: query.AllOf{
+		query.TypeIs(model.TypeDiagnosis), query.MustCode("", `T90|E11(\..*)?`)}}
+	workload := query.And{
+		diabetic,
+		query.Has{Pred: query.MustCode("", `K8.`), MinCount: 2},
+	}
+	var want int
+	{
+		bits, err := query.EvalIndexed(wb.Store, workload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want = bits.Count()
+		if want == 0 {
+			b.Fatal("empty workload cohort")
+		}
+	}
+	check := func(b *testing.B, bits *store.Bitset, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bits.Count() != want {
+			b.Fatalf("cohort drifted: %d, want %d", bits.Count(), want)
+		}
+	}
+	b.Run("interpreter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bits, err := query.EvalIndexed(wb.Store, workload)
+			check(b, bits, err)
+		}
+	})
+	b.Run("engine-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wb.Engine.ResetCache()
+			bits, err := wb.Engine.Execute(workload)
+			check(b, bits, err)
+		}
+	})
+	b.Run("engine-warm", func(b *testing.B) {
+		wb.Engine.ResetCache()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bits, err := wb.Engine.Execute(workload)
+			check(b, bits, err)
+		}
+	})
+}
+
+// --- E7: parallel ingest over the six registries -----------------------------------
+
+// BenchmarkE7_ParallelIngest measures integrate.Build with the staging
+// pipeline forced serial versus fanned out across the registries, plus the
+// sharded index build the engine performs on top of an integrated
+// collection.
+func BenchmarkE7_ParallelIngest(b *testing.B) {
+	n := 21000
+	if testing.Short() {
+		n = 5000
+	}
+	bundle := synth.Generate(synth.DefaultConfig(n))
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"concurrent", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := integrate.DefaultOptions()
+			opts.Concurrency = cfg.workers
+			for i := 0; i < b.N; i++ {
+				col, _, err := integrate.Build(bundle, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if col.Len() == 0 {
+					b.Fatal("empty collection")
+				}
+			}
+		})
+	}
+	b.Run("shard-index", func(b *testing.B) {
+		col, _, err := integrate.Build(bundle, integrate.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := store.New(col)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(st, engine.DefaultOptions())
+			if eng.NumShards() < 1 {
+				b.Fatal("no shards")
 			}
 		}
 	})

@@ -64,7 +64,7 @@ func main() {
 		log.Fatal("need -query FILE or -study")
 	}
 
-	c, err := cohort.FromExpr(wb.Store, "query", expr)
+	c, err := cohort.FromEngine(wb.Engine, "query", expr)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module pastas
+
+go 1.24

@@ -7,6 +7,7 @@ package cohort
 import (
 	"fmt"
 
+	"pastas/internal/engine"
 	"pastas/internal/model"
 	"pastas/internal/query"
 	"pastas/internal/store"
@@ -24,13 +25,22 @@ func All(st *store.Store, name string) *Cohort {
 	return &Cohort{Name: name, st: st, bits: st.All()}
 }
 
-// FromExpr evaluates a query expression (index-accelerated) into a cohort.
+// FromExpr evaluates a query expression into a cohort through a throwaway
+// single-shard planner (the plan rewrites still apply; no cache). Callers
+// holding a workbench should prefer FromEngine, which shares the sharded
+// engine and its plan cache across queries.
 func FromExpr(st *store.Store, name string, e query.Expr) (*Cohort, error) {
-	bits, err := query.EvalIndexed(st, e)
+	eng := engine.New(st, engine.Options{Shards: 1, Workers: 1, CacheSize: 0})
+	return FromEngine(eng, name, e)
+}
+
+// FromEngine evaluates a query expression on a shared planner/executor.
+func FromEngine(eng *engine.Engine, name string, e query.Expr) (*Cohort, error) {
+	bits, err := eng.Execute(e)
 	if err != nil {
 		return nil, fmt.Errorf("cohort %q: %w", name, err)
 	}
-	return &Cohort{Name: name, st: st, bits: bits}, nil
+	return &Cohort{Name: name, st: eng.Store(), bits: bits}, nil
 }
 
 // FromIDs builds a cohort from explicit patient IDs; unknown IDs are

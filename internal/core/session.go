@@ -106,12 +106,13 @@ func (s *Session) track(op, detail string, mutate bool, fn func() error) error {
 
 // Extract narrows the view to histories matching the expression — the
 // paper's "extraction of sub-collections". When the session still views the
-// full collection the store's inverted indexes answer it; narrowed views
-// fall back to scans.
+// full collection the engine answers it (sharded indexes plus the plan
+// cache, so a refinement loop re-hits its own sub-results); narrowed views
+// fall back to scans to preserve the analyst's display order.
 func (s *Session) Extract(e query.Expr) error {
 	return s.track("extract", e.String(), true, func() error {
 		if s.view == s.wb.Store.Collection() {
-			bits, err := query.EvalIndexed(s.wb.Store, e)
+			bits, err := s.wb.Engine.Execute(e)
 			if err != nil {
 				return err
 			}

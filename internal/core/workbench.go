@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"io"
 
+	"pastas/internal/engine"
 	"pastas/internal/integrate"
 	"pastas/internal/model"
+	"pastas/internal/query"
 	"pastas/internal/sources"
 	"pastas/internal/store"
 	"pastas/internal/synth"
@@ -20,6 +22,9 @@ import (
 // Workbench is a loaded, indexed data set.
 type Workbench struct {
 	Store *store.Store
+	// Engine is the sharded query planner/executor every cohort
+	// evaluation goes through.
+	Engine *engine.Engine
 	// Report is the integration accounting (nil when loaded from a
 	// snapshot).
 	Report *integrate.Report
@@ -33,12 +38,24 @@ func FromBundle(b *sources.Bundle, opts integrate.Options, window model.Period) 
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Workbench{Store: store.New(col), Report: rep, Window: window}, nil
+	wb := FromCollection(col, window)
+	wb.Report = rep
+	return wb, nil
 }
 
 // FromCollection wraps an already-built collection.
 func FromCollection(col *model.Collection, window model.Period) *Workbench {
-	return &Workbench{Store: store.New(col), Window: window}
+	st := store.New(col)
+	return &Workbench{
+		Store:  st,
+		Engine: engine.New(st, engine.DefaultOptions()),
+		Window: window,
+	}
+}
+
+// Query evaluates a cohort expression through the engine.
+func (wb *Workbench) Query(e query.Expr) (*store.Bitset, error) {
+	return wb.Engine.Execute(e)
 }
 
 // Synthesize generates, integrates and indexes a synthetic population —
@@ -54,7 +71,7 @@ func LoadSnapshot(r io.Reader, window model.Period) (*Workbench, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Workbench{Store: store.New(col), Window: window}, nil
+	return FromCollection(col, window), nil
 }
 
 // SaveSnapshot persists the collection.

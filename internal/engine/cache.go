@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"pastas/internal/store"
+)
+
+// planCache is a mutex-guarded LRU over canonical plan keys. Values are
+// stored as immutable bitsets; get returns a clone the caller owns, so
+// cached cohorts can never be corrupted by downstream set algebra.
+type planCache struct {
+	mu           sync.Mutex
+	max          int
+	ll           *list.List
+	byKey        map[string]*list.Element
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	bits *store.Bitset
+}
+
+func newPlanCache(max int) *planCache {
+	if max <= 0 {
+		return nil
+	}
+	return &planCache{max: max, ll: list.New(), byKey: make(map[string]*list.Element, max)}
+}
+
+func (c *planCache) get(key string) (*store.Bitset, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).bits.Clone(), true
+}
+
+func (c *planCache) put(key string, b *store.Bitset) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).bits = b.Clone()
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, bits: b.Clone()})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.byKey, el.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *planCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.byKey = make(map[string]*list.Element, c.max)
+	c.hits, c.misses = 0, 0
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+}
+
+// CacheStats reports plan-cache effectiveness.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}

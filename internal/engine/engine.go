@@ -1,0 +1,377 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pastas/internal/model"
+	"pastas/internal/query"
+	"pastas/internal/store"
+)
+
+// Options tunes the engine.
+type Options struct {
+	// Shards is the number of store shards; clamped to [1, patients].
+	// 1 reuses the global store without building shard indexes.
+	Shards int
+	// Workers bounds concurrent per-shard evaluation (and parallel shard
+	// construction). Defaults to GOMAXPROCS.
+	Workers int
+	// CacheSize is the LRU capacity in cached sub-plan bitsets; 0
+	// disables caching.
+	CacheSize int
+}
+
+// DefaultOptions sizes the engine to the machine.
+func DefaultOptions() Options {
+	n := runtime.GOMAXPROCS(0)
+	return Options{Shards: n, Workers: n, CacheSize: 128}
+}
+
+// shard is one contiguous slice of the population with its own inverted
+// indexes; local ordinal i is global ordinal off+i.
+type shard struct {
+	st  *store.Store
+	off int
+}
+
+// Engine executes compiled plans over a sharded store.
+type Engine struct {
+	st      *store.Store
+	shards  []shard
+	workers int
+	cache   *planCache
+}
+
+// New builds an engine over an already-indexed global store. With more
+// than one shard the population is split into contiguous chunks, each
+// indexed independently (in parallel), so leaf evaluation fans out across
+// a worker pool and merges per-shard bitsets by ordinal offset.
+func New(st *store.Store, opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{st: st, workers: workers, cache: newPlanCache(opts.CacheSize)}
+
+	n := st.Len()
+	shards := opts.Shards
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		e.shards = []shard{{st: st, off: 0}}
+		return e
+	}
+
+	chunk := (n + shards - 1) / shards
+	histories := st.Collection().Histories()
+	for off := 0; off < n; off += chunk {
+		e.shards = append(e.shards, shard{off: off})
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range e.shards {
+		lo := e.shards[i].off
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			e.shards[i].st = store.New(model.MustCollection(histories[lo:hi]...))
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	return e
+}
+
+// Store returns the global store the engine answers over.
+func (e *Engine) Store() *store.Store { return e.st }
+
+// NumShards returns the shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// CacheStats reports plan-cache hits, misses and occupancy.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
+}
+
+// ResetCache empties the plan cache (benchmarks use this to measure cold
+// executions).
+func (e *Engine) ResetCache() {
+	if e.cache != nil {
+		e.cache.reset()
+	}
+}
+
+// Execute compiles, optimizes and runs a query expression, returning the
+// matching patients as a bitset in global ordinal space.
+func (e *Engine) Execute(q query.Expr) (*store.Bitset, error) {
+	p, err := Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecutePlan(Optimize(p))
+}
+
+// ExecutePlan runs an already-built plan.
+func (e *Engine) ExecutePlan(p Plan) (*store.Bitset, error) { return e.eval(p) }
+
+// Explain returns the optimized plan for an expression without running it.
+func Explain(q query.Expr) (Plan, error) {
+	p, err := Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return Optimize(p), nil
+}
+
+// Select is Execute materialized as patient IDs in collection order.
+func (e *Engine) Select(q query.Expr) ([]model.PatientID, error) {
+	b, err := e.Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.st.IDsOf(b), nil
+}
+
+// eval computes the exact result of p over the whole population. Results
+// of non-trivial nodes land in the LRU keyed by canonical sub-plan, so a
+// refined query re-uses the unchanged parts of its predecessor. The
+// returned bitset is owned by the caller.
+func (e *Engine) eval(p Plan) (*store.Bitset, error) {
+	switch p.(type) {
+	case All:
+		return e.st.All(), nil
+	case None:
+		return e.st.Empty(), nil
+	}
+	useCache := e.cache != nil && cacheable(p)
+	key := ""
+	if useCache {
+		key = p.Key()
+		if b, ok := e.cache.get(key); ok {
+			return b, nil
+		}
+	}
+	var out *store.Bitset
+	var err error
+	switch n := p.(type) {
+	case IndexScan:
+		out, err = e.evalIndex(n)
+	case Scan:
+		out, err = e.evalScan(n, nil)
+	case Not:
+		out, err = e.eval(n.Child)
+		if err == nil {
+			out.Not()
+		}
+	case And:
+		out, err = e.evalAnd(n.Children, nil)
+	case Or:
+		out, err = e.evalOr(n.Children, nil)
+	default:
+		// Plan is an open interface; fail loudly rather than returning
+		// (nil, nil) for a node type this executor does not know.
+		return nil, fmt.Errorf("engine: unknown plan node %T", p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if useCache {
+		e.cache.put(key, out)
+	}
+	return out, nil
+}
+
+// evalMasked computes eval(p) ∩ mask, exploiting the mask to skip scan
+// work. Masked results are not cached (they are mask-specific), but a
+// cached unmasked result for any node — leaf or boolean subtree — is
+// consulted first and intersected with the mask.
+func (e *Engine) evalMasked(p Plan, mask *store.Bitset) (*store.Bitset, error) {
+	switch p.(type) {
+	case All:
+		return mask.Clone(), nil
+	case None:
+		return e.st.Empty(), nil
+	}
+	if e.cache != nil && cacheable(p) {
+		if b, ok := e.cache.get(p.Key()); ok {
+			return b.And(mask), nil
+		}
+	}
+	switch n := p.(type) {
+	case Scan:
+		return e.evalScan(n, mask)
+	case Not:
+		b, err := e.evalMasked(n.Child, mask)
+		if err != nil {
+			return nil, err
+		}
+		return mask.Clone().AndNot(b), nil
+	case And:
+		return e.evalAnd(n.Children, mask)
+	case Or:
+		return e.evalOr(n.Children, mask)
+	default: // IndexScan: full evaluation is cheap and cache-friendly.
+		b, err := e.eval(p)
+		if err != nil {
+			return nil, err
+		}
+		return b.And(mask), nil
+	}
+}
+
+// evalAnd intersects children left to right (the optimizer put scan-free
+// ones first); scan-bearing children only visit patients still in the
+// accumulated candidate set, and an empty accumulator short-circuits.
+func (e *Engine) evalAnd(children []Plan, mask *store.Bitset) (*store.Bitset, error) {
+	var acc *store.Bitset
+	if mask != nil {
+		acc = mask.Clone()
+	} else {
+		acc = e.st.All()
+	}
+	for _, c := range children {
+		if acc.Count() == 0 {
+			return acc, nil
+		}
+		if hasScan(c) {
+			b, err := e.evalMasked(c, acc)
+			if err != nil {
+				return nil, err
+			}
+			acc = b
+		} else {
+			b, err := e.eval(c)
+			if err != nil {
+				return nil, err
+			}
+			acc.And(b)
+		}
+	}
+	return acc, nil
+}
+
+// evalOr unions children; scan-bearing children only visit patients not
+// already known to match (and, under a mask, inside the mask).
+func (e *Engine) evalOr(children []Plan, mask *store.Bitset) (*store.Bitset, error) {
+	acc := e.st.Empty()
+	for _, c := range children {
+		if hasScan(c) {
+			var rem *store.Bitset
+			if mask != nil {
+				rem = mask.Clone().AndNot(acc)
+			} else {
+				rem = acc.Clone().Not()
+			}
+			b, err := e.evalMasked(c, rem)
+			if err != nil {
+				return nil, err
+			}
+			acc.Or(b)
+		} else {
+			b, err := e.eval(c)
+			if err != nil {
+				return nil, err
+			}
+			if mask != nil {
+				b.And(mask)
+			}
+			acc.Or(b)
+		}
+	}
+	return acc, nil
+}
+
+// evalIndex answers an index leaf from every shard's inverted indexes.
+func (e *Engine) evalIndex(n IndexScan) (*store.Bitset, error) {
+	return e.perShard(func(sh shard) (*store.Bitset, error) {
+		switch n.Op {
+		case OpType:
+			return sh.st.WithType(n.Type), nil
+		case OpSource:
+			return sh.st.WithSource(n.Source), nil
+		default:
+			if len(n.Systems) == 0 {
+				return sh.st.WithCodeRegex("", n.Pattern)
+			}
+			out := sh.st.Empty()
+			for _, sys := range n.Systems {
+				b, err := sh.st.WithCodeRegex(sys, n.Pattern)
+				if err != nil {
+					return nil, err
+				}
+				out.Or(b)
+			}
+			return out, nil
+		}
+	})
+}
+
+// evalScan runs the fallback evaluator over each shard's histories,
+// restricted to mask when given; shards with no candidates are skipped.
+func (e *Engine) evalScan(n Scan, mask *store.Bitset) (*store.Bitset, error) {
+	return e.perShard(func(sh shard) (*store.Bitset, error) {
+		local := sh.st.Empty()
+		if mask != nil && !mask.AnyInRange(sh.off, sh.off+sh.st.Len()) {
+			return local, nil
+		}
+		for i, h := range sh.st.Collection().Histories() {
+			if mask != nil && !mask.Get(sh.off+i) {
+				continue
+			}
+			if n.Expr.Eval(h) {
+				local.Set(i)
+			}
+		}
+		return local, nil
+	})
+}
+
+// perShard fans fn out over the shards on the worker pool and merges the
+// local bitsets into one global bitset by shard offset.
+func (e *Engine) perShard(fn func(sh shard) (*store.Bitset, error)) (*store.Bitset, error) {
+	out := e.st.Empty()
+	if len(e.shards) == 1 {
+		local, err := fn(e.shards[0])
+		if err != nil {
+			return nil, err
+		}
+		return out.OrAt(local, 0), nil
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	var mu sync.Mutex
+	var firstErr error
+	for _, sh := range e.shards {
+		wg.Add(1)
+		go func(sh shard) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			local, err := fn(sh)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if firstErr == nil {
+				out.OrAt(local, sh.off)
+			}
+		}(sh)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package engine
+
+import "sort"
+
+// Optimize rewrites a plan into its executable form. One bottom-up pass
+// applies, at every node:
+//
+//   - flatten: And{And{a,b},c} → And{a,b,c}, same for Or
+//   - constant folding: All/None absorb or cancel inside And/Or,
+//     Not{All}=None, Not{None}=All, Not{Not{x}}=x
+//   - dedupe: structurally identical siblings (same canonical key)
+//     collapse to one
+//   - hoist: scan-free children (index leaves, boolean combinations of
+//     them) move ahead of scan-bearing ones, stably, so the executor can
+//     mask expensive scans by the already-narrowed candidate set
+//   - singleton collapse: And/Or of one child becomes the child
+//
+// The input plan is not mutated.
+func Optimize(p Plan) Plan {
+	switch n := p.(type) {
+	case And:
+		return optimizeNary(n.Children, true)
+	case Or:
+		return optimizeNary(n.Children, false)
+	case Not:
+		child := Optimize(n.Child)
+		switch c := child.(type) {
+		case All:
+			return None{}
+		case None:
+			return All{}
+		case Not:
+			return c.Child
+		}
+		return Not{Child: child}
+	default:
+		return p
+	}
+}
+
+// optimizeNary rewrites an And (conj=true) or Or (conj=false) node.
+func optimizeNary(children []Plan, conj bool) Plan {
+	var flat []Plan
+	for _, c := range children {
+		c = Optimize(c)
+		switch cc := c.(type) {
+		case And:
+			if conj {
+				flat = append(flat, cc.Children...)
+				continue
+			}
+		case Or:
+			if !conj {
+				flat = append(flat, cc.Children...)
+				continue
+			}
+		case All:
+			if conj {
+				continue // neutral element
+			}
+			return All{} // absorbing element
+		case None:
+			if conj {
+				return None{} // absorbing element
+			}
+			continue // neutral element
+		}
+		flat = append(flat, c)
+	}
+
+	// Dedupe structurally identical siblings (idempotence of ∧ / ∨).
+	seen := make(map[string]bool, len(flat))
+	deduped := flat[:0]
+	for _, c := range flat {
+		k := c.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		deduped = append(deduped, c)
+	}
+
+	switch len(deduped) {
+	case 0:
+		if conj {
+			return All{}
+		}
+		return None{}
+	case 1:
+		return deduped[0]
+	}
+
+	// Hoist index-answerable children ahead of scan-bearing ones.
+	sort.SliceStable(deduped, func(i, j int) bool {
+		return !hasScan(deduped[i]) && hasScan(deduped[j])
+	})
+
+	if conj {
+		return And{Children: deduped}
+	}
+	return Or{Children: deduped}
+}

@@ -89,7 +89,7 @@ func (s *Suite) A1MergeNoiseAblation() (Result, error) {
 // Allen networks over derived care episodes, erase edges, and measure what
 // path consistency recovers.
 func (s *Suite) A2IntervalReasoning() (Result, error) {
-	study, err := cohort.FromExpr(s.WB.Store, "study", cohort.StudyCriteria(s.Window))
+	study, err := cohort.FromEngine(s.WB.Engine, "study", cohort.StudyCriteria(s.Window))
 	if err != nil {
 		return Result{}, err
 	}

@@ -22,7 +22,7 @@ import (
 // patients based on predefined characteristics."
 func (s *Suite) E1CohortSelection() (Result, error) {
 	start := time.Now()
-	study, err := cohort.FromExpr(s.WB.Store, "study", cohort.StudyCriteria(s.Window))
+	study, err := cohort.FromEngine(s.WB.Engine, "study", cohort.StudyCriteria(s.Window))
 	if err != nil {
 		return Result{}, err
 	}
@@ -48,7 +48,7 @@ func (s *Suite) E1CohortSelection() (Result, error) {
 // of the patients said that everything was wrong ... while 92% could easily
 // recognize their own trajectory and 7% did not remember."
 func (s *Suite) E2RecognitionSurvey() (Result, error) {
-	study, err := cohort.FromExpr(s.WB.Store, "study", cohort.StudyCriteria(s.Window))
+	study, err := cohort.FromEngine(s.WB.Engine, "study", cohort.StudyCriteria(s.Window))
 	if err != nil {
 		return Result{}, err
 	}

@@ -17,7 +17,7 @@ import (
 // sub-cohort — gray history bars, diagnosis rectangles, blood-pressure
 // arrows, medication-class colorings, axes and zoom.
 func (s *Suite) F1Workbench() (Result, error) {
-	study, err := cohort.FromExpr(s.WB.Store, "study", cohort.StudyCriteria(s.Window))
+	study, err := cohort.FromEngine(s.WB.Engine, "study", cohort.StudyCriteria(s.Window))
 	if err != nil {
 		return Result{}, err
 	}
@@ -86,7 +86,7 @@ func (s *Suite) F1Workbench() (Result, error) {
 // diabeticSequences extracts ICPC-2 diagnosis sequences for patients with
 // a T90 diagnosis, NSEPter's Fig. 2 input.
 func (s *Suite) diabeticSequences(max int) ([][]string, error) {
-	diab, err := cohort.FromExpr(s.WB.Store, "diabetics", query.Has{
+	diab, err := cohort.FromEngine(s.WB.Engine, "diabetics", query.Has{
 		Pred: query.AllOf{query.TypeIs(model.TypeDiagnosis), query.MustCode("ICPC2", "T90")},
 	})
 	if err != nil {
@@ -264,24 +264,24 @@ func (s *Suite) F4QueryBuilder() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	bits, err := query.EvalIndexed(s.WB.Store, expr)
+	bits, err := s.WB.Query(expr)
 	if err != nil {
 		return Result{}, err
 	}
 	count := bits.Count()
 
 	// The disjunction must equal the union of its branches.
-	eye, err := cohort.FromExpr(s.WB.Store, "eye", query.Has{
+	eye, err := cohort.FromEngine(s.WB.Engine, "eye", query.Has{
 		Pred: query.AllOf{query.TypeIs(model.TypeDiagnosis), query.MustCode("ICPC2", `F.*`)}})
 	if err != nil {
 		return Result{}, err
 	}
-	ear, err := cohort.FromExpr(s.WB.Store, "ear", query.Has{
+	ear, err := cohort.FromEngine(s.WB.Engine, "ear", query.Has{
 		Pred: query.AllOf{query.TypeIs(model.TypeDiagnosis), query.MustCode("ICPC2", `H.*`)}})
 	if err != nil {
 		return Result{}, err
 	}
-	gp2, err := cohort.FromExpr(s.WB.Store, "gp2", query.Has{
+	gp2, err := cohort.FromEngine(s.WB.Engine, "gp2", query.Has{
 		Pred:     query.AllOf{query.TypeIs(model.TypeContact), query.SourceIs(model.SourceGP)},
 		MinCount: 2})
 	if err != nil {

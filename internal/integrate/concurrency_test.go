@@ -1,0 +1,71 @@
+package integrate
+
+import (
+	"testing"
+
+	"pastas/internal/synth"
+)
+
+// TestBuildDeterministicAcrossConcurrency: the concurrent staging pipeline
+// must produce byte-for-byte the same collection, entry IDs and report as
+// the serial one, whatever the worker count.
+func TestBuildDeterministicAcrossConcurrency(t *testing.T) {
+	bundle := synth.Generate(synth.DefaultConfig(400))
+
+	serialOpts := DefaultOptions()
+	serialOpts.Concurrency = 1
+	wantCol, wantRep, err := Build(bundle, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{0, 2, 6, 16} {
+		opts := DefaultOptions()
+		opts.Concurrency = workers
+		col, rep, err := Build(bundle, opts)
+		if err != nil {
+			t.Fatalf("concurrency %d: %v", workers, err)
+		}
+		if *rep != *wantRep {
+			t.Fatalf("concurrency %d: report diverged\n got %s\nwant %s", workers, rep, wantRep)
+		}
+		if col.Len() != wantCol.Len() {
+			t.Fatalf("concurrency %d: %d patients, want %d", workers, col.Len(), wantCol.Len())
+		}
+		for i := 0; i < col.Len(); i++ {
+			got, want := col.At(i), wantCol.At(i)
+			if got.Patient != want.Patient {
+				t.Fatalf("concurrency %d: patient %d demographics diverged", workers, i)
+			}
+			if len(got.Entries) != len(want.Entries) {
+				t.Fatalf("concurrency %d: patient %s has %d entries, want %d",
+					workers, got.Patient.ID, len(got.Entries), len(want.Entries))
+			}
+			for j := range got.Entries {
+				if got.Entries[j] != want.Entries[j] {
+					t.Fatalf("concurrency %d: patient %s entry %d diverged:\n got %+v\nwant %+v",
+						workers, got.Patient.ID, j, got.Entries[j], want.Entries[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBuildEmptyBundle: a demographic-only bundle still produces one empty
+// history per person under the concurrent pipeline.
+func TestBuildEmptyBundle(t *testing.T) {
+	bundle := synth.Generate(synth.DefaultConfig(5))
+	bundle.GPClaims = nil
+	bundle.Prescriptions = nil
+	bundle.Episodes = nil
+	bundle.Municipal = nil
+	bundle.Specialist = nil
+	bundle.Physio = nil
+	col, rep, err := Build(bundle, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 5 || rep.EntriesOut != 0 {
+		t.Errorf("got %d patients, %d entries", col.Len(), rep.EntriesOut)
+	}
+}

@@ -8,11 +8,21 @@
 // structure from free text with the limited regex extraction the paper
 // describes, and deriving interval entries (stays, services, medication
 // periods) alongside point events.
+//
+// The six registries are independent once the demographic extract is
+// loaded, so Build stages them concurrently: each source is parsed,
+// deduplicated and validated in its own goroutine into an ordered list of
+// staged entries, then the staged lists merge serially in fixed registry
+// order. Entry IDs are assigned during the merge, so the output —
+// collection, entry IDs and report — is byte-for-byte identical whatever
+// the concurrency level.
 package integrate
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"pastas/internal/model"
 	"pastas/internal/sources"
@@ -29,6 +39,10 @@ type Options struct {
 	// OpenIntervalEnd closes still-running service intervals (empty To
 	// field). Zero means: one day past the latest date seen in the bundle.
 	OpenIntervalEnd model.Time
+	// Concurrency bounds how many registries stage at once: 0 means
+	// GOMAXPROCS, 1 forces the serial pipeline (the ingest benchmark's
+	// baseline). Output is identical at any setting.
+	Concurrency int
 }
 
 // DefaultOptions returns the standard pipeline configuration.
@@ -57,70 +71,142 @@ func (r *Report) String() string {
 		r.DuplicatesCollapsed, r.MergedIntervals, r.BPFromText, r.CodesFromText, r.UnknownPersons)
 }
 
-// builder carries pipeline state.
-type builder struct {
-	opts      Options
-	report    Report
-	patients  map[uint64]*model.History
-	seen      map[string]bool // duplicate-claim keys
-	nextID    uint64
-	openEnd   model.Time
-	birthOf   map[uint64]model.Time
-	patientID []uint64 // insertion order of persons
+// add accumulates a per-source report delta.
+func (r *Report) add(d Report) {
+	r.DroppedPreBirth += d.DroppedPreBirth
+	r.DroppedUnparsable += d.DroppedUnparsable
+	r.DuplicatesCollapsed += d.DuplicatesCollapsed
+	r.MergedIntervals += d.MergedIntervals
+	r.BPFromText += d.BPFromText
+	r.CodesFromText += d.CodesFromText
+	r.UnknownPersons += d.UnknownPersons
+}
+
+// staged is one validated entry awaiting its ID and its history append.
+type staged struct {
+	person uint64
+	entry  model.Entry // ID assigned at merge time
+}
+
+// sourceResult is one registry's staging output.
+type sourceResult struct {
+	staged []staged
+	rep    Report
+}
+
+// stageCtx is the read-only context the concurrent stagers share.
+type stageCtx struct {
+	opts    Options
+	openEnd model.Time
+	birthOf map[uint64]model.Time
+}
+
+// admit validates linkage and the pre-birth rule.
+func (c *stageCtx) admit(person uint64, t model.Time, rep *Report) bool {
+	birth, ok := c.birthOf[person]
+	if !ok {
+		rep.UnknownPersons++
+		return false
+	}
+	if t < birth {
+		rep.DroppedPreBirth++
+		return false
+	}
+	return true
 }
 
 // Build runs the pipeline over a bundle.
 func Build(b *sources.Bundle, opts Options) (*model.Collection, *Report, error) {
-	bl := &builder{
-		opts:     opts,
-		patients: make(map[uint64]*model.History, len(b.Persons)),
-		seen:     make(map[string]bool),
-		birthOf:  make(map[uint64]model.Time, len(b.Persons)),
-		nextID:   1,
-	}
-	bl.report.RecordsIn = b.TotalRecords()
-
-	if err := bl.loadPersons(b.Persons); err != nil {
+	report := Report{RecordsIn: b.TotalRecords()}
+	patients, order, birthOf, err := loadPersons(b.Persons, &report)
+	if err != nil {
 		return nil, nil, err
 	}
-	bl.openEnd = opts.OpenIntervalEnd
-	if !bl.openEnd.Valid() || bl.openEnd == 0 {
-		bl.openEnd = latestDate(b).AddDays(1)
+
+	openEnd := opts.OpenIntervalEnd
+	if !openEnd.Valid() || openEnd == 0 {
+		openEnd = latestDate(b).AddDays(1)
+	}
+	ctx := &stageCtx{opts: opts, openEnd: openEnd, birthOf: birthOf}
+
+	// Stage the six registries concurrently; the slice order fixes the
+	// merge order (and therefore entry IDs) regardless of which stager
+	// finishes first.
+	stagers := []func() sourceResult{
+		func() sourceResult { return ctx.stageGPClaims(b.GPClaims) },
+		func() sourceResult { return ctx.stagePrescriptions(b.Prescriptions) },
+		func() sourceResult { return ctx.stageEpisodes(b.Episodes) },
+		func() sourceResult { return ctx.stageMunicipal(b.Municipal) },
+		func() sourceResult { return ctx.stageSpecialist(b.Specialist) },
+		func() sourceResult { return ctx.stagePhysio(b.Physio) },
+	}
+	results := make([]sourceResult, len(stagers))
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, stage := range stagers {
+			wg.Add(1)
+			go func(i int, stage func() sourceResult) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i] = stage()
+			}(i, stage)
+		}
+		wg.Wait()
+	} else {
+		for i, stage := range stagers {
+			results[i] = stage()
+		}
 	}
 
-	bl.loadGPClaims(b.GPClaims)
-	bl.loadPrescriptions(b.Prescriptions)
-	bl.loadEpisodes(b.Episodes)
-	bl.loadMunicipal(b.Municipal)
-	bl.loadSpecialist(b.Specialist)
-	bl.loadPhysio(b.Physio)
+	// Deterministic merge: fixed registry order, sequential ID assignment.
+	nextID := uint64(1)
+	for _, res := range results {
+		report.add(res.rep)
+		for _, st := range res.staged {
+			e := st.entry
+			e.ID = nextID
+			nextID++
+			patients[st.person].Add(e)
+		}
+	}
 
 	col := &model.Collection{}
-	ids := make([]uint64, 0, len(bl.patients))
-	ids = append(ids, bl.patientID...)
+	ids := make([]uint64, 0, len(patients))
+	ids = append(ids, order...)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		h := bl.patients[id]
+		h := patients[id]
 		h.Sort()
 		if err := col.Add(h); err != nil {
 			return nil, nil, fmt.Errorf("integrate: %w", err)
 		}
-		bl.report.EntriesOut += h.Len()
+		report.EntriesOut += h.Len()
 	}
-	bl.report.Patients = col.Len()
-	return col, &bl.report, nil
+	report.Patients = col.Len()
+	return col, &report, nil
 }
 
-func (bl *builder) loadPersons(ps []sources.Person) error {
+// loadPersons builds the demographic skeleton: one empty history per
+// person, plus the birth-date map the stagers validate against.
+func loadPersons(ps []sources.Person, rep *Report) (map[uint64]*model.History, []uint64, map[uint64]model.Time, error) {
+	patients := make(map[uint64]*model.History, len(ps))
+	birthOf := make(map[uint64]model.Time, len(ps))
+	var order []uint64
 	for i := range ps {
 		p := &ps[i]
 		birth, err := model.ParseDate(p.BirthDate)
 		if err != nil {
-			bl.report.DroppedUnparsable++
+			rep.DroppedUnparsable++
 			continue
 		}
-		if _, dup := bl.patients[p.ID]; dup {
-			return fmt.Errorf("integrate: duplicate person %d in demographic extract", p.ID)
+		if _, dup := patients[p.ID]; dup {
+			return nil, nil, nil, fmt.Errorf("integrate: duplicate person %d in demographic extract", p.ID)
 		}
 		sex := model.SexUnknown
 		switch p.Sex {
@@ -129,133 +215,114 @@ func (bl *builder) loadPersons(ps []sources.Person) error {
 		case "M":
 			sex = model.SexMale
 		}
-		h := model.NewHistory(model.Patient{
+		patients[p.ID] = model.NewHistory(model.Patient{
 			ID:           model.PatientID(p.ID),
 			Birth:        birth,
 			Sex:          sex,
 			Municipality: p.Municipality,
 		})
-		bl.patients[p.ID] = h
-		bl.birthOf[p.ID] = birth
-		bl.patientID = append(bl.patientID, p.ID)
+		birthOf[p.ID] = birth
+		order = append(order, p.ID)
 	}
-	return nil
+	return patients, order, birthOf, nil
 }
 
-// admit validates linkage and the pre-birth rule; returns the history to
-// append to, or nil when the record must be dropped.
-func (bl *builder) admit(person uint64, t model.Time) *model.History {
-	h, ok := bl.patients[person]
-	if !ok {
-		bl.report.UnknownPersons++
-		return nil
-	}
-	if t < bl.birthOf[person] {
-		bl.report.DroppedPreBirth++
-		return nil
-	}
-	return h
-}
-
-func (bl *builder) id() uint64 {
-	id := bl.nextID
-	bl.nextID++
-	return id
-}
-
-func (bl *builder) loadGPClaims(claims []sources.GPClaim) {
+func (c *stageCtx) stageGPClaims(claims []sources.GPClaim) sourceResult {
+	var res sourceResult
+	seen := make(map[string]bool)
 	for i := range claims {
-		c := &claims[i]
-		t, err := model.ParseDate(c.Date)
+		cl := &claims[i]
+		t, err := model.ParseDate(cl.Date)
 		if err != nil {
-			bl.report.DroppedUnparsable++
+			res.rep.DroppedUnparsable++
 			continue
 		}
-		key := fmt.Sprintf("gp|%d|%s|%s|%v|%s", c.Person, c.Date, c.ICPC, c.Emergency, c.Text)
-		if bl.seen[key] {
-			bl.report.DuplicatesCollapsed++
+		key := fmt.Sprintf("gp|%d|%s|%s|%v|%s", cl.Person, cl.Date, cl.ICPC, cl.Emergency, cl.Text)
+		if seen[key] {
+			res.rep.DuplicatesCollapsed++
 			continue
 		}
-		bl.seen[key] = true
+		seen[key] = true
 
-		h := bl.admit(c.Person, t)
-		if h == nil {
+		if !c.admit(cl.Person, t, &res.rep) {
 			continue
 		}
 
 		src := model.SourceGP
-		h.Add(model.Entry{
-			ID: bl.id(), Kind: model.Point, Start: t, End: t,
+		res.staged = append(res.staged, staged{cl.Person, model.Entry{
+			Kind: model.Point, Start: t, End: t,
 			Source: src, Type: model.TypeContact,
-			Value: c.Amount, Text: c.Text,
-		})
+			Value: cl.Amount, Text: cl.Text,
+		}})
 
-		code := c.ICPC
-		if code == "" && bl.opts.ExtractFromText {
-			if m := sources.ExtractICPCMention(c.Text); m != "" {
+		code := cl.ICPC
+		if code == "" && c.opts.ExtractFromText {
+			if m := sources.ExtractICPCMention(cl.Text); m != "" {
 				code = m
-				bl.report.CodesFromText++
+				res.rep.CodesFromText++
 			}
 		}
 		if code != "" {
-			h.Add(model.Entry{
-				ID: bl.id(), Kind: model.Point, Start: t, End: t,
+			res.staged = append(res.staged, staged{cl.Person, model.Entry{
+				Kind: model.Point, Start: t, End: t,
 				Source: src, Type: model.TypeDiagnosis,
 				Code: model.Code{System: "ICPC2", Value: code},
-			})
+			}})
 		}
 
-		sys, dia := c.Systolic, c.Diastolic
-		if sys == 0 && bl.opts.ExtractFromText {
-			if s, d, ok := sources.ExtractBP(c.Text); ok {
+		sys, dia := cl.Systolic, cl.Diastolic
+		if sys == 0 && c.opts.ExtractFromText {
+			if s, d, ok := sources.ExtractBP(cl.Text); ok {
 				sys, dia = s, d
-				bl.report.BPFromText++
+				res.rep.BPFromText++
 			}
 		}
 		if sys > 0 {
-			h.Add(model.Entry{
-				ID: bl.id(), Kind: model.Point, Start: t, End: t,
+			res.staged = append(res.staged, staged{cl.Person, model.Entry{
+				Kind: model.Point, Start: t, End: t,
 				Source: src, Type: model.TypeMeasurement,
 				Value: float64(sys), Aux: float64(dia),
-			})
+			}})
 		}
 	}
+	return res
 }
 
-func (bl *builder) loadPrescriptions(rxs []sources.Prescription) {
+func (c *stageCtx) stagePrescriptions(rxs []sources.Prescription) sourceResult {
+	var res sourceResult
 	for i := range rxs {
 		rx := &rxs[i]
 		t, err := model.ParseDate(rx.Date)
 		if err != nil {
-			bl.report.DroppedUnparsable++
+			res.rep.DroppedUnparsable++
 			continue
 		}
-		h := bl.admit(rx.Person, t)
-		if h == nil {
+		if !c.admit(rx.Person, t, &res.rep) {
 			continue
 		}
 		days := rx.DurationDays
 		if days <= 0 {
 			days = 1
 		}
-		h.Add(model.Entry{
-			ID: bl.id(), Kind: model.Interval, Start: t, End: t.AddDays(days),
+		res.staged = append(res.staged, staged{rx.Person, model.Entry{
+			Kind: model.Interval, Start: t, End: t.AddDays(days),
 			Source: model.SourceGP, Type: model.TypeMedication,
 			Code: model.Code{System: "ATC", Value: rx.ATC},
-		})
+		}})
 	}
+	return res
 }
 
-func (bl *builder) loadEpisodes(eps []sources.HospitalEpisode) {
+func (c *stageCtx) stageEpisodes(eps []sources.HospitalEpisode) sourceResult {
+	var res sourceResult
 	for i := range eps {
 		e := &eps[i]
 		start, err := model.ParseDate(e.Admitted)
 		if err != nil {
-			bl.report.DroppedUnparsable++
+			res.rep.DroppedUnparsable++
 			continue
 		}
-		h := bl.admit(e.Person, start)
-		if h == nil {
+		if !c.admit(e.Person, start, &res.rep) {
 			continue
 		}
 
@@ -265,46 +332,48 @@ func (bl *builder) loadEpisodes(eps []sources.HospitalEpisode) {
 			if e.Discharged != "" {
 				d, err := model.ParseDate(e.Discharged)
 				if err != nil {
-					bl.report.DroppedUnparsable++
+					res.rep.DroppedUnparsable++
 					continue
 				}
 				if d > start {
 					end = d
 				}
 			}
-			h.Add(model.Entry{
-				ID: bl.id(), Kind: model.Interval, Start: start, End: end,
+			res.staged = append(res.staged, staged{e.Person, model.Entry{
+				Kind: model.Interval, Start: start, End: end,
 				Source: model.SourceHospital, Type: model.TypeStay,
 				Code: model.Code{System: "ICD10", Value: e.MainICD},
-			})
+			}})
 		case sources.ModeOutpatient:
-			h.Add(model.Entry{
-				ID: bl.id(), Kind: model.Point, Start: start, End: start,
+			res.staged = append(res.staged, staged{e.Person, model.Entry{
+				Kind: model.Point, Start: start, End: start,
 				Source: model.SourceHospital, Type: model.TypeContact,
-			})
+			}})
 		default:
-			bl.report.DroppedUnparsable++
+			res.rep.DroppedUnparsable++
 			continue
 		}
 
 		if e.MainICD != "" {
-			h.Add(model.Entry{
-				ID: bl.id(), Kind: model.Point, Start: start, End: start,
+			res.staged = append(res.staged, staged{e.Person, model.Entry{
+				Kind: model.Point, Start: start, End: start,
 				Source: model.SourceHospital, Type: model.TypeDiagnosis,
 				Code: model.Code{System: "ICD10", Value: e.MainICD},
-			})
+			}})
 		}
 		for _, sec := range e.SecondaryICD {
-			h.Add(model.Entry{
-				ID: bl.id(), Kind: model.Point, Start: start, End: start,
+			res.staged = append(res.staged, staged{e.Person, model.Entry{
+				Kind: model.Point, Start: start, End: start,
 				Source: model.SourceHospital, Type: model.TypeDiagnosis,
 				Code: model.Code{System: "ICD10", Value: sec},
-			})
+			}})
 		}
 	}
+	return res
 }
 
-func (bl *builder) loadMunicipal(svcs []sources.MunicipalService) {
+func (c *stageCtx) stageMunicipal(svcs []sources.MunicipalService) sourceResult {
+	var res sourceResult
 	// Group per person+service so overlapping decisions can merge.
 	type key struct {
 		person  uint64
@@ -315,15 +384,15 @@ func (bl *builder) loadMunicipal(svcs []sources.MunicipalService) {
 		s := &svcs[i]
 		from, err := model.ParseDate(s.From)
 		if err != nil {
-			bl.report.DroppedUnparsable++
+			res.rep.DroppedUnparsable++
 			continue
 		}
-		to := bl.openEnd
+		to := c.openEnd
 		open := s.To == ""
 		if !open {
 			to, err = model.ParseDate(s.To)
 			if err != nil {
-				bl.report.DroppedUnparsable++
+				res.rep.DroppedUnparsable++
 				continue
 			}
 		}
@@ -348,9 +417,9 @@ func (bl *builder) loadMunicipal(svcs []sources.MunicipalService) {
 
 	for _, k := range keys {
 		periods := grouped[k]
-		if bl.opts.MergeOverlappingServices {
+		if c.opts.MergeOverlappingServices {
 			merged := mergeOpenPeriods(periods)
-			bl.report.MergedIntervals += len(periods) - len(merged)
+			res.rep.MergedIntervals += len(periods) - len(merged)
 			periods = merged
 		}
 		typ := model.TypeService
@@ -358,17 +427,17 @@ func (bl *builder) loadMunicipal(svcs []sources.MunicipalService) {
 			typ = model.TypeStay
 		}
 		for _, p := range periods {
-			h := bl.admit(k.person, p.Start)
-			if h == nil {
+			if !c.admit(k.person, p.Start, &res.rep) {
 				continue
 			}
-			h.Add(model.Entry{
-				ID: bl.id(), Kind: model.Interval, Start: p.Start, End: p.End,
+			res.staged = append(res.staged, staged{k.person, model.Entry{
+				Kind: model.Interval, Start: p.Start, End: p.End,
 				Source: model.SourceMunicipal, Type: typ,
 				Text: k.service, OpenEnd: p.open,
-			})
+			}})
 		}
 	}
+	return res
 }
 
 // openPeriod is a period whose end may be the extract horizon rather than
@@ -402,64 +471,67 @@ func mergeOpenPeriods(ps []openPeriod) []openPeriod {
 	return out
 }
 
-func (bl *builder) loadSpecialist(claims []sources.SpecialistClaim) {
+func (c *stageCtx) stageSpecialist(claims []sources.SpecialistClaim) sourceResult {
+	var res sourceResult
+	seen := make(map[string]bool)
 	for i := range claims {
-		c := &claims[i]
-		t, err := model.ParseDate(c.Date)
+		cl := &claims[i]
+		t, err := model.ParseDate(cl.Date)
 		if err != nil {
-			bl.report.DroppedUnparsable++
+			res.rep.DroppedUnparsable++
 			continue
 		}
-		key := fmt.Sprintf("sp|%d|%s|%s|%s", c.Person, c.Date, c.ICD, c.Specialty)
-		if bl.seen[key] {
-			bl.report.DuplicatesCollapsed++
+		key := fmt.Sprintf("sp|%d|%s|%s|%s", cl.Person, cl.Date, cl.ICD, cl.Specialty)
+		if seen[key] {
+			res.rep.DuplicatesCollapsed++
 			continue
 		}
-		bl.seen[key] = true
-		h := bl.admit(c.Person, t)
-		if h == nil {
+		seen[key] = true
+		if !c.admit(cl.Person, t, &res.rep) {
 			continue
 		}
-		h.Add(model.Entry{
-			ID: bl.id(), Kind: model.Point, Start: t, End: t,
+		res.staged = append(res.staged, staged{cl.Person, model.Entry{
+			Kind: model.Point, Start: t, End: t,
 			Source: model.SourceSpecialist, Type: model.TypeContact,
-			Text: c.Specialty,
-		})
-		if c.ICD != "" {
-			h.Add(model.Entry{
-				ID: bl.id(), Kind: model.Point, Start: t, End: t,
+			Text: cl.Specialty,
+		}})
+		if cl.ICD != "" {
+			res.staged = append(res.staged, staged{cl.Person, model.Entry{
+				Kind: model.Point, Start: t, End: t,
 				Source: model.SourceSpecialist, Type: model.TypeDiagnosis,
-				Code: model.Code{System: "ICD10", Value: c.ICD},
-			})
+				Code: model.Code{System: "ICD10", Value: cl.ICD},
+			}})
 		}
 	}
+	return res
 }
 
-func (bl *builder) loadPhysio(claims []sources.PhysioClaim) {
+func (c *stageCtx) stagePhysio(claims []sources.PhysioClaim) sourceResult {
+	var res sourceResult
 	for i := range claims {
-		c := &claims[i]
-		t, err := model.ParseDate(c.Date)
+		cl := &claims[i]
+		t, err := model.ParseDate(cl.Date)
 		if err != nil {
-			bl.report.DroppedUnparsable++
+			res.rep.DroppedUnparsable++
 			continue
 		}
-		h := bl.admit(c.Person, t)
-		if h == nil {
+		if !c.admit(cl.Person, t, &res.rep) {
 			continue
 		}
-		h.Add(model.Entry{
-			ID: bl.id(), Kind: model.Point, Start: t, End: t,
+		res.staged = append(res.staged, staged{cl.Person, model.Entry{
+			Kind: model.Point, Start: t, End: t,
 			Source: model.SourcePhysio, Type: model.TypeContact,
-			Value: float64(c.Sessions),
-		})
-		if c.ICPC != "" {
-			h.Add(model.Entry{
-				ID: bl.id(), Kind: model.Point, Start: t, End: t,
+			Value: float64(cl.Sessions),
+		}})
+		if cl.ICPC != "" {
+			res.staged = append(res.staged, staged{cl.Person, model.Entry{
+				Kind: model.Point, Start: t, End: t,
 				Source: model.SourcePhysio, Type: model.TypeDiagnosis,
-				Code: model.Code{System: "ICPC2", Value: c.ICPC},
-			})
+				Code: model.Code{System: "ICPC2", Value: cl.ICPC},
+			}})
 		}
 	}
+	return res
 }
 
 // mergePeriods merges overlapping or touching periods.

@@ -326,7 +326,7 @@ func TestExprStringers(t *testing.T) {
 		}},
 	}
 	s := e.String()
-	for _, want := range []string{"has>=2", "NOT", "during", "seq(", "gap 1..90d", "AND"} {
+	for _, want := range []string{"has>=2", "NOT", "during", "seq(", "gap 1d..90d", "AND"} {
 		if !containsStr(s, want) {
 			t.Errorf("stringer missing %q in %q", want, s)
 		}

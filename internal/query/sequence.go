@@ -32,14 +32,25 @@ func (s Sequence) String() string {
 		g := ""
 		if i > 0 && (st.MinGap > 0 || st.MaxGap > 0) {
 			if st.MaxGap > 0 {
-				g = fmt.Sprintf(" [gap %d..%dd]", st.MinGap/model.Day, st.MaxGap/model.Day)
+				g = fmt.Sprintf(" [gap %s..%s]", fmtGap(st.MinGap), fmtGap(st.MaxGap))
 			} else {
-				g = fmt.Sprintf(" [gap >=%dd]", st.MinGap/model.Day)
+				g = fmt.Sprintf(" [gap >=%s]", fmtGap(st.MinGap))
 			}
 		}
 		parts[i] = st.Pred.String() + g
 	}
 	return "seq(" + strings.Join(parts, " -> ") + ")"
+}
+
+// fmtGap renders a gap losslessly: whole days as "Nd", anything finer at
+// minute resolution. Sub-day truncation here would make two different
+// sequences render identically, which the query engine's plan cache and
+// dedupe pass (keyed on String) must be able to rule out.
+func fmtGap(t model.Time) string {
+	if t%model.Day == 0 {
+		return fmt.Sprintf("%dd", t/model.Day)
+	}
+	return fmt.Sprintf("%dm", int64(t))
 }
 
 // Eval reports whether the pattern matches anywhere in the history.

@@ -86,6 +86,65 @@ func (b *Bitset) Not() *Bitset {
 	return b
 }
 
+// OrAt unions other into the receiver with other's bit 0 mapped to bit off
+// of the receiver, and returns the receiver. This is how per-shard results
+// merge into a global cohort bitset: each shard owns a contiguous ordinal
+// range starting at its offset.
+func (b *Bitset) OrAt(other *Bitset, off int) *Bitset {
+	if other.n == 0 {
+		return b
+	}
+	base, shift := off>>6, uint(off&63)
+	for i, w := range other.words {
+		if w == 0 {
+			continue
+		}
+		b.words[base+i] |= w << shift
+		if shift != 0 && base+i+1 < len(b.words) {
+			b.words[base+i+1] |= w >> (64 - shift)
+		}
+	}
+	return b
+}
+
+// Equal reports whether two bitsets have the same capacity and identical
+// contents.
+func (b *Bitset) Equal(other *Bitset) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyInRange reports whether any bit in [lo, hi) is set; used to skip whole
+// shards whose candidate mask is empty.
+func (b *Bitset) AnyInRange(lo, hi int) bool {
+	if lo >= hi {
+		return false
+	}
+	loWord, hiWord := lo>>6, (hi-1)>>6
+	for wi := loWord; wi <= hiWord; wi++ {
+		w := b.words[wi]
+		if wi == loWord {
+			w &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if wi == hiWord {
+			if rem := uint(hi) & 63; rem != 0 {
+				w &= (1 << rem) - 1
+			}
+		}
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Range calls fn for every set bit in ascending order; fn returning false
 // stops the iteration.
 func (b *Bitset) Range(fn func(i int) bool) {

@@ -1,0 +1,77 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOrAtMatchesManualMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(300)
+		global := NewBitset(n)
+		want := NewBitset(n)
+		// Split [0, n) into contiguous chunks at arbitrary (non-aligned)
+		// offsets, as the engine's shards do.
+		for off := 0; off < n; {
+			size := 1 + r.Intn(n-off)
+			local := NewBitset(size)
+			for i := 0; i < size; i++ {
+				if r.Intn(3) == 0 {
+					local.Set(i)
+					want.Set(off + i)
+				}
+			}
+			global.OrAt(local, off)
+			off += size
+		}
+		if !global.Equal(want) {
+			t.Fatalf("trial %d: OrAt merge diverges from per-bit merge", trial)
+		}
+	}
+}
+
+func TestOrAtEmptyOther(t *testing.T) {
+	b := NewBitset(10)
+	b.Set(3)
+	if got := b.OrAt(NewBitset(0), 5); got.Count() != 1 {
+		t.Errorf("OrAt with empty bitset changed contents: %d", got.Count())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := NewBitset(100), NewBitset(100)
+	a.Set(64)
+	if a.Equal(b) {
+		t.Error("unequal bitsets reported equal")
+	}
+	b.Set(64)
+	if !a.Equal(b) {
+		t.Error("equal bitsets reported unequal")
+	}
+	if a.Equal(NewBitset(101)) {
+		t.Error("different capacities reported equal")
+	}
+}
+
+func TestAnyInRange(t *testing.T) {
+	b := NewBitset(200)
+	b.Set(130)
+	cases := []struct {
+		lo, hi int
+		want   bool
+	}{
+		{0, 200, true},
+		{0, 130, false},
+		{130, 131, true},
+		{131, 200, false},
+		{64, 128, false},
+		{128, 192, true},
+		{5, 5, false},
+	}
+	for _, c := range cases {
+		if got := b.AnyInRange(c.lo, c.hi); got != c.want {
+			t.Errorf("AnyInRange(%d, %d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -204,7 +204,7 @@ func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	bits, err := query.EvalIndexed(s.wb.Store, expr)
+	bits, err := s.wb.Query(expr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -242,7 +242,7 @@ func (s *Server) handleIndicators(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	bits, err := query.EvalIndexed(s.wb.Store, expr)
+	bits, err := s.wb.Query(expr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -306,7 +306,7 @@ func (s *Server) handleCohortView(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	expr := query.Has{Pred: query.AllOf{query.TypeIs(model.TypeDiagnosis), code}}
-	bits, err := query.EvalIndexed(s.wb.Store, expr)
+	bits, err := s.wb.Query(expr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return

@@ -19,6 +19,7 @@ import (
 	"pastas/internal/align"
 	"pastas/internal/cohort"
 	"pastas/internal/core"
+	"pastas/internal/engine"
 	"pastas/internal/integrate"
 	"pastas/internal/model"
 	"pastas/internal/perception"
@@ -93,7 +94,18 @@ type (
 	SynthConfig = synth.Config
 	// Store is the indexed collection.
 	Store = store.Store
+	// Engine is the sharded query planner/executor.
+	Engine = engine.Engine
+	// EngineOptions tunes shard count, worker pool and plan cache.
+	EngineOptions = engine.Options
 )
+
+// NewEngine builds a standalone planner/executor over a store (workbenches
+// already carry one as Workbench.Engine).
+func NewEngine(st *Store, opts EngineOptions) *Engine { return engine.New(st, opts) }
+
+// DefaultEngineOptions sizes an engine to the machine.
+func DefaultEngineOptions() EngineOptions { return engine.DefaultOptions() }
 
 // Synthesize generates, integrates and indexes a synthetic population.
 func Synthesize(cfg SynthConfig) (*Workbench, error) { return core.Synthesize(cfg) }
@@ -130,9 +142,9 @@ func NewQueryBuilder() *QueryBuilder { return query.NewBuilder() }
 // ParseQuerySpec decodes a JSON query tree.
 func ParseQuerySpec(data []byte) (*QuerySpec, error) { return query.ParseSpec(data) }
 
-// NewCohort evaluates a query into a cohort.
+// NewCohort evaluates a query into a cohort on the workbench's engine.
 func NewCohort(wb *Workbench, name string, q Query) (*Cohort, error) {
-	return cohort.FromExpr(wb.Store, name, q)
+	return cohort.FromEngine(wb.Engine, name, q)
 }
 
 // StudyCriteria returns the paper's predefined-characteristics selection

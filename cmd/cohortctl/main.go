@@ -7,6 +7,11 @@
 //
 //	cohortctl -data ./data -query query.json
 //	cohortctl -synth 168000 -study
+//	cohortctl explain -synth 168000 -query query.json
+//
+// The explain subcommand prints the cost-annotated plan (estimated rows
+// and cost per node, in execution order), then runs the query and reports
+// the actual cohort size and wall time next to the estimate.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"pastas/internal/cohort"
 	"pastas/internal/core"
@@ -29,13 +35,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cohortctl: ")
 
-	dataDir := flag.String("data", "", "registry extract directory (from datagen)")
-	synthN := flag.Int("synth", 0, "generate a synthetic population of this size instead")
-	queryFile := flag.String("query", "", "JSON query-spec file")
-	study := flag.Bool("study", false, "run the paper's predefined-characteristics selection")
-	limit := flag.Int("limit", 20, "IDs to print")
-	indicators := flag.Bool("indicators", false, "print utilization indicators for the cohort")
-	flag.Parse()
+	args := os.Args[1:]
+	explainMode := len(args) > 0 && args[0] == "explain"
+	if explainMode {
+		args = args[1:]
+	}
+
+	fs := flag.NewFlagSet("cohortctl", flag.ExitOnError)
+	dataDir := fs.String("data", "", "registry extract directory (from datagen)")
+	synthN := fs.Int("synth", 0, "generate a synthetic population of this size instead")
+	queryFile := fs.String("query", "", "JSON query-spec file")
+	study := fs.Bool("study", false, "run the paper's predefined-characteristics selection")
+	limit := fs.Int("limit", 20, "IDs to print")
+	indicators := fs.Bool("indicators", false, "print utilization indicators for the cohort")
+	fs.Parse(args) // ExitOnError: parse failures exit(2) with usage
 
 	wb, window, err := loadWorkbench(*dataDir, *synthN)
 	if err != nil {
@@ -64,6 +77,11 @@ func main() {
 		log.Fatal("need -query FILE or -study")
 	}
 
+	if explainMode {
+		runExplain(wb, expr)
+		return
+	}
+
 	c, err := cohort.FromEngine(wb.Engine, "query", expr)
 	if err != nil {
 		log.Fatal(err)
@@ -85,6 +103,29 @@ func main() {
 	if *indicators {
 		fmt.Println()
 		fmt.Print(stats.ComputeIndicators(c.Collection(), window).Table())
+	}
+}
+
+// runExplain prints the cost-annotated plan, then executes it and shows
+// the estimate next to reality.
+func runExplain(wb *core.Workbench, expr query.Expr) {
+	fmt.Printf("query: %s\n\n", expr)
+	ex, err := wb.Engine.Explain(expr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ex)
+
+	t0 := time.Now()
+	bits, err := wb.Engine.Execute(expr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("\nactual: %d patients in %s (estimated %.0f rows)\n",
+		bits.Count(), elapsed.Round(time.Microsecond), ex.Root.Est.Rows)
+	if budget := 100 * time.Millisecond; elapsed > budget {
+		fmt.Printf("over the %s interactive budget\n", budget)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pastas/internal/model"
 	"pastas/internal/query"
@@ -13,10 +15,9 @@ import (
 // Options tunes the engine.
 type Options struct {
 	// Shards is the number of store shards; clamped to [1, patients].
-	// 1 reuses the global store without building shard indexes.
 	Shards int
-	// Workers bounds concurrent per-shard evaluation (and parallel shard
-	// construction). Defaults to GOMAXPROCS.
+	// Workers bounds concurrent per-shard evaluation. Defaults to
+	// GOMAXPROCS.
 	Workers int
 	// CacheSize is the LRU capacity in cached sub-plan bitsets; 0
 	// disables caching.
@@ -29,31 +30,58 @@ func DefaultOptions() Options {
 	return Options{Shards: n, Workers: n, CacheSize: 128}
 }
 
-// shard is one contiguous slice of the population with its own inverted
-// indexes; local ordinal i is global ordinal off+i.
+// shard is one contiguous slice of the population; local ordinal i is
+// global ordinal off+i. Shards are store views sharing the global store's
+// postings (sliced by ordinal range on demand), not dedicated index
+// copies — construction is O(1) per shard and index memory is paid once.
 type shard struct {
-	st  *store.Store
-	off int
+	v       *store.View
+	off     int
+	entries int // total entries in the slice, for the /stats breakdown
 }
+
+// shardMetric accumulates one shard's evaluation load for the /stats
+// budget audits.
+type shardMetric struct {
+	queries atomic.Uint64
+	nanos   atomic.Uint64
+}
+
+// boundCacheSize caps the LRU of index-derived scan bounds; bounds are
+// pure functions of the immutable store, so a small fixed cache is safe.
+const boundCacheSize = 64
 
 // Engine executes compiled plans over a sharded store.
 type Engine struct {
 	st      *store.Store
+	stats   *store.Stats
 	shards  []shard
+	metrics []shardMetric
 	workers int
 	cache   *planCache
+	// boundCache memoizes scanBound results by Scan key, so the
+	// interactive refinement loop re-intersects a cached bound instead
+	// of re-walking the code vocabulary on every repeated scan.
+	boundCache *planCache
 }
 
 // New builds an engine over an already-indexed global store. With more
-// than one shard the population is split into contiguous chunks, each
-// indexed independently (in parallel), so leaf evaluation fans out across
-// a worker pool and merges per-shard bitsets by ordinal offset.
+// than one shard the population is split into contiguous chunks; each is
+// a view onto the global store's postings, so scan evaluation fans out
+// across a worker pool and merges per-shard bitsets by ordinal offset
+// without duplicating any index memory.
 func New(st *store.Store, opts Options) *Engine {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{st: st, workers: workers, cache: newPlanCache(opts.CacheSize)}
+	e := &Engine{
+		st:         st,
+		stats:      st.Stats(),
+		workers:    workers,
+		cache:      newPlanCache(opts.CacheSize),
+		boundCache: newPlanCache(boundCacheSize),
+	}
 
 	n := st.Len()
 	shards := opts.Shards
@@ -61,34 +89,25 @@ func New(st *store.Store, opts Options) *Engine {
 		shards = n
 	}
 	if shards <= 1 {
-		e.shards = []shard{{st: st, off: 0}}
-		return e
+		v := st.Slice(0, n)
+		e.shards = []shard{{v: v, off: 0, entries: v.Entries()}}
+	} else {
+		chunk := (n + shards - 1) / shards
+		for off := 0; off < n; off += chunk {
+			hi := min(off+chunk, n)
+			v := st.Slice(off, hi)
+			e.shards = append(e.shards, shard{v: v, off: off, entries: v.Entries()})
+		}
 	}
-
-	chunk := (n + shards - 1) / shards
-	histories := st.Collection().Histories()
-	for off := 0; off < n; off += chunk {
-		e.shards = append(e.shards, shard{off: off})
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range e.shards {
-		lo := e.shards[i].off
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			e.shards[i].st = store.New(model.MustCollection(histories[lo:hi]...))
-		}(i, lo, hi)
-	}
-	wg.Wait()
+	e.metrics = make([]shardMetric, len(e.shards))
 	return e
 }
 
 // Store returns the global store the engine answers over.
 func (e *Engine) Store() *store.Store { return e.st }
+
+// Stats returns the store statistics the planner estimates from.
+func (e *Engine) Stats() *store.Stats { return e.stats }
 
 // NumShards returns the shard count.
 func (e *Engine) NumShards() int { return len(e.shards) }
@@ -101,12 +120,53 @@ func (e *Engine) CacheStats() CacheStats {
 	return e.cache.stats()
 }
 
-// ResetCache empties the plan cache (benchmarks use this to measure cold
-// executions).
+// ResetCache empties the plan cache and the scan-bound cache (benchmarks
+// use this to measure cold executions).
 func (e *Engine) ResetCache() {
 	if e.cache != nil {
 		e.cache.reset()
 	}
+	if e.boundCache != nil {
+		e.boundCache.reset()
+	}
+}
+
+// ShardStat reports one shard's cumulative scan-evaluation load since the
+// engine was built. Index leaves are answered from the global postings
+// and do not appear here.
+type ShardStat struct {
+	Shard    int
+	Offset   int
+	Patients int
+	Entries  int
+	Queries  uint64
+	Nanos    uint64
+}
+
+// ShardStats returns per-shard evaluation counters for the 0.1 s budget
+// audits (the webapp's /api/stats endpoint serves these).
+func (e *Engine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(e.shards))
+	for i := range e.shards {
+		out[i] = ShardStat{
+			Shard:    i,
+			Offset:   e.shards[i].off,
+			Patients: e.shards[i].v.Len(),
+			Entries:  e.shards[i].entries,
+			Queries:  e.metrics[i].queries.Load(),
+			Nanos:    e.metrics[i].nanos.Load(),
+		}
+	}
+	return out
+}
+
+// optimize runs the cost-based optimizer when statistics exist, the
+// static one otherwise (empty store).
+func (e *Engine) optimize(p Plan) Plan {
+	if e.stats != nil && e.stats.Patients > 0 {
+		return OptimizeWithStats(p, e.stats)
+	}
+	return Optimize(p)
 }
 
 // Execute compiles, optimizes and runs a query expression, returning the
@@ -116,13 +176,14 @@ func (e *Engine) Execute(q query.Expr) (*store.Bitset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecutePlan(Optimize(p))
+	return e.ExecutePlan(e.optimize(p))
 }
 
 // ExecutePlan runs an already-built plan.
 func (e *Engine) ExecutePlan(p Plan) (*store.Bitset, error) { return e.eval(p) }
 
-// Explain returns the optimized plan for an expression without running it.
+// Explain returns the statically optimized plan for an expression without
+// running it. For cost-annotated plans, use Engine.Explain.
 func Explain(q query.Expr) (Plan, error) {
 	p, err := Compile(q)
 	if err != nil {
@@ -227,9 +288,10 @@ func (e *Engine) evalMasked(p Plan, mask *store.Bitset) (*store.Bitset, error) {
 	}
 }
 
-// evalAnd intersects children left to right (the optimizer put scan-free
-// ones first); scan-bearing children only visit patients still in the
-// accumulated candidate set, and an empty accumulator short-circuits.
+// evalAnd intersects children left to right (the optimizer ordered them
+// most-selective-cheapest-first); scan-bearing children only visit
+// patients still in the accumulated candidate set, and an empty
+// accumulator short-circuits the remaining children entirely.
 func (e *Engine) evalAnd(children []Plan, mask *store.Bitset) (*store.Bitset, error) {
 	var acc *store.Bitset
 	if mask != nil {
@@ -258,11 +320,20 @@ func (e *Engine) evalAnd(children []Plan, mask *store.Bitset) (*store.Bitset, er
 	return acc, nil
 }
 
-// evalOr unions children; scan-bearing children only visit patients not
-// already known to match (and, under a mask, inside the mask).
+// evalOr unions children (the optimizer ordered them largest-first);
+// scan-bearing children only visit patients not already known to match
+// (and, under a mask, inside the mask), and the union short-circuits by
+// absorption the moment it covers every candidate.
 func (e *Engine) evalOr(children []Plan, mask *store.Bitset) (*store.Bitset, error) {
 	acc := e.st.Empty()
+	target := e.st.Len()
+	if mask != nil {
+		target = mask.Count()
+	}
 	for _, c := range children {
+		if acc.Count() >= target {
+			return acc, nil // absorption: every candidate already matches
+		}
 		if hasScan(c) {
 			var rem *store.Bitset
 			if mask != nil {
@@ -289,41 +360,55 @@ func (e *Engine) evalOr(children []Plan, mask *store.Bitset) (*store.Bitset, err
 	return acc, nil
 }
 
-// evalIndex answers an index leaf from every shard's inverted indexes.
+// evalIndex answers an index leaf straight from the global store's
+// postings — with shards sharing the parent's postings there is nothing
+// to fan out.
 func (e *Engine) evalIndex(n IndexScan) (*store.Bitset, error) {
-	return e.perShard(func(sh shard) (*store.Bitset, error) {
-		switch n.Op {
-		case OpType:
-			return sh.st.WithType(n.Type), nil
-		case OpSource:
-			return sh.st.WithSource(n.Source), nil
-		default:
-			if len(n.Systems) == 0 {
-				return sh.st.WithCodeRegex("", n.Pattern)
-			}
-			out := sh.st.Empty()
-			for _, sys := range n.Systems {
-				b, err := sh.st.WithCodeRegex(sys, n.Pattern)
-				if err != nil {
-					return nil, err
-				}
-				out.Or(b)
-			}
-			return out, nil
+	switch n.Op {
+	case OpType:
+		return e.st.WithType(n.Type), nil
+	case OpSource:
+		return e.st.WithSource(n.Source), nil
+	default:
+		if len(n.Systems) == 0 {
+			return e.st.WithCodeRegex("", n.Pattern)
 		}
-	})
+		out := e.st.Empty()
+		for _, sys := range n.Systems {
+			b, err := e.st.WithCodeRegex(sys, n.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			out.Or(b)
+		}
+		return out, nil
+	}
 }
 
-// evalScan runs the fallback evaluator over each shard's histories,
-// restricted to mask when given; shards with no candidates are skipped.
+// evalScan runs the fallback evaluator over each shard's histories. The
+// candidate set is the given mask intersected with the scan's
+// index-derived bound (scanBound) — the driving predicate's postings —
+// so whole shards whose per-shard cardinality for the driving predicate
+// is zero are skipped without visiting a history, and an empty candidate
+// set short-circuits before any fan-out.
 func (e *Engine) evalScan(n Scan, mask *store.Bitset) (*store.Bitset, error) {
+	eff := mask
+	if bound := e.cachedBound(n); bound != nil {
+		if mask != nil {
+			bound.And(mask)
+		}
+		eff = bound
+	}
+	if eff != nil && eff.Count() == 0 {
+		return e.st.Empty(), nil
+	}
 	return e.perShard(func(sh shard) (*store.Bitset, error) {
-		local := sh.st.Empty()
-		if mask != nil && !mask.AnyInRange(sh.off, sh.off+sh.st.Len()) {
+		local := sh.v.Empty()
+		if eff != nil && !eff.AnyInRange(sh.off, sh.off+sh.v.Len()) {
 			return local, nil
 		}
-		for i, h := range sh.st.Collection().Histories() {
-			if mask != nil && !mask.Get(sh.off+i) {
+		for i, h := range sh.v.Histories() {
+			if eff != nil && !eff.Get(sh.off+i) {
 				continue
 			}
 			if n.Expr.Eval(h) {
@@ -334,12 +419,152 @@ func (e *Engine) evalScan(n Scan, mask *store.Bitset) (*store.Bitset, error) {
 	})
 }
 
-// perShard fans fn out over the shards on the worker pool and merges the
-// local bitsets into one global bitset by shard offset.
+// cachedBound returns a caller-owned copy of the scan's index-derived
+// candidate bound, memoized by Scan key (opaque scans have per-compile
+// keys, and the bound only depends on the typed predicate structure, so
+// sharing by key is sound). Bound-less outcomes are memoized too — a
+// zero-capacity sentinel — because deriving "no bound" can still walk
+// the code vocabulary (e.g. a Code branch discarded by an unbounded
+// sibling under Or).
+func (e *Engine) cachedBound(n Scan) *store.Bitset {
+	key := n.Key()
+	if b, ok := e.boundCache.get(key); ok {
+		if b.Len() == 0 && e.st.Len() != 0 {
+			return nil // negative entry: no index bounds this scan
+		}
+		return b
+	}
+	bound := e.scanBound(n.Expr)
+	if bound == nil {
+		e.boundCache.put(key, store.NewBitset(0))
+	} else {
+		e.boundCache.put(key, bound)
+	}
+	return bound
+}
+
+// scanBound derives a candidate superset for a scanned expression from
+// the inverted indexes: any patient the expression can match must carry
+// at least one entry per index-answerable predicate it requires. Returns
+// nil when no index bounds the expression. Soundness mirrors the
+// evaluators exactly: Has needs ≥1 entry matching Pred; And/Sequence/
+// During need every part satisfied; Or is bounded only when every branch
+// is.
+func (e *Engine) scanBound(x query.Expr) *store.Bitset {
+	switch q := x.(type) {
+	case query.Has:
+		return e.predBound(q.Pred)
+	case query.And:
+		return intersectBounds(collectBounds(e, []query.Expr(q)))
+	case query.Or:
+		bounds := collectBounds(e, []query.Expr(q))
+		if len(bounds) != len(q) {
+			return nil // an unbounded branch unbounds the union
+		}
+		return unionBounds(bounds)
+	case query.Sequence:
+		var bounds []*store.Bitset
+		for _, st := range q.Steps {
+			if b := e.predBound(st.Pred); b != nil {
+				bounds = append(bounds, b)
+			}
+		}
+		return intersectBounds(bounds)
+	case query.During:
+		var bounds []*store.Bitset
+		if b := e.predBound(q.Interval); b != nil {
+			bounds = append(bounds, b)
+		}
+		if b := e.predBound(q.Event); b != nil {
+			bounds = append(bounds, b)
+		}
+		return intersectBounds(bounds)
+	default: // TrueExpr, Not, demographics, opaque expressions
+		return nil
+	}
+}
+
+// predBound returns the patients with ≥1 entry that could match the
+// event predicate, from the inverted indexes; nil when un-indexable. An
+// entry matching Code necessarily carries a non-zero code matching the
+// pattern (Code.Match rejects code-less entries), so the code postings
+// are a sound superset.
+func (e *Engine) predBound(p query.EventPred) *store.Bitset {
+	switch q := p.(type) {
+	case *query.Code:
+		b, err := e.st.WithCodeRegex(q.System, q.Pattern)
+		if err != nil {
+			return nil
+		}
+		return b
+	case query.TypeIs:
+		return e.st.WithType(model.Type(q))
+	case query.SourceIs:
+		return e.st.WithSource(model.Source(q))
+	case query.AllOf:
+		var bounds []*store.Bitset
+		for _, c := range q {
+			if b := e.predBound(c); b != nil {
+				bounds = append(bounds, b)
+			}
+		}
+		return intersectBounds(bounds)
+	case query.AnyOf:
+		var bounds []*store.Bitset
+		for _, c := range q {
+			b := e.predBound(c)
+			if b == nil {
+				return nil
+			}
+			bounds = append(bounds, b)
+		}
+		return unionBounds(bounds)
+	default: // NotEv, KindIs, ValueBetween, InPeriod, TextMatch, MatchFunc…
+		return nil
+	}
+}
+
+func collectBounds(e *Engine, exprs []query.Expr) []*store.Bitset {
+	var bounds []*store.Bitset
+	for _, c := range exprs {
+		if b := e.scanBound(c); b != nil {
+			bounds = append(bounds, b)
+		}
+	}
+	return bounds
+}
+
+func intersectBounds(bounds []*store.Bitset) *store.Bitset {
+	if len(bounds) == 0 {
+		return nil
+	}
+	out := bounds[0]
+	for _, b := range bounds[1:] {
+		out.And(b)
+	}
+	return out
+}
+
+func unionBounds(bounds []*store.Bitset) *store.Bitset {
+	if len(bounds) == 0 {
+		return nil
+	}
+	out := bounds[0]
+	for _, b := range bounds[1:] {
+		out.Or(b)
+	}
+	return out
+}
+
+// perShard fans fn out over the shards on the worker pool, merges the
+// local bitsets into one global bitset by shard offset, and accumulates
+// per-shard wall time into the /stats counters.
 func (e *Engine) perShard(fn func(sh shard) (*store.Bitset, error)) (*store.Bitset, error) {
 	out := e.st.Empty()
 	if len(e.shards) == 1 {
+		t0 := time.Now()
 		local, err := fn(e.shards[0])
+		e.record(0, t0)
 		if err != nil {
 			return nil, err
 		}
@@ -349,13 +574,15 @@ func (e *Engine) perShard(fn func(sh shard) (*store.Bitset, error)) (*store.Bits
 	sem := make(chan struct{}, e.workers)
 	var mu sync.Mutex
 	var firstErr error
-	for _, sh := range e.shards {
+	for i, sh := range e.shards {
 		wg.Add(1)
-		go func(sh shard) {
+		go func(i int, sh shard) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			t0 := time.Now()
 			local, err := fn(sh)
+			e.record(i, t0)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -367,11 +594,16 @@ func (e *Engine) perShard(fn func(sh shard) (*store.Bitset, error)) (*store.Bits
 			if firstErr == nil {
 				out.OrAt(local, sh.off)
 			}
-		}(sh)
+		}(i, sh)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+func (e *Engine) record(i int, t0 time.Time) {
+	e.metrics[i].queries.Add(1)
+	e.metrics[i].nanos.Add(uint64(time.Since(t0)))
 }

@@ -1,6 +1,10 @@
 package engine
 
-import "sort"
+import (
+	"sort"
+
+	"pastas/internal/store"
+)
 
 // Optimize rewrites a plan into its executable form. One bottom-up pass
 // applies, at every node:
@@ -15,15 +19,30 @@ import "sort"
 //     mask expensive scans by the already-narrowed candidate set
 //   - singleton collapse: And/Or of one child becomes the child
 //
-// The input plan is not mutated.
-func Optimize(p Plan) Plan {
+// The input plan is not mutated. Execution order within a tier is the
+// compile order (the static hoist); OptimizeWithStats replaces that with
+// cost-based ordering.
+func Optimize(p Plan) Plan { return optimizeNode(p, nil) }
+
+// OptimizeWithStats is Optimize with the static hoist replaced by
+// cost-based child ordering: And children run most-selective-cheapest
+// first, Or children largest first, both estimated from the store's
+// exact index cardinalities (see the cost model in cost.go). Falls back
+// to the static ordering when st is nil or the population is empty.
+// Reordering never changes plan cache keys: And/Or keys are canonical
+// (order-insensitive) by construction.
+func OptimizeWithStats(p Plan, st *store.Stats) Plan {
+	return optimizeNode(p, newCostModel(st))
+}
+
+func optimizeNode(p Plan, m *costModel) Plan {
 	switch n := p.(type) {
 	case And:
-		return optimizeNary(n.Children, true)
+		return optimizeNary(n.Children, true, m)
 	case Or:
-		return optimizeNary(n.Children, false)
+		return optimizeNary(n.Children, false, m)
 	case Not:
-		child := Optimize(n.Child)
+		child := optimizeNode(n.Child, m)
 		switch c := child.(type) {
 		case All:
 			return None{}
@@ -39,10 +58,10 @@ func Optimize(p Plan) Plan {
 }
 
 // optimizeNary rewrites an And (conj=true) or Or (conj=false) node.
-func optimizeNary(children []Plan, conj bool) Plan {
+func optimizeNary(children []Plan, conj bool, m *costModel) Plan {
 	var flat []Plan
 	for _, c := range children {
-		c = Optimize(c)
+		c = optimizeNode(c, m)
 		switch cc := c.(type) {
 		case And:
 			if conj {
@@ -90,10 +109,18 @@ func optimizeNary(children []Plan, conj bool) Plan {
 		return deduped[0]
 	}
 
-	// Hoist index-answerable children ahead of scan-bearing ones.
-	sort.SliceStable(deduped, func(i, j int) bool {
-		return !hasScan(deduped[i]) && hasScan(deduped[j])
-	})
+	if m != nil {
+		// Cost-based: most-selective-cheapest-first under And,
+		// largest-first under Or, index-answerable children still ahead
+		// of scans in both.
+		m.order(deduped, conj)
+	} else {
+		// Static hoist: index-answerable children ahead of scan-bearing
+		// ones, compile order within each tier.
+		sort.SliceStable(deduped, func(i, j int) bool {
+			return !hasScan(deduped[i]) && hasScan(deduped[j])
+		})
+	}
 
 	if conj {
 		return And{Children: deduped}

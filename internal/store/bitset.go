@@ -107,6 +107,63 @@ func (b *Bitset) OrAt(other *Bitset, off int) *Bitset {
 	return b
 }
 
+// CountRange returns the number of set bits in [lo, hi).
+func (b *Bitset) CountRange(lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	loWord, hiWord := lo>>6, (hi-1)>>6
+	c := 0
+	for wi := loWord; wi <= hiWord; wi++ {
+		w := b.words[wi]
+		if wi == loWord {
+			w &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if wi == hiWord {
+			if rem := uint(hi) & 63; rem != 0 {
+				w &= (1 << rem) - 1
+			}
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// OrSliceOf ORs src's bit range [lo, hi) into the receiver, src's bit lo
+// mapped to the receiver's bit 0 — the inverse of OrAt. This is how a
+// shard view answers index lookups from its parent's postings without
+// duplicating them: the parent's bitset is sliced on the fly.
+func (b *Bitset) OrSliceOf(src *Bitset, lo, hi int) *Bitset {
+	n := hi - lo
+	if n <= 0 {
+		return b
+	}
+	base, shift := lo>>6, uint(lo&63)
+	words := (n + 63) / 64
+	for i := 0; i < words; i++ {
+		w := src.words[base+i] >> shift
+		if shift != 0 && base+i+1 < len(src.words) {
+			w |= src.words[base+i+1] << (64 - shift)
+		}
+		if i == words-1 {
+			if rem := uint(n) & 63; rem != 0 {
+				w &= (1 << rem) - 1
+			}
+		}
+		b.words[i] |= w
+	}
+	return b
+}
+
+// SliceRange extracts the bit range [lo, hi) as a new bitset of capacity
+// hi-lo.
+func (b *Bitset) SliceRange(lo, hi int) *Bitset {
+	if hi < lo {
+		hi = lo
+	}
+	return NewBitset(hi-lo).OrSliceOf(b, lo, hi)
+}
+
 // Equal reports whether two bitsets have the same capacity and identical
 // contents.
 func (b *Bitset) Equal(other *Bitset) bool {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -11,6 +12,14 @@ import (
 // Snapshot persistence. Loading 168k patients from the raw registry files
 // takes orders of magnitude longer than decoding a pre-integrated snapshot;
 // the workbench saves the integrated collection once and reopens instantly.
+// Both directions run through a large bufio buffer so gob's many small
+// reads/writes never hit the underlying file one token at a time, and the
+// decoder preallocates every slice it can size up front — the baseline the
+// planned snapshot-per-shard persistence will be measured against (see
+// BenchmarkSnapshotRoundTrip).
+
+// snapshotBufSize is the bufio buffer for snapshot I/O.
+const snapshotBufSize = 1 << 20
 
 // snapshotHistory is the gob wire form of one history.
 type snapshotHistory struct {
@@ -34,7 +43,11 @@ func Save(w io.Writer, col *model.Collection) error {
 		h.Sort()
 		f.Histories = append(f.Histories, snapshotHistory{Patient: h.Patient, Entries: h.Entries})
 	}
-	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+	bw := bufio.NewWriterSize(w, snapshotBufSize)
+	if err := gob.NewEncoder(bw).Encode(&f); err != nil {
+		return fmt.Errorf("store: save snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("store: save snapshot: %w", err)
 	}
 	return nil
@@ -43,23 +56,28 @@ func Save(w io.Writer, col *model.Collection) error {
 // Load reads a snapshot back into a collection.
 func Load(r io.Reader) (*model.Collection, error) {
 	var f snapshotFile
-	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+	if err := gob.NewDecoder(bufio.NewReaderSize(r, snapshotBufSize)).Decode(&f); err != nil {
 		return nil, fmt.Errorf("store: load snapshot: %w", err)
 	}
 	if f.Version != snapshotVersion {
 		return nil, fmt.Errorf("store: load snapshot: unsupported version %d", f.Version)
 	}
-	col := &model.Collection{}
+	hs := make([]*model.History, 0, len(f.Histories))
 	for i := range f.Histories {
 		sh := &f.Histories[i]
 		h := model.NewHistory(sh.Patient)
+		if len(sh.Entries) > 0 {
+			h.Entries = make([]model.Entry, 0, len(sh.Entries))
+		}
 		for _, e := range sh.Entries {
 			h.Add(e)
 		}
 		h.Sort()
-		if err := col.Add(h); err != nil {
-			return nil, fmt.Errorf("store: load snapshot: %w", err)
-		}
+		hs = append(hs, h)
+	}
+	col, err := model.NewCollection(hs...)
+	if err != nil {
+		return nil, fmt.Errorf("store: load snapshot: %w", err)
 	}
 	return col, nil
 }

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"pastas/internal/model"
+)
+
+// benchCollection hand-builds a deterministic collection (no synth
+// dependency in the hot loop) sized like a mid-size extract: n patients,
+// ~12 entries each.
+func benchCollection(n int) *model.Collection {
+	base := model.Date(2010, 1, 1)
+	codes := []model.Code{
+		{System: "ICPC2", Value: "T90"}, {System: "ICPC2", Value: "K86"},
+		{System: "ICD10", Value: "E11.9"}, {System: "ATC", Value: "A10BA02"},
+	}
+	hs := make([]*model.History, n)
+	for i := range hs {
+		h := model.NewHistory(model.Patient{ID: model.PatientID(i + 1), Birth: model.Date(1950, 1, 1)})
+		for j := 0; j < 12; j++ {
+			e := model.Entry{
+				ID: uint64(i*100 + j), Kind: model.Point,
+				Start: base.AddDays(j * 30), End: base.AddDays(j * 30),
+				Source: model.SourceGP, Type: model.TypeContact,
+			}
+			if j%3 == 0 {
+				e.Type = model.TypeDiagnosis
+				e.Code = codes[(i+j)%len(codes)]
+			}
+			h.Add(e)
+		}
+		hs[i] = h
+	}
+	return model.MustCollection(hs...)
+}
+
+// BenchmarkSnapshotRoundTrip is the baseline the planned snapshot-per-shard
+// persistence will be measured against: gob encode and decode of an
+// integrated collection through the buffered snapshot path.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	col := benchCollection(5000)
+	var buf bytes.Buffer
+	if err := Save(&buf, col); err != nil {
+		b.Fatal(err)
+	}
+	size := buf.Len()
+	b.Run("save", func(b *testing.B) {
+		b.SetBytes(int64(size))
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := Save(&buf, col); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		var snap bytes.Buffer
+		if err := Save(&snap, col); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(snap.Len()))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, err := Load(bytes.NewReader(snap.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.Len() != col.Len() {
+				b.Fatal("round trip lost patients")
+			}
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"pastas/internal/model"
+)
+
+// Statistics and shard views.
+//
+// Stats are the exact per-index cardinalities a cost-based planner needs,
+// collected once at New time (one popcount per posting list). View is a
+// contiguous ordinal slice of a store that answers index lookups by
+// slicing the parent's postings on the fly instead of rebuilding the
+// inverted indexes per shard — the memory-duplication fix ROADMAP.md
+// flags: N shards now share one set of postings with the global store.
+
+// Stats holds exact cardinalities over one store's population. All counts
+// are patient-level (a patient with five T90 entries counts once), which
+// is exactly the selectivity a cohort planner wants.
+type Stats struct {
+	// Patients is the population size.
+	Patients int
+	// Entries is the total entry count across all histories.
+	Entries int
+	// DistinctCodes is the size of the code vocabulary.
+	DistinctCodes int
+
+	codeCard   map[codeKey]int
+	typeCard   map[model.Type]int
+	sourceCard map[model.Source]int
+	codes      []model.Code // shared with the owning store; do not mutate
+}
+
+// collectStats popcounts every posting list once.
+func collectStats(s *Store) *Stats {
+	st := &Stats{
+		Patients:      s.Len(),
+		Entries:       s.col.TotalEntries(),
+		DistinctCodes: len(s.codes),
+		codeCard:      make(map[codeKey]int, len(s.byCodeValue)),
+		typeCard:      make(map[model.Type]int, len(s.byType)),
+		sourceCard:    make(map[model.Source]int, len(s.bySource)),
+		codes:         s.codes,
+	}
+	for k, bs := range s.byCodeValue {
+		st.codeCard[k] = bs.Count()
+	}
+	for t, bs := range s.byType {
+		st.typeCard[t] = bs.Count()
+	}
+	for src, bs := range s.bySource {
+		st.sourceCard[src] = bs.Count()
+	}
+	return st
+}
+
+// AvgEntries returns the mean entries per history — the calibration input
+// for the planner's per-history scan cost.
+func (st *Stats) AvgEntries() float64 {
+	if st.Patients == 0 {
+		return 0
+	}
+	return float64(st.Entries) / float64(st.Patients)
+}
+
+// TypeCard returns how many patients have at least one entry of the type.
+func (st *Stats) TypeCard(t model.Type) int { return st.typeCard[t] }
+
+// SourceCard returns how many patients have at least one entry from the
+// source.
+func (st *Stats) SourceCard(src model.Source) int { return st.sourceCard[src] }
+
+// CodeCard returns how many patients carry the exact code (any system if
+// system == "").
+func (st *Stats) CodeCard(system, value string) int {
+	if system != "" {
+		return st.codeCard[codeKey{system, value}]
+	}
+	n := 0
+	for k, c := range st.codeCard {
+		if k.value == value {
+			n += c
+		}
+	}
+	return n
+}
+
+// CodePatternCard returns an upper bound on how many patients have a code
+// (in the system; "" = any) matching the anchored pattern: the sum of the
+// matching codes' cardinalities, capped at the population. It is exact
+// when a single code matches, an independence-free union bound otherwise.
+func (st *Stats) CodePatternCard(system, pattern string) (int, error) {
+	n := 0
+	err := matchCodes(st.codes, system, pattern, func(c model.Code) {
+		n += st.codeCard[codeKey{c.System, c.Value}]
+	})
+	if err != nil {
+		return 0, err
+	}
+	if n > st.Patients {
+		n = st.Patients
+	}
+	return n, nil
+}
+
+// View is a contiguous ordinal slice [Lo, Hi) of a store. It answers the
+// same index lookups as a dedicated shard store, in the shard's local
+// ordinal space (local bit i is parent bit Lo+i), by slicing the parent's
+// postings — no per-shard index memory, and an empty slice of a posting
+// list is detected in O(words) without materializing anything.
+//
+// The in-process engine answers index leaves from the global postings
+// directly (strictly cheaper than slice-and-remerge) and uses views for
+// scan fan-out and per-shard accounting; the WithType/WithSource/
+// WithCodeRegex lookups are the shard-local index API the planned
+// cross-process shard distribution serves over RPC, held equivalent to a
+// dedicated shard store by the property tests in stats_test.go.
+type View struct {
+	parent *Store
+	lo, hi int
+}
+
+// Slice returns the view over ordinals [lo, hi); bounds are clamped to
+// the population.
+func (s *Store) Slice(lo, hi int) *View {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.Len() {
+		hi = s.Len()
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return &View{parent: s, lo: lo, hi: hi}
+}
+
+// Len returns the number of patients in the view.
+func (v *View) Len() int { return v.hi - v.lo }
+
+// Offset returns the view's first global ordinal.
+func (v *View) Offset() int { return v.lo }
+
+// Histories returns the view's histories in display order. Like
+// Collection.Histories, the slice must not be structurally mutated.
+func (v *View) Histories() []*model.History {
+	return v.parent.col.Histories()[v.lo:v.hi]
+}
+
+// Entries returns the total entry count inside the view.
+func (v *View) Entries() int {
+	n := 0
+	for _, h := range v.Histories() {
+		n += len(h.Entries)
+	}
+	return n
+}
+
+// Empty returns a fresh empty bitset sized to the view.
+func (v *View) Empty() *Bitset { return NewBitset(v.Len()) }
+
+// slice extracts a parent posting into local ordinal space, fast-pathing
+// the empty range (the per-shard zero-cardinality skip).
+func (v *View) slice(bs *Bitset) *Bitset {
+	if bs == nil || !bs.AnyInRange(v.lo, v.hi) {
+		return v.Empty()
+	}
+	return bs.SliceRange(v.lo, v.hi)
+}
+
+// WithType returns the view's patients having at least one entry of the
+// type, in local ordinal space.
+func (v *View) WithType(t model.Type) *Bitset { return v.slice(v.parent.byType[t]) }
+
+// WithSource returns the view's patients having at least one entry from
+// the source, in local ordinal space.
+func (v *View) WithSource(src model.Source) *Bitset { return v.slice(v.parent.bySource[src]) }
+
+// WithCodeRegex returns the view's patients with a code (in the system;
+// "" = any) matching the anchored pattern, in local ordinal space. The
+// pattern is matched against the parent's distinct-code vocabulary; codes
+// absent from the slice contribute no bits, so the result is identical to
+// a dedicated shard index.
+func (v *View) WithCodeRegex(system, pattern string) (*Bitset, error) {
+	out := v.Empty()
+	err := matchCodes(v.parent.codes, system, pattern, func(c model.Code) {
+		if bs := v.parent.byCodeValue[codeKey{c.System, c.Value}]; bs.AnyInRange(v.lo, v.hi) {
+			out.OrSliceOf(bs, v.lo, v.hi)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -24,6 +24,8 @@ type Store struct {
 	byType      map[model.Type]*Bitset
 	bySource    map[model.Source]*Bitset
 	codes       []model.Code // distinct codes, sorted
+
+	stats *Stats // exact cardinalities, collected at New time
 }
 
 type codeKey struct {
@@ -81,8 +83,12 @@ func New(col *model.Collection) *Store {
 		}
 		return s.codes[i].Value < s.codes[j].Value
 	})
+	s.stats = collectStats(s)
 	return s
 }
+
+// Stats returns the store's exact index cardinalities (immutable, shared).
+func (s *Store) Stats() *Stats { return s.stats }
 
 // Collection returns the underlying collection.
 func (s *Store) Collection() *model.Collection { return s.col }
@@ -140,24 +146,38 @@ func (s *Store) WithCode(system, value string) *Bitset {
 	return out
 }
 
+// matchCodes calls fn for every distinct code (in system; "" = any system)
+// matching the anchored pattern. The single vocabulary-walk shared by the
+// store, view and statistics lookups, so pattern semantics can never
+// diverge between the executor's postings and the planner's cardinalities.
+func matchCodes(codes []model.Code, system, pattern string, fn func(model.Code)) error {
+	re, err := terminology.CompileCodePattern(pattern)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, c := range codes {
+		if system != "" && c.System != system {
+			continue
+		}
+		if re.MatchString(c.Value) {
+			fn(c)
+		}
+	}
+	return nil
+}
+
 // WithCodeRegex returns the patients with at least one code (in the given
 // system; "" = any) matching the anchored regular expression — the paper's
 // cohort-identification primitive. It matches the pattern against the
 // distinct-code vocabulary (a few hundred strings) and unions the
 // pre-computed patient sets, rather than scanning millions of entries.
 func (s *Store) WithCodeRegex(system, pattern string) (*Bitset, error) {
-	re, err := terminology.CompileCodePattern(pattern)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
 	out := s.Empty()
-	for _, c := range s.codes {
-		if system != "" && c.System != system {
-			continue
-		}
-		if re.MatchString(c.Value) {
-			out.Or(s.byCodeValue[codeKey{c.System, c.Value}])
-		}
+	err := matchCodes(s.codes, system, pattern, func(c model.Code) {
+		out.Or(s.byCodeValue[codeKey{c.System, c.Value}])
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

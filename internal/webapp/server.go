@@ -49,6 +49,7 @@ func NewServer(wb *core.Workbench, cfg Config) *Server {
 	}
 	s := &Server{wb: wb, cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/stats", s.auth(s.handleStats))
 	s.mux.HandleFunc("GET /api/patients", s.auth(s.handlePatients))
 	s.mux.HandleFunc("GET /api/timeline", s.auth(s.handleTimelineJSON))
 	s.mux.HandleFunc("GET /api/details", s.auth(s.handleDetails))
@@ -94,6 +95,51 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"status":   "ok",
 		"patients": s.wb.Patients(),
 		"entries":  s.wb.Entries(),
+	})
+}
+
+// handleStats reports the engine's per-shard evaluation timings, plan
+// cache effectiveness and store cardinality summary — the observability
+// the paper's 0.1 s response-budget audits read.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	type shardJSON struct {
+		Shard    int     `json:"shard"`
+		Offset   int     `json:"offset"`
+		Patients int     `json:"patients"`
+		Entries  int     `json:"entries"`
+		Queries  uint64  `json:"queries"`
+		TotalMS  float64 `json:"total_ms"`
+		AvgMS    float64 `json:"avg_ms"`
+	}
+	shardStats := s.wb.Engine.ShardStats()
+	shards := make([]shardJSON, len(shardStats))
+	for i, sh := range shardStats {
+		shards[i] = shardJSON{
+			Shard: sh.Shard, Offset: sh.Offset, Patients: sh.Patients,
+			Entries: sh.Entries, Queries: sh.Queries, TotalMS: float64(sh.Nanos) / 1e6,
+		}
+		if sh.Queries > 0 {
+			shards[i].AvgMS = shards[i].TotalMS / float64(sh.Queries)
+		}
+	}
+	cache := s.wb.Engine.CacheStats()
+	hitRate := 0.0
+	if cache.Hits+cache.Misses > 0 {
+		hitRate = float64(cache.Hits) / float64(cache.Hits+cache.Misses)
+	}
+	st := s.wb.Store.Stats()
+	writeJSON(w, map[string]any{
+		"patients":       st.Patients,
+		"entries":        st.Entries,
+		"distinct_codes": st.DistinctCodes,
+		"budget_ms":      100,
+		"shards":         shards,
+		"cache": map[string]any{
+			"hits":     cache.Hits,
+			"misses":   cache.Misses,
+			"entries":  cache.Entries,
+			"hit_rate": hitRate,
+		},
 	})
 }
 

@@ -253,6 +253,73 @@ func TestIndicatorsEndpoint(t *testing.T) {
 	}
 }
 
+func TestStatsEndpoint(t *testing.T) {
+	s, wb := testServer(t, 200)
+	if rec := get(t, s, "/api/stats"); rec.Code != http.StatusUnauthorized {
+		t.Errorf("stats open without password: %d", rec.Code)
+	}
+
+	// Run a scan-bearing cohort query so per-shard timings accumulate,
+	// then once more so the plan cache registers a hit.
+	spec := `{"op":"has","pattern":"K8.","minCount":2}`
+	for i := 0; i < 2; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/api/cohort?pw=tromsø", strings.NewReader(spec))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("cohort = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	rec := get(t, s, "/api/stats?pw=tromsø")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Patients      int `json:"patients"`
+		Entries       int `json:"entries"`
+		DistinctCodes int `json:"distinct_codes"`
+		BudgetMS      int `json:"budget_ms"`
+		Shards        []struct {
+			Shard    int     `json:"shard"`
+			Patients int     `json:"patients"`
+			Queries  uint64  `json:"queries"`
+			TotalMS  float64 `json:"total_ms"`
+		} `json:"shards"`
+		Cache struct {
+			Hits    uint64  `json:"hits"`
+			Misses  uint64  `json:"misses"`
+			HitRate float64 `json:"hit_rate"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Patients != 200 || body.Entries == 0 || body.DistinctCodes == 0 {
+		t.Errorf("summary = %+v", body)
+	}
+	if body.BudgetMS != 100 {
+		t.Errorf("budget_ms = %d", body.BudgetMS)
+	}
+	if len(body.Shards) != wb.Engine.NumShards() {
+		t.Fatalf("shards = %d, want %d", len(body.Shards), wb.Engine.NumShards())
+	}
+	covered, queries := 0, uint64(0)
+	for _, sh := range body.Shards {
+		covered += sh.Patients
+		queries += sh.Queries
+	}
+	if covered != 200 {
+		t.Errorf("shards cover %d of 200 patients", covered)
+	}
+	if queries == 0 {
+		t.Error("no shard recorded the scan query")
+	}
+	if body.Cache.Hits == 0 {
+		t.Errorf("repeat query did not hit the plan cache: %+v", body.Cache)
+	}
+}
+
 func TestCohortViewPage(t *testing.T) {
 	s, _ := testServer(t, 150)
 	rec := get(t, s, "/cohort-view?pw=tromsø&pattern=T90%7CE11(%5C..*)%3F&rows=10")

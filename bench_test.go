@@ -6,6 +6,7 @@ package pastas_test
 // scale (set -short to cap at 21,000).
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -481,6 +482,53 @@ func BenchmarkE7_ParallelIngest(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- E9: snapshot reopen -----------------------------------------------------------
+
+// BenchmarkE9_SnapshotReopen measures the workbench-level "reopen a saved
+// session" path the paper's workflow depends on (re-integrating six
+// registries vs. reopening a persisted collection): core.Open of a legacy
+// v1 single-gob snapshot against sharded v2 snapshots at 1, 4 and 16
+// shards. Open re-indexes the store after decode, so the delta between
+// variants isolates what the snapshot format itself buys.
+func BenchmarkE9_SnapshotReopen(b *testing.B) {
+	n := 21000
+	if testing.Short() {
+		n = 5000
+	}
+	wb := workbenchAt(b, n)
+
+	var legacy bytes.Buffer
+	if err := wb.SaveSnapshot(&legacy); err != nil {
+		b.Fatal(err)
+	}
+	snaps := map[string][]byte{"legacy-v1": legacy.Bytes()}
+	order := []string{"legacy-v1"}
+	for _, shards := range []int{1, 4, 16} {
+		var buf bytes.Buffer
+		if _, err := wb.Save(&buf, core.SnapshotOptions{Shards: shards}); err != nil {
+			b.Fatal(err)
+		}
+		name := fmt.Sprintf("shards=%d", shards)
+		snaps[name] = buf.Bytes()
+		order = append(order, name)
+	}
+	for _, name := range order {
+		snap := snaps[name]
+		b.Run(fmt.Sprintf("open/%s", name), func(b *testing.B) {
+			b.SetBytes(int64(len(snap)))
+			for i := 0; i < b.N; i++ {
+				back, err := core.Open(bytes.NewReader(snap), wb.Window)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if back.Patients() != wb.Patients() {
+					b.Fatal("reopen lost patients")
+				}
+			}
+		})
+	}
 }
 
 // --- E4: web timelines -------------------------------------------------------------

@@ -7,11 +7,16 @@
 //
 //	cohortctl -data ./data -query query.json
 //	cohortctl -synth 168000 -study
+//	cohortctl -snapshot wb.snap -study
 //	cohortctl explain -synth 168000 -query query.json
+//	cohortctl snapshot save -synth 168000 -out wb.snap -shards 16
+//	cohortctl snapshot info -in wb.snap
 //
 // The explain subcommand prints the cost-annotated plan (estimated rows
 // and cost per node, in execution order), then runs the query and reports
-// the actual cohort size and wall time next to the estimate.
+// the actual cohort size and wall time next to the estimate. The snapshot
+// subcommands persist an integrated workbench as a sharded snapshot and
+// inspect a snapshot's header without decoding it.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"pastas/internal/query"
 	"pastas/internal/sources"
 	"pastas/internal/stats"
+	"pastas/internal/store"
 	"pastas/internal/synth"
 )
 
@@ -36,6 +42,10 @@ func main() {
 	log.SetPrefix("cohortctl: ")
 
 	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "snapshot" {
+		runSnapshotCmd(args[1:])
+		return
+	}
 	explainMode := len(args) > 0 && args[0] == "explain"
 	if explainMode {
 		args = args[1:]
@@ -44,13 +54,14 @@ func main() {
 	fs := flag.NewFlagSet("cohortctl", flag.ExitOnError)
 	dataDir := fs.String("data", "", "registry extract directory (from datagen)")
 	synthN := fs.Int("synth", 0, "generate a synthetic population of this size instead")
+	snapshotFile := fs.String("snapshot", "", "reopen a saved snapshot instead of ingesting")
 	queryFile := fs.String("query", "", "JSON query-spec file")
 	study := fs.Bool("study", false, "run the paper's predefined-characteristics selection")
 	limit := fs.Int("limit", 20, "IDs to print")
 	indicators := fs.Bool("indicators", false, "print utilization indicators for the cohort")
 	fs.Parse(args) // ExitOnError: parse failures exit(2) with usage
 
-	wb, window, err := loadWorkbench(*dataDir, *synthN)
+	wb, window, err := loadWorkbench(*dataDir, *synthN, *snapshotFile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -129,9 +140,23 @@ func runExplain(wb *core.Workbench, expr query.Expr) {
 	}
 }
 
-func loadWorkbench(dataDir string, synthN int) (*core.Workbench, model.Period, error) {
+func loadWorkbench(dataDir string, synthN int, snapshotFile string) (*core.Workbench, model.Period, error) {
 	window := model.Period{Start: model.Date(2010, 1, 1), End: model.Date(2012, 1, 1)}
 	switch {
+	case snapshotFile != "":
+		f, err := os.Open(snapshotFile)
+		if err != nil {
+			return nil, window, err
+		}
+		defer f.Close()
+		t0 := time.Now()
+		wb, err := core.Open(f, window)
+		if err != nil {
+			return nil, window, err
+		}
+		fmt.Printf("reopened %s snapshot (%d shards) in %s\n",
+			wb.Snapshot.Format(), wb.Snapshot.Shards, time.Since(t0).Round(time.Millisecond))
+		return wb, window, nil
 	case dataDir != "":
 		bundle, err := sources.ReadDir(dataDir)
 		if err != nil {
@@ -144,6 +169,74 @@ func loadWorkbench(dataDir string, synthN int) (*core.Workbench, model.Period, e
 		wb, err := core.Synthesize(cfg)
 		return wb, cfg.Window(), err
 	default:
-		return nil, window, fmt.Errorf("need -data DIR or -synth N")
+		return nil, window, fmt.Errorf("need -data DIR, -synth N or -snapshot FILE")
+	}
+}
+
+// runSnapshotCmd dispatches the snapshot save/info subcommands.
+func runSnapshotCmd(args []string) {
+	if len(args) == 0 {
+		log.Fatal("usage: cohortctl snapshot save|info [flags]")
+	}
+	switch args[0] {
+	case "save":
+		fs := flag.NewFlagSet("cohortctl snapshot save", flag.ExitOnError)
+		dataDir := fs.String("data", "", "registry extract directory (from datagen)")
+		synthN := fs.Int("synth", 0, "generate a synthetic population of this size instead")
+		out := fs.String("out", "wb.snap", "output snapshot file")
+		shards := fs.Int("shards", 0, "shard count (0 = engine default)")
+		fs.Parse(args[1:])
+		wb, _, err := loadWorkbench(*dataDir, *synthN, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		info, err := wb.Save(f, core.SnapshotOptions{Shards: *shards})
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved %d patients, %d entries to %s: %s, %d shards, %d bytes in %s\n",
+			info.Patients, info.Entries, *out, info.Format(), info.Shards,
+			info.Bytes, time.Since(t0).Round(time.Millisecond))
+	case "info":
+		fs := flag.NewFlagSet("cohortctl snapshot info", flag.ExitOnError)
+		in := fs.String("in", "", "snapshot file to inspect")
+		fs.Parse(args[1:])
+		path := *in
+		if path == "" && fs.NArg() > 0 {
+			path = fs.Arg(0)
+		}
+		if path == "" {
+			log.Fatal("need -in FILE")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		info, err := store.Inspect(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("format:   %s\n", info.Format())
+		fmt.Printf("shards:   %d\n", info.Shards)
+		fmt.Printf("patients: %d\n", info.Patients)
+		fmt.Printf("entries:  %d\n", info.Entries)
+		if info.Bytes > 0 {
+			fmt.Printf("bytes:    %d\n", info.Bytes)
+		}
+		for _, sh := range info.ShardDetail {
+			fmt.Printf("  shard %d: offset %d, %d bytes, %d patients, %d entries, crc32c %08x\n",
+				sh.Shard, sh.Offset, sh.Bytes, sh.Patients, sh.Entries, sh.Checksum)
+		}
+	default:
+		log.Fatalf("unknown snapshot subcommand %q (want save or info)", args[0])
 	}
 }

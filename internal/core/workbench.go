@@ -28,6 +28,10 @@ type Workbench struct {
 	// Report is the integration accounting (nil when loaded from a
 	// snapshot).
 	Report *integrate.Report
+	// Snapshot is the provenance of the snapshot this workbench was
+	// reopened from (nil when built from sources): format version, shard
+	// layout and sizes. The webapp surfaces it in GET /api/stats.
+	Snapshot *store.SnapshotInfo
 	// Window is the observation window the data covers.
 	Window model.Period
 }
@@ -65,16 +69,52 @@ func Synthesize(cfg synth.Config) (*Workbench, error) {
 	return FromBundle(bundle, integrate.DefaultOptions(), cfg.Window())
 }
 
-// LoadSnapshot reopens a previously saved workbench.
-func LoadSnapshot(r io.Reader, window model.Period) (*Workbench, error) {
-	col, err := store.Load(r)
+// SnapshotOptions tunes Workbench.Save.
+type SnapshotOptions struct {
+	// Shards is the number of independently decodable segments the
+	// snapshot is split into (the parallelism available to Open). 0
+	// means match the engine's shard count.
+	Shards int
+}
+
+// Save persists the collection as a sharded v2 snapshot and returns the
+// layout written. Saving is read-only on the collection, so it is safe
+// while queries are in flight.
+func (wb *Workbench) Save(w io.Writer, opts SnapshotOptions) (*store.SnapshotInfo, error) {
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = wb.Engine.NumShards()
+	}
+	info, err := store.SaveSharded(w, wb.Store.Collection(), shards)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return FromCollection(col, window), nil
+	return info, nil
 }
 
-// SaveSnapshot persists the collection.
+// Open reopens a previously saved workbench from a snapshot of either
+// format: sharded v2 snapshots decode shard-parallel; legacy v1 single-
+// gob snapshots are detected transparently and fall back to the gob
+// decoder. The resulting workbench records the snapshot's provenance.
+func Open(r io.Reader, window model.Period) (*Workbench, error) {
+	col, info, err := store.LoadInfo(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	wb := FromCollection(col, window)
+	wb.Snapshot = info
+	return wb, nil
+}
+
+// LoadSnapshot reopens a previously saved workbench. Kept as an alias
+// for Open so existing callers keep compiling.
+func LoadSnapshot(r io.Reader, window model.Period) (*Workbench, error) {
+	return Open(r, window)
+}
+
+// SaveSnapshot persists the collection in the legacy v1 single-gob
+// format. New code should prefer Save, which writes the sharded format
+// Open decodes in parallel.
 func (wb *Workbench) SaveSnapshot(w io.Writer) error {
 	if err := store.Save(w, wb.Store.Collection()); err != nil {
 		return fmt.Errorf("core: %w", err)

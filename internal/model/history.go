@@ -29,25 +29,72 @@ func (h *History) Add(e Entry) {
 // Len returns the number of entries.
 func (h *History) Len() int { return len(h.Entries) }
 
+// entryLess is the chronological order of Sort: start, then end, type and
+// ID as deterministic tie-breaks.
+func entryLess(a, b *Entry) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	if a.Type != b.Type {
+		return a.Type < b.Type
+	}
+	return a.ID < b.ID
+}
+
+// sortEntries orders a slice of entries chronologically (stable).
+func sortEntries(es []Entry) {
+	sort.SliceStable(es, func(i, j int) bool {
+		return entryLess(&es[i], &es[j])
+	})
+}
+
+// entriesSorted reports whether the slice is already in chronological
+// order (one linear pass, no allocation).
+func entriesSorted(es []Entry) bool {
+	for i := 1; i < len(es); i++ {
+		if entryLess(&es[i], &es[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Sort orders entries chronologically; it is idempotent.
 func (h *History) Sort() {
 	if h.sorted {
 		return
 	}
-	sort.SliceStable(h.Entries, func(i, j int) bool {
-		a, b := &h.Entries[i], &h.Entries[j]
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		if a.End != b.End {
-			return a.End < b.End
-		}
-		if a.Type != b.Type {
-			return a.Type < b.Type
-		}
-		return a.ID < b.ID
-	})
+	sortEntries(h.Entries)
 	h.sorted = true
+}
+
+// SortedEntries returns the entries in chronological order without
+// mutating the history: the live slice when already sorted, otherwise a
+// sorted copy. Readers that must not reorder a shared history (snapshot
+// save, concurrent scans) go through this instead of Sort.
+func (h *History) SortedEntries() []Entry {
+	if h.sorted {
+		return h.Entries
+	}
+	c := make([]Entry, len(h.Entries))
+	copy(c, h.Entries)
+	sortEntries(c)
+	return c
+}
+
+// RestoreHistory rebuilds a history from a decoded patient record and
+// entry slice, adopting the slice without copying. Every entry is stamped
+// with the owning patient (the invariant Add maintains), and the sorted
+// flag is derived by a linear scan so a snapshot claiming order cannot
+// smuggle an unsorted history past Sort's idempotence check.
+func RestoreHistory(p Patient, entries []Entry) *History {
+	for i := range entries {
+		entries[i].Patient = p.ID
+	}
+	return &History{Patient: p, Entries: entries, sorted: entriesSorted(entries)}
 }
 
 // Sorted reports whether the entries are currently in chronological order.

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -12,22 +13,30 @@ import (
 // Snapshot persistence. Loading 168k patients from the raw registry files
 // takes orders of magnitude longer than decoding a pre-integrated snapshot;
 // the workbench saves the integrated collection once and reopens instantly.
-// Both directions run through a large bufio buffer so gob's many small
-// reads/writes never hit the underlying file one token at a time, and the
-// decoder preallocates every slice it can size up front — the baseline the
-// planned snapshot-per-shard persistence will be measured against (see
-// BenchmarkSnapshotRoundTrip).
+//
+// Two formats coexist:
+//
+//   - v1 (legacy): one monolithic gob stream. Save still writes it and
+//     Load still reads it, so snapshots from before the sharded format
+//     keep opening transparently.
+//   - v2 (sharded): a small binary header (magic, version, shard table
+//     with per-shard offsets and checksums) followed by N independently
+//     decodable shard segments — see snapshot_sharded.go. Load detects it
+//     by peeking the magic without consuming the stream.
+//
+// Both directions run through a large bufio buffer so many small
+// reads/writes never hit the underlying file one token at a time.
 
 // snapshotBufSize is the bufio buffer for snapshot I/O.
 const snapshotBufSize = 1 << 20
 
-// snapshotHistory is the gob wire form of one history.
+// snapshotHistory is the gob wire form of one history (v1).
 type snapshotHistory struct {
 	Patient model.Patient
 	Entries []model.Entry
 }
 
-// snapshotFile is the gob wire form of a collection.
+// snapshotFile is the gob wire form of a collection (v1).
 type snapshotFile struct {
 	Version   int
 	Histories []snapshotHistory
@@ -35,13 +44,15 @@ type snapshotFile struct {
 
 const snapshotVersion = 1
 
-// Save writes the collection as a snapshot.
+// Save writes the collection in the legacy v1 single-gob format. It is
+// strictly read-only on the collection: entries are serialized through
+// SortedEntries, which copies before sorting, so saving never reorders a
+// history a concurrent engine query may be scanning.
 func Save(w io.Writer, col *model.Collection) error {
 	f := snapshotFile{Version: snapshotVersion}
 	f.Histories = make([]snapshotHistory, 0, col.Len())
 	for _, h := range col.Histories() {
-		h.Sort()
-		f.Histories = append(f.Histories, snapshotHistory{Patient: h.Patient, Entries: h.Entries})
+		f.Histories = append(f.Histories, snapshotHistory{Patient: h.Patient, Entries: h.SortedEntries()})
 	}
 	bw := bufio.NewWriterSize(w, snapshotBufSize)
 	if err := gob.NewEncoder(bw).Encode(&f); err != nil {
@@ -53,31 +64,54 @@ func Save(w io.Writer, col *model.Collection) error {
 	return nil
 }
 
-// Load reads a snapshot back into a collection.
+// Load reads a snapshot of either format back into a collection.
 func Load(r io.Reader) (*model.Collection, error) {
+	col, _, err := LoadInfo(r)
+	return col, err
+}
+
+// LoadInfo is Load plus provenance: which format the snapshot was in, how
+// many shards, and the per-shard layout. The format is detected by
+// peeking the first bytes — a v2 snapshot leads with its magic, so
+// version validation happens before any payload is decoded; anything else
+// falls back to the legacy v1 gob decoder with the stream intact.
+func LoadInfo(r io.Reader) (*model.Collection, *SnapshotInfo, error) {
+	br := bufio.NewReaderSize(r, snapshotBufSize)
+	head, err := br.Peek(len(snapshotMagic))
+	if err == nil && bytes.Equal(head, []byte(snapshotMagic)) {
+		return loadSharded(br)
+	}
+	return loadLegacy(br)
+}
+
+// loadLegacy decodes a v1 single-gob snapshot.
+func loadLegacy(br *bufio.Reader) (*model.Collection, *SnapshotInfo, error) {
 	var f snapshotFile
-	if err := gob.NewDecoder(bufio.NewReaderSize(r, snapshotBufSize)).Decode(&f); err != nil {
-		return nil, fmt.Errorf("store: load snapshot: %w", err)
+	if err := gob.NewDecoder(br).Decode(&f); err != nil {
+		return nil, nil, fmt.Errorf("store: load snapshot: %w", err)
 	}
 	if f.Version != snapshotVersion {
-		return nil, fmt.Errorf("store: load snapshot: unsupported version %d", f.Version)
+		return nil, nil, fmt.Errorf("store: load snapshot: unsupported version %d", f.Version)
 	}
 	hs := make([]*model.History, 0, len(f.Histories))
+	entries := 0
 	for i := range f.Histories {
 		sh := &f.Histories[i]
-		h := model.NewHistory(sh.Patient)
-		if len(sh.Entries) > 0 {
-			h.Entries = make([]model.Entry, 0, len(sh.Entries))
-		}
-		for _, e := range sh.Entries {
-			h.Add(e)
-		}
-		h.Sort()
+		entries += len(sh.Entries)
+		h := model.RestoreHistory(sh.Patient, sh.Entries)
+		h.Sort() // no-op for well-formed snapshots; restores the invariant otherwise
 		hs = append(hs, h)
 	}
 	col, err := model.NewCollection(hs...)
 	if err != nil {
-		return nil, fmt.Errorf("store: load snapshot: %w", err)
+		return nil, nil, fmt.Errorf("store: load snapshot: %w", err)
 	}
-	return col, nil
+	info := &SnapshotInfo{
+		Version:  snapshotVersion,
+		Legacy:   true,
+		Shards:   1,
+		Patients: col.Len(),
+		Entries:  entries,
+	}
+	return col, info, nil
 }

@@ -127,6 +127,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if cache.Hits+cache.Misses > 0 {
 		hitRate = float64(cache.Hits) / float64(cache.Hits+cache.Misses)
 	}
+	// Snapshot provenance: which persisted format this workbench was
+	// reopened from, if any (null when built from sources).
+	var snapshot map[string]any
+	if info := s.wb.Snapshot; info != nil {
+		snapshot = map[string]any{
+			"format":   info.Format(),
+			"version":  info.Version,
+			"shards":   info.Shards,
+			"patients": info.Patients,
+			"entries":  info.Entries,
+			"bytes":    info.Bytes,
+		}
+	}
 	st := s.wb.Store.Stats()
 	writeJSON(w, map[string]any{
 		"patients":       st.Patients,
@@ -134,6 +147,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"distinct_codes": st.DistinctCodes,
 		"budget_ms":      100,
 		"shards":         shards,
+		"snapshot":       snapshot,
 		"cache": map[string]any{
 			"hits":     cache.Hits,
 			"misses":   cache.Misses,

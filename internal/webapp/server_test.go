@@ -1,6 +1,7 @@
 package webapp
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -317,6 +318,62 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if body.Cache.Hits == 0 {
 		t.Errorf("repeat query did not hit the plan cache: %+v", body.Cache)
+	}
+}
+
+// TestStatsSnapshotProvenance: a workbench reopened from a sharded
+// snapshot reports the snapshot's format and layout in /api/stats, and a
+// workbench built from sources reports null.
+func TestStatsSnapshotProvenance(t *testing.T) {
+	_, wb := testServer(t, 120)
+	var buf bytes.Buffer
+	info, err := wb.Save(&buf, core.SnapshotOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := core.Open(&buf, wb.Window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(reopened, DefaultConfig())
+
+	rec := get(t, s, "/api/stats?pw=tromsø")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Snapshot *struct {
+			Format   string `json:"format"`
+			Version  int    `json:"version"`
+			Shards   int    `json:"shards"`
+			Patients int    `json:"patients"`
+			Bytes    int64  `json:"bytes"`
+		} `json:"snapshot"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Snapshot == nil {
+		t.Fatal("snapshot provenance missing for a reopened workbench")
+	}
+	if body.Snapshot.Format != "sharded-v2" || body.Snapshot.Shards != 4 {
+		t.Errorf("snapshot = %+v", body.Snapshot)
+	}
+	if body.Snapshot.Patients != 120 || body.Snapshot.Bytes != info.Bytes {
+		t.Errorf("snapshot = %+v, want %d patients, %d bytes", body.Snapshot, 120, info.Bytes)
+	}
+
+	// Built from sources: provenance must be null, not fabricated.
+	fresh, _ := testServer(t, 20)
+	rec = get(t, fresh, "/api/stats?pw=tromsø")
+	var fromSources struct {
+		Snapshot any `json:"snapshot"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &fromSources); err != nil {
+		t.Fatal(err)
+	}
+	if fromSources.Snapshot != nil {
+		t.Errorf("source-built workbench claims snapshot provenance: %v", fromSources.Snapshot)
 	}
 }
 

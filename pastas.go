@@ -13,6 +13,7 @@
 package pastas
 
 import (
+	"io"
 	"time"
 
 	"pastas/internal/abstraction"
@@ -120,6 +121,26 @@ func FromBundle(b *Bundle, window Period) (*Workbench, error) {
 
 // NewSession opens an interactive session over a workbench.
 func NewSession(wb *Workbench) *Session { return core.NewSession(wb) }
+
+// --- snapshot persistence -------------------------------------------------
+
+type (
+	// SnapshotOptions tunes Workbench.Save (shard count of the written
+	// snapshot).
+	SnapshotOptions = core.SnapshotOptions
+	// SnapshotInfo is the provenance of a saved or reopened snapshot:
+	// format version, shard layout, sizes and checksums.
+	SnapshotInfo = store.SnapshotInfo
+)
+
+// Open reopens a workbench from a saved snapshot (sharded v2 snapshots
+// decode shard-parallel; legacy v1 single-gob snapshots are detected
+// transparently).
+func Open(r io.Reader, window Period) (*Workbench, error) { return core.Open(r, window) }
+
+// InspectSnapshot reads a snapshot's provenance without materializing
+// the collection (header-only for sharded snapshots).
+func InspectSnapshot(r io.Reader) (*SnapshotInfo, error) { return store.Inspect(r) }
 
 // --- querying and cohorts -------------------------------------------------
 

@@ -8,8 +8,11 @@ package pastas_test
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -73,6 +76,16 @@ func studyCohort(b *testing.B, wb *core.Workbench) *cohort.Cohort {
 		b.Fatal(err)
 	}
 	return c
+}
+
+// mustSession opens a session over a store-backed workbench.
+func mustSession(b *testing.B, wb *core.Workbench) *core.Session {
+	b.Helper()
+	s, err := core.NewSession(wb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
 }
 
 // --- F1: workbench render (Fig. 1) -------------------------------------------
@@ -531,6 +544,195 @@ func BenchmarkE9_SnapshotReopen(b *testing.B) {
 	}
 }
 
+// --- E10: distributed execution over remote shard servers --------------------------
+
+// startBenchCluster saves the collection as an 8-shard snapshot and
+// serves it from two loopback shard servers (4 shards each); returns a
+// connected workbench plus the snapshot path for the loader benchmarks.
+func startBenchCluster(b *testing.B, wb *core.Workbench) (*core.Workbench, string) {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "e10.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := wb.Save(f, core.SnapshotOptions{Shards: 8}); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	var addrs []string
+	for _, ids := range [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		// Server-side plan caches off: the "cold" arms reset the
+		// coordinator's caches each iteration, and a warm server cache
+		// would quietly turn them into wire-overhead measurements.
+		srvOpts := engine.DefaultOptions()
+		srvOpts.CacheSize = 0
+		srv, err := engine.NewShardServer(path, ids, srvOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { lis.Close() })
+		go srv.Serve(lis)
+		addrs = append(addrs, lis.Addr().String())
+	}
+	remote, err := core.Connect(addrs, engine.RemoteOptions{}, engine.DefaultOptions(), wb.Window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { remote.Close() })
+	return remote, path
+}
+
+// BenchmarkE10_RemoteFanout prices the distributed execution path: the
+// E6 cohort workload over loopback shard servers versus the in-process
+// engine (cold = plan caches reset every iteration, warm = the
+// refinement loop), the E8 skewed conjunction likewise, and the lazy
+// OpenShards loader versus streaming the whole snapshot — one shard
+// server's share (2 of 8 shards) against the full LoadSharded.
+func BenchmarkE10_RemoteFanout(b *testing.B) {
+	n := 21000
+	if testing.Short() {
+		n = 5000
+	}
+	wb := workbenchAt(b, n)
+	remote, path := startBenchCluster(b, wb)
+
+	workload := query.And{
+		query.Has{Pred: query.AllOf{
+			query.TypeIs(model.TypeDiagnosis), query.MustCode("", `T90|E11(\..*)?`)}},
+		query.Has{Pred: query.MustCode("", `K8.`), MinCount: 2},
+	}
+	want, err := query.EvalIndexed(wb.Store, workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := []struct {
+		name string
+		wb   *core.Workbench
+	}{{"local", wb}, {"remote", remote}}
+	for _, eng := range engines {
+		b.Run("e6-cold/"+eng.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.wb.Engine.ResetCache()
+				bits, err := eng.wb.Query(workload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bits.Count() != want.Count() {
+					b.Fatalf("cohort drifted: %d, want %d", bits.Count(), want.Count())
+				}
+			}
+		})
+		b.Run("e6-warm/"+eng.name, func(b *testing.B) {
+			eng.wb.Engine.ResetCache()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bits, err := eng.wb.Query(workload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bits.Count() != want.Count() {
+					b.Fatalf("cohort drifted: %d, want %d", bits.Count(), want.Count())
+				}
+			}
+		})
+	}
+
+	// E8's skewed conjunction: cost-based ordering happens on both sides
+	// (coordinator from merged stats, shard servers from their own), so
+	// the rare predicate drives remotely too.
+	skewN := n
+	skewed := skewedStore(skewN)
+	skewWb := core.FromCollection(skewed.Collection(), wb.Window)
+	skewRemote, _ := startBenchCluster(b, skewWb)
+	skewWorkload := query.And{
+		query.Has{Pred: query.MustCode("ICPC2", "C60"), MinCount: 2},
+		query.Has{Pred: query.MustCode("ICPC2", "C40"), MinCount: 2},
+		query.Has{Pred: query.MustCode("ICPC2", "R01"), MinCount: 2},
+	}
+	skewWant, err := query.EvalIndexed(skewed, skewWorkload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, eng := range []struct {
+		name string
+		wb   *core.Workbench
+	}{{"local", skewWb}, {"remote", skewRemote}} {
+		b.Run("e8-cold/"+eng.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.wb.Engine.ResetCache()
+				bits, err := eng.wb.Query(skewWorkload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bits.Count() != skewWant.Count() {
+					b.Fatalf("cohort drifted: %d, want %d", bits.Count(), skewWant.Count())
+				}
+			}
+		})
+	}
+
+	// Loader: one server's share of the snapshot via random access
+	// versus streaming-decoding the whole file.
+	info, err := store.Inspect(mustOpenFile(b, path))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("load/full-LoadSharded", func(b *testing.B) {
+		b.SetBytes(info.Bytes)
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			col, _, err := store.LoadSharded(f)
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if col.Len() != wb.Patients() {
+				b.Fatal("full load lost patients")
+			}
+		}
+	})
+	b.Run("load/OpenShards-2-of-8", func(b *testing.B) {
+		lazyBytes := int64(0)
+		for _, sh := range info.ShardDetail[:2] {
+			lazyBytes += sh.Bytes
+		}
+		b.SetBytes(lazyBytes)
+		for i := 0; i < b.N; i++ {
+			opened, _, err := store.OpenShards(path, 0, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got := 0
+			for _, sh := range opened {
+				got += sh.Col.Len()
+			}
+			if got == 0 {
+				b.Fatal("lazy load lost patients")
+			}
+		}
+	})
+}
+
+func mustOpenFile(b *testing.B, path string) *os.File {
+	b.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { f.Close() })
+	return f
+}
+
 // --- E4: web timelines -------------------------------------------------------------
 
 func BenchmarkE4_WebTimelines(b *testing.B) {
@@ -564,7 +766,7 @@ func BenchmarkE5_InteractionLatency(b *testing.B) {
 				query.TypeIs(model.TypeDiagnosis), query.MustCode("", `K8.|T90`)}}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sess := core.NewSession(wb)
+				sess := mustSession(b, wb)
 				if err := sess.Extract(expr); err != nil {
 					b.Fatal(err)
 				}
@@ -576,7 +778,7 @@ func BenchmarkE5_InteractionLatency(b *testing.B) {
 				query.TypeIs(model.TypeDiagnosis), query.MustCode("", `K8.|T90`)})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sess := core.NewSession(wb)
+				sess := mustSession(b, wb)
 				if err := sess.AlignOn(anchor); err != nil {
 					b.Fatal(err)
 				}
@@ -584,7 +786,7 @@ func BenchmarkE5_InteractionLatency(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("n=%d/render50", size), func(b *testing.B) {
 			wb := workbenchAt(b, wbSize)
-			sess := core.NewSession(wb)
+			sess := mustSession(b, wb)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if svg := sess.RenderTimeline(render.TimelineOptions{MaxRows: 50}); len(svg) == 0 {
@@ -594,7 +796,7 @@ func BenchmarkE5_InteractionLatency(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("n=%d/details", size), func(b *testing.B) {
 			wb := workbenchAt(b, wbSize)
-			sess := core.NewSession(wb)
+			sess := mustSession(b, wb)
 			h := sess.View().At(0)
 			if h.Len() == 0 {
 				b.Skip("empty first history")

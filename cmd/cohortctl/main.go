@@ -8,26 +8,38 @@
 //	cohortctl -data ./data -query query.json
 //	cohortctl -synth 168000 -study
 //	cohortctl -snapshot wb.snap -study
+//	cohortctl -shards 10.0.0.1:7070,10.0.0.2:7070 -study
 //	cohortctl explain -synth 168000 -query query.json
 //	cohortctl snapshot save -synth 168000 -out wb.snap -shards 16
 //	cohortctl snapshot info -in wb.snap
+//	cohortctl shard-server -snapshot wb.snap -serve 0,1 -listen :7070
 //
 // The explain subcommand prints the cost-annotated plan (estimated rows
 // and cost per node, in execution order), then runs the query and reports
 // the actual cohort size and wall time next to the estimate. The snapshot
 // subcommands persist an integrated workbench as a sharded snapshot and
 // inspect a snapshot's header without decoding it.
+//
+// shard-server serves one or more shards of a sharded v2 snapshot over
+// the wire protocol, paging in only the assigned segments; the top-level
+// -shards flag connects a client to a set of such servers, whose shards
+// together must cover the snapshot, and runs queries across them with
+// bit-identical results to a local run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"pastas/internal/cohort"
 	"pastas/internal/core"
+	"pastas/internal/engine"
 	"pastas/internal/integrate"
 	"pastas/internal/model"
 	"pastas/internal/query"
@@ -46,6 +58,10 @@ func main() {
 		runSnapshotCmd(args[1:])
 		return
 	}
+	if len(args) > 0 && args[0] == "shard-server" {
+		runShardServer(args[1:])
+		return
+	}
 	explainMode := len(args) > 0 && args[0] == "explain"
 	if explainMode {
 		args = args[1:]
@@ -55,13 +71,14 @@ func main() {
 	dataDir := fs.String("data", "", "registry extract directory (from datagen)")
 	synthN := fs.Int("synth", 0, "generate a synthetic population of this size instead")
 	snapshotFile := fs.String("snapshot", "", "reopen a saved snapshot instead of ingesting")
+	shardAddrs := fs.String("shards", "", "comma-separated shard-server addresses to query across")
 	queryFile := fs.String("query", "", "JSON query-spec file")
 	study := fs.Bool("study", false, "run the paper's predefined-characteristics selection")
 	limit := fs.Int("limit", 20, "IDs to print")
 	indicators := fs.Bool("indicators", false, "print utilization indicators for the cohort")
 	fs.Parse(args) // ExitOnError: parse failures exit(2) with usage
 
-	wb, window, err := loadWorkbench(*dataDir, *synthN, *snapshotFile)
+	wb, window, err := loadWorkbench(*dataDir, *synthN, *snapshotFile, *shardAddrs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,27 +110,36 @@ func main() {
 		return
 	}
 
-	c, err := cohort.FromEngine(wb.Engine, "query", expr)
+	// Evaluate through the engine directly: the same path works over a
+	// local store and over remote shard backends.
+	bits, err := wb.Query(expr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	count := bits.Count()
 	fmt.Printf("query: %s\n", expr)
 	fmt.Printf("cohort: %d of %d patients (%.2f%%)\n",
-		c.Count(), wb.Patients(), 100*float64(c.Count())/float64(wb.Patients()))
-	ids := c.IDs()
-	if len(ids) > *limit {
-		ids = ids[:*limit]
+		count, wb.Patients(), 100*float64(count)/float64(wb.Patients()))
+	// Resolve only the IDs that will be printed; the -shards path ships
+	// them over the wire, so a huge cohort must not be materialized to
+	// show -limit of them.
+	ids, err := wb.Engine.IDsOf(bits.FirstN(*limit))
+	if err != nil {
+		log.Fatal(err)
 	}
 	for _, id := range ids {
 		fmt.Printf("  %s\n", id)
 	}
-	if c.Count() > *limit {
-		fmt.Printf("  … and %d more\n", c.Count()-*limit)
+	if count > *limit {
+		fmt.Printf("  … and %d more\n", count-*limit)
 	}
 
 	if *indicators {
+		if wb.Store == nil {
+			log.Fatal("-indicators needs the histories locally; not available over -shards")
+		}
 		fmt.Println()
-		fmt.Print(stats.ComputeIndicators(c.Collection(), window).Table())
+		fmt.Print(stats.ComputeIndicators(wb.Store.Subset(bits), window).Table())
 	}
 }
 
@@ -140,9 +166,19 @@ func runExplain(wb *core.Workbench, expr query.Expr) {
 	}
 }
 
-func loadWorkbench(dataDir string, synthN int, snapshotFile string) (*core.Workbench, model.Period, error) {
+func loadWorkbench(dataDir string, synthN int, snapshotFile, shardAddrs string) (*core.Workbench, model.Period, error) {
 	window := model.Period{Start: model.Date(2010, 1, 1), End: model.Date(2012, 1, 1)}
 	switch {
+	case shardAddrs != "":
+		addrs := strings.Split(shardAddrs, ",")
+		t0 := time.Now()
+		wb, err := core.Connect(addrs, engine.RemoteOptions{}, engine.DefaultOptions(), window)
+		if err != nil {
+			return nil, window, err
+		}
+		fmt.Printf("connected to %d shards on %d servers in %s\n",
+			wb.Engine.NumShards(), len(addrs), time.Since(t0).Round(time.Millisecond))
+		return wb, window, nil
 	case snapshotFile != "":
 		f, err := os.Open(snapshotFile)
 		if err != nil {
@@ -169,8 +205,48 @@ func loadWorkbench(dataDir string, synthN int, snapshotFile string) (*core.Workb
 		wb, err := core.Synthesize(cfg)
 		return wb, cfg.Window(), err
 	default:
-		return nil, window, fmt.Errorf("need -data DIR, -synth N or -snapshot FILE")
+		return nil, window, fmt.Errorf("need -data DIR, -synth N, -snapshot FILE or -shards ADDRS")
 	}
+}
+
+// runShardServer serves shards of a sharded snapshot over the wire
+// protocol until killed.
+func runShardServer(args []string) {
+	fs := flag.NewFlagSet("cohortctl shard-server", flag.ExitOnError)
+	snapshot := fs.String("snapshot", "", "sharded v2 snapshot file to serve from")
+	serve := fs.String("serve", "", "comma-separated shard ids to serve (empty = all)")
+	listen := fs.String("listen", "127.0.0.1:7070", "address to listen on")
+	fs.Parse(args)
+	if *snapshot == "" {
+		log.Fatal("need -snapshot FILE")
+	}
+	var ids []int
+	if *serve != "" {
+		for _, part := range strings.Split(*serve, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				log.Fatalf("bad shard id %q", part)
+			}
+			ids = append(ids, id)
+		}
+	}
+	t0 := time.Now()
+	srv, err := engine.NewShardServer(*snapshot, ids, engine.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	patients, entries := 0, 0
+	for _, m := range srv.Metas() {
+		patients += m.Patients
+		entries += m.Entries
+	}
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d shards (%d patients, %d entries) from %s on %s (loaded in %s)\n",
+		len(srv.Metas()), patients, entries, *snapshot, lis.Addr(), time.Since(t0).Round(time.Millisecond))
+	log.Fatal(srv.Serve(lis))
 }
 
 // runSnapshotCmd dispatches the snapshot save/info subcommands.
@@ -186,7 +262,7 @@ func runSnapshotCmd(args []string) {
 		out := fs.String("out", "wb.snap", "output snapshot file")
 		shards := fs.Int("shards", 0, "shard count (0 = engine default)")
 		fs.Parse(args[1:])
-		wb, _, err := loadWorkbench(*dataDir, *synthN, "")
+		wb, _, err := loadWorkbench(*dataDir, *synthN, "", "")
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -46,7 +46,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sess := core.NewSession(wb)
+		sess := mustSession(wb)
 		diagPred := query.AllOf{query.TypeIs(model.TypeDiagnosis), query.MustCode("", *pattern)}
 		if err := sess.Extract(query.Has{Pred: diagPred}); err != nil {
 			log.Fatal(err)
@@ -90,4 +90,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d KiB)\n", *out, len(svg)/1024)
+}
+
+// mustSession opens a session; the workbench here is always store-backed.
+func mustSession(wb *core.Workbench) *core.Session {
+	s, err := core.NewSession(wb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
 }

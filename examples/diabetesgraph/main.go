@@ -25,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess := core.NewSession(wb)
+	sess := mustSession(wb)
 	if err := sess.Extract(query.Has{Pred: query.AllOf{
 		query.TypeIs(model.TypeDiagnosis), query.MustCode("ICPC2", "T90")}}); err != nil {
 		log.Fatal(err)
@@ -63,4 +63,13 @@ func write(name, svg string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d KiB)\n", name, len(svg)/1024)
+}
+
+// mustSession opens a session; the workbench here is always store-backed.
+func mustSession(wb *core.Workbench) *core.Session {
+	s, err := core.NewSession(wb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
 }

@@ -23,7 +23,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess := core.NewSession(wb)
+	sess := mustSession(wb)
 
 	// The acute pathway of the paper's title: a stroke admission, primary
 	// care follow-up within three months, then municipal home care.
@@ -69,4 +69,13 @@ func write(name, svg string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d KiB)\n", name, len(svg)/1024)
+}
+
+// mustSession opens a session; the workbench here is always store-backed.
+func mustSession(wb *core.Workbench) *core.Session {
+	s, err := core.NewSession(wb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
 }

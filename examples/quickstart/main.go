@@ -37,7 +37,10 @@ func main() {
 	fmt.Printf("diabetics with GP follow-up: %d\n", diabetics.Count())
 
 	// 3. Open a session, extract the cohort, align on first T90.
-	sess := pastas.NewSession(wb)
+	sess, err := pastas.NewSession(wb)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := sess.Extract(q); err != nil {
 		log.Fatal(err)
 	}

@@ -35,12 +35,19 @@ func FromExpr(st *store.Store, name string, e query.Expr) (*Cohort, error) {
 }
 
 // FromEngine evaluates a query expression on a shared planner/executor.
+// The engine must be store-backed: a coordinator over remote shard
+// backends has no local store for the cohort to resolve IDs and
+// sub-collections against (use Engine.Execute/IDsOf directly there).
 func FromEngine(eng *engine.Engine, name string, e query.Expr) (*Cohort, error) {
+	st := eng.Store()
+	if st == nil {
+		return nil, fmt.Errorf("cohort %q: engine has no local store (coordinator over remote shards); use Engine.Execute and Engine.IDsOf instead", name)
+	}
 	bits, err := eng.Execute(e)
 	if err != nil {
 		return nil, fmt.Errorf("cohort %q: %w", name, err)
 	}
-	return &Cohort{Name: name, st: eng.Store(), bits: bits}, nil
+	return &Cohort{Name: name, st: st, bits: bits}, nil
 }
 
 // FromIDs builds a cohort from explicit patient IDs; unknown IDs are

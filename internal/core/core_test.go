@@ -21,6 +21,16 @@ func testWorkbench(t testing.TB, n int) *Workbench {
 	return wb
 }
 
+// mustSession opens a session over a store-backed workbench.
+func mustSession(t testing.TB, wb *Workbench) *Session {
+	t.Helper()
+	s, err := NewSession(wb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestSynthesizePipeline(t *testing.T) {
 	wb := testWorkbench(t, 120)
 	if wb.Patients() != 120 {
@@ -57,7 +67,7 @@ func TestSnapshotRoundTripWorkbench(t *testing.T) {
 
 func TestSessionExtractAndUndo(t *testing.T) {
 	wb := testWorkbench(t, 300)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	full := s.View().Len()
 
 	diabetics := query.Or{
@@ -99,7 +109,7 @@ func TestSessionExtractAndUndo(t *testing.T) {
 
 func TestSessionAlignment(t *testing.T) {
 	wb := testWorkbench(t, 300)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	anchor := align.First(query.AllOf{
 		query.TypeIs(model.TypeDiagnosis), query.MustCode("", "K86|K87")})
 	if err := s.AlignOn(anchor); err != nil {
@@ -125,7 +135,7 @@ func TestSessionAlignment(t *testing.T) {
 
 func TestSessionFilterEvents(t *testing.T) {
 	wb := testWorkbench(t, 100)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	plain := s.RenderTimeline(render.TimelineOptions{MaxRows: 20})
 
 	if err := s.FilterEvents(query.TypeIs(model.TypeMeasurement)); err != nil {
@@ -147,7 +157,7 @@ func TestSessionFilterEvents(t *testing.T) {
 
 func TestSessionSortZoomDetails(t *testing.T) {
 	wb := testWorkbench(t, 80)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	if err := s.SortBy("by-entries", align.ByEntryCount()); err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +186,7 @@ func TestSessionSortZoomDetails(t *testing.T) {
 
 func TestSessionPatternSearch(t *testing.T) {
 	wb := testWorkbench(t, 300)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	seq := query.Sequence{Steps: []query.Step{
 		{Pred: query.AllOf{query.TypeIs(model.TypeDiagnosis), query.MustCode("", "K86|K87|T90")}},
 		{Pred: query.TypeIs(model.TypeMeasurement), MaxGap: query.Days(370)},
@@ -190,7 +200,7 @@ func TestSessionPatternSearch(t *testing.T) {
 
 func TestSessionGraphViews(t *testing.T) {
 	wb := testWorkbench(t, 200)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	if err := s.Extract(query.Has{Pred: query.AllOf{
 		query.TypeIs(model.TypeDiagnosis), query.MustCode("", "T90")}}); err != nil {
 		t.Fatal(err)
@@ -213,7 +223,7 @@ func TestSessionGraphViews(t *testing.T) {
 
 func TestSessionHistoryAndBudget(t *testing.T) {
 	wb := testWorkbench(t, 60)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	_ = s.RenderTimeline(render.TimelineOptions{MaxRows: 10})
 	if err := s.SetZoom(2, 2); err != nil {
 		t.Fatal(err)
@@ -239,7 +249,7 @@ func TestSessionHistoryAndBudget(t *testing.T) {
 
 func TestExtractErrorLeavesStateIntact(t *testing.T) {
 	wb := testWorkbench(t, 50)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	before := s.View()
 	// A Has with a predicate whose regex was pre-compiled can't fail; use
 	// EvalIndexed failure via bad pattern in Code built by hand.

@@ -1,0 +1,140 @@
+package core
+
+// Workbench-over-a-backend-set: core.Connect against loopback shard
+// servers answers cohort queries bit-identically to the local workbench
+// the snapshot was saved from, and refuses the operations that need
+// local histories.
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pastas/internal/cohort"
+	"pastas/internal/engine"
+	"pastas/internal/query"
+	"pastas/internal/synth"
+)
+
+// startCluster saves wb as a snapshot with `shards` shards and serves it
+// from two loopback shard servers; returns their addresses.
+func startCluster(t testing.TB, wb *Workbench, shards int) []string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cluster.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := wb.Save(f, SnapshotOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var firstHalf, secondHalf []int
+	for id := 0; id < info.Shards; id++ {
+		if id < info.Shards/2 {
+			firstHalf = append(firstHalf, id)
+		} else {
+			secondHalf = append(secondHalf, id)
+		}
+	}
+	var addrs []string
+	for _, ids := range [][]int{firstHalf, secondHalf} {
+		if len(ids) == 0 {
+			continue
+		}
+		srv, err := engine.NewShardServer(path, ids, engine.Options{Shards: 2, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { lis.Close() })
+		go srv.Serve(lis)
+		addrs = append(addrs, lis.Addr().String())
+	}
+	return addrs
+}
+
+func TestConnectParityAndGuards(t *testing.T) {
+	local, err := Synthesize(synth.DefaultConfig(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startCluster(t, local, 4)
+	remote, err := Connect(addrs, engine.RemoteOptions{Timeout: 30 * time.Second},
+		engine.Options{Workers: 4, CacheSize: 16}, local.Window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	if remote.Patients() != local.Patients() || remote.Entries() != local.Entries() {
+		t.Fatalf("remote sees %d/%d, local %d/%d",
+			remote.Patients(), remote.Entries(), local.Patients(), local.Entries())
+	}
+	exprs := []query.Expr{
+		query.TrueExpr{},
+		query.Has{Pred: query.MustCode("", `T90|E11(\..*)?`)},
+		query.And{
+			query.Has{Pred: query.SourceIs(2)},
+			query.Not{E: query.Has{Pred: query.MustCode("", `K8.`), MinCount: 2}},
+		},
+	}
+	for _, e := range exprs {
+		want, err := local.Query(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := remote.Query(e)
+		if err != nil {
+			t.Fatalf("remote Query(%s): %v", e, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("remote diverges for %s: %d vs %d", e, got.Count(), want.Count())
+		}
+	}
+
+	// History-level operations need a local collection: every guard is
+	// an error, never a panic.
+	if remote.Store != nil {
+		t.Error("connected workbench has a Store")
+	}
+	if _, err := remote.Save(os.Stderr, SnapshotOptions{}); err == nil {
+		t.Error("save over remote shards succeeded")
+	}
+	if err := remote.SaveSnapshot(os.Stderr); err == nil {
+		t.Error("legacy save over remote shards succeeded")
+	}
+	if _, err := NewSession(remote); err == nil {
+		t.Error("session over remote shards succeeded")
+	}
+	if _, err := cohort.FromEngine(remote.Engine, "x", query.TrueExpr{}); err == nil {
+		t.Error("store-backed cohort over remote shards succeeded")
+	}
+}
+
+func TestConnectRejectsPartialTopology(t *testing.T) {
+	local, err := Synthesize(synth.DefaultConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startCluster(t, local, 4)
+	// Connecting to only one of the two servers leaves a gap in the
+	// ordinal space; that is a topology error, not a silent half-answer.
+	_, err = Connect(addrs[:1], engine.RemoteOptions{Timeout: 10 * time.Second},
+		engine.Options{}, local.Window)
+	if err == nil {
+		t.Fatal("partial topology accepted")
+	}
+	if !strings.Contains(err.Error(), "cover") && !strings.Contains(err.Error(), "tile") {
+		t.Errorf("error does not explain the missing coverage: %v", err)
+	}
+}

@@ -51,15 +51,21 @@ type OpRecord struct {
 	Took   time.Duration
 }
 
-// NewSession opens a session viewing the whole collection.
-func NewSession(wb *Workbench) *Session {
+// NewSession opens a session viewing the whole collection. The
+// workbench must hold its collection locally: sessions page through
+// histories, which a workbench connected to remote shard servers
+// (Connect) does not have — only cohort-level queries work there.
+func NewSession(wb *Workbench) (*Session, error) {
+	if wb.Store == nil {
+		return nil, fmt.Errorf("core: sessions need a local workbench; one connected to remote shard servers has no histories (cohort queries still work via Workbench.Query)")
+	}
 	return &Session{
 		wb:     wb,
 		budget: perception.NewBudget(perception.ShneidermanLimit),
 		view:   wb.Store.Collection(),
 		zoomX:  1,
 		zoomY:  1,
-	}
+	}, nil
 }
 
 // Workbench returns the underlying workbench.

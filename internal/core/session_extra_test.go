@@ -11,7 +11,7 @@ import (
 
 func TestSessionEventChart(t *testing.T) {
 	wb := testWorkbench(t, 400)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	// Stroke admission followed by a GP contact within 90 days.
 	seq := query.Sequence{Steps: []query.Step{
 		{Pred: query.AllOf{query.TypeIs(model.TypeDiagnosis), query.MustCode("", `K90|I63(\..*)?`)}},
@@ -34,7 +34,7 @@ func TestSessionEventChart(t *testing.T) {
 
 func TestSessionRenderTimelineDiff(t *testing.T) {
 	wb := testWorkbench(t, 300)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	if err := s.Extract(query.Has{Pred: query.AllOf{
 		query.TypeIs(model.TypeDiagnosis), query.MustCode("", "T90")}}); err != nil {
 		t.Fatal(err)
@@ -54,7 +54,7 @@ func TestSessionRenderTimelineDiff(t *testing.T) {
 
 func TestSessionDiffNoPriorState(t *testing.T) {
 	wb := testWorkbench(t, 50)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	_, sum := s.RenderTimelineDiff(render.TimelineOptions{MaxRows: 10})
 	if sum.Added != 0 || sum.Removed != 0 || sum.Changed != 0 {
 		t.Errorf("fresh session diff must be empty: %+v", sum)
@@ -63,7 +63,7 @@ func TestSessionDiffNoPriorState(t *testing.T) {
 
 func TestCostOfKnowledge(t *testing.T) {
 	wb := testWorkbench(t, 200)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	if got := s.CostOfKnowledge(); got.Ops != 0 || got.InfoUnits != 0 || got.CostPerUnit != 0 {
 		t.Errorf("fresh session foraging = %+v", got)
 	}
@@ -89,7 +89,7 @@ func TestCostOfKnowledge(t *testing.T) {
 
 func TestSortByCluster(t *testing.T) {
 	wb := testWorkbench(t, 250)
-	s := NewSession(wb)
+	s := mustSession(t, wb)
 	// Narrow to a manageable view first (clustering is quadratic).
 	if err := s.Extract(query.Or{
 		query.Has{Pred: query.AllOf{query.TypeIs(model.TypeDiagnosis), query.MustCode("", "T90")}},

@@ -19,8 +19,14 @@ import (
 	"pastas/internal/synth"
 )
 
-// Workbench is a loaded, indexed data set.
+// Workbench is a loaded, indexed data set — or, when connected to remote
+// shard servers, a coordinating front over one.
 type Workbench struct {
+	// Store is the local indexed collection. It is nil for a workbench
+	// built over remote shard backends (Connect), where the histories
+	// live in the shard servers; cohort evaluation still works through
+	// the Engine, but history-level operations (sessions, timelines,
+	// indicators) need a local store.
 	Store *store.Store
 	// Engine is the sharded query planner/executor every cohort
 	// evaluation goes through.
@@ -62,6 +68,54 @@ func (wb *Workbench) Query(e query.Expr) (*store.Bitset, error) {
 	return wb.Engine.Execute(e)
 }
 
+// Connect builds a workbench over remote shard servers: each address is a
+// cohortctl shard-server, every shard it serves becomes a backend, and
+// together they must tile the snapshot's population. The workbench has no
+// local Store — queries execute across the servers with bit-identical
+// semantics to a local workbench over the same snapshot.
+func Connect(addrs []string, ropts engine.RemoteOptions, opts engine.Options, window model.Period) (*Workbench, error) {
+	var backends []engine.ShardBackend
+	closeAll := func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	}
+	total := -1
+	for _, addr := range addrs {
+		bs, serverTotal, err := engine.DialShards(addr, ropts)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("core: connect %s: %w", addr, err)
+		}
+		if total == -1 {
+			total = serverTotal
+		} else if serverTotal != total {
+			closeAll()
+			return nil, fmt.Errorf("core: connect %s: server's snapshot has %d patients, others have %d (different snapshots?)",
+				addr, serverTotal, total)
+		}
+		backends = append(backends, bs...)
+	}
+	eng, err := engine.NewFromBackends(backends, opts)
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	// NewFromBackends proved the shards tile [0, N) contiguously; the
+	// servers' snapshot total proves N is the whole population, so a
+	// missing tail server cannot silently shrink the cohort universe.
+	if eng.Patients() != total {
+		eng.Close()
+		return nil, fmt.Errorf("core: connected shards cover %d of %d patients; add the missing shard servers",
+			eng.Patients(), total)
+	}
+	return &Workbench{Engine: eng, Window: window}, nil
+}
+
+// Close releases the engine's backends (remote connections; a no-op for
+// a local workbench).
+func (wb *Workbench) Close() error { return wb.Engine.Close() }
+
 // Synthesize generates, integrates and indexes a synthetic population —
 // the one-call path the examples and benchmarks use.
 func Synthesize(cfg synth.Config) (*Workbench, error) {
@@ -81,6 +135,9 @@ type SnapshotOptions struct {
 // layout written. Saving is read-only on the collection, so it is safe
 // while queries are in flight.
 func (wb *Workbench) Save(w io.Writer, opts SnapshotOptions) (*store.SnapshotInfo, error) {
+	if wb.Store == nil {
+		return nil, fmt.Errorf("core: save: workbench has no local collection (connected to remote shards)")
+	}
 	shards := opts.Shards
 	if shards <= 0 {
 		shards = wb.Engine.NumShards()
@@ -116,14 +173,18 @@ func LoadSnapshot(r io.Reader, window model.Period) (*Workbench, error) {
 // format. New code should prefer Save, which writes the sharded format
 // Open decodes in parallel.
 func (wb *Workbench) SaveSnapshot(w io.Writer) error {
+	if wb.Store == nil {
+		return fmt.Errorf("core: save: workbench has no local collection (connected to remote shards)")
+	}
 	if err := store.Save(w, wb.Store.Collection()); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
 
-// Patients returns the population size.
-func (wb *Workbench) Patients() int { return wb.Store.Len() }
+// Patients returns the population size (summed across shard backends for
+// a connected workbench).
+func (wb *Workbench) Patients() int { return wb.Engine.Patients() }
 
 // Entries returns the total entry count.
-func (wb *Workbench) Entries() int { return wb.Store.Collection().TotalEntries() }
+func (wb *Workbench) Entries() int { return wb.Engine.TotalEntries() }

@@ -1,0 +1,206 @@
+package engine
+
+// Transport-agnostic shard access. The executor never touches shard data
+// directly: every shard is behind a ShardBackend, whether it lives in this
+// process (a store.View over the global store's postings) or in another
+// one (a shard server reached over RPC). The semantics contract is that a
+// backend evaluates plan fragments over its contiguous slice of the
+// population and answers in shard-local ordinal space — local bit i is
+// global bit Meta().Offset+i — so any mix of transports merges into the
+// same global bitset a single-process engine would produce.
+
+import (
+	"fmt"
+
+	"pastas/internal/model"
+	"pastas/internal/store"
+)
+
+// ShardMeta describes one shard of the population.
+type ShardMeta struct {
+	// Shard is the shard's id within its topology.
+	Shard int
+	// Offset is the global patient ordinal of the shard's first history.
+	Offset int
+	// Patients is the shard's population slice size.
+	Patients int
+	// Entries is the total entry count inside the shard.
+	Entries int
+	// Backend names the transport serving the shard: "local" for an
+	// in-process view, "remote(addr)" for a shard server.
+	Backend string
+}
+
+// ShardBackend evaluates plan fragments over one contiguous shard.
+//
+// EvalPlan runs a plan fragment — a single scan leaf or a whole plan
+// tree — over the shard's patients and returns the matches in shard-local
+// ordinal space. A non-nil mask (also shard-local) restricts the
+// candidates: the result must equal eval(p) ∩ mask, and implementations
+// may exploit the mask to skip work.
+//
+// Stats returns the shard's exact index cardinalities; a coordinating
+// planner merges them into the population-level cardinality bounds its
+// cost model estimates from.
+//
+// IDsOf resolves shard-local ordinals to patient IDs, in ordinal order.
+type ShardBackend interface {
+	Meta() ShardMeta
+	Stats() (*store.Stats, error)
+	EvalPlan(p Plan, mask *store.Bitset) (*store.Bitset, error)
+	IDsOf(b *store.Bitset) ([]model.PatientID, error)
+	Close() error
+}
+
+// LocalBackend serves a shard from an in-process store view: index
+// lookups slice the parent store's postings, scans walk the view's
+// histories. It is the transport the single-process engine fans out over.
+type LocalBackend struct {
+	v    *store.View
+	meta ShardMeta
+}
+
+// NewLocalBackend wraps a store view as shard `shard` of a topology.
+func NewLocalBackend(v *store.View, shard int) *LocalBackend {
+	return &LocalBackend{
+		v: v,
+		meta: ShardMeta{
+			Shard:    shard,
+			Offset:   v.Offset(),
+			Patients: v.Len(),
+			Entries:  v.Entries(),
+			Backend:  "local",
+		},
+	}
+}
+
+// Meta implements ShardBackend.
+func (b *LocalBackend) Meta() ShardMeta { return b.meta }
+
+// Stats implements ShardBackend by popcounting the parent postings over
+// the view's range.
+func (b *LocalBackend) Stats() (*store.Stats, error) { return b.v.Stats(), nil }
+
+// IDsOf implements ShardBackend.
+func (b *LocalBackend) IDsOf(bits *store.Bitset) ([]model.PatientID, error) {
+	out := make([]model.PatientID, 0, bits.Count())
+	bits.Range(func(i int) bool {
+		out = append(out, b.v.PatientAt(i))
+		return true
+	})
+	return out, nil
+}
+
+// Close implements ShardBackend; a view holds no resources.
+func (b *LocalBackend) Close() error { return nil }
+
+// EvalPlan implements ShardBackend: a straightforward recursive evaluator
+// in shard-local ordinal space. The coordinating executor keeps the
+// clever parts — candidate masking, bound derivation, sub-plan caching —
+// for itself and sends leaves here; whole trees are handled too, so a
+// backend set is a complete execution target on its own.
+func (b *LocalBackend) EvalPlan(p Plan, mask *store.Bitset) (*store.Bitset, error) {
+	if mask != nil && mask.Len() != b.v.Len() {
+		return nil, fmt.Errorf("engine: shard %d: mask capacity %d, shard has %d patients",
+			b.meta.Shard, mask.Len(), b.v.Len())
+	}
+	return evalOnView(b.v, p, mask)
+}
+
+// evalOnView evaluates eval(p) ∩ mask over a view (nil mask = all).
+func evalOnView(v *store.View, p Plan, mask *store.Bitset) (*store.Bitset, error) {
+	switch n := p.(type) {
+	case All:
+		if mask != nil {
+			return mask.Clone(), nil
+		}
+		return v.Empty().Not(), nil
+	case None:
+		return v.Empty(), nil
+	case IndexScan:
+		out, err := evalIndexOnView(v, n)
+		if err != nil {
+			return nil, err
+		}
+		if mask != nil {
+			out.And(mask)
+		}
+		return out, nil
+	case Scan:
+		out := v.Empty()
+		for i, h := range v.Histories() {
+			if mask != nil && !mask.Get(i) {
+				continue
+			}
+			if n.Expr.Eval(h) {
+				out.Set(i)
+			}
+		}
+		return out, nil
+	case Not:
+		inner, err := evalOnView(v, n.Child, nil)
+		if err != nil {
+			return nil, err
+		}
+		inner.Not()
+		if mask != nil {
+			inner.And(mask)
+		}
+		return inner, nil
+	case And:
+		// Thread the accumulator as the next child's mask, so each child
+		// only considers the candidates still alive.
+		var acc *store.Bitset
+		if mask != nil {
+			acc = mask.Clone()
+		} else {
+			acc = v.Empty().Not()
+		}
+		for _, c := range n.Children {
+			if acc.Count() == 0 {
+				return acc, nil
+			}
+			next, err := evalOnView(v, c, acc)
+			if err != nil {
+				return nil, err
+			}
+			acc = next
+		}
+		return acc, nil
+	case Or:
+		acc := v.Empty()
+		for _, c := range n.Children {
+			b, err := evalOnView(v, c, mask)
+			if err != nil {
+				return nil, err
+			}
+			acc.Or(b)
+		}
+		return acc, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown plan node %T", p)
+	}
+}
+
+// evalIndexOnView answers an index leaf from the view's sliced postings.
+func evalIndexOnView(v *store.View, n IndexScan) (*store.Bitset, error) {
+	switch n.Op {
+	case OpType:
+		return v.WithType(n.Type), nil
+	case OpSource:
+		return v.WithSource(n.Source), nil
+	default:
+		if len(n.Systems) == 0 {
+			return v.WithCodeRegex("", n.Pattern)
+		}
+		out := v.Empty()
+		for _, sys := range n.Systems {
+			b, err := v.WithCodeRegex(sys, n.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			out.Or(b)
+		}
+		return out, nil
+	}
+}

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +17,7 @@ import (
 // Options tunes the engine.
 type Options struct {
 	// Shards is the number of store shards; clamped to [1, patients].
+	// Ignored by NewFromBackends, where the backends fix the topology.
 	Shards int
 	// Workers bounds concurrent per-shard evaluation. Defaults to
 	// GOMAXPROCS.
@@ -30,17 +33,7 @@ func DefaultOptions() Options {
 	return Options{Shards: n, Workers: n, CacheSize: 128}
 }
 
-// shard is one contiguous slice of the population; local ordinal i is
-// global ordinal off+i. Shards are store views sharing the global store's
-// postings (sliced by ordinal range on demand), not dedicated index
-// copies — construction is O(1) per shard and index memory is paid once.
-type shard struct {
-	v       *store.View
-	off     int
-	entries int // total entries in the slice, for the /stats breakdown
-}
-
-// shardMetric accumulates one shard's evaluation load for the /stats
+// shardMetric accumulates one backend's evaluation load for the /stats
 // budget audits.
 type shardMetric struct {
 	queries atomic.Uint64
@@ -51,14 +44,25 @@ type shardMetric struct {
 // pure functions of the immutable store, so a small fixed cache is safe.
 const boundCacheSize = 64
 
-// Engine executes compiled plans over a sharded store.
+// Engine executes compiled plans over a set of shard backends.
+//
+// Built with New, the backends are in-process views over one global store
+// and the executor exploits that locality: index leaves are answered
+// straight from the global postings, scan candidates are bounded by them,
+// and only scan evaluation fans out. Built with NewFromBackends, the
+// engine is a coordinator over arbitrary (typically remote) backends: it
+// plans from the backends' merged statistics, pushes whole plans down to
+// every shard in one round, and merges the shard-local results in fixed
+// shard order.
 type Engine struct {
-	st      *store.Store
-	stats   *store.Stats
-	shards  []shard
-	metrics []shardMetric
-	workers int
-	cache   *planCache
+	st       *store.Store // nil for a coordinator over remote backends
+	stats    *store.Stats
+	n        int // total population
+	entries  int // total entries across backends
+	backends []ShardBackend
+	metrics  []shardMetric
+	workers  int
+	cache    *planCache
 	// boundCache memoizes scanBound results by Scan key, so the
 	// interactive refinement loop re-intersects a cached bound instead
 	// of re-walking the code vocabulary on every repeated scan.
@@ -67,50 +71,138 @@ type Engine struct {
 
 // New builds an engine over an already-indexed global store. With more
 // than one shard the population is split into contiguous chunks; each is
-// a view onto the global store's postings, so scan evaluation fans out
-// across a worker pool and merges per-shard bitsets by ordinal offset
-// without duplicating any index memory.
+// a local backend viewing the global store's postings, so scan evaluation
+// fans out across a worker pool and merges per-shard bitsets by ordinal
+// offset without duplicating any index memory.
 func New(st *store.Store, opts Options) *Engine {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	e := &Engine{
 		st:         st,
 		stats:      st.Stats(),
-		workers:    workers,
+		n:          st.Len(),
+		workers:    normalizeWorkers(opts.Workers),
 		cache:      newPlanCache(opts.CacheSize),
 		boundCache: newPlanCache(boundCacheSize),
 	}
-
 	n := st.Len()
 	shards := opts.Shards
 	if shards > n {
 		shards = n
 	}
 	if shards <= 1 {
-		v := st.Slice(0, n)
-		e.shards = []shard{{v: v, off: 0, entries: v.Entries()}}
+		e.backends = []ShardBackend{NewLocalBackend(st.Slice(0, n), 0)}
 	} else {
 		chunk := (n + shards - 1) / shards
 		for off := 0; off < n; off += chunk {
-			hi := min(off+chunk, n)
-			v := st.Slice(off, hi)
-			e.shards = append(e.shards, shard{v: v, off: off, entries: v.Entries()})
+			e.backends = append(e.backends,
+				NewLocalBackend(st.Slice(off, min(off+chunk, n)), len(e.backends)))
 		}
 	}
-	e.metrics = make([]shardMetric, len(e.shards))
+	e.finishInit()
 	return e
 }
 
-// Store returns the global store the engine answers over.
+// NewFromBackends builds a coordinating engine over an explicit backend
+// set — the distributed execution path. The backends must tile the
+// population: sorted by offset they have to cover [0, N) contiguously,
+// the same ordinal-contiguous boundaries the local engine shards on.
+// Statistics are fetched from every backend and merged (exact: patient
+// counts are additive over disjoint shards) so cost-based planning sees
+// the same cardinalities a single global store would collect.
+func NewFromBackends(backends []ShardBackend, opts Options) (*Engine, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("engine: no shard backends")
+	}
+	bs := append([]ShardBackend(nil), backends...)
+	sort.SliceStable(bs, func(i, j int) bool { return bs[i].Meta().Offset < bs[j].Meta().Offset })
+	e := &Engine{
+		backends:   bs,
+		workers:    normalizeWorkers(opts.Workers),
+		cache:      newPlanCache(opts.CacheSize),
+		boundCache: newPlanCache(boundCacheSize),
+	}
+	for _, b := range bs {
+		m := b.Meta()
+		if m.Offset != e.n {
+			return nil, fmt.Errorf("engine: backend %q covers ordinals [%d, %d), want start %d (shards must tile the population contiguously)",
+				m.Backend, m.Offset, m.Offset+m.Patients, e.n)
+		}
+		e.n += m.Patients
+	}
+	// Merged statistics give the planner population-level cardinality
+	// bounds; fetch per shard, concurrently.
+	parts := make([]*store.Stats, len(bs))
+	errs := make([]error, len(bs))
+	var wg sync.WaitGroup
+	for i, b := range bs {
+		wg.Add(1)
+		go func(i int, b ShardBackend) {
+			defer wg.Done()
+			parts[i], errs[i] = b.Stats()
+		}(i, b)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: stats from backend %q: %w", bs[i].Meta().Backend, err)
+		}
+	}
+	e.stats = store.MergeStats(parts...)
+	e.finishInit()
+	return e, nil
+}
+
+func (e *Engine) finishInit() {
+	e.metrics = make([]shardMetric, len(e.backends))
+	for _, b := range e.backends {
+		e.entries += b.Meta().Entries
+	}
+}
+
+func normalizeWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// Store returns the global store a locally built engine answers over; nil
+// for a coordinator over remote backends.
 func (e *Engine) Store() *store.Store { return e.st }
 
-// Stats returns the store statistics the planner estimates from.
+// Stats returns the statistics the planner estimates from: the store's
+// own for a local engine, the backends' merged cardinalities for a
+// coordinator.
 func (e *Engine) Stats() *store.Stats { return e.stats }
 
+// Patients returns the total population across all backends.
+func (e *Engine) Patients() int { return e.n }
+
+// TotalEntries returns the total entry count across all backends.
+func (e *Engine) TotalEntries() int { return e.entries }
+
 // NumShards returns the shard count.
-func (e *Engine) NumShards() int { return len(e.shards) }
+func (e *Engine) NumShards() int { return len(e.backends) }
+
+// BackendInfo returns every backend's shard metadata, in offset order.
+func (e *Engine) BackendInfo() []ShardMeta {
+	out := make([]ShardMeta, len(e.backends))
+	for i, b := range e.backends {
+		out[i] = b.Meta()
+	}
+	return out
+}
+
+// Close releases the backends (network connections for remote shards;
+// a no-op for local views).
+func (e *Engine) Close() error {
+	var errs []error
+	for _, b := range e.backends {
+		if err := b.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
 
 // CacheStats reports plan-cache hits, misses and occupancy.
 func (e *Engine) CacheStats() CacheStats {
@@ -131,28 +223,40 @@ func (e *Engine) ResetCache() {
 	}
 }
 
-// ShardStat reports one shard's cumulative scan-evaluation load since the
-// engine was built. Index leaves are answered from the global postings
-// and do not appear here.
+// empty returns a fresh empty bitset over the whole population.
+func (e *Engine) empty() *store.Bitset { return store.NewBitset(e.n) }
+
+// all returns a bitset with every patient set.
+func (e *Engine) all() *store.Bitset { return e.empty().Not() }
+
+// ShardStat reports one backend's cumulative evaluation load since the
+// engine was built: every plan fragment the executor fanned out to the
+// backend, timed uniformly at the call site, whatever the transport. For
+// a locally built engine index leaves are answered from the global
+// postings without touching a backend and do not appear here.
 type ShardStat struct {
 	Shard    int
 	Offset   int
 	Patients int
 	Entries  int
-	Queries  uint64
-	Nanos    uint64
+	// Backend names the transport ("local", "remote(addr)").
+	Backend string
+	Queries uint64
+	Nanos   uint64
 }
 
-// ShardStats returns per-shard evaluation counters for the 0.1 s budget
+// ShardStats returns per-backend evaluation counters for the 0.1 s budget
 // audits (the webapp's /api/stats endpoint serves these).
 func (e *Engine) ShardStats() []ShardStat {
-	out := make([]ShardStat, len(e.shards))
-	for i := range e.shards {
+	out := make([]ShardStat, len(e.backends))
+	for i, b := range e.backends {
+		m := b.Meta()
 		out[i] = ShardStat{
-			Shard:    i,
-			Offset:   e.shards[i].off,
-			Patients: e.shards[i].v.Len(),
-			Entries:  e.shards[i].entries,
+			Shard:    m.Shard,
+			Offset:   m.Offset,
+			Patients: m.Patients,
+			Entries:  m.Entries,
+			Backend:  m.Backend,
 			Queries:  e.metrics[i].queries.Load(),
 			Nanos:    e.metrics[i].nanos.Load(),
 		}
@@ -198,7 +302,39 @@ func (e *Engine) Select(q query.Expr) ([]model.PatientID, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.st.IDsOf(b), nil
+	return e.IDsOf(b)
+}
+
+// IDsOf materializes a global-ordinal bitset as patient IDs in collection
+// order. A local engine reads them off the store; a coordinator asks each
+// backend for its slice and concatenates in fixed shard order.
+func (e *Engine) IDsOf(b *store.Bitset) ([]model.PatientID, error) {
+	if e.st != nil {
+		return e.st.IDsOf(b), nil
+	}
+	parts := make([][]model.PatientID, len(e.backends))
+	errs := make([]error, len(e.backends))
+	var wg sync.WaitGroup
+	for i, bk := range e.backends {
+		m := bk.Meta()
+		if !b.AnyInRange(m.Offset, m.Offset+m.Patients) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, bk ShardBackend, m ShardMeta) {
+			defer wg.Done()
+			parts[i], errs[i] = bk.IDsOf(b.SliceRange(m.Offset, m.Offset+m.Patients))
+		}(i, bk, m)
+	}
+	wg.Wait()
+	out := make([]model.PatientID, 0, b.Count())
+	for i := range parts {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("engine: ids from backend %q: %w", e.backends[i].Meta().Backend, errs[i])
+		}
+		out = append(out, parts[i]...)
+	}
+	return out, nil
 }
 
 // eval computes the exact result of p over the whole population. Results
@@ -208,9 +344,9 @@ func (e *Engine) Select(q query.Expr) ([]model.PatientID, error) {
 func (e *Engine) eval(p Plan) (*store.Bitset, error) {
 	switch p.(type) {
 	case All:
-		return e.st.All(), nil
+		return e.all(), nil
 	case None:
-		return e.st.Empty(), nil
+		return e.empty(), nil
 	}
 	useCache := e.cache != nil && cacheable(p)
 	key := ""
@@ -222,24 +358,34 @@ func (e *Engine) eval(p Plan) (*store.Bitset, error) {
 	}
 	var out *store.Bitset
 	var err error
-	switch n := p.(type) {
-	case IndexScan:
-		out, err = e.evalIndex(n)
-	case Scan:
-		out, err = e.evalScan(n, nil)
-	case Not:
-		out, err = e.eval(n.Child)
-		if err == nil {
-			out.Not()
+	if e.st == nil {
+		// Coordinator: every expression is per-history, so a whole plan
+		// distributes over the shards — one fan-out round, each backend
+		// evaluating (and locally re-optimizing) the full plan over its
+		// slice, merged in fixed shard order.
+		out, err = e.fanout(func(_ int, b ShardBackend) (*store.Bitset, error) {
+			return b.EvalPlan(p, nil)
+		})
+	} else {
+		switch n := p.(type) {
+		case IndexScan:
+			out, err = e.evalIndex(n)
+		case Scan:
+			out, err = e.evalScan(n, nil)
+		case Not:
+			out, err = e.eval(n.Child)
+			if err == nil {
+				out.Not()
+			}
+		case And:
+			out, err = e.evalAnd(n.Children, nil)
+		case Or:
+			out, err = e.evalOr(n.Children, nil)
+		default:
+			// Plan is an open interface; fail loudly rather than returning
+			// (nil, nil) for a node type this executor does not know.
+			return nil, fmt.Errorf("engine: unknown plan node %T", p)
 		}
-	case And:
-		out, err = e.evalAnd(n.Children, nil)
-	case Or:
-		out, err = e.evalOr(n.Children, nil)
-	default:
-		// Plan is an open interface; fail loudly rather than returning
-		// (nil, nil) for a node type this executor does not know.
-		return nil, fmt.Errorf("engine: unknown plan node %T", p)
 	}
 	if err != nil {
 		return nil, err
@@ -259,7 +405,7 @@ func (e *Engine) evalMasked(p Plan, mask *store.Bitset) (*store.Bitset, error) {
 	case All:
 		return mask.Clone(), nil
 	case None:
-		return e.st.Empty(), nil
+		return e.empty(), nil
 	}
 	if e.cache != nil && cacheable(p) {
 		if b, ok := e.cache.get(p.Key()); ok {
@@ -297,7 +443,7 @@ func (e *Engine) evalAnd(children []Plan, mask *store.Bitset) (*store.Bitset, er
 	if mask != nil {
 		acc = mask.Clone()
 	} else {
-		acc = e.st.All()
+		acc = e.all()
 	}
 	for _, c := range children {
 		if acc.Count() == 0 {
@@ -325,8 +471,8 @@ func (e *Engine) evalAnd(children []Plan, mask *store.Bitset) (*store.Bitset, er
 // (and, under a mask, inside the mask), and the union short-circuits by
 // absorption the moment it covers every candidate.
 func (e *Engine) evalOr(children []Plan, mask *store.Bitset) (*store.Bitset, error) {
-	acc := e.st.Empty()
-	target := e.st.Len()
+	acc := e.empty()
+	target := e.n
 	if mask != nil {
 		target = mask.Count()
 	}
@@ -361,8 +507,9 @@ func (e *Engine) evalOr(children []Plan, mask *store.Bitset) (*store.Bitset, err
 }
 
 // evalIndex answers an index leaf straight from the global store's
-// postings — with shards sharing the parent's postings there is nothing
-// to fan out.
+// postings — with local backends sharing the parent's postings there is
+// nothing to fan out. (A coordinator has no global postings; index leaves
+// reach its backends inside the pushed-down plan instead.)
 func (e *Engine) evalIndex(n IndexScan) (*store.Bitset, error) {
 	switch n.Op {
 	case OpType:
@@ -373,7 +520,7 @@ func (e *Engine) evalIndex(n IndexScan) (*store.Bitset, error) {
 		if len(n.Systems) == 0 {
 			return e.st.WithCodeRegex("", n.Pattern)
 		}
-		out := e.st.Empty()
+		out := e.empty()
 		for _, sys := range n.Systems {
 			b, err := e.st.WithCodeRegex(sys, n.Pattern)
 			if err != nil {
@@ -385,12 +532,13 @@ func (e *Engine) evalIndex(n IndexScan) (*store.Bitset, error) {
 	}
 }
 
-// evalScan runs the fallback evaluator over each shard's histories. The
+// evalScan runs the fallback evaluator over each backend's shard. The
 // candidate set is the given mask intersected with the scan's
 // index-derived bound (scanBound) — the driving predicate's postings —
 // so whole shards whose per-shard cardinality for the driving predicate
-// is zero are skipped without visiting a history, and an empty candidate
-// set short-circuits before any fan-out.
+// is zero are skipped without a backend call, and an empty candidate set
+// short-circuits before any fan-out. Each backend receives its slice of
+// the candidates in shard-local ordinal space.
 func (e *Engine) evalScan(n Scan, mask *store.Bitset) (*store.Bitset, error) {
 	eff := mask
 	if bound := e.cachedBound(n); bound != nil {
@@ -400,22 +548,18 @@ func (e *Engine) evalScan(n Scan, mask *store.Bitset) (*store.Bitset, error) {
 		eff = bound
 	}
 	if eff != nil && eff.Count() == 0 {
-		return e.st.Empty(), nil
+		return e.empty(), nil
 	}
-	return e.perShard(func(sh shard) (*store.Bitset, error) {
-		local := sh.v.Empty()
-		if eff != nil && !eff.AnyInRange(sh.off, sh.off+sh.v.Len()) {
-			return local, nil
-		}
-		for i, h := range sh.v.Histories() {
-			if eff != nil && !eff.Get(sh.off+i) {
-				continue
+	return e.fanout(func(_ int, b ShardBackend) (*store.Bitset, error) {
+		m := b.Meta()
+		var local *store.Bitset
+		if eff != nil {
+			if !eff.AnyInRange(m.Offset, m.Offset+m.Patients) {
+				return store.NewBitset(m.Patients), nil
 			}
-			if n.Expr.Eval(h) {
-				local.Set(i)
-			}
+			local = eff.SliceRange(m.Offset, m.Offset+m.Patients)
 		}
-		return local, nil
+		return b.EvalPlan(n, local)
 	})
 }
 
@@ -429,7 +573,7 @@ func (e *Engine) evalScan(n Scan, mask *store.Bitset) (*store.Bitset, error) {
 func (e *Engine) cachedBound(n Scan) *store.Bitset {
 	key := n.Key()
 	if b, ok := e.boundCache.get(key); ok {
-		if b.Len() == 0 && e.st.Len() != 0 {
+		if b.Len() == 0 && e.n != 0 {
 			return nil // negative entry: no index bounds this scan
 		}
 		return b
@@ -556,49 +700,53 @@ func unionBounds(bounds []*store.Bitset) *store.Bitset {
 	return out
 }
 
-// perShard fans fn out over the shards on the worker pool, merges the
-// local bitsets into one global bitset by shard offset, and accumulates
-// per-shard wall time into the /stats counters.
-func (e *Engine) perShard(fn func(sh shard) (*store.Bitset, error)) (*store.Bitset, error) {
-	out := e.st.Empty()
-	if len(e.shards) == 1 {
+// fanout runs fn against every backend on the worker pool, records each
+// backend's wall time into the /stats counters — uniformly, whatever the
+// transport — and merges the shard-local bitsets into one global bitset
+// in fixed shard order. Any backend error fails the whole evaluation: a
+// partial cohort is never returned.
+func (e *Engine) fanout(fn func(i int, b ShardBackend) (*store.Bitset, error)) (*store.Bitset, error) {
+	locals := make([]*store.Bitset, len(e.backends))
+	if len(e.backends) == 1 {
 		t0 := time.Now()
-		local, err := fn(e.shards[0])
+		local, err := fn(0, e.backends[0])
 		e.record(0, t0)
 		if err != nil {
-			return nil, err
+			m := e.backends[0].Meta()
+			return nil, fmt.Errorf("engine: shard %d (%s): %w", m.Shard, m.Backend, err)
 		}
-		return out.OrAt(local, 0), nil
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.workers)
-	var mu sync.Mutex
-	var firstErr error
-	for i, sh := range e.shards {
-		wg.Add(1)
-		go func(i int, sh shard) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			t0 := time.Now()
-			local, err := fn(sh)
-			e.record(i, t0)
-			mu.Lock()
-			defer mu.Unlock()
+		locals[0] = local
+	} else {
+		errs := make([]error, len(e.backends))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.workers)
+		for i, b := range e.backends {
+			wg.Add(1)
+			go func(i int, b ShardBackend) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				t0 := time.Now()
+				locals[i], errs[i] = fn(i, b)
+				e.record(i, t0)
+			}(i, b)
+		}
+		wg.Wait()
+		for i, err := range errs {
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
+				m := e.backends[i].Meta()
+				return nil, fmt.Errorf("engine: shard %d (%s): %w", m.Shard, m.Backend, err)
 			}
-			if firstErr == nil {
-				out.OrAt(local, sh.off)
-			}
-		}(i, sh)
+		}
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	out := e.empty()
+	for i, local := range locals {
+		m := e.backends[i].Meta()
+		if local.Len() != m.Patients {
+			return nil, fmt.Errorf("engine: shard %d (%s): result covers %d patients, shard has %d",
+				m.Shard, m.Backend, local.Len(), m.Patients)
+		}
+		out.OrAt(local, m.Offset)
 	}
 	return out, nil
 }

@@ -30,6 +30,9 @@ type Explained struct {
 	Root ExplainNode
 	// Patients is the population the estimates are over.
 	Patients int
+	// Backends is the shard topology the plan will execute over, in
+	// offset order — one entry per backend, naming its transport.
+	Backends []ShardMeta
 }
 
 // Explain compiles and cost-optimizes an expression and annotates every
@@ -41,7 +44,26 @@ func (e *Engine) Explain(q query.Expr) (*Explained, error) {
 	}
 	p = e.optimize(p)
 	m := newCostModel(e.stats)
-	return &Explained{Plan: p, Root: annotate(p, m), Patients: e.st.Len()}, nil
+	return &Explained{Plan: p, Root: annotate(p, m), Patients: e.n, Backends: e.BackendInfo()}, nil
+}
+
+// backendSummary compresses the topology into "4×local" or
+// "2×remote(host:7070), 2×remote(host:7071)" style, preserving first-
+// occurrence order.
+func backendSummary(metas []ShardMeta) string {
+	var order []string
+	counts := make(map[string]int)
+	for _, m := range metas {
+		if counts[m.Backend] == 0 {
+			order = append(order, m.Backend)
+		}
+		counts[m.Backend]++
+	}
+	parts := make([]string, len(order))
+	for i, name := range order {
+		parts[i] = fmt.Sprintf("%d×%s", counts[name], name)
+	}
+	return strings.Join(parts, ", ")
 }
 
 func annotate(p Plan, m *costModel) ExplainNode {
@@ -85,7 +107,11 @@ func nodeLabel(p Plan) string {
 //	  scan{has>=2(code~"K8.")}  est_rows≈2900 est_cost≈2.3e+04
 func (x *Explained) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan over %d patients:\n", x.Patients)
+	fmt.Fprintf(&b, "plan over %d patients", x.Patients)
+	if len(x.Backends) > 0 {
+		fmt.Fprintf(&b, " (backends: %s)", backendSummary(x.Backends))
+	}
+	b.WriteString(":\n")
 	writeNode(&b, &x.Root, 0)
 	return b.String()
 }

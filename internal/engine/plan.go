@@ -25,6 +25,12 @@ import (
 )
 
 // Plan is a node of the compiled query plan.
+//
+// Adding a node kind means extending every evaluator and codec switch in
+// step: Engine.eval and Engine.evalMasked (engine.go), evalOnView
+// (backend.go), planToWire/planFromWire (wire.go), and the cost model
+// (cost.go). Each switch fails loudly on an unknown node, so a missed
+// site surfaces as an execution error, not a wrong cohort.
 type Plan interface {
 	// Key is the canonical cache key: structurally equivalent plans share
 	// keys (And/Or keys are order-insensitive, since execution order is an

@@ -1,0 +1,444 @@
+package engine
+
+// The remote shard transport: a net/rpc wire protocol (gob-framed over
+// TCP) between a coordinating engine and shard servers. A shard server
+// pages its assigned shards out of a sharded v2 snapshot with
+// store.OpenShards — only those segments are ever read — indexes each as
+// a dedicated store, and answers plan evaluations through a per-shard
+// engine, re-optimized against the shard's own statistics. The client
+// side wraps each served shard as a ShardBackend with per-call timeout
+// and bounded redial-retry; server-side evaluation errors are returned
+// verbatim and never retried (they are deterministic), while transport
+// errors reset the connection.
+//
+// Payloads that have their own codecs (plans, bitsets, statistics) cross
+// the wire as opaque byte slices, so the RPC layer adds no second
+// serialization semantics on top of wire.go and the store codecs.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"reflect"
+	"sync"
+	"time"
+
+	"pastas/internal/model"
+	"pastas/internal/store"
+)
+
+// rpcServiceName is the registered net/rpc service.
+const rpcServiceName = "PastasShard"
+
+// servedShard is one shard a server answers for.
+type servedShard struct {
+	meta ShardMeta
+	eng  *Engine
+}
+
+// ShardServer serves one or more shards of a snapshot over net/rpc.
+type ShardServer struct {
+	rpc    *rpc.Server
+	shards map[int]*servedShard
+	metas  []ShardMeta
+	// totalPatients is the snapshot's full population — what every
+	// server of the same snapshot reports, so a client can verify its
+	// assembled topology covers the whole ordinal space.
+	totalPatients int
+}
+
+// NewShardServer opens the given shards of a sharded v2 snapshot (no ids
+// = every shard) and builds a per-shard engine over each. Only the
+// header and the assigned segments are read from the file.
+func NewShardServer(snapshotPath string, ids []int, opts Options) (*ShardServer, error) {
+	opened, info, err := store.OpenShards(snapshotPath, ids...)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardServer{
+		rpc:           rpc.NewServer(),
+		shards:        make(map[int]*servedShard, len(opened)),
+		totalPatients: info.Patients,
+	}
+	for _, sh := range opened {
+		st := store.New(sh.Col)
+		served := &servedShard{
+			meta: ShardMeta{
+				Shard:    sh.Shard,
+				Offset:   sh.Offset,
+				Patients: st.Len(),
+				Entries:  sh.Col.TotalEntries(),
+			},
+			eng: New(st, opts),
+		}
+		s.shards[sh.Shard] = served
+		s.metas = append(s.metas, served.meta)
+	}
+	if err := s.rpc.RegisterName(rpcServiceName, &ShardRPC{s: s}); err != nil {
+		return nil, fmt.Errorf("engine: shard server: %w", err)
+	}
+	return s, nil
+}
+
+// Metas returns the served shards' metadata (offsets are global patient
+// ordinals from the snapshot's shard table).
+func (s *ShardServer) Metas() []ShardMeta { return append([]ShardMeta(nil), s.metas...) }
+
+// Serve accepts connections until the listener closes; each connection
+// gets its own goroutine.
+func (s *ShardServer) Serve(lis net.Listener) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		go s.rpc.ServeConn(conn)
+	}
+}
+
+func (s *ShardServer) shard(id int) (*servedShard, error) {
+	sh, ok := s.shards[id]
+	if !ok {
+		return nil, fmt.Errorf("engine: shard server does not serve shard %d", id)
+	}
+	return sh, nil
+}
+
+// ShardRPC is the net/rpc service surface of a ShardServer.
+type ShardRPC struct{ s *ShardServer }
+
+// DescribeArgs/DescribeReply: topology handshake. TotalPatients is the
+// full population of the snapshot the server loads from — not just its
+// own shards — so a client assembling servers can detect incomplete
+// coverage.
+type DescribeArgs struct{}
+type DescribeReply struct {
+	Shards        []ShardMeta
+	TotalPatients int
+}
+
+// Describe lists the shards this server answers for.
+func (r *ShardRPC) Describe(_ *DescribeArgs, reply *DescribeReply) error {
+	reply.Shards = r.s.Metas()
+	reply.TotalPatients = r.s.totalPatients
+	return nil
+}
+
+// StatsArgs/StatsReply: per-shard planner statistics.
+type StatsArgs struct{ Shard int }
+type StatsReply struct{ Stats []byte }
+
+// Stats returns one shard's marshaled exact cardinalities.
+func (r *ShardRPC) Stats(args *StatsArgs, reply *StatsReply) error {
+	sh, err := r.s.shard(args.Shard)
+	if err != nil {
+		return err
+	}
+	data, err := sh.eng.Stats().MarshalBinary()
+	if err != nil {
+		return err
+	}
+	reply.Stats = data
+	return nil
+}
+
+// EvalArgs/EvalReply: plan evaluation. Plan is a wire.go-encoded plan;
+// Mask, when non-empty, is a shard-local bitset restricting candidates.
+type EvalArgs struct {
+	Shard int
+	Plan  []byte
+	Mask  []byte
+}
+type EvalReply struct{ Bits []byte }
+
+// Eval decodes the plan, re-optimizes it against the shard's own
+// statistics and executes it over the shard's engine, returning matches
+// in shard-local ordinal space. A shipped candidate mask is validated
+// before any evaluation work and fed through the engine's masked path,
+// so the server exploits it to skip non-candidates (the ShardBackend
+// contract) instead of paying for the full shard and intersecting after.
+func (r *ShardRPC) Eval(args *EvalArgs, reply *EvalReply) error {
+	sh, err := r.s.shard(args.Shard)
+	if err != nil {
+		return err
+	}
+	var mask *store.Bitset
+	if len(args.Mask) > 0 {
+		mask = new(store.Bitset)
+		if err := mask.UnmarshalBinary(args.Mask); err != nil {
+			return err
+		}
+		if mask.Len() != sh.meta.Patients {
+			return fmt.Errorf("engine: mask covers %d patients, shard has %d", mask.Len(), sh.meta.Patients)
+		}
+	}
+	p, err := DecodePlan(args.Plan)
+	if err != nil {
+		return err
+	}
+	p = sh.eng.optimize(p)
+	var bits *store.Bitset
+	if mask != nil {
+		bits, err = sh.eng.evalMasked(p, mask)
+	} else {
+		bits, err = sh.eng.ExecutePlan(p)
+	}
+	if err != nil {
+		return err
+	}
+	data, err := bits.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	reply.Bits = data
+	return nil
+}
+
+// IDsArgs/IDsReply: ordinal → patient ID resolution.
+type IDsArgs struct {
+	Shard int
+	Bits  []byte
+}
+type IDsReply struct{ IDs []model.PatientID }
+
+// IDs resolves a shard-local bitset to patient IDs in ordinal order.
+func (r *ShardRPC) IDs(args *IDsArgs, reply *IDsReply) error {
+	sh, err := r.s.shard(args.Shard)
+	if err != nil {
+		return err
+	}
+	var bits store.Bitset
+	if err := bits.UnmarshalBinary(args.Bits); err != nil {
+		return err
+	}
+	if bits.Len() != sh.meta.Patients {
+		return fmt.Errorf("engine: bitset covers %d patients, shard has %d", bits.Len(), sh.meta.Patients)
+	}
+	reply.IDs = sh.eng.Store().IDsOf(&bits)
+	return nil
+}
+
+// RemoteOptions tunes the client side of the shard transport.
+type RemoteOptions struct {
+	// Timeout bounds each dial and each RPC round trip. 0 means
+	// DefaultRemoteTimeout.
+	Timeout time.Duration
+	// Retries is how many extra attempts a transport-failed call gets
+	// (each after a redial). Negative means none; 0 means
+	// DefaultRemoteRetries.
+	Retries int
+}
+
+// DefaultRemoteTimeout bounds one RPC round trip unless overridden.
+const DefaultRemoteTimeout = 10 * time.Second
+
+// DefaultRemoteRetries is the redial-retry budget unless overridden.
+const DefaultRemoteRetries = 1
+
+func (o RemoteOptions) timeout() time.Duration {
+	if o.Timeout <= 0 {
+		return DefaultRemoteTimeout
+	}
+	return o.Timeout
+}
+
+func (o RemoteOptions) retries() int {
+	if o.Retries < 0 {
+		return 0
+	}
+	if o.Retries == 0 {
+		return DefaultRemoteRetries
+	}
+	return o.Retries
+}
+
+// remoteConn is one client connection to a shard server, shared by every
+// RemoteBackend the server's shards map to. It lazily (re)dials and is
+// safe for concurrent calls — net/rpc multiplexes by sequence number.
+type remoteConn struct {
+	addr string
+	opts RemoteOptions
+
+	mu     sync.Mutex
+	client *rpc.Client
+	closed bool
+}
+
+func (c *remoteConn) get() (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("engine: connection to %s is closed", c.addr)
+	}
+	if c.client != nil {
+		return c.client, nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.timeout())
+	if err != nil {
+		return nil, fmt.Errorf("engine: dial %s: %w", c.addr, err)
+	}
+	c.client = rpc.NewClient(conn)
+	return c.client, nil
+}
+
+// reset discards a client after a transport failure so the next call
+// redials. Only the failed client is discarded: a concurrent call may
+// already have replaced it.
+func (c *remoteConn) reset(failed *rpc.Client) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.client == failed && c.client != nil {
+		c.client.Close()
+		c.client = nil
+	}
+}
+
+func (c *remoteConn) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.client != nil {
+		err := c.client.Close()
+		c.client = nil
+		return err
+	}
+	return nil
+}
+
+// call performs one RPC with per-call timeout and bounded redial-retry.
+// Server-side errors (rpc.ServerError) are deterministic and returned
+// immediately; transport errors and timeouts reset the connection and
+// retry up to the budget. Each attempt decodes into its own fresh reply
+// value — an abandoned attempt's response may still be mid-decode on the
+// old connection when the retry runs, so sharing the caller's reply
+// across attempts would race (and gob's skip-zero-fields decoding could
+// blend stale bytes into the retried answer). The winning attempt's
+// reply is copied out once.
+func (c *remoteConn) call(method string, args, reply any) error {
+	var lastErr error
+	out := reflect.ValueOf(reply).Elem()
+	for attempt := 0; attempt <= c.opts.retries(); attempt++ {
+		client, err := c.get()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		attemptReply := reflect.New(out.Type())
+		call := client.Go(rpcServiceName+"."+method, args, attemptReply.Interface(), make(chan *rpc.Call, 1))
+		timer := time.NewTimer(c.opts.timeout())
+		select {
+		case done := <-call.Done:
+			timer.Stop()
+			if done.Error == nil {
+				out.Set(attemptReply.Elem())
+				return nil
+			}
+			var serverErr rpc.ServerError
+			if errors.As(done.Error, &serverErr) {
+				return fmt.Errorf("engine: %s: %s", c.addr, serverErr)
+			}
+			lastErr = fmt.Errorf("engine: call %s: %w", c.addr, done.Error)
+			c.reset(client)
+		case <-timer.C:
+			lastErr = fmt.Errorf("engine: call %s: timeout after %s", c.addr, c.opts.timeout())
+			c.reset(client)
+		}
+	}
+	return lastErr
+}
+
+// RemoteBackend is the client stub for one shard on one shard server.
+type RemoteBackend struct {
+	conn *remoteConn
+	meta ShardMeta
+}
+
+// DialShards connects to a shard server and returns one backend per
+// shard it serves, all sharing the connection, plus the total population
+// of the snapshot the server loads from. The returned backends' metadata
+// carries the server's global ordinal offsets, so they plug straight
+// into NewFromBackends; the total lets a caller assembling several
+// servers verify the shards cover the whole population (see
+// core.Connect) rather than silently answering over a prefix of it.
+func DialShards(addr string, opts RemoteOptions) ([]ShardBackend, int, error) {
+	conn := &remoteConn{addr: addr, opts: opts}
+	var reply DescribeReply
+	if err := conn.call("Describe", &DescribeArgs{}, &reply); err != nil {
+		conn.close() // the dial may have succeeded even though the call failed
+		return nil, 0, err
+	}
+	if len(reply.Shards) == 0 {
+		conn.close()
+		return nil, 0, fmt.Errorf("engine: %s serves no shards", addr)
+	}
+	backends := make([]ShardBackend, len(reply.Shards))
+	for i, m := range reply.Shards {
+		m.Backend = fmt.Sprintf("remote(%s)", addr)
+		backends[i] = &RemoteBackend{conn: conn, meta: m}
+	}
+	return backends, reply.TotalPatients, nil
+}
+
+// Meta implements ShardBackend.
+func (b *RemoteBackend) Meta() ShardMeta { return b.meta }
+
+// Stats implements ShardBackend by fetching the shard's marshaled
+// cardinalities.
+func (b *RemoteBackend) Stats() (*store.Stats, error) {
+	var reply StatsReply
+	if err := b.conn.call("Stats", &StatsArgs{Shard: b.meta.Shard}, &reply); err != nil {
+		return nil, err
+	}
+	st := new(store.Stats)
+	if err := st.UnmarshalBinary(reply.Stats); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// EvalPlan implements ShardBackend: the plan (and candidate mask, if
+// any) crosses the wire, the shard's engine evaluates, and the matches
+// come back in shard-local ordinal space.
+func (b *RemoteBackend) EvalPlan(p Plan, mask *store.Bitset) (*store.Bitset, error) {
+	plan, err := EncodePlan(p)
+	if err != nil {
+		return nil, err
+	}
+	args := EvalArgs{Shard: b.meta.Shard, Plan: plan}
+	if mask != nil {
+		if args.Mask, err = mask.MarshalBinary(); err != nil {
+			return nil, err
+		}
+	}
+	var reply EvalReply
+	if err := b.conn.call("Eval", &args, &reply); err != nil {
+		return nil, err
+	}
+	bits := new(store.Bitset)
+	if err := bits.UnmarshalBinary(reply.Bits); err != nil {
+		return nil, err
+	}
+	return bits, nil
+}
+
+// IDsOf implements ShardBackend.
+func (b *RemoteBackend) IDsOf(bits *store.Bitset) ([]model.PatientID, error) {
+	data, err := bits.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var reply IDsReply
+	if err := b.conn.call("IDs", &IDsArgs{Shard: b.meta.Shard, Bits: data}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.IDs, nil
+}
+
+// Close implements ShardBackend. The connection is shared by every
+// backend from the same DialShards call; the first Close closes it and
+// the rest are no-ops.
+func (b *RemoteBackend) Close() error { return b.conn.close() }

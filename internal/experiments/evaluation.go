@@ -200,7 +200,10 @@ func (s *Suite) E5InteractionBudget() (Result, error) {
 		}
 		sub := cohort.All(s.WB.Store, "all").Sample(size, 5)
 		wb := core.FromCollection(sub.Collection(), s.Window)
-		sess := core.NewSession(wb)
+		sess, err := core.NewSession(wb)
+		if err != nil {
+			return Result{}, err
+		}
 
 		if err := sess.Extract(query.Has{Pred: query.AllOf{
 			query.TypeIs(model.TypeDiagnosis), query.MustCode("", `K8.|T90`)}}); err != nil {

@@ -1,6 +1,10 @@
 package store
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
 
 // Bitset is a fixed-capacity bit vector over patient ordinals. Cohort
 // queries over the 168k-patient data set reduce to AND/OR/ANDNOT over these,
@@ -202,6 +206,50 @@ func (b *Bitset) AnyInRange(lo, hi int) bool {
 	return false
 }
 
+// MarshalBinary encodes the bitset for the shard wire protocol: the bit
+// capacity as a uvarint followed by the payload words, little-endian.
+func (b *Bitset) MarshalBinary() ([]byte, error) {
+	out := binary.AppendUvarint(make([]byte, 0, 10+8*len(b.words)), uint64(b.n))
+	for _, w := range b.words {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a bitset written by MarshalBinary. The word
+// count is validated against both the declared capacity and the bytes
+// actually present, so a truncated or hostile payload errors instead of
+// allocating from a lie.
+func (b *Bitset) UnmarshalBinary(data []byte) error {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return fmt.Errorf("store: bitset: truncated capacity")
+	}
+	data = data[k:]
+	// Bound the capacity by the bytes present before converting to int,
+	// so a 2^63-bit claim can neither overflow nor allocate.
+	if n > uint64(len(data))*8+63 {
+		return fmt.Errorf("store: bitset: capacity %d exceeds %d payload bytes", n, len(data))
+	}
+	words := (int(n) + 63) / 64
+	if len(data) != 8*words {
+		return fmt.Errorf("store: bitset: capacity %d needs %d payload words, have %d bytes", n, words, len(data))
+	}
+	b.n = int(n)
+	b.words = make([]uint64, words)
+	for i := range b.words {
+		b.words[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	// Reject set bits beyond the declared capacity: they would silently
+	// leak into ordinal space after an OrAt merge.
+	if rem := b.n & 63; rem != 0 && words > 0 {
+		if b.words[words-1]&^((1<<uint(rem))-1) != 0 {
+			return fmt.Errorf("store: bitset: set bits beyond capacity %d", b.n)
+		}
+	}
+	return nil
+}
+
 // Range calls fn for every set bit in ascending order; fn returning false
 // stops the iteration.
 func (b *Bitset) Range(fn func(i int) bool) {
@@ -214,6 +262,25 @@ func (b *Bitset) Range(fn func(i int) bool) {
 			w &= w - 1
 		}
 	}
+}
+
+// FirstN returns a same-capacity bitset keeping only the first n set
+// bits (in ascending order). Callers that need a bounded sample of a
+// cohort truncate before resolving ordinals to IDs, so a
+// 150k-patient cohort does not ship 150k IDs over the shard wire to
+// show 100.
+func (b *Bitset) FirstN(n int) *Bitset {
+	out := NewBitset(b.n)
+	if n <= 0 {
+		return out
+	}
+	kept := 0
+	b.Range(func(i int) bool {
+		out.Set(i)
+		kept++
+		return kept < n
+	})
+	return out
 }
 
 // Ones returns the indices of all set bits.

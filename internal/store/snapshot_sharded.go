@@ -224,6 +224,12 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 		Patients: int(patients),
 		Entries:  int(entries),
 	}
+	// maxPayload caps the summed segment sizes so info.Bytes (header +
+	// payload) can never overflow int64 — a hostile shard table claiming
+	// 2^63-scale segments must error here, not wrap negative and slip
+	// past the size validation into a giant allocation.
+	headerLen := int64(snapshotHeaderFixed) + int64(shards)*snapshotShardRow
+	maxPayload := uint64(1<<63-1) - uint64(headerLen)
 	sumPatients, sumEntries, offset := uint64(0), uint64(0), uint64(0)
 	for i := 0; i < int(shards); i++ {
 		row := table[i*snapshotShardRow:]
@@ -241,6 +247,9 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 		if si.Bytes < 0 || si.Patients < 0 || si.Entries < 0 {
 			return nil, fmt.Errorf("store: load snapshot: shard %d: negative size", i)
 		}
+		if uint64(si.Bytes) > maxPayload-offset {
+			return nil, fmt.Errorf("store: load snapshot: shard %d: segment sizes overflow", i)
+		}
 		offset += uint64(si.Bytes)
 		sumPatients += uint64(si.Patients)
 		sumEntries += uint64(si.Entries)
@@ -252,7 +261,7 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 	if sumEntries != entries {
 		return nil, fmt.Errorf("store: load snapshot: shard table sums to %d entries, header says %d", sumEntries, entries)
 	}
-	info.Bytes = int64(snapshotHeaderFixed) + int64(shards)*snapshotShardRow + int64(offset)
+	info.Bytes = headerLen + int64(offset)
 	return info, nil
 }
 
@@ -337,12 +346,26 @@ func loadSharded(r io.Reader) (*model.Collection, *SnapshotInfo, error) {
 
 // Inspect reads a snapshot's provenance without materializing the
 // collection: header-only for sharded snapshots; legacy v1 snapshots
-// carry no header, so inspecting one costs a full decode.
+// carry no header, so inspecting one costs a full decode. When the
+// reader's total size is discoverable (files, in-memory readers), the
+// shard table is validated against it, so a truncated file is reported
+// here — at header time — rather than by a mid-read failure in OpenShards
+// or LoadSharded.
 func Inspect(r io.Reader) (*SnapshotInfo, error) {
+	size, sized := readerSize(r)
 	br := bufio.NewReaderSize(r, snapshotBufSize)
 	head, err := br.Peek(len(snapshotMagic))
 	if err == nil && bytes.Equal(head, []byte(snapshotMagic)) {
-		return readHeader(br)
+		info, err := readHeader(br)
+		if err != nil {
+			return nil, err
+		}
+		if sized {
+			if err := validateSnapshotSize(info, size); err != nil {
+				return nil, err
+			}
+		}
+		return info, nil
 	}
 	_, info, err := loadLegacy(br)
 	return info, err

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/binary"
+	"io"
 	"math"
 	"reflect"
 	"testing"
@@ -361,10 +362,20 @@ func TestInspectShardedIsHeaderOnly(t *testing.T) {
 		t.Errorf("info.Bytes = %d, file is %d", info.Bytes, len(snap))
 	}
 	// Header-only: inspecting just the header+table bytes (payload cut
-	// off) must still succeed.
+	// off) still succeeds on a plain stream, whose total size cannot be
+	// known — no payload byte is ever read.
 	headerLen := snapshotHeaderFixed + 4*snapshotShardRow
-	if _, err := Inspect(bytes.NewReader(snap[:headerLen])); err != nil {
+	if _, err := Inspect(io.MultiReader(bytes.NewReader(snap[:headerLen]))); err != nil {
 		t.Errorf("header-only inspect failed: %v", err)
+	}
+	// But a sized reader (file, in-memory buffer) exposes the truncation:
+	// the shard table promises more bytes than exist, and Inspect reports
+	// it at header time.
+	if _, err := Inspect(bytes.NewReader(snap[:headerLen])); err == nil {
+		t.Error("inspect of sized truncated snapshot succeeded, want truncation error")
+	}
+	if _, err := Inspect(bytes.NewReader(snap[:len(snap)-1])); err == nil {
+		t.Error("inspect of sized snapshot missing last byte succeeded, want truncation error")
 	}
 }
 

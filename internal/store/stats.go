@@ -1,6 +1,11 @@
 package store
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
 	"pastas/internal/model"
 )
 
@@ -102,6 +107,106 @@ func (st *Stats) CodePatternCard(system, pattern string) (int, error) {
 	return n, nil
 }
 
+// statsWire is the gob wire form of Stats: cardinalities keyed by the
+// sorted code vocabulary so encode/decode is deterministic.
+type statsWire struct {
+	Patients, Entries int
+	Codes             []model.Code
+	CodeCard          []int // parallel to Codes
+	TypeCard          map[model.Type]int
+	SourceCard        map[model.Source]int
+}
+
+// MarshalBinary encodes the statistics for the shard wire protocol, so a
+// remote shard backend can hand its exact cardinalities to a coordinating
+// planner.
+func (st *Stats) MarshalBinary() ([]byte, error) {
+	w := statsWire{
+		Patients:   st.Patients,
+		Entries:    st.Entries,
+		Codes:      st.codes,
+		CodeCard:   make([]int, len(st.codes)),
+		TypeCard:   st.typeCard,
+		SourceCard: st.sourceCard,
+	}
+	for i, c := range st.codes {
+		w.CodeCard[i] = st.codeCard[codeKey{c.System, c.Value}]
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("store: marshal stats: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes statistics written by MarshalBinary.
+func (st *Stats) UnmarshalBinary(data []byte) error {
+	var w statsWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("store: unmarshal stats: %w", err)
+	}
+	if len(w.CodeCard) != len(w.Codes) {
+		return fmt.Errorf("store: unmarshal stats: %d cardinalities for %d codes", len(w.CodeCard), len(w.Codes))
+	}
+	st.Patients, st.Entries = w.Patients, w.Entries
+	st.DistinctCodes = len(w.Codes)
+	st.codes = w.Codes
+	st.codeCard = make(map[codeKey]int, len(w.Codes))
+	for i, c := range w.Codes {
+		st.codeCard[codeKey{c.System, c.Value}] = w.CodeCard[i]
+	}
+	st.typeCard = w.TypeCard
+	if st.typeCard == nil {
+		st.typeCard = map[model.Type]int{}
+	}
+	st.sourceCard = w.SourceCard
+	if st.sourceCard == nil {
+		st.sourceCard = map[model.Source]int{}
+	}
+	return nil
+}
+
+// MergeStats combines statistics over disjoint populations (the shards of
+// one collection) into statistics over their union. Patient-level counts
+// are additive across disjoint shards, so the merge is exact — the
+// coordinating planner estimates from the same cardinalities a single
+// global store would have collected.
+func MergeStats(parts ...*Stats) *Stats {
+	out := &Stats{
+		codeCard:   make(map[codeKey]int),
+		typeCard:   make(map[model.Type]int),
+		sourceCard: make(map[model.Source]int),
+	}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Patients += p.Patients
+		out.Entries += p.Entries
+		for _, c := range p.codes {
+			out.codeCard[codeKey{c.System, c.Value}] += p.codeCard[codeKey{c.System, c.Value}]
+		}
+		for t, n := range p.typeCard {
+			out.typeCard[t] += n
+		}
+		for s, n := range p.sourceCard {
+			out.sourceCard[s] += n
+		}
+	}
+	out.codes = make([]model.Code, 0, len(out.codeCard))
+	for k := range out.codeCard {
+		out.codes = append(out.codes, model.Code{System: k.system, Value: k.value})
+	}
+	sort.Slice(out.codes, func(i, j int) bool {
+		if out.codes[i].System != out.codes[j].System {
+			return out.codes[i].System < out.codes[j].System
+		}
+		return out.codes[i].Value < out.codes[j].Value
+	})
+	out.DistinctCodes = len(out.codes)
+	return out
+}
+
 // View is a contiguous ordinal slice [Lo, Hi) of a store. It answers the
 // same index lookups as a dedicated shard store, in the shard's local
 // ordinal space (local bit i is parent bit Lo+i), by slicing the parent's
@@ -157,6 +262,41 @@ func (v *View) Entries() int {
 
 // Empty returns a fresh empty bitset sized to the view.
 func (v *View) Empty() *Bitset { return NewBitset(v.Len()) }
+
+// PatientAt returns the patient ID at a local bit position.
+func (v *View) PatientAt(local int) model.PatientID { return v.parent.ids[v.lo+local] }
+
+// Stats collects the view's exact cardinalities by popcounting the
+// parent's postings over the view's ordinal range — the per-shard
+// statistics a shard backend reports without owning dedicated indexes.
+func (v *View) Stats() *Stats {
+	st := &Stats{
+		Patients:   v.Len(),
+		Entries:    v.Entries(),
+		codeCard:   make(map[codeKey]int),
+		typeCard:   make(map[model.Type]int),
+		sourceCard: make(map[model.Source]int),
+	}
+	for _, c := range v.parent.codes {
+		k := codeKey{c.System, c.Value}
+		if n := v.parent.byCodeValue[k].CountRange(v.lo, v.hi); n > 0 {
+			st.codeCard[k] = n
+			st.codes = append(st.codes, c) // parent vocabulary is sorted
+		}
+	}
+	st.DistinctCodes = len(st.codes)
+	for t, bs := range v.parent.byType {
+		if n := bs.CountRange(v.lo, v.hi); n > 0 {
+			st.typeCard[t] = n
+		}
+	}
+	for src, bs := range v.parent.bySource {
+		if n := bs.CountRange(v.lo, v.hi); n > 0 {
+			st.sourceCard[src] = n
+		}
+	}
+	return st
+}
 
 // slice extracts a parent posting into local ordinal space, fast-pathing
 // the empty range (the per-shard zero-cardinality skip).

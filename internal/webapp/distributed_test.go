@@ -1,0 +1,154 @@
+package webapp
+
+// The webapp over a connected (storeless) workbench: cohort queries and
+// stats work across shard servers; history-level endpoints refuse
+// clearly instead of panicking.
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pastas/internal/core"
+	"pastas/internal/engine"
+	"pastas/internal/query"
+	"pastas/internal/synth"
+)
+
+func distributedServer(t *testing.T, patients int) (*Server, *core.Workbench, *core.Workbench) {
+	t.Helper()
+	local, err := core.Synthesize(synth.DefaultConfig(patients))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wb.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Save(f, core.SnapshotOptions{Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := engine.NewShardServer(path, nil, engine.Options{Shards: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go srv.Serve(lis)
+	remote, err := core.Connect([]string{lis.Addr().String()},
+		engine.RemoteOptions{Timeout: 30 * time.Second}, engine.Options{Workers: 2}, local.Window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { remote.Close() })
+	return NewServer(remote, Config{}), local, remote
+}
+
+func TestDistributedStatsAndCohort(t *testing.T) {
+	s, local, remote := distributedServer(t, 120)
+
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if int(health["patients"].(float64)) != local.Patients() {
+		t.Errorf("healthz patients = %v, want %d", health["patients"], local.Patients())
+	}
+
+	// Warm one query so the per-backend block has traffic to report.
+	if _, err := remote.Query(query.Has{Pred: query.MustCode("", "T90")}); err != nil {
+		t.Fatal(err)
+	}
+	rec = get(t, s, "/api/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d: %s", rec.Code, rec.Body)
+	}
+	var stats struct {
+		Patients int `json:"patients"`
+		Shards   []struct {
+			Backend string  `json:"backend"`
+			Queries uint64  `json:"queries"`
+			TotalMS float64 `json:"total_ms"`
+		} `json:"shards"`
+		Backends map[string]int `json:"backends"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Patients != local.Patients() {
+		t.Errorf("stats patients = %d, want %d", stats.Patients, local.Patients())
+	}
+	if len(stats.Shards) != 3 {
+		t.Fatalf("stats shards = %d, want 3", len(stats.Shards))
+	}
+	for _, sh := range stats.Shards {
+		if !strings.HasPrefix(sh.Backend, "remote(") {
+			t.Errorf("shard backend = %q, want remote(...)", sh.Backend)
+		}
+		if sh.Queries == 0 || sh.TotalMS <= 0 {
+			t.Errorf("shard reported no traffic: %+v", sh)
+		}
+	}
+	if len(stats.Backends) == 0 {
+		t.Error("per-backend block missing")
+	}
+
+	// Cohort queries answer across the wire, identical to local.
+	spec := `{"op":"has","pattern":"T90|E11(\\..*)?"}`
+	req := httptest.NewRequest(http.MethodPost, "/api/cohort", strings.NewReader(spec))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cohort = %d: %s", rec.Code, rec.Body)
+	}
+	var cohortResp struct {
+		Count  int      `json:"count"`
+		Sample []uint64 `json:"sample"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &cohortResp); err != nil {
+		t.Fatal(err)
+	}
+	localSrv := NewServer(local, Config{})
+	rec = httptest.NewRecorder()
+	localSrv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/cohort", strings.NewReader(spec)))
+	var localResp struct {
+		Count  int      `json:"count"`
+		Sample []uint64 `json:"sample"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &localResp); err != nil {
+		t.Fatal(err)
+	}
+	if cohortResp.Count != localResp.Count || len(cohortResp.Sample) != len(localResp.Sample) {
+		t.Fatalf("remote cohort %d (%d sampled), local %d (%d sampled)",
+			cohortResp.Count, len(cohortResp.Sample), localResp.Count, len(localResp.Sample))
+	}
+	for i := range cohortResp.Sample {
+		if cohortResp.Sample[i] != localResp.Sample[i] {
+			t.Fatalf("sample %d: remote %d, local %d", i, cohortResp.Sample[i], localResp.Sample[i])
+		}
+	}
+
+	// History-level endpoints refuse with 503, not a panic.
+	for _, path := range []string{"/api/patients", "/api/timeline?patient=1", "/api/details?patient=1&t=2011-01-01", "/", "/cohort-view?pattern=T90"} {
+		if rec := get(t, s, path); rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s = %d, want 503", path, rec.Code)
+		}
+	}
+}

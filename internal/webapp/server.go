@@ -98,29 +98,35 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleStats reports the engine's per-shard evaluation timings, plan
-// cache effectiveness and store cardinality summary — the observability
-// the paper's 0.1 s response-budget audits read.
+// handleStats reports the engine's per-backend evaluation timings, plan
+// cache effectiveness and cardinality summary — the observability the
+// paper's 0.1 s response-budget audits read. Each shard entry names the
+// backend serving it ("local" or "remote(addr)"); a connected workbench
+// reports its shard servers here.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	type shardJSON struct {
 		Shard    int     `json:"shard"`
 		Offset   int     `json:"offset"`
 		Patients int     `json:"patients"`
 		Entries  int     `json:"entries"`
+		Backend  string  `json:"backend"`
 		Queries  uint64  `json:"queries"`
 		TotalMS  float64 `json:"total_ms"`
 		AvgMS    float64 `json:"avg_ms"`
 	}
 	shardStats := s.wb.Engine.ShardStats()
 	shards := make([]shardJSON, len(shardStats))
+	backendKinds := map[string]int{}
 	for i, sh := range shardStats {
 		shards[i] = shardJSON{
 			Shard: sh.Shard, Offset: sh.Offset, Patients: sh.Patients,
-			Entries: sh.Entries, Queries: sh.Queries, TotalMS: float64(sh.Nanos) / 1e6,
+			Entries: sh.Entries, Backend: sh.Backend, Queries: sh.Queries,
+			TotalMS: float64(sh.Nanos) / 1e6,
 		}
 		if sh.Queries > 0 {
 			shards[i].AvgMS = shards[i].TotalMS / float64(sh.Queries)
 		}
+		backendKinds[sh.Backend]++
 	}
 	cache := s.wb.Engine.CacheStats()
 	hitRate := 0.0
@@ -140,13 +146,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"bytes":    info.Bytes,
 		}
 	}
-	st := s.wb.Store.Stats()
+	// Engine statistics work for both topologies: the store's own for a
+	// local workbench, the backends' merged cardinalities for a
+	// connected one.
+	st := s.wb.Engine.Stats()
 	writeJSON(w, map[string]any{
 		"patients":       st.Patients,
 		"entries":        st.Entries,
 		"distinct_codes": st.DistinctCodes,
 		"budget_ms":      100,
 		"shards":         shards,
+		"backends":       backendKinds,
 		"snapshot":       snapshot,
 		"cache": map[string]any{
 			"hits":     cache.Hits,
@@ -157,7 +167,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// requireStore guards history-level endpoints: a workbench connected to
+// remote shard servers holds no local histories, so timelines, details
+// and indicators are unavailable there (cohort queries still work).
+func (s *Server) requireStore(w http.ResponseWriter) bool {
+	if s.wb.Store == nil {
+		httpError(w, http.StatusServiceUnavailable,
+			"this endpoint needs a local collection; the workbench is connected to remote shard servers")
+		return false
+	}
+	return true
+}
+
 func (s *Server) handlePatients(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
 	limit := 50
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -192,6 +217,9 @@ type entryJSON struct {
 }
 
 func (s *Server) patientFromQuery(w http.ResponseWriter, r *http.Request) (*model.History, bool) {
+	if !s.requireStore(w) {
+		return nil, false
+	}
 	idStr := r.URL.Query().Get("patient")
 	id, err := strconv.ParseUint(idStr, 10, 64)
 	if err != nil {
@@ -269,21 +297,28 @@ func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	ids := s.wb.Store.IDsOf(bits)
-	sample := ids
-	if len(sample) > s.cfg.MaxCohortSample {
-		sample = sample[:s.cfg.MaxCohortSample]
+	// Engine-side ID resolution works over remote backends too; only the
+	// sample's worth of ordinals is resolved (and, for a connected
+	// workbench, shipped over the wire) — the count comes off the bitset.
+	count := bits.Count()
+	sample, err := s.wb.Engine.IDsOf(bits.FirstN(s.cfg.MaxCohortSample))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
 	out := make([]uint64, len(sample))
 	for i, id := range sample {
 		out[i] = uint64(id)
 	}
-	writeJSON(w, map[string]any{"count": len(ids), "sample": out, "query": expr.String()})
+	writeJSON(w, map[string]any{"count": count, "sample": out, "query": expr.String()})
 }
 
 // handleIndicators computes utilization indicators for the cohort selected
 // by the posted query spec (empty body or {"op":"true"} = everyone).
 func (s *Server) handleIndicators(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
@@ -355,6 +390,9 @@ func (s *Server) handleTimelinePage(w http.ResponseWriter, r *http.Request) {
 // regex-identified cohort: ?pattern=T90|E11(\..*)? draws the first rows of
 // the matching sub-collection as the Fig. 1 timeline.
 func (s *Server) handleCohortView(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
 	pattern := r.URL.Query().Get("pattern")
 	if pattern == "" {
 		httpError(w, http.StatusBadRequest, "need ?pattern=<code regex>")
@@ -400,6 +438,9 @@ func min(a, b int) int {
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
 	ids := s.wb.Store.Collection().IDs()
 	if len(ids) > 25 {
 		ids = ids[:25]

@@ -119,8 +119,10 @@ func FromBundle(b *Bundle, window Period) (*Workbench, error) {
 	return core.FromBundle(b, integrate.DefaultOptions(), window)
 }
 
-// NewSession opens an interactive session over a workbench.
-func NewSession(wb *Workbench) *Session { return core.NewSession(wb) }
+// NewSession opens an interactive session over a workbench. It errors
+// for a workbench connected to remote shard servers (ConnectShards),
+// which holds no local histories to page through.
+func NewSession(wb *Workbench) (*Session, error) { return core.NewSession(wb) }
 
 // --- snapshot persistence -------------------------------------------------
 
@@ -141,6 +143,58 @@ func Open(r io.Reader, window Period) (*Workbench, error) { return core.Open(r, 
 // InspectSnapshot reads a snapshot's provenance without materializing
 // the collection (header-only for sharded snapshots).
 func InspectSnapshot(r io.Reader) (*SnapshotInfo, error) { return store.Inspect(r) }
+
+// --- distributed execution -------------------------------------------------
+
+type (
+	// ShardBackend evaluates plan fragments over one contiguous shard of
+	// the population, local or remote.
+	ShardBackend = engine.ShardBackend
+	// ShardMeta describes one shard: id, global ordinal offset, sizes and
+	// the transport serving it.
+	ShardMeta = engine.ShardMeta
+	// RemoteOptions tunes the shard wire protocol's client side (per-call
+	// timeout, redial-retry budget).
+	RemoteOptions = engine.RemoteOptions
+	// ShardServer serves shards of a sharded snapshot over the wire
+	// protocol.
+	ShardServer = engine.ShardServer
+	// OpenedShard is one lazily loaded shard of a sharded snapshot.
+	OpenedShard = store.OpenedShard
+)
+
+// OpenShards pages the given shards (no ids = all) of a sharded v2
+// snapshot into memory, reading only the header and those segments.
+func OpenShards(path string, ids ...int) ([]*OpenedShard, *SnapshotInfo, error) {
+	return store.OpenShards(path, ids...)
+}
+
+// NewShardServer opens the given shards of a sharded snapshot and builds
+// a wire-protocol server over them (serve it with ShardServer.Serve).
+func NewShardServer(snapshotPath string, ids []int, opts EngineOptions) (*ShardServer, error) {
+	return engine.NewShardServer(snapshotPath, ids, opts)
+}
+
+// DialShards connects to a shard server and returns one backend per
+// shard it serves, plus the total population of the snapshot it loads
+// from (for topology-completeness checks).
+func DialShards(addr string, opts RemoteOptions) ([]ShardBackend, int, error) {
+	return engine.DialShards(addr, opts)
+}
+
+// NewEngineFromBackends builds a coordinating engine over an explicit
+// backend set; the backends must tile the population contiguously.
+func NewEngineFromBackends(backends []ShardBackend, opts EngineOptions) (*Engine, error) {
+	return engine.NewFromBackends(backends, opts)
+}
+
+// ConnectShards builds a workbench over remote shard servers. Cohort
+// queries execute across the servers with bit-identical results to a
+// local workbench over the same snapshot; history-level views require a
+// local one.
+func ConnectShards(addrs []string, window Period) (*Workbench, error) {
+	return core.Connect(addrs, engine.RemoteOptions{}, engine.DefaultOptions(), window)
+}
 
 // --- querying and cohorts -------------------------------------------------
 

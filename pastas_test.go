@@ -31,7 +31,10 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 	}
 
 	// Session: extract, align, render.
-	sess := pastas.NewSession(wb)
+	sess, err := pastas.NewSession(wb)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := sess.Extract(q); err != nil {
 		t.Fatal(err)
 	}

@@ -723,6 +723,96 @@ func BenchmarkE10_RemoteFanout(b *testing.B) {
 	})
 }
 
+// BenchmarkE11_RemoteHistories prices the history-level RPCs that make a
+// connected workbench serve the paper's own UI: one patient's timeline
+// fetch (the /timeline page), a 100-sample cohort fetch (the cohort
+// view), and the indicator panel two ways — server-side aggregation
+// (fixed-size tallies per shard) versus shipping every cohort history
+// and tallying at the coordinator, the tradeoff the aggregate RPC
+// exists to win.
+func BenchmarkE11_RemoteHistories(b *testing.B) {
+	n := 21000
+	if testing.Short() {
+		n = 5000
+	}
+	wb := workbenchAt(b, n)
+	remote, _ := startBenchCluster(b, wb)
+
+	id := wb.Store.Collection().IDs()[n/2]
+	engines := []struct {
+		name string
+		wb   *core.Workbench
+	}{{"local", wb}, {"remote", remote}}
+	for _, eng := range engines {
+		b.Run("single/"+eng.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h, err := eng.wb.History(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if h.Patient.ID != id {
+					b.Fatal("wrong history")
+				}
+			}
+		})
+	}
+
+	cohortExpr := query.Has{Pred: query.AllOf{
+		query.TypeIs(model.TypeDiagnosis), query.MustCode("", `T90|E11(\..*)?`)}}
+	bits, err := wb.Query(cohortExpr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample := bits.FirstN(100)
+	want := sample.Count()
+	for _, eng := range engines {
+		b.Run("cohort-100/"+eng.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				col, err := eng.wb.Histories(sample)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if col.Len() != want {
+					b.Fatalf("fetched %d of %d", col.Len(), want)
+				}
+			}
+		})
+	}
+
+	// The indicator panel for the whole cohort: aggregate where the
+	// histories live, versus ship-all-and-tally — identical numbers, very
+	// different wire bills.
+	wantInd, err := wb.Indicators(bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, eng := range engines {
+		b.Run("indicators-aggregate/"+eng.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ind, err := eng.wb.Indicators(bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ind != wantInd {
+					b.Fatal("indicators drifted")
+				}
+			}
+		})
+	}
+	b.Run("indicators-shipall/remote", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			col, err := remote.Histories(bits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ind := stats.ComputeIndicators(col, wb.Window)
+			if ind != wantInd {
+				b.Fatal("indicators drifted")
+			}
+		}
+	})
+}
+
 func mustOpenFile(b *testing.B, path string) *os.File {
 	b.Helper()
 	f, err := os.Open(path)

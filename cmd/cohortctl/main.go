@@ -9,6 +9,7 @@
 //	cohortctl -synth 168000 -study
 //	cohortctl -snapshot wb.snap -study
 //	cohortctl -shards 10.0.0.1:7070,10.0.0.2:7070 -study
+//	cohortctl -shards 10.0.0.1:7070,10.0.0.2:7070 -timeline 4711
 //	cohortctl explain -synth 168000 -query query.json
 //	cohortctl snapshot save -synth 168000 -out wb.snap -shards 16
 //	cohortctl snapshot info -in wb.snap
@@ -24,17 +25,24 @@
 // the wire protocol, paging in only the assigned segments; the top-level
 // -shards flag connects a client to a set of such servers, whose shards
 // together must cover the snapshot, and runs queries across them with
-// bit-identical results to a local run.
+// bit-identical results to a local run. History-level operations work
+// over -shards too: -timeline fetches the patient's history from its
+// shard and renders it, -indicators aggregates server-side. The server
+// shuts down gracefully on SIGINT/SIGTERM (listener closed, in-flight
+// RPCs drained).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"pastas/internal/cohort"
@@ -43,8 +51,8 @@ import (
 	"pastas/internal/integrate"
 	"pastas/internal/model"
 	"pastas/internal/query"
+	"pastas/internal/render"
 	"pastas/internal/sources"
-	"pastas/internal/stats"
 	"pastas/internal/store"
 	"pastas/internal/synth"
 )
@@ -76,6 +84,7 @@ func main() {
 	study := fs.Bool("study", false, "run the paper's predefined-characteristics selection")
 	limit := fs.Int("limit", 20, "IDs to print")
 	indicators := fs.Bool("indicators", false, "print utilization indicators for the cohort")
+	timelineID := fs.Uint64("timeline", 0, "render this patient's timeline as SVG on stdout (works over -shards)")
 	fs.Parse(args) // ExitOnError: parse failures exit(2) with usage
 
 	wb, window, err := loadWorkbench(*dataDir, *synthN, *snapshotFile, *shardAddrs)
@@ -83,6 +92,20 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("loaded %d patients, %d entries\n", wb.Patients(), wb.Entries())
+
+	if *timelineID != 0 {
+		// History-level output: the fetch RPC pages the one history in
+		// from its shard server when running against -shards, so the SVG
+		// is byte-identical to a local render of the same snapshot.
+		h, err := wb.History(model.PatientID(*timelineID))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(render.Timeline(model.MustCollection(h), render.TimelineOptions{
+			Width: 1000, Height: 220, ZoomY: 5, Tooltips: true, Legend: true,
+		}))
+		return
+	}
 
 	var expr query.Expr
 	switch {
@@ -135,11 +158,14 @@ func main() {
 	}
 
 	if *indicators {
-		if wb.Store == nil {
-			log.Fatal("-indicators needs the histories locally; not available over -shards")
+		// Aggregates where the histories live: per-shard tallies merged
+		// exactly, so -shards prints the same table a local run would.
+		ind, err := wb.Indicators(bits)
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Println()
-		fmt.Print(stats.ComputeIndicators(wb.Store.Subset(bits), window).Table())
+		fmt.Print(ind.Table())
 	}
 }
 
@@ -246,7 +272,31 @@ func runShardServer(args []string) {
 	}
 	fmt.Printf("serving %d shards (%d patients, %d entries) from %s on %s (loaded in %s)\n",
 		len(srv.Metas()), patients, entries, *snapshot, lis.Addr(), time.Since(t0).Round(time.Millisecond))
-	log.Fatal(srv.Serve(lis))
+
+	// Graceful shutdown: SIGINT/SIGTERM closes the listener and drains
+	// in-flight RPCs (their responses flush to the clients) instead of
+	// dying mid-call — so supervisor teardown, Ctrl-C and the CI e2e
+	// job's trap all leave clients with complete answers, never EOF
+	// halfway through a bitset.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := <-sigs
+		fmt.Printf("received %s, draining in-flight RPCs\n", sig)
+		if err := srv.Shutdown(10 * time.Second); err != nil {
+			log.Print(err)
+		}
+	}()
+	if err := srv.Serve(lis); !errors.Is(err, engine.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// Serve returns as soon as the listener closes; the drain may still
+	// be flushing responses. Exit only after Shutdown finishes, or the
+	// process teardown would sever the very calls it just waited for.
+	<-drained
+	fmt.Println("shard server stopped")
 }
 
 // runSnapshotCmd dispatches the snapshot save/info subcommands.

@@ -16,6 +16,7 @@ import (
 	"pastas/internal/cohort"
 	"pastas/internal/engine"
 	"pastas/internal/query"
+	"pastas/internal/render"
 	"pastas/internal/synth"
 )
 
@@ -102,8 +103,8 @@ func TestConnectParityAndGuards(t *testing.T) {
 		}
 	}
 
-	// History-level operations need a local collection: every guard is
-	// an error, never a panic.
+	// Snapshot persistence still needs the local collection: every guard
+	// is an error, never a panic.
 	if remote.Store != nil {
 		t.Error("connected workbench has a Store")
 	}
@@ -113,11 +114,123 @@ func TestConnectParityAndGuards(t *testing.T) {
 	if err := remote.SaveSnapshot(os.Stderr); err == nil {
 		t.Error("legacy save over remote shards succeeded")
 	}
-	if _, err := NewSession(remote); err == nil {
-		t.Error("session over remote shards succeeded")
-	}
 	if _, err := cohort.FromEngine(remote.Engine, "x", query.TrueExpr{}); err == nil {
 		t.Error("store-backed cohort over remote shards succeeded")
+	}
+
+	// Sessions now work over remote shards: Extract pages the matching
+	// histories in from their shard servers (see TestConnectedSession for
+	// the render-parity property).
+	sess, err := NewSession(remote)
+	if err != nil {
+		t.Fatalf("session over remote shards refused: %v", err)
+	}
+	if sess.View().Len() != 0 {
+		t.Errorf("connected session starts with %d histories, want empty base", sess.View().Len())
+	}
+}
+
+// TestConnectedSession: the interactive session works over remote shard
+// servers — Extract pages the cohort in through the fetch RPC, and every
+// downstream display operation (timeline render, details, alignment,
+// refinement) produces byte-identical output to a local session over the
+// same data. History accessors and server-side indicator aggregation
+// match too.
+func TestConnectedSession(t *testing.T) {
+	local, err := Synthesize(synth.DefaultConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startCluster(t, local, 4)
+	remote, err := Connect(addrs, engine.RemoteOptions{Timeout: 30 * time.Second},
+		engine.Options{Workers: 4, CacheSize: 16}, local.Window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	expr := query.Has{Pred: query.MustCode("", `T90|E11(\..*)?`)}
+
+	// Workbench accessors: one patient, a cohort, the indicator panel.
+	wantID := local.Store.Collection().IDs()[0]
+	hLocal, err := local.History(wantID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hRemote, err := remote.History(wantID)
+	if err != nil {
+		t.Fatalf("remote History: %v", err)
+	}
+	if hRemote.Patient != hLocal.Patient || hRemote.Len() != hLocal.Len() {
+		t.Fatalf("remote history diverges: %+v vs %+v", hRemote.Patient, hLocal.Patient)
+	}
+	bitsL, err := local.Query(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsR, err := remote.Query(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indL, err := local.Indicators(bitsL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indR, err := remote.Indicators(bitsR)
+	if err != nil {
+		t.Fatalf("remote Indicators: %v", err)
+	}
+	if indL != indR {
+		t.Fatalf("indicators diverge:\nlocal  %+v\nremote %+v", indL, indR)
+	}
+
+	// Sessions: extract, render, refine — same pixels either side.
+	opt := render.TimelineOptions{Width: 800, Height: 400, MaxRows: 40}
+	sessL, err := NewSession(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessR, err := NewSession(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sess := range []*Session{sessL, sessR} {
+		if err := sess.Extract(expr); err != nil {
+			t.Fatalf("extract: %v", err)
+		}
+	}
+	if sessL.View().Len() == 0 {
+		t.Fatal("extract matched nothing; fixture too small")
+	}
+	if sessR.View().Len() != sessL.View().Len() {
+		t.Fatalf("remote view has %d histories, local %d", sessR.View().Len(), sessL.View().Len())
+	}
+	if svgL, svgR := sessL.RenderTimeline(opt), sessR.RenderTimeline(opt); svgL != svgR {
+		t.Error("timeline render diverges between local and connected session")
+	}
+	// A refinement on the fetched view stays local to the session.
+	refine := query.Has{Pred: query.SourceIs(1)}
+	for _, sess := range []*Session{sessL, sessR} {
+		if err := sess.Extract(refine); err != nil {
+			t.Fatalf("refine: %v", err)
+		}
+	}
+	if sessR.View().Len() != sessL.View().Len() {
+		t.Fatalf("refined remote view has %d histories, local %d", sessR.View().Len(), sessL.View().Len())
+	}
+	if svgL, svgR := sessL.RenderTimeline(opt), sessR.RenderTimeline(opt); svgL != svgR {
+		t.Error("refined timeline render diverges")
+	}
+	// Details-on-demand against the fetched view.
+	id := sessL.View().IDs()[0]
+	at := sessL.View().Get(id).Span().Start
+	if dL, dR := sessL.Details(id, at), sessR.Details(id, at); len(dL) != len(dR) {
+		t.Errorf("details diverge: %d vs %d lines", len(dL), len(dR))
+	}
+	// Reset returns the connected session to its empty base.
+	sessR.Reset()
+	if sessR.View().Len() != 0 {
+		t.Errorf("reset connected session views %d histories, want 0", sessR.View().Len())
 	}
 }
 

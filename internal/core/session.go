@@ -22,6 +22,10 @@ type Session struct {
 	wb     *Workbench
 	budget *perception.Budget
 
+	// base is the session's ground view: the full collection on a local
+	// workbench, an empty collection on a connected one (whose population
+	// lives in shard servers and is paged in by Extract).
+	base    *model.Collection
 	view    *model.Collection
 	aligned *align.Result
 	filter  query.EventPred
@@ -51,18 +55,23 @@ type OpRecord struct {
 	Took   time.Duration
 }
 
-// NewSession opens a session viewing the whole collection. The
-// workbench must hold its collection locally: sessions page through
-// histories, which a workbench connected to remote shard servers
-// (Connect) does not have — only cohort-level queries work there.
+// NewSession opens a session. On a local workbench it views the whole
+// collection; on one connected to remote shard servers (Connect) it
+// starts with an empty view — the population lives in the shard servers
+// — and the first Extract runs the query across the servers and pages
+// exactly the matching histories in, after which every display-level
+// operation (align, sort, filter, render, details) works on the fetched
+// sub-collection as it would locally.
 func NewSession(wb *Workbench) (*Session, error) {
-	if wb.Store == nil {
-		return nil, fmt.Errorf("core: sessions need a local workbench; one connected to remote shard servers has no histories (cohort queries still work via Workbench.Query)")
+	base := &model.Collection{}
+	if wb.Store != nil {
+		base = wb.Store.Collection()
 	}
 	return &Session{
 		wb:     wb,
 		budget: perception.NewBudget(perception.ShneidermanLimit),
-		view:   wb.Store.Collection(),
+		base:   base,
+		view:   base,
 		zoomX:  1,
 		zoomY:  1,
 	}, nil
@@ -111,18 +120,28 @@ func (s *Session) track(op, detail string, mutate bool, fn func() error) error {
 }
 
 // Extract narrows the view to histories matching the expression — the
-// paper's "extraction of sub-collections". When the session still views the
-// full collection the engine answers it (sharded indexes plus the plan
-// cache, so a refinement loop re-hits its own sub-results); narrowed views
-// fall back to scans to preserve the analyst's display order.
+// paper's "extraction of sub-collections". When the session still views
+// its base the engine answers it (sharded indexes plus the plan cache, so
+// a refinement loop re-hits its own sub-results); on a connected
+// workbench the matching histories are fetched from their shard servers.
+// Narrowed views fall back to scans to preserve the analyst's display
+// order.
 func (s *Session) Extract(e query.Expr) error {
 	return s.track("extract", e.String(), true, func() error {
-		if s.view == s.wb.Store.Collection() {
+		if s.view == s.base {
 			bits, err := s.wb.Engine.Execute(e)
 			if err != nil {
 				return err
 			}
-			s.view = s.wb.Store.Subset(bits)
+			if s.wb.Store != nil {
+				s.view = s.wb.Store.Subset(bits)
+			} else {
+				col, err := s.wb.Histories(bits)
+				if err != nil {
+					return err
+				}
+				s.view = col
+			}
 		} else {
 			s.view = query.Filter(s.view, e)
 		}
@@ -243,9 +262,10 @@ func (s *Session) RenderEventChart(seq query.Sequence, opt render.EventChartOpti
 
 // RenderTimelineDiff renders the current view with changes since the
 // previous session state highlighted (Section II.C's change-blindness
-// mitigation). With no prior state it diffs against the full collection.
+// mitigation). With no prior state it diffs against the session's base
+// view.
 func (s *Session) RenderTimelineDiff(opt render.TimelineOptions) (string, render.DiffSummary) {
-	before := s.wb.Store.Collection()
+	before := s.base
 	if len(s.undo) > 0 {
 		before = s.undo[len(s.undo)-1].view
 	}
@@ -433,10 +453,10 @@ func (s *Session) SortByCluster(k int) error {
 	})
 }
 
-// Reset returns the session to the full collection with defaults.
+// Reset returns the session to its base view with defaults.
 func (s *Session) Reset() {
 	s.snapshot()
-	s.view = s.wb.Store.Collection()
+	s.view = s.base
 	s.aligned = nil
 	s.filter = nil
 	s.zoomX, s.zoomY = 1, 1

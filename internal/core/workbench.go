@@ -15,6 +15,7 @@ import (
 	"pastas/internal/model"
 	"pastas/internal/query"
 	"pastas/internal/sources"
+	"pastas/internal/stats"
 	"pastas/internal/store"
 	"pastas/internal/synth"
 )
@@ -24,9 +25,10 @@ import (
 type Workbench struct {
 	// Store is the local indexed collection. It is nil for a workbench
 	// built over remote shard backends (Connect), where the histories
-	// live in the shard servers; cohort evaluation still works through
-	// the Engine, but history-level operations (sessions, timelines,
-	// indicators) need a local store.
+	// live in the shard servers; both cohort evaluation and the
+	// history-level operations (History, Histories, Indicators, sessions)
+	// work through the Engine there — histories are fetched from their
+	// shards on demand and indicators aggregate server-side.
 	Store *store.Store
 	// Engine is the sharded query planner/executor every cohort
 	// evaluation goes through.
@@ -68,11 +70,54 @@ func (wb *Workbench) Query(e query.Expr) (*store.Bitset, error) {
 	return wb.Engine.Execute(e)
 }
 
+// History returns one patient's history: off the local store, or fetched
+// from the shard server holding the patient for a connected workbench.
+// Absence is an error wrapping engine.ErrNoPatient; a down shard server
+// is a loud failure, never a false "not found".
+func (wb *Workbench) History(id model.PatientID) (*model.History, error) {
+	h, err := wb.Engine.HistoryByID(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return h, nil
+}
+
+// Histories materializes the cohort a bitset selects as a collection in
+// display (ordinal) order. On a connected workbench the selected
+// histories — and only those — ship from their shard servers in the
+// checksummed segment codec; for cohort-wide statistics prefer
+// Indicators, which aggregates server-side instead of shipping anything.
+func (wb *Workbench) Histories(bits *store.Bitset) (*model.Collection, error) {
+	hs, err := wb.Engine.Histories(bits)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	col, err := model.NewCollection(hs...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return col, nil
+}
+
+// Indicators computes the utilization-indicator summary for the cohort a
+// bitset selects, over the workbench window. Each shard tallies its slice
+// where the histories live (a fixed-size partial per shard, whatever the
+// cohort size) and the partials merge exactly, so a connected workbench
+// reports bit-identical indicators to a local one.
+func (wb *Workbench) Indicators(bits *store.Bitset) (stats.Indicators, error) {
+	ind, err := wb.Engine.Indicators(bits, wb.Window)
+	if err != nil {
+		return stats.Indicators{}, fmt.Errorf("core: %w", err)
+	}
+	return ind, nil
+}
+
 // Connect builds a workbench over remote shard servers: each address is a
 // cohortctl shard-server, every shard it serves becomes a backend, and
 // together they must tile the snapshot's population. The workbench has no
-// local Store — queries execute across the servers with bit-identical
-// semantics to a local workbench over the same snapshot.
+// local Store — queries, history fetches and indicator aggregation all
+// execute across the servers with bit-identical semantics to a local
+// workbench over the same snapshot.
 func Connect(addrs []string, ropts engine.RemoteOptions, opts engine.Options, window model.Period) (*Workbench, error) {
 	var backends []engine.ShardBackend
 	closeAll := func() {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"pastas/internal/model"
+	"pastas/internal/stats"
 	"pastas/internal/store"
 )
 
@@ -44,12 +45,40 @@ type ShardMeta struct {
 // cost model estimates from.
 //
 // IDsOf resolves shard-local ordinals to patient IDs, in ordinal order.
+//
+// The history-level operations complete the contract: FetchHistories
+// materializes the histories at strictly increasing shard-local ordinals
+// (the workbench's timeline and details views), LocateID resolves a
+// patient ID to its shard-local ordinal (ok=false when the patient lives
+// elsewhere), and Indicators tallies the mergeable utilization counts for
+// the shard's slice of a cohort — the server-side aggregate that keeps
+// large cohorts from shipping every history over a wire transport.
 type ShardBackend interface {
 	Meta() ShardMeta
 	Stats() (*store.Stats, error)
 	EvalPlan(p Plan, mask *store.Bitset) (*store.Bitset, error)
 	IDsOf(b *store.Bitset) ([]model.PatientID, error)
+	FetchHistories(ordinals []int) ([]*model.History, error)
+	LocateID(id model.PatientID) (int, bool, error)
+	Indicators(mask *store.Bitset, window model.Period) (stats.IndicatorCounts, error)
 	Close() error
+}
+
+// validateOrdinals enforces the FetchHistories argument contract for both
+// transports: strictly increasing, in [0, patients). Shared so a hostile
+// or buggy client fails identically against a local view and a server.
+func validateOrdinals(ordinals []int, patients int) error {
+	prev := -1
+	for _, o := range ordinals {
+		if o <= prev {
+			return fmt.Errorf("engine: fetch ordinals must be strictly increasing (%d after %d)", o, prev)
+		}
+		if o >= patients {
+			return fmt.Errorf("engine: fetch ordinal %d out of range (shard has %d patients)", o, patients)
+		}
+		prev = o
+	}
+	return nil
 }
 
 // LocalBackend serves a shard from an in-process store view: index
@@ -89,6 +118,53 @@ func (b *LocalBackend) IDsOf(bits *store.Bitset) ([]model.PatientID, error) {
 		return true
 	})
 	return out, nil
+}
+
+// FetchHistories implements ShardBackend straight off the view's slice of
+// the collection.
+func (b *LocalBackend) FetchHistories(ordinals []int) ([]*model.History, error) {
+	if err := validateOrdinals(ordinals, b.v.Len()); err != nil {
+		return nil, err
+	}
+	out := make([]*model.History, len(ordinals))
+	for i, o := range ordinals {
+		out[i] = b.v.HistoryAt(o)
+	}
+	return out, nil
+}
+
+// LocateID implements ShardBackend via the parent store's ordinal map.
+func (b *LocalBackend) LocateID(id model.PatientID) (int, bool, error) {
+	o, ok := b.v.Ordinal(id)
+	return o, ok, nil
+}
+
+// Indicators implements ShardBackend: one pass over the view's histories,
+// restricted to the mask's cohort members (nil = every patient).
+func (b *LocalBackend) Indicators(mask *store.Bitset, window model.Period) (stats.IndicatorCounts, error) {
+	return tallyIndicators(b.v.HistoryAt, b.v.Len(), mask, window)
+}
+
+// tallyIndicators is the one tally loop both transports run — the local
+// view directly, the shard server over its own collection — so the
+// mask contract and the per-history accounting can never diverge
+// between them.
+func tallyIndicators(history func(int) *model.History, patients int, mask *store.Bitset, window model.Period) (stats.IndicatorCounts, error) {
+	var counts stats.IndicatorCounts
+	if mask != nil && mask.Len() != patients {
+		return counts, fmt.Errorf("engine: indicator mask covers %d patients, shard has %d", mask.Len(), patients)
+	}
+	if mask != nil {
+		mask.Range(func(i int) bool {
+			counts.AddHistory(history(i), window)
+			return true
+		})
+	} else {
+		for i := 0; i < patients; i++ {
+			counts.AddHistory(history(i), window)
+		}
+	}
+	return counts, nil
 }
 
 // Close implements ShardBackend; a view holds no resources.

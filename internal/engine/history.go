@@ -1,0 +1,183 @@
+package engine
+
+// History-level operations over the backend set: materializing the
+// histories a cohort bitset selects, resolving one patient wherever its
+// shard lives, and aggregating utilization indicators server-side. These
+// are the operations that make a coordinator over remote shards a
+// complete workbench — timelines, details-on-demand and indicator panels
+// work without a local store — while keeping the wire cost proportional
+// to what the analyst actually looks at: fetches ship only the selected
+// histories, indicator aggregation ships a fixed-size tally per shard.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pastas/internal/model"
+	"pastas/internal/stats"
+	"pastas/internal/store"
+)
+
+// ErrNoPatient is returned (wrapped) by HistoryByID when no shard holds
+// the requested patient.
+var ErrNoPatient = errors.New("no such patient")
+
+// Histories materializes the histories selected by a global-ordinal
+// bitset, in ordinal (collection) order. A store-backed engine reads them
+// off the collection; a coordinator fetches each backend's slice of the
+// selection concurrently — shards without a selected patient are never
+// contacted — and concatenates in fixed shard order. Any backend failure
+// fails the whole call: a partial history set is never returned.
+func (e *Engine) Histories(b *store.Bitset) ([]*model.History, error) {
+	if b.Len() != e.n {
+		return nil, fmt.Errorf("engine: bitset covers %d patients, population has %d", b.Len(), e.n)
+	}
+	if e.st != nil {
+		col := e.st.Collection()
+		out := make([]*model.History, 0, b.Count())
+		b.Range(func(i int) bool {
+			out = append(out, col.At(i))
+			return true
+		})
+		return out, nil
+	}
+	parts := make([][]*model.History, len(e.backends))
+	errs := make([]error, len(e.backends))
+	var wg sync.WaitGroup
+	for i, bk := range e.backends {
+		m := bk.Meta()
+		if !b.AnyInRange(m.Offset, m.Offset+m.Patients) {
+			continue
+		}
+		ordinals := b.SliceRange(m.Offset, m.Offset+m.Patients).Ones()
+		wg.Add(1)
+		go func(i int, bk ShardBackend, ordinals []int) {
+			defer wg.Done()
+			t0 := time.Now()
+			parts[i], errs[i] = bk.FetchHistories(ordinals)
+			e.record(i, t0)
+		}(i, bk, ordinals)
+	}
+	wg.Wait()
+	out := make([]*model.History, 0, b.Count())
+	for i := range parts {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("engine: histories from shard %d (%s): %w",
+				e.backends[i].Meta().Shard, e.backends[i].Meta().Backend, errs[i])
+		}
+		out = append(out, parts[i]...)
+	}
+	return out, nil
+}
+
+// HistoryByID resolves one patient's history wherever its shard lives. A
+// store-backed engine answers from the collection; a coordinator probes
+// every backend for the patient's shard-local ordinal concurrently and
+// fetches from the one that holds it. A failed probe is a loud error —
+// "not found" is only reported when every shard answered and none holds
+// the patient, so a down backend can never masquerade as a missing
+// patient. Absence is reported as an error wrapping ErrNoPatient.
+func (e *Engine) HistoryByID(id model.PatientID) (*model.History, error) {
+	if e.st != nil {
+		if h := e.st.Collection().Get(id); h != nil {
+			return h, nil
+		}
+		return nil, fmt.Errorf("engine: %s: %w", id, ErrNoPatient)
+	}
+	type hit struct {
+		backend int
+		ordinal int
+	}
+	hits := make([]*hit, len(e.backends))
+	errs := make([]error, len(e.backends))
+	var wg sync.WaitGroup
+	for i, bk := range e.backends {
+		wg.Add(1)
+		go func(i int, bk ShardBackend) {
+			defer wg.Done()
+			t0 := time.Now()
+			o, ok, err := bk.LocateID(id)
+			e.record(i, t0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if ok {
+				hits[i] = &hit{backend: i, ordinal: o}
+			}
+		}(i, bk)
+	}
+	wg.Wait()
+	var found *hit
+	for i := range e.backends {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("engine: locate %s on shard %d (%s): %w",
+				id, e.backends[i].Meta().Shard, e.backends[i].Meta().Backend, errs[i])
+		}
+		if hits[i] != nil {
+			if found != nil {
+				return nil, fmt.Errorf("engine: patient %s claimed by shards %d and %d",
+					id, e.backends[found.backend].Meta().Shard, e.backends[i].Meta().Shard)
+			}
+			found = hits[i]
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("engine: %s: %w", id, ErrNoPatient)
+	}
+	bk := e.backends[found.backend]
+	t0 := time.Now()
+	hs, err := bk.FetchHistories([]int{found.ordinal})
+	e.record(found.backend, t0)
+	if err != nil {
+		return nil, fmt.Errorf("engine: fetch %s from shard %d (%s): %w",
+			id, bk.Meta().Shard, bk.Meta().Backend, err)
+	}
+	if len(hs) != 1 || hs[0].Patient.ID != id {
+		return nil, fmt.Errorf("engine: shard %d answered the fetch for %s with the wrong history",
+			bk.Meta().Shard, id)
+	}
+	return hs[0], nil
+}
+
+// Indicators aggregates the utilization indicators for the cohort a
+// global-ordinal bitset selects, over the window. Every backend tallies
+// its slice server-side (a fixed-size integral partial, whatever the
+// cohort size) and the partials merge exactly — integer sums are
+// associative — so the result is bit-identical to a sequential pass over
+// the same cohort on a single store, at shard counts 1 through N and over
+// any transport mix. Shards without a cohort member are never contacted.
+func (e *Engine) Indicators(b *store.Bitset, window model.Period) (stats.Indicators, error) {
+	if b.Len() != e.n {
+		return stats.Indicators{}, fmt.Errorf("engine: bitset covers %d patients, population has %d", b.Len(), e.n)
+	}
+	parts := make([]stats.IndicatorCounts, len(e.backends))
+	errs := make([]error, len(e.backends))
+	var wg sync.WaitGroup
+	for i, bk := range e.backends {
+		m := bk.Meta()
+		if !b.AnyInRange(m.Offset, m.Offset+m.Patients) {
+			continue
+		}
+		mask := b.SliceRange(m.Offset, m.Offset+m.Patients)
+		wg.Add(1)
+		go func(i int, bk ShardBackend, mask *store.Bitset) {
+			defer wg.Done()
+			t0 := time.Now()
+			parts[i], errs[i] = bk.Indicators(mask, window)
+			e.record(i, t0)
+		}(i, bk, mask)
+	}
+	wg.Wait()
+	var counts stats.IndicatorCounts
+	for i := range parts {
+		if errs[i] != nil {
+			return stats.Indicators{}, fmt.Errorf("engine: indicators from shard %d (%s): %w",
+				e.backends[i].Meta().Shard, e.backends[i].Meta().Backend, errs[i])
+		}
+		counts.Merge(parts[i])
+	}
+	return counts.Finalize(window), nil
+}

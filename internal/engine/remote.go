@@ -22,9 +22,11 @@ import (
 	"net/rpc"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pastas/internal/model"
+	"pastas/internal/stats"
 	"pastas/internal/store"
 )
 
@@ -46,6 +48,14 @@ type ShardServer struct {
 	// server of the same snapshot reports, so a client can verify its
 	// assembled topology covers the whole ordinal space.
 	totalPatients int
+
+	// Graceful-shutdown state: Shutdown flips closing, closes the
+	// listeners Serve registered, and drains the in-flight RPCs so a
+	// SIGTERM mid-call finishes the call instead of killing it.
+	closing   atomic.Bool
+	inflight  sync.WaitGroup
+	mu        sync.Mutex
+	listeners []net.Listener
 }
 
 // NewShardServer opens the given shards of a sharded v2 snapshot (no ids
@@ -85,17 +95,73 @@ func NewShardServer(snapshotPath string, ids []int, opts Options) (*ShardServer,
 // ordinals from the snapshot's shard table).
 func (s *ShardServer) Metas() []ShardMeta { return append([]ShardMeta(nil), s.metas...) }
 
+// ErrServerClosed is what Serve returns after Shutdown closed its
+// listener — the clean-exit signal, mirroring net/http.ErrServerClosed.
+var ErrServerClosed = errors.New("engine: shard server closed")
+
 // Serve accepts connections until the listener closes; each connection
-// gets its own goroutine.
+// gets its own goroutine. After Shutdown, Serve returns ErrServerClosed
+// instead of the listener's close error.
 func (s *ShardServer) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.listeners = append(s.listeners, lis)
+	s.mu.Unlock()
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
+			if s.closing.Load() {
+				return ErrServerClosed
+			}
 			return err
 		}
 		go s.rpc.ServeConn(conn)
 	}
 }
+
+// Shutdown stops the server gracefully: no new connections are accepted
+// (every listener Serve registered is closed), RPCs arriving after the
+// call are refused, and in-flight RPCs get up to `timeout` to finish so
+// their responses are flushed to the client. Returns an error if the
+// drain deadline passes with calls still running.
+func (s *ShardServer) Shutdown(timeout time.Duration) error {
+	// closing is flipped under the same mutex begin takes, so once this
+	// critical section ends no new inflight.Add can ever happen — the
+	// Wait below can never race an Add from a zero counter (the
+	// documented WaitGroup misuse).
+	s.mu.Lock()
+	s.closing.Store(true)
+	for _, lis := range s.listeners {
+		lis.Close()
+	}
+	s.listeners = nil
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("engine: shutdown: in-flight RPCs still running after %s", timeout)
+	}
+}
+
+// begin gates one RPC against shutdown; end must be deferred when it
+// returns nil. The check-and-Add runs under the mutex Shutdown flips
+// closing under, so every Add strictly precedes Shutdown's Wait.
+func (s *ShardServer) begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing.Load() {
+		return errors.New("engine: shard server is shutting down")
+	}
+	s.inflight.Add(1)
+	return nil
+}
+
+func (s *ShardServer) end() { s.inflight.Done() }
 
 func (s *ShardServer) shard(id int) (*servedShard, error) {
 	sh, ok := s.shards[id]
@@ -120,6 +186,10 @@ type DescribeReply struct {
 
 // Describe lists the shards this server answers for.
 func (r *ShardRPC) Describe(_ *DescribeArgs, reply *DescribeReply) error {
+	if err := r.s.begin(); err != nil {
+		return err
+	}
+	defer r.s.end()
 	reply.Shards = r.s.Metas()
 	reply.TotalPatients = r.s.totalPatients
 	return nil
@@ -131,6 +201,10 @@ type StatsReply struct{ Stats []byte }
 
 // Stats returns one shard's marshaled exact cardinalities.
 func (r *ShardRPC) Stats(args *StatsArgs, reply *StatsReply) error {
+	if err := r.s.begin(); err != nil {
+		return err
+	}
+	defer r.s.end()
 	sh, err := r.s.shard(args.Shard)
 	if err != nil {
 		return err
@@ -159,6 +233,10 @@ type EvalReply struct{ Bits []byte }
 // so the server exploits it to skip non-candidates (the ShardBackend
 // contract) instead of paying for the full shard and intersecting after.
 func (r *ShardRPC) Eval(args *EvalArgs, reply *EvalReply) error {
+	if err := r.s.begin(); err != nil {
+		return err
+	}
+	defer r.s.end()
 	sh, err := r.s.shard(args.Shard)
 	if err != nil {
 		return err
@@ -204,6 +282,10 @@ type IDsReply struct{ IDs []model.PatientID }
 
 // IDs resolves a shard-local bitset to patient IDs in ordinal order.
 func (r *ShardRPC) IDs(args *IDsArgs, reply *IDsReply) error {
+	if err := r.s.begin(); err != nil {
+		return err
+	}
+	defer r.s.end()
 	sh, err := r.s.shard(args.Shard)
 	if err != nil {
 		return err
@@ -216,6 +298,111 @@ func (r *ShardRPC) IDs(args *IDsArgs, reply *IDsReply) error {
 		return fmt.Errorf("engine: bitset covers %d patients, shard has %d", bits.Len(), sh.meta.Patients)
 	}
 	reply.IDs = sh.eng.Store().IDsOf(&bits)
+	return nil
+}
+
+// FetchArgs/FetchReply: history materialization. Ordinals are strictly
+// increasing shard-local positions; the reply carries the histories in
+// the snapshot segment codec (store.EncodeHistories) with a crc32c, so
+// the client's defensive decoder validates structure and integrity
+// before a single history object is built.
+type FetchArgs struct {
+	Shard    int
+	Ordinals []int
+}
+type FetchReply struct {
+	Histories []byte
+	Checksum  uint32
+}
+
+// Fetch materializes the histories at the given shard-local ordinals —
+// the wire behind timelines and details-on-demand on a connected
+// workbench. Ordinals are validated against the shard bounds before any
+// encoding work.
+func (r *ShardRPC) Fetch(args *FetchArgs, reply *FetchReply) error {
+	if err := r.s.begin(); err != nil {
+		return err
+	}
+	defer r.s.end()
+	sh, err := r.s.shard(args.Shard)
+	if err != nil {
+		return err
+	}
+	if err := validateOrdinals(args.Ordinals, sh.meta.Patients); err != nil {
+		return err
+	}
+	col := sh.eng.Store().Collection()
+	hs := make([]*model.History, len(args.Ordinals))
+	for i, o := range args.Ordinals {
+		hs[i] = col.At(o)
+	}
+	reply.Histories, reply.Checksum = store.EncodeHistories(hs)
+	return nil
+}
+
+// LocateArgs/LocateReply: patient ID → shard-local ordinal resolution.
+type LocateArgs struct {
+	Shard int
+	ID    model.PatientID
+}
+type LocateReply struct {
+	Ordinal int
+	Found   bool
+}
+
+// Locate reports whether the shard holds the patient and at which local
+// ordinal; a coordinator probes every shard and fetches from the one
+// that answers.
+func (r *ShardRPC) Locate(args *LocateArgs, reply *LocateReply) error {
+	if err := r.s.begin(); err != nil {
+		return err
+	}
+	defer r.s.end()
+	sh, err := r.s.shard(args.Shard)
+	if err != nil {
+		return err
+	}
+	reply.Ordinal, reply.Found = sh.eng.Store().Ordinal(args.ID)
+	return nil
+}
+
+// IndicatorsArgs/IndicatorsReply: server-side indicator aggregation.
+// Mask, when non-empty, is a shard-local cohort bitset; the reply is the
+// shard's mergeable integral tally, a few dozen bytes whatever the
+// cohort size — the aggregate that replaces shipping every history.
+type IndicatorsArgs struct {
+	Shard  int
+	Mask   []byte
+	Window model.Period
+}
+type IndicatorsReply struct {
+	Counts stats.IndicatorCounts
+}
+
+// Indicators tallies the utilization indicators over the shard's slice
+// of the cohort.
+func (r *ShardRPC) Indicators(args *IndicatorsArgs, reply *IndicatorsReply) error {
+	if err := r.s.begin(); err != nil {
+		return err
+	}
+	defer r.s.end()
+	sh, err := r.s.shard(args.Shard)
+	if err != nil {
+		return err
+	}
+	var mask *store.Bitset
+	if len(args.Mask) > 0 {
+		mask = new(store.Bitset)
+		if err := mask.UnmarshalBinary(args.Mask); err != nil {
+			return err
+		}
+	}
+	col := sh.eng.Store().Collection()
+	counts, err := tallyIndicators(col.At, col.Len(), mask, args.Window)
+	if err != nil {
+		return err
+	}
+	reply.Counts = counts
 	return nil
 }
 
@@ -423,6 +610,66 @@ func (b *RemoteBackend) EvalPlan(p Plan, mask *store.Bitset) (*store.Bitset, err
 		return nil, err
 	}
 	return bits, nil
+}
+
+// FetchHistories implements ShardBackend: the ordinals cross the wire,
+// the histories come back in the checksummed segment codec, and the
+// defensive decoder (store.DecodeHistories) holds a hostile or corrupt
+// reply to an error — the count promised by the request is enforced, so
+// a server cannot answer with more or fewer histories than asked.
+func (b *RemoteBackend) FetchHistories(ordinals []int) ([]*model.History, error) {
+	if err := validateOrdinals(ordinals, b.meta.Patients); err != nil {
+		return nil, err
+	}
+	var reply FetchReply
+	if err := b.conn.call("Fetch", &FetchArgs{Shard: b.meta.Shard, Ordinals: ordinals}, &reply); err != nil {
+		return nil, err
+	}
+	hs, err := store.DecodeHistories(reply.Histories, reply.Checksum, len(ordinals))
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s: %w", b.conn.addr, err)
+	}
+	return hs, nil
+}
+
+// LocateID implements ShardBackend.
+func (b *RemoteBackend) LocateID(id model.PatientID) (int, bool, error) {
+	var reply LocateReply
+	if err := b.conn.call("Locate", &LocateArgs{Shard: b.meta.Shard, ID: id}, &reply); err != nil {
+		return 0, false, err
+	}
+	if reply.Found && (reply.Ordinal < 0 || reply.Ordinal >= b.meta.Patients) {
+		return 0, false, fmt.Errorf("engine: %s: located ordinal %d outside shard of %d patients",
+			b.conn.addr, reply.Ordinal, b.meta.Patients)
+	}
+	return reply.Ordinal, reply.Found, nil
+}
+
+// Indicators implements ShardBackend: the cohort mask crosses the wire,
+// a fixed-size integral tally comes back — constant reply size whatever
+// the cohort.
+func (b *RemoteBackend) Indicators(mask *store.Bitset, window model.Period) (stats.IndicatorCounts, error) {
+	args := IndicatorsArgs{Shard: b.meta.Shard, Window: window}
+	if mask != nil {
+		if mask.Len() != b.meta.Patients {
+			return stats.IndicatorCounts{}, fmt.Errorf("engine: indicator mask covers %d patients, shard has %d",
+				mask.Len(), b.meta.Patients)
+		}
+		data, err := mask.MarshalBinary()
+		if err != nil {
+			return stats.IndicatorCounts{}, err
+		}
+		args.Mask = data
+	}
+	var reply IndicatorsReply
+	if err := b.conn.call("Indicators", &args, &reply); err != nil {
+		return stats.IndicatorCounts{}, err
+	}
+	if got := reply.Counts.Patients; got < 0 || got > b.meta.Patients {
+		return stats.IndicatorCounts{}, fmt.Errorf("engine: %s: indicator tally covers %d patients, shard has %d",
+			b.conn.addr, got, b.meta.Patients)
+	}
+	return reply.Counts, nil
 }
 
 // IDsOf implements ShardBackend.

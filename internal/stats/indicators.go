@@ -36,79 +36,138 @@ type Indicators struct {
 	FemaleShare float64
 }
 
-// ComputeIndicators derives the summary over the window.
-func ComputeIndicators(col *model.Collection, window model.Period) Indicators {
-	ind := Indicators{Patients: col.Len()}
-	if col.Len() == 0 || window.Empty() {
+// IndicatorCounts is the mergeable form of the indicator aggregation: raw
+// event tallies and duration sums in integral units (events counted,
+// durations in Time ticks, ages in whole years). Integer sums are exactly
+// associative, so partial counts accumulated per shard and merged in any
+// grouping finalize to bit-identical Indicators — the property that lets
+// shard servers aggregate their slice of a cohort server-side and a
+// coordinator combine the partials without shipping a single history.
+type IndicatorCounts struct {
+	Patients int
+
+	GPContacts         int
+	EmergencyGP        int
+	Admissions         int
+	OutpatientVisits   int
+	SpecialistContacts int
+	PhysioContacts     int
+	Prescriptions      int
+
+	// Duration tallies in model.Time ticks (minutes), window-clamped.
+	AdmissionTicks int64
+	HomeCareTicks  int64
+	NursingTicks   int64
+
+	// Demographics: sum of whole-year ages at window start, female count.
+	AgeYears int64
+	Females  int
+}
+
+// AddHistory tallies one patient's history over the window.
+func (c *IndicatorCounts) AddHistory(h *model.History, window model.Period) {
+	c.Patients++
+	c.AgeYears += int64(h.Patient.AgeAt(window.Start))
+	if h.Patient.Sex == model.SexFemale {
+		c.Females++
+	}
+	for i := range h.Entries {
+		e := &h.Entries[i]
+		p := e.Period().Clamp(window)
+		inWindow := e.Kind == model.Interval && !p.Empty() ||
+			e.Kind == model.Point && window.Contains(e.Start)
+		if !inWindow {
+			continue
+		}
+		switch e.Type {
+		case model.TypeContact:
+			switch e.Source {
+			case model.SourceGP:
+				c.GPContacts++
+				if strings.Contains(e.Text, "legevakt") || strings.Contains(e.Text, "akutt") {
+					c.EmergencyGP++
+				}
+			case model.SourceHospital:
+				c.OutpatientVisits++
+			case model.SourceSpecialist:
+				c.SpecialistContacts++
+			case model.SourcePhysio:
+				c.PhysioContacts++
+			}
+		case model.TypeStay:
+			switch e.Source {
+			case model.SourceHospital:
+				c.Admissions++
+				c.AdmissionTicks += int64(p.Duration())
+			case model.SourceMunicipal:
+				c.NursingTicks += int64(p.Duration())
+			}
+		case model.TypeService:
+			c.HomeCareTicks += int64(p.Duration())
+		case model.TypeMedication:
+			c.Prescriptions++
+		}
+	}
+}
+
+// Merge folds another partial tally into the receiver. Every field is an
+// integer sum over disjoint patients, so merging is exact and
+// order-independent.
+func (c *IndicatorCounts) Merge(o IndicatorCounts) {
+	c.Patients += o.Patients
+	c.GPContacts += o.GPContacts
+	c.EmergencyGP += o.EmergencyGP
+	c.Admissions += o.Admissions
+	c.OutpatientVisits += o.OutpatientVisits
+	c.SpecialistContacts += o.SpecialistContacts
+	c.PhysioContacts += o.PhysioContacts
+	c.Prescriptions += o.Prescriptions
+	c.AdmissionTicks += o.AdmissionTicks
+	c.HomeCareTicks += o.HomeCareTicks
+	c.NursingTicks += o.NursingTicks
+	c.AgeYears += o.AgeYears
+	c.Females += o.Females
+}
+
+// Finalize converts the tallies into per-100-patient-year rates. The only
+// floating-point arithmetic in the whole aggregation happens here, once,
+// over exact integer sums.
+func (c IndicatorCounts) Finalize(window model.Period) Indicators {
+	ind := Indicators{Patients: c.Patients}
+	if c.Patients == 0 || window.Empty() {
 		return ind
 	}
 	years := float64(window.Duration()) / float64(model.Year)
-	ind.PatientYears = years * float64(col.Len())
-
-	var gp, emergencyGP, admissions, outpatient, specialist, physio, rx int
-	var admissionDays, homeCareDays, nursingDays float64
-	var ages, females float64
-
-	for _, h := range col.Histories() {
-		ages += float64(h.Patient.AgeAt(window.Start))
-		if h.Patient.Sex == model.SexFemale {
-			females++
-		}
-		for i := range h.Entries {
-			e := &h.Entries[i]
-			p := e.Period().Clamp(window)
-			inWindow := e.Kind == model.Interval && !p.Empty() ||
-				e.Kind == model.Point && window.Contains(e.Start)
-			if !inWindow {
-				continue
-			}
-			switch e.Type {
-			case model.TypeContact:
-				switch e.Source {
-				case model.SourceGP:
-					gp++
-					if strings.Contains(e.Text, "legevakt") || strings.Contains(e.Text, "akutt") {
-						emergencyGP++
-					}
-				case model.SourceHospital:
-					outpatient++
-				case model.SourceSpecialist:
-					specialist++
-				case model.SourcePhysio:
-					physio++
-				}
-			case model.TypeStay:
-				switch e.Source {
-				case model.SourceHospital:
-					admissions++
-					admissionDays += float64(p.Duration()) / float64(model.Day)
-				case model.SourceMunicipal:
-					nursingDays += float64(p.Duration()) / float64(model.Day)
-				}
-			case model.TypeService:
-				homeCareDays += float64(p.Duration()) / float64(model.Day)
-			case model.TypeMedication:
-				rx++
-			}
-		}
-	}
-
+	ind.PatientYears = years * float64(c.Patients)
 	per100 := func(n float64) float64 { return 100 * n / ind.PatientYears }
-	ind.GPContacts = per100(float64(gp))
-	if gp > 0 {
-		ind.EmergencyShare = float64(emergencyGP) / float64(gp)
+	days := func(ticks int64) float64 { return float64(ticks) / float64(model.Day) }
+	ind.GPContacts = per100(float64(c.GPContacts))
+	if c.GPContacts > 0 {
+		ind.EmergencyShare = float64(c.EmergencyGP) / float64(c.GPContacts)
 	}
-	ind.Admissions = per100(float64(admissions))
-	ind.AdmissionDays = per100(admissionDays)
-	ind.OutpatientVisits = per100(float64(outpatient))
-	ind.SpecialistContacts = per100(float64(specialist))
-	ind.PhysioContacts = per100(float64(physio))
-	ind.HomeCareDays = per100(homeCareDays)
-	ind.NursingDays = per100(nursingDays)
-	ind.Prescriptions = per100(float64(rx))
-	ind.MeanAge = ages / float64(col.Len())
-	ind.FemaleShare = females / float64(col.Len())
+	ind.Admissions = per100(float64(c.Admissions))
+	ind.AdmissionDays = per100(days(c.AdmissionTicks))
+	ind.OutpatientVisits = per100(float64(c.OutpatientVisits))
+	ind.SpecialistContacts = per100(float64(c.SpecialistContacts))
+	ind.PhysioContacts = per100(float64(c.PhysioContacts))
+	ind.HomeCareDays = per100(days(c.HomeCareTicks))
+	ind.NursingDays = per100(days(c.NursingTicks))
+	ind.Prescriptions = per100(float64(c.Prescriptions))
+	ind.MeanAge = float64(c.AgeYears) / float64(c.Patients)
+	ind.FemaleShare = float64(c.Females) / float64(c.Patients)
 	return ind
+}
+
+// ComputeIndicators derives the summary over the window.
+func ComputeIndicators(col *model.Collection, window model.Period) Indicators {
+	if col.Len() == 0 || window.Empty() {
+		return Indicators{Patients: col.Len()}
+	}
+	var counts IndicatorCounts
+	for _, h := range col.Histories() {
+		counts.AddHistory(h, window)
+	}
+	return counts.Finalize(window)
 }
 
 // Table renders the indicator report (rates per 100 patient-years).

@@ -1,0 +1,45 @@
+package store
+
+// History payloads on the wire. The fetch-histories RPC ships runs of
+// histories between shard servers and coordinators in the same varint
+// segment encoding the sharded snapshot uses (segment.go): the structure
+// is fixed, codes are dictionary-compressed, and the decoder is already
+// hardened against hostile bytes — every count and length is validated
+// against the bytes remaining before any allocation, so a malicious or
+// corrupt peer produces an error, never a panic or a memory balloon.
+//
+// A crc32c (Castagnoli, the snapshot checksum) travels with each payload.
+// It guards the transport against corruption; the defensive decoder is
+// what guards against an actively hostile writer, exactly as in the
+// snapshot loader.
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"pastas/internal/model"
+)
+
+// EncodeHistories serializes a run of histories into one segment-codec
+// payload plus its crc32c. Encoding is read-only on the histories (entries
+// go through SortedEntries), so live collections can be encoded while
+// queries are in flight.
+func EncodeHistories(hs []*model.History) (payload []byte, checksum uint32) {
+	payload = encodeSegment(hs)
+	return payload, crc32.Checksum(payload, crcTable)
+}
+
+// DecodeHistories parses a payload produced by EncodeHistories, verifying
+// the checksum first and then the payload's internal consistency against
+// the promised history count. All validation errors are returned; the
+// decoder never panics on hostile input.
+func DecodeHistories(payload []byte, checksum uint32, wantHist int) ([]*model.History, error) {
+	if got := crc32.Checksum(payload, crcTable); got != checksum {
+		return nil, fmt.Errorf("store: history payload checksum mismatch: got %08x, want %08x", got, checksum)
+	}
+	hs, _, err := decodeSegment(payload, wantHist)
+	if err != nil {
+		return nil, fmt.Errorf("store: history payload: %w", err)
+	}
+	return hs, nil
+}

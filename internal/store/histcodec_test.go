@@ -1,0 +1,122 @@
+package store
+
+import (
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"pastas/internal/model"
+)
+
+// crcOf stamps arbitrary test bytes with a valid checksum so the
+// validation under test is the structural one, not the crc.
+func crcOf(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+func codecFixture(n int) []*model.History {
+	hs := make([]*model.History, 0, n)
+	for i := 0; i < n; i++ {
+		h := model.NewHistory(model.Patient{
+			ID:           model.PatientID(i + 1),
+			Birth:        model.Date(1950+i%40, 1, 1),
+			Sex:          model.Sex(i % 3),
+			Municipality: 1900 + i%30,
+		})
+		for j := 0; j < 1+i%5; j++ {
+			h.Add(model.Entry{
+				ID:     uint64(j + 1),
+				Kind:   model.Kind(j % 2),
+				Start:  model.Date(2010, 1, 1) + model.Time(j)*model.Week,
+				End:    model.Date(2010, 1, 1) + model.Time(j)*model.Week + model.Day,
+				Source: model.Source(j % 5),
+				Type:   model.Type(j % 6),
+				Code:   model.Code{System: "ICPC2", Value: "T90"},
+				Value:  float64(j) * 1.5,
+				Text:   strings.Repeat("x", j),
+			})
+		}
+		h.Sort()
+		hs = append(hs, h)
+	}
+	return hs
+}
+
+func TestHistoryCodecRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 50} {
+		hs := codecFixture(n)
+		payload, sum := EncodeHistories(hs)
+		got, err := DecodeHistories(payload, sum, n)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d histories", n, len(got))
+		}
+		for i := range hs {
+			if hs[i].Patient != got[i].Patient {
+				t.Fatalf("n=%d: patient %d: %+v vs %+v", n, i, hs[i].Patient, got[i].Patient)
+			}
+			a, b := hs[i].SortedEntries(), got[i].SortedEntries()
+			if len(a) != len(b) {
+				t.Fatalf("n=%d: history %d entry count %d vs %d", n, i, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("n=%d: history %d entry %d: %+v vs %+v", n, i, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+func TestHistoryCodecRejectsHostilePayloads(t *testing.T) {
+	hs := codecFixture(10)
+	payload, sum := EncodeHistories(hs)
+
+	t.Run("checksum mismatch", func(t *testing.T) {
+		if _, err := DecodeHistories(payload, sum^1, 10); err == nil {
+			t.Fatal("bad checksum accepted")
+		}
+	})
+	t.Run("count lie", func(t *testing.T) {
+		if _, err := DecodeHistories(payload, sum, 11); err == nil {
+			t.Fatal("count mismatch accepted")
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for cut := 1; cut < len(payload); cut += 7 {
+			trunc := payload[:cut]
+			if _, err := DecodeHistories(trunc, crcOf(trunc), 10); err == nil {
+				t.Fatalf("truncated payload (%d of %d bytes) accepted", cut, len(payload))
+			}
+		}
+	})
+	t.Run("bitflips", func(t *testing.T) {
+		// A flip may decode to different-but-valid data; the property is
+		// that decoding never panics on any single-bit corruption.
+		for i := 0; i < len(payload); i += 3 {
+			mut := append([]byte(nil), payload...)
+			mut[i] ^= 0x80
+			_, _ = DecodeHistories(mut, crcOf(mut), 10)
+		}
+	})
+}
+
+// FuzzDecodeHistories holds the decoder to errors-never-panics on
+// arbitrary payloads (the checksum is recomputed so fuzzing exercises the
+// structural validation, not crc collisions).
+func FuzzDecodeHistories(f *testing.F) {
+	hs := codecFixture(5)
+	payload, _ := EncodeHistories(hs)
+	f.Add(payload, 5)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f}, 1)
+	f.Fuzz(func(t *testing.T, data []byte, want int) {
+		if want < 0 || want > 1<<20 {
+			return
+		}
+		got, err := DecodeHistories(data, crcOf(data), want)
+		if err == nil && len(got) != want {
+			t.Fatalf("decoded %d histories, promised %d, no error", len(got), want)
+		}
+	})
+}

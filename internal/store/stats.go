@@ -266,6 +266,21 @@ func (v *View) Empty() *Bitset { return NewBitset(v.Len()) }
 // PatientAt returns the patient ID at a local bit position.
 func (v *View) PatientAt(local int) model.PatientID { return v.parent.ids[v.lo+local] }
 
+// Ordinal returns the local bit position of a patient within the view;
+// ok=false when the patient is absent or lives outside the view's range.
+func (v *View) Ordinal(id model.PatientID) (int, bool) {
+	o, ok := v.parent.ordinal[id]
+	if !ok || o < v.lo || o >= v.hi {
+		return 0, false
+	}
+	return o - v.lo, true
+}
+
+// HistoryAt returns the history at a local bit position.
+func (v *View) HistoryAt(local int) *model.History {
+	return v.parent.col.Histories()[v.lo+local]
+}
+
 // Stats collects the view's exact cardinalities by popcounting the
 // parent's postings over the view's ordinal range — the per-shard
 // statistics a shard backend reports without owning dedicated indexes.

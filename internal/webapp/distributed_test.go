@@ -1,17 +1,21 @@
 package webapp
 
-// The webapp over a connected (storeless) workbench: cohort queries and
-// stats work across shard servers; history-level endpoints refuse
-// clearly instead of panicking.
+// The webapp over a connected (storeless) workbench: cohort queries,
+// stats, and — since the fetch/render RPCs — the whole history-level
+// endpoint family work across shard servers, byte-identical to a
+// single-process deployment; a dead shard server is a loud 5xx, never a
+// partial timeline.
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -21,7 +25,35 @@ import (
 	"pastas/internal/synth"
 )
 
-func distributedServer(t *testing.T, patients int) (*Server, *core.Workbench, *core.Workbench) {
+// killableListener records accepted connections so a test can take a
+// shard server down the way a crashed process would: listener and every
+// live connection torn down at once.
+type killableListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *killableListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *killableListener) kill() {
+	l.Listener.Close()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		c.Close()
+	}
+}
+
+func distributedServer(t *testing.T, patients int) (*Server, *core.Workbench, *core.Workbench, []*killableListener) {
 	t.Helper()
 	local, err := core.Synthesize(synth.DefaultConfig(patients))
 	if err != nil {
@@ -32,33 +64,42 @@ func distributedServer(t *testing.T, patients int) (*Server, *core.Workbench, *c
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := local.Save(f, core.SnapshotOptions{Shards: 3}); err != nil {
+	if _, err := local.Save(f, core.SnapshotOptions{Shards: 4}); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := engine.NewShardServer(path, nil, engine.Options{Shards: 2, Workers: 2})
-	if err != nil {
-		t.Fatal(err)
+	// Two servers of two shards each, so one can die while the other
+	// keeps answering.
+	var addrs []string
+	var listeners []*killableListener
+	for _, ids := range [][]int{{0, 1}, {2, 3}} {
+		srv, err := engine.NewShardServer(path, ids, engine.Options{Shards: 2, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		kl := &killableListener{Listener: lis}
+		listeners = append(listeners, kl)
+		t.Cleanup(kl.kill)
+		go srv.Serve(kl)
+		addrs = append(addrs, lis.Addr().String())
 	}
-	lis, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { lis.Close() })
-	go srv.Serve(lis)
-	remote, err := core.Connect([]string{lis.Addr().String()},
+	remote, err := core.Connect(addrs,
 		engine.RemoteOptions{Timeout: 30 * time.Second}, engine.Options{Workers: 2}, local.Window)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { remote.Close() })
-	return NewServer(remote, Config{}), local, remote
+	return NewServer(remote, Config{}), local, remote, listeners
 }
 
 func TestDistributedStatsAndCohort(t *testing.T) {
-	s, local, remote := distributedServer(t, 120)
+	s, local, remote, _ := distributedServer(t, 120)
 
 	rec := get(t, s, "/healthz")
 	if rec.Code != http.StatusOK {
@@ -95,8 +136,8 @@ func TestDistributedStatsAndCohort(t *testing.T) {
 	if stats.Patients != local.Patients() {
 		t.Errorf("stats patients = %d, want %d", stats.Patients, local.Patients())
 	}
-	if len(stats.Shards) != 3 {
-		t.Fatalf("stats shards = %d, want 3", len(stats.Shards))
+	if len(stats.Shards) != 4 {
+		t.Fatalf("stats shards = %d, want 4", len(stats.Shards))
 	}
 	for _, sh := range stats.Shards {
 		if !strings.HasPrefix(sh.Backend, "remote(") {
@@ -145,10 +186,95 @@ func TestDistributedStatsAndCohort(t *testing.T) {
 		}
 	}
 
-	// History-level endpoints refuse with 503, not a panic.
-	for _, path := range []string{"/api/patients", "/api/timeline?patient=1", "/api/details?patient=1&t=2011-01-01", "/", "/cohort-view?pattern=T90"} {
-		if rec := get(t, s, path); rec.Code != http.StatusServiceUnavailable {
-			t.Errorf("%s = %d, want 503", path, rec.Code)
+}
+
+// TestDistributedHistoryEndpoints: every previously-503 route answers a
+// connected workbench with 200 and a body byte-identical to the same
+// request against a single-process server over the same data — the
+// fetch/render RPCs make the two deployments indistinguishable from the
+// outside.
+func TestDistributedHistoryEndpoints(t *testing.T) {
+	s, local, _, _ := distributedServer(t, 120)
+	localSrv := NewServer(local, Config{})
+
+	id := local.Store.Collection().IDs()[0]
+	paths := []string{
+		"/api/patients",
+		"/api/patients?limit=7",
+		fmt.Sprintf("/api/timeline?patient=%d", uint64(id)),
+		fmt.Sprintf("/api/details?patient=%d&t=2011-01-01", uint64(id)),
+		fmt.Sprintf("/timeline?patient=%d", uint64(id)),
+		"/",
+		"/cohort-view?pattern=T90",
+	}
+	for _, path := range paths {
+		remoteRec := get(t, s, path)
+		localRec := get(t, localSrv, path)
+		if remoteRec.Code != http.StatusOK {
+			t.Errorf("%s over shards = %d: %s", path, remoteRec.Code, remoteRec.Body)
+			continue
 		}
+		if localRec.Code != http.StatusOK {
+			t.Fatalf("%s locally = %d", path, localRec.Code)
+		}
+		if remoteRec.Body.String() != localRec.Body.String() {
+			t.Errorf("%s: remote body diverges from local\nremote: %.200s\nlocal:  %.200s",
+				path, remoteRec.Body, localRec.Body)
+		}
+	}
+
+	// Indicators aggregate server-side; the JSON must still be
+	// byte-identical (the tallies are integral, so merge order cannot
+	// perturb a single bit of the finalized rates).
+	spec := `{"op":"has","pattern":"T90|E11(\\..*)?"}`
+	for _, body := range []string{"", spec} {
+		remoteRec := httptest.NewRecorder()
+		s.ServeHTTP(remoteRec, httptest.NewRequest(http.MethodPost, "/api/indicators", strings.NewReader(body)))
+		localRec := httptest.NewRecorder()
+		localSrv.ServeHTTP(localRec, httptest.NewRequest(http.MethodPost, "/api/indicators", strings.NewReader(body)))
+		if remoteRec.Code != http.StatusOK || localRec.Code != http.StatusOK {
+			t.Fatalf("indicators = %d remote / %d local: %s", remoteRec.Code, localRec.Code, remoteRec.Body)
+		}
+		if remoteRec.Body.String() != localRec.Body.String() {
+			t.Errorf("indicators body diverges\nremote: %.300s\nlocal:  %.300s", remoteRec.Body, localRec.Body)
+		}
+	}
+
+	// Unknown patients are a 404 from both deployments.
+	if rec := get(t, s, "/api/timeline?patient=99999999"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown patient over shards = %d, want 404", rec.Code)
+	}
+}
+
+// TestDistributedHistoryFailureInjection: with one of the two shard
+// servers dead, history endpoints fail loudly — never a partial timeline,
+// a half-cohort render, or a false 404.
+func TestDistributedHistoryFailureInjection(t *testing.T) {
+	s, local, remote, listeners := distributedServer(t, 120)
+
+	// A patient owned by the second server (shards 2,3 cover the upper
+	// half of the ordinal space).
+	n := local.Patients()
+	upperID := local.Store.Collection().IDs()[n-1]
+
+	listeners[1].kill()
+	remote.Engine.ResetCache()
+
+	for _, path := range []string{
+		fmt.Sprintf("/api/timeline?patient=%d", uint64(upperID)),
+		"/cohort-view?pattern=T90",
+	} {
+		rec := get(t, s, path)
+		if rec.Code < 500 {
+			t.Errorf("%s with a dead shard server = %d, want 5xx: %.200s", path, rec.Code, rec.Body)
+		}
+		if rec.Code == http.StatusNotFound {
+			t.Errorf("%s: dead shard server reported as missing patient", path)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/indicators", strings.NewReader("")))
+	if rec.Code < 500 {
+		t.Errorf("indicators with a dead shard server = %d, want 5xx: %.200s", rec.Code, rec.Body)
 	}
 }

@@ -7,6 +7,7 @@ package webapp
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"io"
@@ -15,10 +16,10 @@ import (
 	"strconv"
 
 	"pastas/internal/core"
+	"pastas/internal/engine"
 	"pastas/internal/model"
 	"pastas/internal/query"
 	"pastas/internal/render"
-	"pastas/internal/stats"
 )
 
 // Config tunes the service.
@@ -167,22 +168,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// requireStore guards history-level endpoints: a workbench connected to
-// remote shard servers holds no local histories, so timelines, details
-// and indicators are unavailable there (cohort queries still work).
-func (s *Server) requireStore(w http.ResponseWriter) bool {
-	if s.wb.Store == nil {
-		httpError(w, http.StatusServiceUnavailable,
-			"this endpoint needs a local collection; the workbench is connected to remote shard servers")
-		return false
+// firstIDs resolves the first n patient IDs in collection order through
+// the engine — the same bytes whether the histories are local or live in
+// shard servers (only the sample's worth of IDs ever crosses the wire).
+func (s *Server) firstIDs(n int) ([]model.PatientID, error) {
+	bits, err := s.wb.Query(query.TrueExpr{})
+	if err != nil {
+		return nil, err
 	}
-	return true
+	return s.wb.Engine.IDsOf(bits.FirstN(n))
 }
 
 func (s *Server) handlePatients(w http.ResponseWriter, r *http.Request) {
-	if !s.requireStore(w) {
-		return
-	}
 	limit := 50
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -192,9 +189,10 @@ func (s *Server) handlePatients(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	ids := s.wb.Store.Collection().IDs()
-	if len(ids) > limit {
-		ids = ids[:limit]
+	ids, err := s.firstIDs(limit)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
 	out := make([]uint64, len(ids))
 	for i, id := range ids {
@@ -217,21 +215,24 @@ type entryJSON struct {
 }
 
 func (s *Server) patientFromQuery(w http.ResponseWriter, r *http.Request) (*model.History, bool) {
-	if !s.requireStore(w) {
-		return nil, false
-	}
 	idStr := r.URL.Query().Get("patient")
 	id, err := strconv.ParseUint(idStr, 10, 64)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad patient id %q", idStr)
 		return nil, false
 	}
-	h := s.wb.Store.Collection().Get(model.PatientID(id))
-	if h == nil {
+	// Local store or remote shard fetch behind one call; a shard-server
+	// failure is a loud 502, never mistaken for a missing patient.
+	h, err := s.wb.History(model.PatientID(id))
+	switch {
+	case err == nil:
+		return h, true
+	case errors.Is(err, engine.ErrNoPatient):
 		httpError(w, http.StatusNotFound, "no patient %d", id)
-		return nil, false
+	default:
+		httpError(w, http.StatusBadGateway, "%v", err)
 	}
-	return h, true
+	return nil, false
 }
 
 func (s *Server) handleTimelineJSON(w http.ResponseWriter, r *http.Request) {
@@ -314,11 +315,12 @@ func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleIndicators computes utilization indicators for the cohort selected
-// by the posted query spec (empty body or {"op":"true"} = everyone).
+// by the posted query spec (empty body or {"op":"true"} = everyone). The
+// aggregation runs where the histories live: each shard backend tallies
+// its slice of the cohort and the coordinator merges the partials — on a
+// connected workbench nothing but fixed-size tallies crosses the wire,
+// whatever the cohort size.
 func (s *Server) handleIndicators(w http.ResponseWriter, r *http.Request) {
-	if !s.requireStore(w) {
-		return
-	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
@@ -342,8 +344,11 @@ func (s *Server) handleIndicators(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	col := s.wb.Store.Subset(bits)
-	ind := stats.ComputeIndicators(col, s.wb.Window)
+	ind, err := s.wb.Indicators(bits)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
 	writeJSON(w, map[string]any{
 		"query":      expr.String(),
 		"indicators": ind,
@@ -390,9 +395,6 @@ func (s *Server) handleTimelinePage(w http.ResponseWriter, r *http.Request) {
 // regex-identified cohort: ?pattern=T90|E11(\..*)? draws the first rows of
 // the matching sub-collection as the Fig. 1 timeline.
 func (s *Server) handleCohortView(w http.ResponseWriter, r *http.Request) {
-	if !s.requireStore(w) {
-		return
-	}
 	pattern := r.URL.Query().Get("pattern")
 	if pattern == "" {
 		httpError(w, http.StatusBadRequest, "need ?pattern=<code regex>")
@@ -409,7 +411,16 @@ func (s *Server) handleCohortView(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	col := s.wb.Store.Subset(bits)
+	// The render reads the whole sub-collection (its span sets the time
+	// axis even for rows beyond MaxRows), so on a connected workbench the
+	// cohort's histories ship from their shards — the ship-all path, by
+	// design for a draw-the-cohort view. Cohort-wide numbers without the
+	// freight belong to /api/indicators.
+	col, err := s.wb.Histories(bits)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
 	rows := 50
 	if v := r.URL.Query().Get("rows"); v != "" {
 		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 500 {
@@ -438,12 +449,10 @@ func min(a, b int) int {
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	if !s.requireStore(w) {
+	ids, err := s.firstIDs(25)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
 		return
-	}
-	ids := s.wb.Store.Collection().IDs()
-	if len(ids) > 25 {
-		ids = ids[:25]
 	}
 	body := "<p>PaSTAs — patient story timelines. Sample patients:</p><ul>"
 	for _, id := range ids {

@@ -119,9 +119,10 @@ func FromBundle(b *Bundle, window Period) (*Workbench, error) {
 	return core.FromBundle(b, integrate.DefaultOptions(), window)
 }
 
-// NewSession opens an interactive session over a workbench. It errors
-// for a workbench connected to remote shard servers (ConnectShards),
-// which holds no local histories to page through.
+// NewSession opens an interactive session over a workbench. On a
+// workbench connected to remote shard servers (ConnectShards) the session
+// starts with an empty view and the first Extract pages the matching
+// histories in from their shards.
 func NewSession(wb *Workbench) (*Session, error) { return core.NewSession(wb) }
 
 // --- snapshot persistence -------------------------------------------------
@@ -189,9 +190,10 @@ func NewEngineFromBackends(backends []ShardBackend, opts EngineOptions) (*Engine
 }
 
 // ConnectShards builds a workbench over remote shard servers. Cohort
-// queries execute across the servers with bit-identical results to a
-// local workbench over the same snapshot; history-level views require a
-// local one.
+// queries, history fetches (Workbench.History/Histories, sessions,
+// timeline renders) and indicator aggregation (Workbench.Indicators)
+// all execute across the servers with bit-identical results to a local
+// workbench over the same snapshot.
 func ConnectShards(addrs []string, window Period) (*Workbench, error) {
 	return core.Connect(addrs, engine.RemoteOptions{}, engine.DefaultOptions(), window)
 }
@@ -266,7 +268,21 @@ type (
 	SurveyParams = stats.SurveyParams
 	// SurveyResult aggregates survey outcomes.
 	SurveyResult = stats.SurveyResult
+	// Indicators is the utilization summary registry reports compute
+	// (rates per 100 patient-years).
+	Indicators = stats.Indicators
+	// IndicatorCounts is the mergeable integral tally behind Indicators;
+	// shard backends return it so partial aggregates combine exactly.
+	IndicatorCounts = stats.IndicatorCounts
 )
+
+// ComputeIndicators derives the utilization summary for a collection over
+// a window. For cohorts on a workbench — local or connected to shard
+// servers — prefer Workbench.Indicators, which aggregates where the
+// histories live.
+func ComputeIndicators(col *Collection, window Period) Indicators {
+	return stats.ComputeIndicators(col, window)
+}
 
 // NewWebServer builds the HTTP service over a workbench.
 func NewWebServer(wb *Workbench, cfg WebConfig) *WebServer { return webapp.NewServer(wb, cfg) }

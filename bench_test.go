@@ -551,6 +551,14 @@ func BenchmarkE9_SnapshotReopen(b *testing.B) {
 // connected workbench plus the snapshot path for the loader benchmarks.
 func startBenchCluster(b *testing.B, wb *core.Workbench) (*core.Workbench, string) {
 	b.Helper()
+	return startBenchClusterOpts(b, wb, engine.DefaultOptions())
+}
+
+// startBenchClusterOpts is startBenchCluster with explicit coordinator
+// options — E12 needs the coordinator's result cache off so its warm arm
+// measures feedback planning, not cache hits.
+func startBenchClusterOpts(b *testing.B, wb *core.Workbench, opts engine.Options) (*core.Workbench, string) {
+	b.Helper()
 	path := filepath.Join(b.TempDir(), "e10.snap")
 	f, err := os.Create(path)
 	if err != nil {
@@ -581,7 +589,7 @@ func startBenchCluster(b *testing.B, wb *core.Workbench) (*core.Workbench, strin
 		go srv.Serve(lis)
 		addrs = append(addrs, lis.Addr().String())
 	}
-	remote, err := core.Connect(addrs, engine.RemoteOptions{}, engine.DefaultOptions(), wb.Window)
+	remote, err := core.Connect(addrs, engine.RemoteOptions{}, opts, wb.Window)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -999,4 +1007,188 @@ func BenchmarkX1_TrajectoryClustering(b *testing.B) {
 			b.Fatal("order lost items")
 		}
 	}
+}
+
+// --- E12: million-patient scale --------------------------------------------------
+
+// e12Scale is the tentpole population: the containerized bitmaps and the
+// feedback planner are proven at 1M patients, not extrapolated from 168k.
+// -short caps at 100k so the CI smoke run stays quick.
+func e12Scale() int {
+	if testing.Short() {
+		return 100_000
+	}
+	return 1_000_000
+}
+
+// e12Collection hand-builds the population — the full synth pipeline
+// would dominate setup at this scale. Every patient carries two
+// measurements: one from [0,100) (patient i reads i%100) and one from
+// [1000,1100) on a decorrelated cycle, so ValueBetween predicates give
+// precisely controlled selectivities that the cost model's uniform prior
+// cannot see — exactly the correlated-conjunction shape the feedback
+// loop exists to fix.
+func e12Collection(n int) *model.Collection {
+	base := model.Date(2010, 6, 1)
+	hs := make([]*model.History, n)
+	for i := range hs {
+		h := model.NewHistory(model.Patient{ID: model.PatientID(i + 1), Birth: model.Date(1955, 1, 1)})
+		h.Add(model.Entry{
+			ID: uint64(2 * i), Kind: model.Point, Start: base, End: base,
+			Type: model.TypeMeasurement, Source: model.Source(1), Value: float64(i % 100),
+		})
+		h.Add(model.Entry{
+			ID: uint64(2*i + 1), Kind: model.Point, Start: base, End: base,
+			Type: model.TypeMeasurement, Source: model.Source(1), Value: 1000 + float64((i*37)%100),
+		})
+		hs[i] = h
+	}
+	return model.MustCollection(hs...)
+}
+
+var (
+	e12Fixture   *store.Store
+	e12FixtureN  int
+	e12FixtureMu sync.Mutex
+)
+
+func e12Store(b *testing.B) *store.Store {
+	b.Helper()
+	e12FixtureMu.Lock()
+	defer e12FixtureMu.Unlock()
+	if n := e12Scale(); e12Fixture == nil || e12FixtureN != n {
+		e12Fixture = store.New(e12Collection(n))
+		e12FixtureN = n
+	}
+	return e12Fixture
+}
+
+// BenchmarkE12_MillionPatient prices the PR-6 tentpole at scale. The
+// workload is a correlated conjunction of two unbounded ValueBetween
+// scans — identical priors, wildly different true selectivities (the
+// narrow band is contained in the wide one) — so the cold plan runs them
+// in compile order and the feedback re-plan runs the selective scan
+// first. Result caches are off everywhere (CacheSize 0): the cold/warm
+// gap is pure planning, every iteration recomputes the cohort. The
+// distributed arms run the same pair over two loopback shard servers;
+// setops prices a raw containerized And over two ~50%-dense postings.
+func BenchmarkE12_MillionPatient(b *testing.B) {
+	st := e12Store(b)
+	n := e12Scale()
+	vb := func(lo, hi float64) query.Expr {
+		return query.Has{Pred: query.ValueBetween{Lo: lo, Hi: hi}}
+	}
+	wide, narrow := vb(0, 94), vb(90, 94) // 95% and 5%, narrow ⊂ wide
+	workload := query.And{wide, narrow}
+	want := n / 100 * 5
+	check := func(b *testing.B, bits *store.Bitset, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bits.Count() != want {
+			b.Fatalf("cohort drifted: %d, want %d", bits.Count(), want)
+		}
+	}
+
+	eng := engine.New(st, engine.Options{Shards: engine.DefaultOptions().Shards, CacheSize: 0})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.ResetCache() // feedback and plan memo too: every iteration plans blind
+			bits, err := eng.Execute(workload)
+			check(b, bits, err)
+		}
+	})
+	b.Run("warm-feedback", func(b *testing.B) {
+		eng.ResetCache()
+		if _, err := eng.Execute(workload); err != nil { // prime: record true cardinalities
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bits, err := eng.Execute(workload)
+			check(b, bits, err)
+		}
+	})
+
+	// Three-way variant: two anti-correlated 50% bands plus an independent
+	// 40% band. Greedy feedback ordering (leaf cardinalities only) leads
+	// with the independent band; the join-order DP sees the observed 5%
+	// prefix and runs the anti-correlated pair first.
+	three := query.And{vb(0, 49), vb(45, 94), vb(1000, 1039)}
+	b.Run("correlated3-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.ResetCache()
+			bits, err := eng.Execute(three)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bits.Count() == 0 {
+				b.Fatal("empty three-way cohort")
+			}
+		}
+	})
+	b.Run("correlated3-warm", func(b *testing.B) {
+		eng.ResetCache()
+		if _, err := eng.Execute(three); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bits, err := eng.Execute(three)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bits.Count() == 0 {
+				b.Fatal("empty three-way cohort")
+			}
+		}
+	})
+
+	// Raw containerized set operations over population-scale bitsets.
+	b.Run("setops-and", func(b *testing.B) {
+		even := store.NewBitset(n)
+		third := store.NewBitset(n)
+		for i := 0; i < n; i += 2 {
+			even.Set(i)
+		}
+		for i := 0; i < n; i += 3 {
+			third.Set(i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			acc := even.Clone()
+			acc.And(third)
+			if acc.Count() == 0 {
+				b.Fatal("empty intersection")
+			}
+		}
+	})
+
+	// Distributed: the same correlated pair over two loopback shard
+	// servers (result caches off on both sides; the coordinator's
+	// feedback loop learns from remotely-evaluated leaves too).
+	window := model.Period{Start: model.Date(2010, 1, 1), End: model.Date(2012, 1, 1)}
+	wb := core.FromCollection(st.Collection(), window)
+	coordOpts := engine.DefaultOptions()
+	coordOpts.CacheSize = 0
+	remote, _ := startBenchClusterOpts(b, wb, coordOpts)
+	b.Run("distributed-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			remote.Engine.ResetCache()
+			bits, err := remote.Query(workload)
+			check(b, bits, err)
+		}
+	})
+	b.Run("distributed-warm", func(b *testing.B) {
+		remote.Engine.ResetCache()
+		if _, err := remote.Query(workload); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bits, err := remote.Query(workload)
+			check(b, bits, err)
+		}
+	})
 }

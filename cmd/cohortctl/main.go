@@ -362,6 +362,22 @@ func runSnapshotCmd(args []string) {
 			fmt.Printf("  shard %d: offset %d, %d bytes, %d patients, %d entries, crc32c %08x\n",
 				sh.Shard, sh.Offset, sh.Bytes, sh.Patients, sh.Entries, sh.Checksum)
 		}
+		if len(info.Postings) > 0 {
+			var tb int64
+			var tl, ta, tm, tr int
+			fmt.Printf("postings (containerized indexes):\n")
+			for _, pi := range info.Postings {
+				fmt.Printf("  shard %d: %d bytes, %d lists (%d array / %d bitmap / %d run containers), crc32c %08x\n",
+					pi.Shard, pi.Bytes, pi.Lists, pi.Arrays, pi.Bitmaps, pi.Runs, pi.Checksum)
+				tb += pi.Bytes
+				tl += pi.Lists
+				ta += pi.Arrays
+				tm += pi.Bitmaps
+				tr += pi.Runs
+			}
+			fmt.Printf("  total:   %d bytes, %d lists (%d array / %d bitmap / %d run containers)\n",
+				tb, tl, ta, tm, tr)
+		}
 	default:
 		log.Fatalf("unknown snapshot subcommand %q (want save or info)", args[0])
 	}

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	datagen -patients 168000 -seed 42 -out ./data
+//	datagen -patients 1000000 -stream -out ./data
+//
+// The default mode materializes the whole bundle in memory before
+// writing. -stream generates and writes in fixed-size patient chunks
+// instead — constant memory regardless of population size — and, because
+// every patient is seeded independently from (-seed, patient ID), the
+// output files are byte-identical to the in-memory mode's.
 package main
 
 import (
@@ -18,22 +25,38 @@ import (
 	"pastas/internal/synth"
 )
 
+// streamChunk is the patient-count granularity of -stream generation:
+// large enough to amortize worker fan-out, small enough that a chunk's
+// records (~15 per patient) stay a trivial memory footprint.
+const streamChunk = 50_000
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("datagen: ")
 
-	patients := flag.Int("patients", 10000, "population size")
-	seed := flag.Int64("seed", 42, "generator seed")
+	patients := flag.Int("patients", 10000, "population size (must be > 0)")
+	seed := flag.Int64("seed", 42, "generator seed; equal seeds reproduce identical extracts")
 	out := flag.String("out", "data", "output directory")
+	stream := flag.Bool("stream", false, "generate in constant memory, writing chunk by chunk (same bytes as the default mode)")
 	flag.Parse()
+
+	if *patients <= 0 {
+		log.Fatalf("-patients must be > 0 (got %d)", *patients)
+	}
 
 	cfg := synth.DefaultConfig(*patients)
 	cfg.Seed = *seed
-	bundle := synth.Generate(cfg)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
+
+	if *stream {
+		writeStreamed(cfg, *out)
+		return
+	}
+
+	bundle := synth.Generate(cfg)
 	write := func(name string, fn func(f *os.File) error) {
 		path := filepath.Join(*out, name)
 		f, err := os.Create(path)
@@ -59,4 +82,75 @@ func main() {
 	write("prescriptions.jsonl", func(f *os.File) error { return sources.WriteJSONL(f, bundle.Prescriptions) })
 	write("specialist.jsonl", func(f *os.File) error { return sources.WriteJSONL(f, bundle.Specialist) })
 	write("physio.jsonl", func(f *os.File) error { return sources.WriteJSONL(f, bundle.Physio) })
+}
+
+// writeStreamed generates the population in streamChunk-patient ranges and
+// appends each chunk's records to the seven open extract files. Peak
+// memory is one chunk's bundle, independent of -patients.
+func writeStreamed(cfg synth.Config, dir string) {
+	create := func(name string) *os.File {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+	files := make([]*os.File, 0, 7)
+	open := func(name string) *os.File {
+		f := create(name)
+		files = append(files, f)
+		return f
+	}
+
+	personsF := open("persons.csv")
+	gpF := open("gp_claims.csv")
+	episodesF := open("episodes.csv")
+	municipalF := open("municipal.csv")
+	rxF := open("prescriptions.jsonl")
+	specialistF := open("specialist.jsonl")
+	physioF := open("physio.jsonl")
+
+	check := func(what string, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", what, err)
+		}
+	}
+	persons, err := sources.NewPersonStream(personsF)
+	check("persons.csv", err)
+	gp, err := sources.NewGPClaimStream(gpF)
+	check("gp_claims.csv", err)
+	episodes, err := sources.NewEpisodeStream(episodesF)
+	check("episodes.csv", err)
+	municipal, err := sources.NewMunicipalStream(municipalF)
+	check("municipal.csv", err)
+	rx := sources.NewJSONLStream[sources.Prescription](rxF)
+	specialist := sources.NewJSONLStream[sources.SpecialistClaim](specialistF)
+	physio := sources.NewJSONLStream[sources.PhysioClaim](physioF)
+
+	fmt.Printf("streaming %d patients to %s (chunks of %d)\n", cfg.Patients, dir, streamChunk)
+	records := 0
+	for first := uint64(1); first <= uint64(cfg.Patients); first += streamChunk {
+		last := first + streamChunk - 1
+		if last > uint64(cfg.Patients) {
+			last = uint64(cfg.Patients)
+		}
+		chunk := synth.GenerateRange(cfg, first, last)
+		records += chunk.TotalRecords()
+		check("persons.csv", persons.Append(chunk.Persons))
+		check("gp_claims.csv", gp.Append(chunk.GPClaims))
+		check("episodes.csv", episodes.Append(chunk.Episodes))
+		check("municipal.csv", municipal.Append(chunk.Municipal))
+		check("prescriptions.jsonl", rx.Append(chunk.Prescriptions))
+		check("specialist.jsonl", specialist.Append(chunk.Specialist))
+		check("physio.jsonl", physio.Append(chunk.Physio))
+		fmt.Printf("  patients %d-%d done (%d records so far)\n", first, last, records)
+	}
+
+	for _, f := range files {
+		name := filepath.Base(f.Name())
+		check(name, f.Close())
+		info, err := os.Stat(filepath.Join(dir, name))
+		check(name, err)
+		fmt.Printf("  %-24s %8.1f KiB\n", name, float64(info.Size())/1024)
+	}
 }

@@ -204,10 +204,20 @@ func evalOnView(v *store.View, p Plan, mask *store.Bitset) (*store.Bitset, error
 		return out, nil
 	case Scan:
 		out := v.Empty()
+		if mask != nil {
+			// Iterate the mask's set bits instead of probing it per
+			// history: with containerized bitsets a sparse mask makes
+			// this a handful of array-container walks, and whole
+			// 65k-patient chunks of non-candidates are skipped outright.
+			mask.Range(func(i int) bool {
+				if n.Expr.Eval(v.HistoryAt(i)) {
+					out.Set(i)
+				}
+				return true
+			})
+			return out, nil
+		}
 		for i, h := range v.Histories() {
-			if mask != nil && !mask.Get(i) {
-				continue
-			}
 			if n.Expr.Eval(h) {
 				out.Set(i)
 			}

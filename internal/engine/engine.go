@@ -67,6 +67,12 @@ type Engine struct {
 	// interactive refinement loop re-intersects a cached bound instead
 	// of re-walking the code vocabulary on every repeated scan.
 	boundCache *planCache
+	// fb records the true cardinality of every evaluated plan node; the
+	// optimizer's cost model reads it back on later planning passes
+	// (adaptive feedback planning, see feedback.go).
+	fb *feedback
+	// plans memoizes optimized plans by (expression, feedback epoch).
+	plans *planMemo
 }
 
 // New builds an engine over an already-indexed global store. With more
@@ -82,6 +88,8 @@ func New(st *store.Store, opts Options) *Engine {
 		workers:    normalizeWorkers(opts.Workers),
 		cache:      newPlanCache(opts.CacheSize),
 		boundCache: newPlanCache(boundCacheSize),
+		fb:         newFeedback(feedbackSize),
+		plans:      newPlanMemo(planMemoSize),
 	}
 	n := st.Len()
 	shards := opts.Shards
@@ -119,6 +127,8 @@ func NewFromBackends(backends []ShardBackend, opts Options) (*Engine, error) {
 		workers:    normalizeWorkers(opts.Workers),
 		cache:      newPlanCache(opts.CacheSize),
 		boundCache: newPlanCache(boundCacheSize),
+		fb:         newFeedback(feedbackSize),
+		plans:      newPlanMemo(planMemoSize),
 	}
 	for _, b := range bs {
 		m := b.Meta()
@@ -212,14 +222,21 @@ func (e *Engine) CacheStats() CacheStats {
 	return e.cache.stats()
 }
 
-// ResetCache empties the plan cache and the scan-bound cache (benchmarks
-// use this to measure cold executions).
+// ResetCache empties the plan cache, the scan-bound cache, the recorded
+// execution feedback and the plan memo (benchmarks use this to measure
+// cold executions — cold statistics included).
 func (e *Engine) ResetCache() {
 	if e.cache != nil {
 		e.cache.reset()
 	}
 	if e.boundCache != nil {
 		e.boundCache.reset()
+	}
+	if e.fb != nil {
+		e.fb.reset()
+	}
+	if e.plans != nil {
+		e.plans.reset()
 	}
 }
 
@@ -264,13 +281,45 @@ func (e *Engine) ShardStats() []ShardStat {
 	return out
 }
 
-// optimize runs the cost-based optimizer when statistics exist, the
-// static one otherwise (empty store).
+// optimize runs the cost-based optimizer (estimates corrected by
+// execution feedback) when statistics exist, the static one otherwise
+// (empty store).
 func (e *Engine) optimize(p Plan) Plan {
 	if e.stats != nil && e.stats.Patients > 0 {
-		return OptimizeWithStats(p, e.stats)
+		return optimizeNode(p, newFeedbackCostModel(e.stats, e.fb))
 	}
 	return Optimize(p)
+}
+
+// plan returns the optimized form of p, memoized by (canonical
+// expression key, feedback epoch). When execution feedback advances the
+// epoch the expression is re-planned under the corrected estimates; the
+// re-plan lands under the new epoch's key, never evicting the plan the
+// previous epoch produced — an in-flight execution may still hold it,
+// and reverting feedback restores it for free. Opaque plans (per-compile
+// keys) are planned fresh every time.
+func (e *Engine) plan(p Plan) Plan {
+	if e.plans == nil || e.fb == nil || !cacheable(p) {
+		return e.optimize(p)
+	}
+	key := planMemoKey(p.Key(), e.fb.epochNow())
+	if op, ok := e.plans.get(key); ok {
+		return op
+	}
+	op := e.optimize(p)
+	e.plans.put(key, op)
+	return op
+}
+
+// FeedbackEpoch reports the planner's statistics epoch: it advances
+// whenever execution observes a cardinality the cost model did not
+// already know, and re-planning any expression under a new epoch may
+// produce a different (better-informed) plan.
+func (e *Engine) FeedbackEpoch() uint64 {
+	if e.fb == nil {
+		return 0
+	}
+	return e.fb.epochNow()
 }
 
 // Execute compiles, optimizes and runs a query expression, returning the
@@ -280,7 +329,7 @@ func (e *Engine) Execute(q query.Expr) (*store.Bitset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecutePlan(e.optimize(p))
+	return e.ExecutePlan(e.plan(p))
 }
 
 // ExecutePlan runs an already-built plan.
@@ -350,10 +399,12 @@ func (e *Engine) eval(p Plan) (*store.Bitset, error) {
 	}
 	useCache := e.cache != nil && cacheable(p)
 	key := ""
-	if useCache {
+	if useCache || e.fb != nil {
 		key = p.Key()
-		if b, ok := e.cache.get(key); ok {
-			return b, nil
+		if useCache {
+			if b, ok := e.cache.get(key); ok {
+				return b, nil
+			}
 		}
 	}
 	var out *store.Bitset
@@ -389,6 +440,9 @@ func (e *Engine) eval(p Plan) (*store.Bitset, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if e.fb != nil {
+		e.fb.observe(key, out.Count())
 	}
 	if useCache {
 		e.cache.put(key, out)
@@ -445,7 +499,7 @@ func (e *Engine) evalAnd(children []Plan, mask *store.Bitset) (*store.Bitset, er
 	} else {
 		acc = e.all()
 	}
-	for _, c := range children {
+	for i, c := range children {
 		if acc.Count() == 0 {
 			return acc, nil
 		}
@@ -461,6 +515,20 @@ func (e *Engine) evalAnd(children []Plan, mask *store.Bitset) (*store.Bitset, er
 				return nil, err
 			}
 			acc.And(b)
+		}
+		// Unmasked, the accumulator after child i is the true cardinality
+		// of the conjunction prefix — for i = 0, of the child itself.
+		// Record every prefix (eval records the full node): these
+		// observations are what lets the join-order DP see through
+		// correlated predicates, and the canonical And key is
+		// order-insensitive, so a prefix recorded under one order is
+		// found again whatever order is tried next.
+		if mask == nil && e.fb != nil && i < len(children)-1 {
+			if i == 0 {
+				e.fb.observe(c.Key(), acc.Count())
+			} else {
+				e.fb.observe(And{Children: children[:i+1]}.Key(), acc.Count())
+			}
 		}
 	}
 	return acc, nil

@@ -42,8 +42,8 @@ func (e *Engine) Explain(q query.Expr) (*Explained, error) {
 	if err != nil {
 		return nil, err
 	}
-	p = e.optimize(p)
-	m := newCostModel(e.stats)
+	p = e.plan(p)
+	m := newFeedbackCostModel(e.stats, e.fb)
 	return &Explained{Plan: p, Root: annotate(p, m), Patients: e.n, Backends: e.BackendInfo()}, nil
 }
 

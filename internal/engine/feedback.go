@@ -1,0 +1,177 @@
+package engine
+
+// Adaptive feedback planning. The cost model's composition rule — child
+// selectivities multiply — assumes independence, and clinical predicates
+// violate it constantly (a diagnosis and the medication treating it
+// select nearly the same patients). Rather than guess correlations up
+// front, the executor records the true cardinality of every plan node it
+// evaluates, keyed by the node's canonical key, and the optimizer
+// consults those observations on the next planning pass: feedback
+// replaces the estimate wherever an observation exists, including the
+// conjunction prefixes evalAnd materializes on the way to its result.
+//
+// Observations carry a monotonically increasing epoch. Plans are
+// memoized per (expression, epoch), so advancing feedback triggers a
+// re-plan under the corrected estimates without evicting the plan an
+// earlier epoch produced — both entries live in the memo side by side.
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+)
+
+const (
+	// feedbackSize bounds the recorded observations (LRU).
+	feedbackSize = 4096
+	// planMemoSize bounds the memoized optimized plans (LRU).
+	planMemoSize = 256
+)
+
+// feedback is a mutex-guarded LRU of observed true cardinalities.
+type feedback struct {
+	mu    sync.Mutex
+	max   int
+	epoch uint64
+	ll    *list.List
+	byKey map[string]*list.Element
+}
+
+type fbEntry struct {
+	key  string
+	rows int
+}
+
+func newFeedback(max int) *feedback {
+	return &feedback{max: max, ll: list.New(), byKey: make(map[string]*list.Element, max)}
+}
+
+// observe records the true cardinality of an executed plan node. The
+// epoch advances only when the observation is news — a fresh key, or a
+// value that moved by more than 10% — so repeated executions of a stable
+// workload settle into a fixed epoch and the plan memo stays hot.
+func (f *feedback) observe(key string, rows int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if el, ok := f.byKey[key]; ok {
+		e := el.Value.(*fbEntry)
+		f.ll.MoveToFront(el)
+		if d := e.rows - rows; d*10 <= e.rows && -d*10 <= e.rows {
+			return
+		}
+		e.rows = rows
+		f.epoch++
+		return
+	}
+	f.byKey[key] = f.ll.PushFront(&fbEntry{key: key, rows: rows})
+	f.epoch++
+	for f.ll.Len() > f.max {
+		el := f.ll.Back()
+		f.ll.Remove(el)
+		delete(f.byKey, el.Value.(*fbEntry).key)
+	}
+}
+
+// rowsFor returns the recorded cardinality for a plan key, if any.
+func (f *feedback) rowsFor(key string) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	el, ok := f.byKey[key]
+	if !ok {
+		return 0, false
+	}
+	f.ll.MoveToFront(el)
+	return el.Value.(*fbEntry).rows, true
+}
+
+// size reports the number of recorded observations.
+func (f *feedback) size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ll.Len()
+}
+
+// epochNow returns the current stats epoch.
+func (f *feedback) epochNow() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+func (f *feedback) reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ll.Init()
+	f.byKey = make(map[string]*list.Element, f.max)
+	f.epoch = 0
+}
+
+// planMemo is a mutex-guarded LRU of optimized plans keyed by
+// (expression key, feedback epoch) — see planMemoKey. Plans are
+// immutable once built, so entries are shared, not cloned.
+type planMemo struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	byKey map[string]*list.Element
+}
+
+type planMemoEntry struct {
+	key string
+	p   Plan
+}
+
+func newPlanMemo(max int) *planMemo {
+	if max <= 0 {
+		return nil
+	}
+	return &planMemo{max: max, ll: list.New(), byKey: make(map[string]*list.Element, max)}
+}
+
+func (c *planMemo) get(key string) (Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*planMemoEntry).p, true
+}
+
+func (c *planMemo) put(key string, p Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*planMemoEntry).p = p
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&planMemoEntry{key: key, p: p})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.byKey, el.Value.(*planMemoEntry).key)
+	}
+}
+
+func (c *planMemo) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *planMemo) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.byKey = make(map[string]*list.Element, c.max)
+}
+
+// planMemoKey builds the memo key for an expression at a feedback epoch.
+// The epoch is prefixed with a NUL separator — a byte no plan key
+// contains (keys render from expression strings) — so distinct
+// (expression, epoch) pairs can never collide by concatenation.
+func planMemoKey(exprKey string, epoch uint64) string {
+	return strconv.FormatUint(epoch, 10) + "\x00" + exprKey
+}

@@ -58,9 +58,11 @@ type ShardServer struct {
 	listeners []net.Listener
 }
 
-// NewShardServer opens the given shards of a sharded v2 snapshot (no ids
+// NewShardServer opens the given shards of a sharded snapshot (no ids
 // = every shard) and builds a per-shard engine over each. Only the
-// header and the assigned segments are read from the file.
+// header and the assigned segments are read from the file; on v3
+// snapshots each shard's indexes are restored from its postings segment
+// instead of being rebuilt from the entries.
 func NewShardServer(snapshotPath string, ids []int, opts Options) (*ShardServer, error) {
 	opened, info, err := store.OpenShards(snapshotPath, ids...)
 	if err != nil {
@@ -72,7 +74,10 @@ func NewShardServer(snapshotPath string, ids []int, opts Options) (*ShardServer,
 		totalPatients: info.Patients,
 	}
 	for _, sh := range opened {
-		st := store.New(sh.Col)
+		st, err := sh.Store()
+		if err != nil {
+			return nil, fmt.Errorf("engine: shard server: shard %d: %w", sh.Shard, err)
+		}
 		served := &servedShard{
 			meta: ShardMeta{
 				Shard:    sh.Shard,

@@ -15,30 +15,26 @@ import (
 
 var gpHeader = []string{"person", "date", "emergency", "icpc", "systolic", "diastolic", "amount", "text"}
 
+func gpRow(c *GPClaim) []string {
+	return []string{
+		strconv.FormatUint(c.Person, 10),
+		c.Date,
+		boolStr(c.Emergency),
+		c.ICPC,
+		strconv.Itoa(c.Systolic),
+		strconv.Itoa(c.Diastolic),
+		strconv.FormatFloat(c.Amount, 'f', 2, 64),
+		c.Text,
+	}
+}
+
 // WriteGPClaims writes claims as CSV with header.
 func WriteGPClaims(w io.Writer, claims []GPClaim) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(gpHeader); err != nil {
-		return fmt.Errorf("sources: write gp header: %w", err)
+	s, err := NewGPClaimStream(w)
+	if err != nil {
+		return err
 	}
-	for i := range claims {
-		c := &claims[i]
-		rec := []string{
-			strconv.FormatUint(c.Person, 10),
-			c.Date,
-			boolStr(c.Emergency),
-			c.ICPC,
-			strconv.Itoa(c.Systolic),
-			strconv.Itoa(c.Diastolic),
-			strconv.FormatFloat(c.Amount, 'f', 2, 64),
-			c.Text,
-		}
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("sources: write gp claim %d: %w", i, err)
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return s.Append(claims)
 }
 
 // ReadGPClaims parses a GP-claims CSV produced by WriteGPClaims.
@@ -72,29 +68,25 @@ func ReadGPClaims(r io.Reader) ([]GPClaim, error) {
 
 var episodeHeader = []string{"person", "admitted", "discharged", "mode", "main_icd", "secondary_icd", "department"}
 
+func episodeRow(e *HospitalEpisode) []string {
+	return []string{
+		strconv.FormatUint(e.Person, 10),
+		e.Admitted,
+		e.Discharged,
+		e.Mode,
+		e.MainICD,
+		strings.Join(e.SecondaryICD, ";"),
+		e.Department,
+	}
+}
+
 // WriteEpisodes writes hospital episodes as CSV with header.
 func WriteEpisodes(w io.Writer, eps []HospitalEpisode) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(episodeHeader); err != nil {
-		return fmt.Errorf("sources: write episode header: %w", err)
+	s, err := NewEpisodeStream(w)
+	if err != nil {
+		return err
 	}
-	for i := range eps {
-		e := &eps[i]
-		rec := []string{
-			strconv.FormatUint(e.Person, 10),
-			e.Admitted,
-			e.Discharged,
-			e.Mode,
-			e.MainICD,
-			strings.Join(e.SecondaryICD, ";"),
-			e.Department,
-		}
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("sources: write episode %d: %w", i, err)
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return s.Append(eps)
 }
 
 // ReadEpisodes parses a hospital-episode CSV produced by WriteEpisodes.
@@ -128,20 +120,17 @@ func ReadEpisodes(r io.Reader) ([]HospitalEpisode, error) {
 
 var municipalHeader = []string{"person", "service", "from", "to"}
 
+func municipalRow(s *MunicipalService) []string {
+	return []string{strconv.FormatUint(s.Person, 10), s.Service, s.From, s.To}
+}
+
 // WriteMunicipal writes municipal service decisions as CSV with header.
 func WriteMunicipal(w io.Writer, svcs []MunicipalService) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(municipalHeader); err != nil {
-		return fmt.Errorf("sources: write municipal header: %w", err)
+	s, err := NewMunicipalStream(w)
+	if err != nil {
+		return err
 	}
-	for i := range svcs {
-		s := &svcs[i]
-		if err := cw.Write([]string{strconv.FormatUint(s.Person, 10), s.Service, s.From, s.To}); err != nil {
-			return fmt.Errorf("sources: write municipal %d: %w", i, err)
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return s.Append(svcs)
 }
 
 // ReadMunicipal parses a municipal-services CSV produced by WriteMunicipal.
@@ -163,21 +152,17 @@ func ReadMunicipal(r io.Reader) ([]MunicipalService, error) {
 
 var personHeader = []string{"id", "birth", "sex", "municipality"}
 
+func personRow(p *Person) []string {
+	return []string{strconv.FormatUint(p.ID, 10), p.BirthDate, p.Sex, strconv.Itoa(p.Municipality)}
+}
+
 // WritePersons writes the demographic extract as CSV with header.
 func WritePersons(w io.Writer, ps []Person) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(personHeader); err != nil {
-		return fmt.Errorf("sources: write person header: %w", err)
+	s, err := NewPersonStream(w)
+	if err != nil {
+		return err
 	}
-	for i := range ps {
-		p := &ps[i]
-		rec := []string{strconv.FormatUint(p.ID, 10), p.BirthDate, p.Sex, strconv.Itoa(p.Municipality)}
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("sources: write person %d: %w", i, err)
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return s.Append(ps)
 }
 
 // ReadPersons parses a demographic CSV produced by WritePersons.

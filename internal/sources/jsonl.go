@@ -1,7 +1,6 @@
 package sources
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,14 +12,7 @@ import (
 
 // WriteJSONL writes one JSON object per line.
 func WriteJSONL[T any](w io.Writer, records []T) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for i := range records {
-		if err := enc.Encode(&records[i]); err != nil {
-			return fmt.Errorf("sources: write jsonl record %d: %w", i, err)
-		}
-	}
-	return bw.Flush()
+	return NewJSONLStream[T](w).Append(records)
 }
 
 // ReadJSONL reads one JSON object per line until EOF.

@@ -1,0 +1,94 @@
+package sources
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Incremental writers. The batch Write* functions materialize a whole
+// extract slice before anything hits disk; a Stream writes the same bytes
+// chunk by chunk — header once at construction, then any number of Append
+// calls — so arbitrarily large extracts (the 1M-patient fixtures) are
+// produced in constant memory. Write*(w, recs) is exactly
+// NewXStream(w) + Append(recs), so the two paths cannot drift.
+
+// CSVStream appends records of one registry extract to an open CSV file.
+type CSVStream[T any] struct {
+	cw   *csv.Writer
+	row  func(*T) []string
+	what string
+	n    int
+}
+
+func newCSVStream[T any](w io.Writer, header []string, row func(*T) []string, what string) (*CSVStream[T], error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return nil, fmt.Errorf("sources: write %s header: %w", what, err)
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return nil, fmt.Errorf("sources: write %s header: %w", what, err)
+	}
+	return &CSVStream[T]{cw: cw, row: row, what: what}, nil
+}
+
+// Append writes the records and flushes, so a crashed producer leaves a
+// readable prefix. Record indices in errors count from the start of the
+// stream, not the chunk.
+func (s *CSVStream[T]) Append(recs []T) error {
+	for i := range recs {
+		if err := s.cw.Write(s.row(&recs[i])); err != nil {
+			return fmt.Errorf("sources: write %s %d: %w", s.what, s.n+i, err)
+		}
+	}
+	s.n += len(recs)
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+// NewPersonStream starts a demographic CSV extract.
+func NewPersonStream(w io.Writer) (*CSVStream[Person], error) {
+	return newCSVStream(w, personHeader, personRow, "person")
+}
+
+// NewGPClaimStream starts a GP-claims CSV extract.
+func NewGPClaimStream(w io.Writer) (*CSVStream[GPClaim], error) {
+	return newCSVStream(w, gpHeader, gpRow, "gp claim")
+}
+
+// NewEpisodeStream starts a hospital-episode CSV extract.
+func NewEpisodeStream(w io.Writer) (*CSVStream[HospitalEpisode], error) {
+	return newCSVStream(w, episodeHeader, episodeRow, "episode")
+}
+
+// NewMunicipalStream starts a municipal-services CSV extract.
+func NewMunicipalStream(w io.Writer) (*CSVStream[MunicipalService], error) {
+	return newCSVStream(w, municipalHeader, municipalRow, "municipal")
+}
+
+// JSONLStream appends records to an open JSONL file, one object per line.
+type JSONLStream[T any] struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewJSONLStream starts a JSONL extract.
+func NewJSONLStream[T any](w io.Writer) *JSONLStream[T] {
+	bw := bufio.NewWriter(w)
+	return &JSONLStream[T]{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Append writes the records and flushes the line buffer.
+func (s *JSONLStream[T]) Append(records []T) error {
+	for i := range records {
+		if err := s.enc.Encode(&records[i]); err != nil {
+			return fmt.Errorf("sources: write jsonl record %d: %w", s.n+i, err)
+		}
+	}
+	s.n += len(records)
+	return s.bw.Flush()
+}

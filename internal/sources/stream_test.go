@@ -1,0 +1,76 @@
+package sources
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStreamsMatchBatchWriters: chunked Append calls must produce the
+// exact bytes of the one-shot Write* functions — including empty chunks
+// and the header-only empty extract — so streamed fixtures are readable
+// by the same strict-header readers.
+func TestStreamsMatchBatchWriters(t *testing.T) {
+	persons := []Person{
+		{ID: 1, BirthDate: "1950-02-03", Sex: "F", Municipality: 301},
+		{ID: 2, BirthDate: "1980-11-30", Sex: "M", Municipality: 5001},
+		{ID: 3, BirthDate: "2004-07-07", Sex: "F", Municipality: 1103},
+	}
+	var batch bytes.Buffer
+	if err := WritePersons(&batch, persons); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, chunk := range []int{1, 2, 3, 5} {
+		var streamed bytes.Buffer
+		s, err := NewPersonStream(&streamed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(nil); err != nil { // empty chunks are fine
+			t.Fatal(err)
+		}
+		for lo := 0; lo < len(persons); lo += chunk {
+			hi := min(lo+chunk, len(persons))
+			if err := s.Append(persons[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(batch.Bytes(), streamed.Bytes()) {
+			t.Errorf("chunk %d: streamed CSV differs from batch output", chunk)
+		}
+	}
+
+	var empty bytes.Buffer
+	if _, err := NewPersonStream(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if ps, err := ReadPersons(&empty); err != nil || len(ps) != 0 {
+		t.Errorf("header-only stream should read as empty extract (ps=%v err=%v)", ps, err)
+	}
+}
+
+func TestJSONLStreamMatchesBatch(t *testing.T) {
+	recs := []Prescription{
+		{Person: 1, Date: "2010-01-01", ATC: "C07AB02", DurationDays: 90},
+		{Person: 2, Date: "2010-06-15", ATC: "A10BA02", DurationDays: 30},
+		{Person: 3, Date: "2011-03-20", ATC: "N02BE01", DurationDays: 10},
+	}
+	var batch bytes.Buffer
+	if err := WriteJSONL(&batch, recs); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	s := NewJSONLStream[Prescription](&streamed)
+	for i := range recs {
+		if err := s.Append(recs[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(batch.Bytes(), streamed.Bytes()) {
+		t.Error("streamed JSONL differs from batch output")
+	}
+	out, err := ReadJSONL[Prescription](&streamed)
+	if err != nil || len(out) != len(recs) {
+		t.Fatalf("streamed JSONL unreadable: %v (%d records)", err, len(out))
+	}
+}

@@ -26,11 +26,26 @@ type OpenedShard struct {
 	Offset int
 	// Col holds the shard's histories, in the order they were saved.
 	Col *model.Collection
+	// Postings holds the shard's decoded inverted indexes when the
+	// snapshot carries a postings block (v3+); nil for v2 snapshots, in
+	// which case the opener rebuilds indexes with New.
+	Postings *ShardPostings
 }
 
-// OpenShards opens the given shards of a sharded v2 snapshot, reading only
+// Store indexes the opened shard: from the snapshot's postings block when
+// present, by re-walking the entries otherwise.
+func (os *OpenedShard) Store() (*Store, error) {
+	if os.Postings != nil {
+		return NewFromPostings(os.Col, os.Postings)
+	}
+	return New(os.Col), nil
+}
+
+// OpenShards opens the given shards of a sharded snapshot, reading only
 // the header and those shards' segments (checksummed, decoded in
-// parallel) — never the rest of the file. No ids means every shard. The
+// parallel) — never the rest of the file. On v3 snapshots each shard's
+// postings segment is read and decoded too, so the caller can index the
+// shard without re-walking its entries. No ids means every shard. The
 // shard table is validated against the file size up front, so a truncated
 // file errors at header time instead of mid-read; out-of-range or
 // duplicate shard ids are refused.
@@ -76,7 +91,24 @@ func OpenShards(path string, ids ...int) ([]*OpenedShard, *SnapshotInfo, error) 
 		starts[i] = starts[i-1] + info.ShardDetail[i-1].Patients
 	}
 
-	payload := int64(snapshotHeaderFixed) + int64(info.Shards)*snapshotShardRow
+	payload := info.headerLen()
+
+	// Postings segments follow the last history segment, packed in shard
+	// order; their offsets are the running sum of the table's sizes.
+	var postBase int64
+	var postOff []int64
+	if info.Version >= snapshotVersionPostings {
+		postBase = payload
+		if info.Shards > 0 {
+			last := info.ShardDetail[info.Shards-1]
+			postBase += last.Offset + last.Bytes
+		}
+		postOff = make([]int64, info.Shards)
+		for i := 1; i < info.Shards; i++ {
+			postOff[i] = postOff[i-1] + info.Postings[i-1].Bytes
+		}
+	}
+
 	out := make([]*OpenedShard, len(ids))
 	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
@@ -114,7 +146,26 @@ func OpenShards(path string, ids ...int) ([]*OpenedShard, *SnapshotInfo, error) 
 				errs[i] = fmt.Errorf("store: open shards: shard %d: %w", id, err)
 				return
 			}
-			out[i] = &OpenedShard{Shard: id, Offset: starts[id], Col: col}
+			os := &OpenedShard{Shard: id, Offset: starts[id], Col: col}
+			if postOff != nil {
+				pi := info.Postings[id]
+				pseg := make([]byte, pi.Bytes)
+				if _, err := f.ReadAt(pseg, postBase+postOff[id]); err != nil {
+					errs[i] = fmt.Errorf("store: open shards: shard %d: read postings (%d bytes at %d): %w", id, pi.Bytes, postBase+postOff[id], err)
+					return
+				}
+				if got := crc32.Checksum(pseg, crcTable); got != pi.Checksum {
+					errs[i] = fmt.Errorf("store: open shards: shard %d: postings checksum mismatch (got %08x, want %08x)", id, got, pi.Checksum)
+					return
+				}
+				sp, err := decodePostings(pseg, si.Patients)
+				if err != nil {
+					errs[i] = fmt.Errorf("store: open shards: shard %d: %w", id, err)
+					return
+				}
+				os.Postings = sp
+			}
+			out[i] = os
 		}(i, id)
 	}
 	wg.Wait()

@@ -158,10 +158,9 @@ func TestOpenShardsCorruptSegment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	headerLen := snapshotHeaderFixed + info.Shards*snapshotShardRow
 	// Flip a byte inside shard 2's segment.
 	si := info.ShardDetail[2]
-	data[headerLen+int(si.Offset)] ^= 0xFF
+	data[int(info.headerLen())+int(si.Offset)] ^= 0xFF
 	bad := filepath.Join(t.TempDir(), "bad.snap")
 	if err := os.WriteFile(bad, data, 0o644); err != nil {
 		t.Fatal(err)

@@ -42,16 +42,25 @@ import (
 // never start with it (gob's first byte is a small message length).
 const snapshotMagic = "PASTSNP2"
 
-// snapshotVersionSharded is the version the magic-led header carries.
+// snapshotVersionSharded is the original sharded header version: history
+// segments only. Still accepted on load.
 const snapshotVersionSharded = 2
+
+// snapshotVersionPostings adds the containerized postings block: a
+// postings table after the shard table (size, checksum, and container
+// histogram per shard) and one postings segment per shard after the
+// history segments (see snapshot_postings.go). Save writes this version;
+// history segments are byte-identical to v2.
+const snapshotVersionPostings = 3
 
 // maxSnapshotShards bounds the shard count a header may claim, so a
 // corrupt or hostile header cannot demand a gigantic shard table.
 const maxSnapshotShards = 1 << 16
 
 const (
-	snapshotHeaderFixed = 8 + 4 + 4 + 8 + 8 // magic, version, shards, patients, entries
-	snapshotShardRow    = 8 + 8 + 8 + 8 + 4 // offset, bytes, patients, entries, crc
+	snapshotHeaderFixed = 8 + 4 + 4 + 8 + 8     // magic, version, shards, patients, entries
+	snapshotShardRow    = 8 + 8 + 8 + 8 + 4     // offset, bytes, patients, entries, crc
+	snapshotPostingsRow = 8 + 4 + 4 + 4 + 4 + 4 // bytes, crc, lists, arrays, bitmaps, runs
 )
 
 // crcTable is the Castagnoli polynomial (hardware-accelerated on amd64/arm64).
@@ -78,6 +87,20 @@ type SnapshotInfo struct {
 	// snapshots, whose gob stream carries no length.
 	Bytes       int64       `json:"bytes"`
 	ShardDetail []ShardInfo `json:"shard_detail,omitempty"`
+	// Postings describes the per-shard containerized postings segments
+	// (v3+ snapshots only): sizes, checksums, and container histograms.
+	Postings []PostingsInfo `json:"postings,omitempty"`
+}
+
+// headerLen returns the full header size: fixed part, shard table, and —
+// for snapshots carrying a postings block — the postings table. Segment
+// offsets are relative to this point.
+func (si *SnapshotInfo) headerLen() int64 {
+	l := int64(snapshotHeaderFixed) + int64(si.Shards)*snapshotShardRow
+	if si.Version >= snapshotVersionPostings {
+		l += int64(si.Shards) * snapshotPostingsRow
+	}
+	return l
 }
 
 // Format names the wire format for display.
@@ -114,14 +137,18 @@ func shardBounds(n, shards int) [][2]int {
 	return bounds
 }
 
-// SaveSharded writes the collection as a sharded v2 snapshot with the
-// given shard count (clamped to [1, patients]). Segments are encoded
-// concurrently on a worker pool; like Save, it is read-only on the
-// collection. Returns the layout it wrote.
+// SaveSharded writes the collection as a sharded v3 snapshot with the
+// given shard count (clamped to [1, patients]): history segments exactly
+// as v2 wrote them, plus one containerized postings segment per shard.
+// Segments are encoded concurrently on a worker pool; like Save, it is
+// read-only on the collection. Returns the layout it wrote.
 func SaveSharded(w io.Writer, col *model.Collection, shards int) (*SnapshotInfo, error) {
 	hs := col.Histories()
 	bounds := shardBounds(len(hs), shards)
 	segs := make([][]byte, len(bounds))
+	postSegs := make([][]byte, len(bounds))
+	postInfos := make([]PostingsInfo, len(bounds))
+	postErrs := make([]error, len(bounds))
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -132,19 +159,33 @@ func SaveSharded(w io.Writer, col *model.Collection, shards int) (*SnapshotInfo,
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			segs[i] = encodeSegment(hs[lo:hi])
+			seg, pi, err := encodePostings(buildShardPostings(hs[lo:hi]))
+			if err != nil {
+				postErrs[i] = err
+				return
+			}
+			pi.Shard = i
+			pi.Checksum = crc32.Checksum(seg, crcTable)
+			postSegs[i], postInfos[i] = seg, pi
 		}(i, b[0], b[1])
 	}
 	wg.Wait()
+	for _, err := range postErrs {
+		if err != nil {
+			return nil, fmt.Errorf("store: save snapshot: postings: %w", err)
+		}
+	}
 
 	info := &SnapshotInfo{
-		Version:  snapshotVersionSharded,
+		Version:  snapshotVersionPostings,
 		Shards:   len(bounds),
 		Patients: len(hs),
 		Entries:  col.TotalEntries(),
+		Postings: postInfos,
 	}
-	header := make([]byte, 0, snapshotHeaderFixed+len(bounds)*snapshotShardRow)
+	header := make([]byte, 0, snapshotHeaderFixed+len(bounds)*(snapshotShardRow+snapshotPostingsRow))
 	header = append(header, snapshotMagic...)
-	header = binary.BigEndian.AppendUint32(header, snapshotVersionSharded)
+	header = binary.BigEndian.AppendUint32(header, snapshotVersionPostings)
 	header = binary.BigEndian.AppendUint32(header, uint32(len(bounds)))
 	header = binary.BigEndian.AppendUint64(header, uint64(info.Patients))
 	header = binary.BigEndian.AppendUint64(header, uint64(info.Entries))
@@ -170,12 +211,27 @@ func SaveSharded(w io.Writer, col *model.Collection, shards int) (*SnapshotInfo,
 		header = binary.BigEndian.AppendUint32(header, si.Checksum)
 		offset += si.Bytes
 	}
-	info.Bytes = int64(len(header)) + offset
+	postBytes := int64(0)
+	for _, pi := range postInfos {
+		header = binary.BigEndian.AppendUint64(header, uint64(pi.Bytes))
+		header = binary.BigEndian.AppendUint32(header, pi.Checksum)
+		header = binary.BigEndian.AppendUint32(header, uint32(pi.Lists))
+		header = binary.BigEndian.AppendUint32(header, uint32(pi.Arrays))
+		header = binary.BigEndian.AppendUint32(header, uint32(pi.Bitmaps))
+		header = binary.BigEndian.AppendUint32(header, uint32(pi.Runs))
+		postBytes += pi.Bytes
+	}
+	info.Bytes = int64(len(header)) + offset + postBytes
 
 	if _, err := w.Write(header); err != nil {
 		return nil, fmt.Errorf("store: save snapshot: %w", err)
 	}
 	for _, seg := range segs {
+		if _, err := w.Write(seg); err != nil {
+			return nil, fmt.Errorf("store: save snapshot: %w", err)
+		}
+	}
+	for _, seg := range postSegs {
 		if _, err := w.Write(seg); err != nil {
 			return nil, fmt.Errorf("store: save snapshot: %w", err)
 		}
@@ -201,7 +257,7 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 		return nil, fmt.Errorf("store: load snapshot: bad magic %q", fixed[:len(snapshotMagic)])
 	}
 	version := binary.BigEndian.Uint32(fixed[8:])
-	if version != snapshotVersionSharded {
+	if version != snapshotVersionSharded && version != snapshotVersionPostings {
 		return nil, fmt.Errorf("store: load snapshot: unsupported version %d", version)
 	}
 	shards := binary.BigEndian.Uint32(fixed[12:])
@@ -228,7 +284,7 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 	// payload) can never overflow int64 — a hostile shard table claiming
 	// 2^63-scale segments must error here, not wrap negative and slip
 	// past the size validation into a giant allocation.
-	headerLen := int64(snapshotHeaderFixed) + int64(shards)*snapshotShardRow
+	headerLen := info.headerLen()
 	maxPayload := uint64(1<<63-1) - uint64(headerLen)
 	sumPatients, sumEntries, offset := uint64(0), uint64(0), uint64(0)
 	for i := 0; i < int(shards); i++ {
@@ -260,6 +316,32 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 	}
 	if sumEntries != entries {
 		return nil, fmt.Errorf("store: load snapshot: shard table sums to %d entries, header says %d", sumEntries, entries)
+	}
+	if version >= snapshotVersionPostings {
+		ptable := make([]byte, int(shards)*snapshotPostingsRow)
+		if _, err := io.ReadFull(r, ptable); err != nil {
+			return nil, fmt.Errorf("store: load snapshot: postings table: %w", err)
+		}
+		for i := 0; i < int(shards); i++ {
+			row := ptable[i*snapshotPostingsRow:]
+			pi := PostingsInfo{
+				Shard:    i,
+				Bytes:    int64(binary.BigEndian.Uint64(row[0:])),
+				Checksum: binary.BigEndian.Uint32(row[8:]),
+				Lists:    int(binary.BigEndian.Uint32(row[12:])),
+				Arrays:   int(binary.BigEndian.Uint32(row[16:])),
+				Bitmaps:  int(binary.BigEndian.Uint32(row[20:])),
+				Runs:     int(binary.BigEndian.Uint32(row[24:])),
+			}
+			if pi.Bytes < 0 {
+				return nil, fmt.Errorf("store: load snapshot: postings %d: negative size", i)
+			}
+			if uint64(pi.Bytes) > maxPayload-offset {
+				return nil, fmt.Errorf("store: load snapshot: postings %d: segment sizes overflow", i)
+			}
+			offset += uint64(pi.Bytes)
+			info.Postings = append(info.Postings, pi)
+		}
 	}
 	info.Bytes = headerLen + int64(offset)
 	return info, nil
@@ -313,6 +395,23 @@ func loadSharded(r io.Reader) (*model.Collection, *SnapshotInfo, error) {
 			}
 			results[i].hs, results[i].entries = hs, entries
 		}(i, si, buf.Bytes())
+	}
+	// Drain and checksum the postings segments (v3): the streaming loader
+	// rebuilds its indexes from the merged collection, but the stream's
+	// integrity contract — every byte the header promises is present and
+	// checksummed — must hold for the whole file, not just the histories.
+	for i := 0; i < len(info.Postings); i++ {
+		pi := info.Postings[i]
+		var buf bytes.Buffer
+		buf.Grow(int(min(pi.Bytes, 4<<20)))
+		if _, err := io.CopyN(&buf, r, pi.Bytes); err != nil {
+			wg.Wait()
+			return nil, nil, fmt.Errorf("store: load snapshot: postings %d: read %d bytes: %w", i, pi.Bytes, err)
+		}
+		if got := crc32.Checksum(buf.Bytes(), crcTable); got != pi.Checksum {
+			wg.Wait()
+			return nil, nil, fmt.Errorf("store: load snapshot: postings %d: checksum mismatch (got %08x, want %08x)", i, got, pi.Checksum)
+		}
 	}
 	wg.Wait()
 

@@ -364,7 +364,7 @@ func TestInspectShardedIsHeaderOnly(t *testing.T) {
 	// Header-only: inspecting just the header+table bytes (payload cut
 	// off) still succeeds on a plain stream, whose total size cannot be
 	// known — no payload byte is ever read.
-	headerLen := snapshotHeaderFixed + 4*snapshotShardRow
+	headerLen := int(info.headerLen())
 	if _, err := Inspect(io.MultiReader(bytes.NewReader(snap[:headerLen]))); err != nil {
 		t.Errorf("header-only inspect failed: %v", err)
 	}

@@ -58,36 +58,50 @@ func (c *Config) Window() model.Period {
 // Generation is parallel across patients; output order and content are
 // deterministic for a given config.
 func Generate(cfg Config) *sources.Bundle {
+	if cfg.Patients <= 0 {
+		return &sources.Bundle{}
+	}
+	return GenerateRange(cfg, 1, uint64(cfg.Patients))
+}
+
+// GenerateRange produces the bundle slice for patient IDs first..last
+// (1-based, inclusive). Every patient is seeded independently — personSeed
+// mixes the config seed with the ID — so the records are byte-identical to
+// the corresponding slice of Generate's output no matter how the range is
+// chunked. This is what lets datagen's streaming mode build arbitrarily
+// large extracts in constant memory.
+func GenerateRange(cfg Config, first, last uint64) *sources.Bundle {
+	if first == 0 || first > last {
+		return &sources.Bundle{}
+	}
+	n := int(last - first + 1)
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > cfg.Patients && cfg.Patients > 0 {
-		workers = cfg.Patients
-	}
-	if cfg.Patients == 0 {
-		return &sources.Bundle{}
+	if workers > n {
+		workers = n
 	}
 
 	parts := make([]*sources.Bundle, workers)
 	var wg sync.WaitGroup
-	per := (cfg.Patients + workers - 1) / workers
+	per := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w*per + 1
-		hi := (w + 1) * per
-		if hi > cfg.Patients {
-			hi = cfg.Patients
+		lo := first + uint64(w*per)
+		hi := first + uint64((w+1)*per) - 1
+		if hi > last {
+			hi = last
 		}
 		if lo > hi {
 			parts[w] = &sources.Bundle{}
 			continue
 		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w int, lo, hi uint64) {
 			defer wg.Done()
 			out := &sources.Bundle{}
 			for id := lo; id <= hi; id++ {
-				generatePatient(&cfg, uint64(id), out)
+				generatePatient(&cfg, id, out)
 			}
 			parts[w] = out
 		}(w, lo, hi)

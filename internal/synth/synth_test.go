@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pastas/internal/model"
+	"pastas/internal/sources"
 	"pastas/internal/terminology"
 )
 
@@ -26,6 +27,51 @@ func TestGenerateParallelismInvariant(t *testing.T) {
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatal("worker count must not change output")
 	}
+}
+
+// TestGenerateRangeChunksEqualWhole: stitching arbitrary chunk splits of
+// GenerateRange must reproduce Generate exactly — the invariant datagen's
+// -stream mode relies on for byte-identical output.
+func TestGenerateRangeChunksEqualWhole(t *testing.T) {
+	cfg := DefaultConfig(170)
+	whole := Generate(cfg)
+	for _, chunk := range []uint64{1, 7, 64, 170, 500} {
+		got := &totalBundle{}
+		for first := uint64(1); first <= uint64(cfg.Patients); first += chunk {
+			last := first + chunk - 1
+			if last > uint64(cfg.Patients) {
+				last = uint64(cfg.Patients)
+			}
+			got.add(GenerateRange(cfg, first, last))
+		}
+		if !reflect.DeepEqual(whole.Persons, got.b.Persons) ||
+			!reflect.DeepEqual(whole.GPClaims, got.b.GPClaims) ||
+			!reflect.DeepEqual(whole.Prescriptions, got.b.Prescriptions) ||
+			!reflect.DeepEqual(whole.Episodes, got.b.Episodes) ||
+			!reflect.DeepEqual(whole.Municipal, got.b.Municipal) ||
+			!reflect.DeepEqual(whole.Specialist, got.b.Specialist) ||
+			!reflect.DeepEqual(whole.Physio, got.b.Physio) {
+			t.Fatalf("chunk size %d: stitched output differs from Generate", chunk)
+		}
+	}
+	if out := GenerateRange(cfg, 5, 4); out.TotalRecords() != 0 {
+		t.Error("inverted range must be empty")
+	}
+	if out := GenerateRange(cfg, 0, 3); out.TotalRecords() != 0 {
+		t.Error("id 0 is not a patient; range starting at 0 must be empty")
+	}
+}
+
+type totalBundle struct{ b sources.Bundle }
+
+func (t *totalBundle) add(p *sources.Bundle) {
+	t.b.Persons = append(t.b.Persons, p.Persons...)
+	t.b.GPClaims = append(t.b.GPClaims, p.GPClaims...)
+	t.b.Prescriptions = append(t.b.Prescriptions, p.Prescriptions...)
+	t.b.Episodes = append(t.b.Episodes, p.Episodes...)
+	t.b.Municipal = append(t.b.Municipal, p.Municipal...)
+	t.b.Specialist = append(t.b.Specialist, p.Specialist...)
+	t.b.Physio = append(t.b.Physio, p.Physio...)
 }
 
 func TestGenerateSeedSensitivity(t *testing.T) {

@@ -13,8 +13,10 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"pastas/internal/align"
 	"pastas/internal/cluster"
@@ -1190,5 +1192,253 @@ func BenchmarkE12_MillionPatient(b *testing.B) {
 			bits, err := remote.Query(workload)
 			check(b, bits, err)
 		}
+	})
+}
+
+// --- E13: replicated failover under churn ------------------------------------
+
+// benchReplica is one killable, restartable shard-server process stand-in:
+// the listener tracks accepted connections so kill() tears down the
+// listener and every live connection at once, exactly like a crashed
+// process, and restart() brings a fresh server back on the same address.
+type benchReplica struct {
+	addr string
+	path string
+	ids  []int
+
+	mu    sync.Mutex
+	srv   *engine.ShardServer
+	lis   net.Listener
+	conns []net.Conn
+}
+
+// replicaListener ties one server incarnation to one fixed listener
+// (a restarted server must never accept through its predecessor's),
+// while registering accepted connections on the shared replica so
+// kill() can sever them.
+type replicaListener struct {
+	net.Listener
+	parent *benchReplica
+}
+
+func (l *replicaListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.parent.mu.Lock()
+		l.parent.conns = append(l.parent.conns, c)
+		l.parent.mu.Unlock()
+	}
+	return c, err
+}
+
+func (r *benchReplica) kill() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lis != nil {
+		r.lis.Close()
+	}
+	for _, c := range r.conns {
+		c.Close()
+	}
+	r.conns = nil
+}
+
+// restart brings a fresh server back on the replica's address. It may
+// run from the churn goroutine, so failures report via b.Error (Fatal
+// is test-goroutine-only); the replica set keeps serving from the
+// survivor either way.
+func (r *benchReplica) restart(b *testing.B) {
+	b.Helper()
+	srvOpts := engine.DefaultOptions()
+	srvOpts.CacheSize = 0
+	srv, err := engine.NewShardServer(r.path, r.ids, srvOpts)
+	if err != nil {
+		b.Error(err)
+		return
+	}
+	var lis net.Listener
+	for attempt := 0; ; attempt++ {
+		lis, err = net.Listen("tcp", r.addr)
+		if err == nil {
+			break
+		}
+		if attempt >= 20 {
+			b.Errorf("rebind %s: %v", r.addr, err)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r.mu.Lock()
+	r.srv = srv
+	r.lis = lis
+	r.addr = lis.Addr().String()
+	r.mu.Unlock()
+	go srv.Serve(&replicaListener{Listener: lis, parent: r})
+}
+
+// startReplicatedCluster saves wb as a 4-shard snapshot and serves every
+// shard from two independent replica servers, returning a strict
+// coordinator whose per-shard backends are replica sets, plus the
+// kill/restart handles.
+func startReplicatedCluster(b *testing.B, wb *core.Workbench) (*core.Workbench, []*benchReplica) {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "e13.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := wb.Save(f, core.SnapshotOptions{Shards: 4}); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	replicas := make([]*benchReplica, 2)
+	for i := range replicas {
+		replicas[i] = &benchReplica{addr: "127.0.0.1:0", path: path, ids: []int{0, 1, 2, 3}}
+		replicas[i].restart(b)
+		b.Cleanup(replicas[i].kill)
+	}
+	coordOpts := engine.DefaultOptions()
+	coordOpts.CacheSize = 0 // every op must fan out and face the churn
+	remote, err := core.Connect(
+		[]string{replicas[0].addr + "|" + replicas[1].addr},
+		engine.RemoteOptions{Timeout: 10 * time.Second},
+		coordOpts, wb.Window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { remote.Close() })
+	return remote, replicas
+}
+
+// e13Session runs one mixed workbench operation — cohort query, timeline
+// fetch or indicator aggregation, dealt round-robin — and returns its
+// latency. Any error is fatal: the failover contract is zero query
+// errors while replicas die.
+func e13Session(b *testing.B, remote *core.Workbench, ids []model.PatientID, cohortBits *store.Bitset, i int) time.Duration {
+	exprs := []query.Expr{
+		query.Has{Pred: query.AllOf{
+			query.TypeIs(model.TypeDiagnosis), query.MustCode("", `T90|E11(\..*)?`)}},
+		query.Has{Pred: query.MustCode("", `K8.`), MinCount: 2},
+		query.SexIs(model.SexFemale),
+	}
+	t0 := time.Now()
+	switch i % 3 {
+	case 0:
+		if _, err := remote.Query(exprs[(i/3)%len(exprs)]); err != nil {
+			b.Fatalf("op %d: query: %v", i, err)
+		}
+	case 1:
+		if _, err := remote.History(ids[i%len(ids)]); err != nil {
+			b.Fatalf("op %d: timeline: %v", i, err)
+		}
+	default:
+		if _, err := remote.Indicators(cohortBits); err != nil {
+			b.Fatalf("op %d: indicators: %v", i, err)
+		}
+	}
+	return time.Since(t0)
+}
+
+func reportPercentiles(b *testing.B, lat []time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return float64(sorted[idx].Microseconds()) / 1000.0
+	}
+	b.ReportMetric(pct(0.50), "p50-ms")
+	b.ReportMetric(pct(0.99), "p99-ms")
+}
+
+// BenchmarkE13_ReplicatedFailover prices the replication tier's promise:
+// mixed query/timeline/indicator sessions against a 2-replica cluster,
+// (a) steady-state — the replication wrapper's overhead with everything
+// healthy, (b) with one replica of every shard crashed mid-run — strict
+// mode completes with zero errors, and (c) under kill/restart churn —
+// one replica crashing and rejoining continuously. Each arm reports p50
+// and p99 op latency alongside ns/op.
+func BenchmarkE13_ReplicatedFailover(b *testing.B) {
+	n := 21000
+	if testing.Short() {
+		n = 5000
+	}
+	wb := workbenchAt(b, n)
+	ids := wb.Store.Collection().IDs()
+
+	b.Run("steady", func(b *testing.B) {
+		remote, _ := startReplicatedCluster(b, wb)
+		cohortBits, err := remote.Query(query.Has{Pred: query.TypeIs(model.TypeDiagnosis)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lat = append(lat, e13Session(b, remote, ids, cohortBits, i))
+		}
+		b.StopTimer()
+		reportPercentiles(b, lat)
+	})
+
+	b.Run("one-replica-killed", func(b *testing.B) {
+		remote, replicas := startReplicatedCluster(b, wb)
+		cohortBits, err := remote.Query(query.Has{Pred: query.TypeIs(model.TypeDiagnosis)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i == b.N/2 {
+				// Crash one replica of every shard mid-benchmark. The
+				// acceptance bar: zero errors from here on, in strict mode.
+				replicas[0].kill()
+			}
+			lat = append(lat, e13Session(b, remote, ids, cohortBits, i))
+		}
+		b.StopTimer()
+		reportPercentiles(b, lat)
+	})
+
+	b.Run("kill-restart-churn", func(b *testing.B) {
+		remote, replicas := startReplicatedCluster(b, wb)
+		cohortBits, err := remote.Query(query.Has{Pred: query.TypeIs(model.TypeDiagnosis)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var churn sync.WaitGroup
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(60 * time.Millisecond):
+				}
+				replicas[0].kill()
+				select {
+				case <-stop:
+					return
+				case <-time.After(60 * time.Millisecond):
+				}
+				replicas[0].restart(b)
+			}
+		}()
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lat = append(lat, e13Session(b, remote, ids, cohortBits, i))
+		}
+		b.StopTimer()
+		close(stop)
+		churn.Wait()
+		reportPercentiles(b, lat)
 	})
 }

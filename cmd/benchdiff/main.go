@@ -28,24 +28,31 @@ import (
 )
 
 // Result is one benchmark measurement; the committed BENCH files are a
-// JSON array of these, sorted by name.
+// JSON array of these, sorted by name. Metrics carries any custom
+// b.ReportMetric values the benchmark emitted (E13's failover latency
+// percentiles, for example) — recorded for the trajectory, not gated.
 type Result struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// benchLine matches a result line: name, iteration count, ns/op. The
-// -GOMAXPROCS suffix is stripped so runs from machines with different
-// core counts compare by benchmark identity.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op`)
+// benchLine matches a result line: name, iteration count, ns/op, and
+// whatever custom metric pairs follow. The -GOMAXPROCS suffix is
+// stripped so runs from machines with different core counts compare by
+// benchmark identity.
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op(.*)$`)
+	metricPair = regexp.MustCompile(`(\d+(?:\.\d+)?(?:e[+-]?\d+)?) (\S+)`)
+)
 
-func parseBench(path string) (map[string]float64, error) {
+func parseBench(path string) (map[string]Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string]float64)
+	out := make(map[string]Result)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -57,7 +64,18 @@ func parseBench(path string) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchdiff: %s: bad ns/op in %q: %w", path, sc.Text(), err)
 		}
-		out[m[1]] = ns
+		res := Result{Name: m[1], NsPerOp: ns}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[pair[2]] = v
+		}
+		out[m[1]] = res
 	}
 	return out, sc.Err()
 }
@@ -87,8 +105,8 @@ func main() {
 
 	if *write != "" {
 		results := make([]Result, 0, len(fresh))
-		for name, ns := range fresh {
-			results = append(results, Result{Name: name, NsPerOp: ns})
+		for _, res := range fresh {
+			results = append(results, res)
 		}
 		sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 		data, err := json.MarshalIndent(results, "", "  ")
@@ -120,11 +138,12 @@ func main() {
 		if !gateRe.MatchString(b.Name) {
 			continue
 		}
-		ns, ok := fresh[b.Name]
+		res, ok := fresh[b.Name]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from fresh run", b.Name))
 			continue
 		}
+		ns := res.NsPerOp
 		ratio := ns / b.NsPerOp
 		verdict := "ok"
 		switch {

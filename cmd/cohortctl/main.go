@@ -9,6 +9,7 @@
 //	cohortctl -synth 168000 -study
 //	cohortctl -snapshot wb.snap -study
 //	cohortctl -shards 10.0.0.1:7070,10.0.0.2:7070 -study
+//	cohortctl -shards "10.0.0.1:7070|10.0.1.1:7070,10.0.0.2:7070|10.0.1.2:7070" -study
 //	cohortctl -shards 10.0.0.1:7070,10.0.0.2:7070 -timeline 4711
 //	cohortctl explain -synth 168000 -query query.json
 //	cohortctl snapshot save -synth 168000 -out wb.snap -shards 16
@@ -79,7 +80,8 @@ func main() {
 	dataDir := fs.String("data", "", "registry extract directory (from datagen)")
 	synthN := fs.Int("synth", 0, "generate a synthetic population of this size instead")
 	snapshotFile := fs.String("snapshot", "", "reopen a saved snapshot instead of ingesting")
-	shardAddrs := fs.String("shards", "", "comma-separated shard-server addresses to query across")
+	shardAddrs := fs.String("shards", "", "comma-separated shard-server addresses to query across; \"a|b\" groups replicas serving the same shards")
+	degraded := fs.Bool("degraded", false, "with -shards: answer over reachable shards when some are down, reporting which are missing (default: any down shard is an error)")
 	queryFile := fs.String("query", "", "JSON query-spec file")
 	study := fs.Bool("study", false, "run the paper's predefined-characteristics selection")
 	limit := fs.Int("limit", 20, "IDs to print")
@@ -87,7 +89,7 @@ func main() {
 	timelineID := fs.Uint64("timeline", 0, "render this patient's timeline as SVG on stdout (works over -shards)")
 	fs.Parse(args) // ExitOnError: parse failures exit(2) with usage
 
-	wb, window, err := loadWorkbench(*dataDir, *synthN, *snapshotFile, *shardAddrs)
+	wb, window, err := loadWorkbench(*dataDir, *synthN, *snapshotFile, *shardAddrs, *degraded)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -135,10 +137,13 @@ func main() {
 
 	// Evaluate through the engine directly: the same path works over a
 	// local store and over remote shard backends.
-	bits, err := wb.Query(expr)
+	bits, status, err := wb.QueryStatus(expr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Degradation warnings go to stderr: stdout stays byte-comparable
+	// between a degraded run and a healthy one over the same shards.
+	warnIncomplete(wb, status)
 	count := bits.Count()
 	fmt.Printf("query: %s\n", expr)
 	fmt.Printf("cohort: %d of %d patients (%.2f%%)\n",
@@ -160,10 +165,11 @@ func main() {
 	if *indicators {
 		// Aggregates where the histories live: per-shard tallies merged
 		// exactly, so -shards prints the same table a local run would.
-		ind, err := wb.Indicators(bits)
+		ind, istatus, err := wb.IndicatorsStatus(bits)
 		if err != nil {
 			log.Fatal(err)
 		}
+		warnIncomplete(wb, istatus)
 		fmt.Println()
 		fmt.Print(ind.Table())
 	}
@@ -192,13 +198,27 @@ func runExplain(wb *core.Workbench, expr query.Expr) {
 	}
 }
 
-func loadWorkbench(dataDir string, synthN int, snapshotFile, shardAddrs string) (*core.Workbench, model.Period, error) {
+// warnIncomplete reports a degraded answer's missing shards on stderr —
+// loudly, but out of stdout so result pipelines stay comparable.
+func warnIncomplete(wb *core.Workbench, status engine.QueryStatus) {
+	if status.Complete() {
+		return
+	}
+	mask := status.IncompleteMask(wb.Engine.NumShards())
+	log.Printf("warning: %s (incomplete mask %v)", status, mask.Ones())
+}
+
+func loadWorkbench(dataDir string, synthN int, snapshotFile, shardAddrs string, degraded bool) (*core.Workbench, model.Period, error) {
 	window := model.Period{Start: model.Date(2010, 1, 1), End: model.Date(2012, 1, 1)}
 	switch {
 	case shardAddrs != "":
 		addrs := strings.Split(shardAddrs, ",")
+		opts := engine.DefaultOptions()
+		if degraded {
+			opts.Policy = engine.PolicyDegraded
+		}
 		t0 := time.Now()
-		wb, err := core.Connect(addrs, engine.RemoteOptions{}, engine.DefaultOptions(), window)
+		wb, err := core.Connect(addrs, engine.RemoteOptions{}, opts, window)
 		if err != nil {
 			return nil, window, err
 		}
@@ -312,7 +332,7 @@ func runSnapshotCmd(args []string) {
 		out := fs.String("out", "wb.snap", "output snapshot file")
 		shards := fs.Int("shards", 0, "shard count (0 = engine default)")
 		fs.Parse(args[1:])
-		wb, _, err := loadWorkbench(*dataDir, *synthN, "", "")
+		wb, _, err := loadWorkbench(*dataDir, *synthN, "", "", false)
 		if err != nil {
 			log.Fatal(err)
 		}

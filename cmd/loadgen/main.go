@@ -1,0 +1,284 @@
+// Command loadgen drives concurrent mixed sessions — cohort queries,
+// patient timeline fetches and indicator aggregations — against a
+// workbench and reports per-class latency percentiles, throughput and
+// error rates. It is the load half of the failover experiments: point
+// it at a replicated shard topology, kill and restart servers
+// underneath it, and read a p99 instead of an outage.
+//
+// Usage:
+//
+//	loadgen -synth 21000 -c 8 -d 10s
+//	loadgen -shards "h1:7070|h2:7070,h3:7070|h4:7070" -c 16 -d 60s
+//	loadgen -shards h1:7070 -degraded -json
+//
+// Replica groups use the same "a|b" syntax as cohortctl -shards: the
+// members of a group serve the same shards and fail over transparently.
+// With -degraded the run keeps going when whole shards are unreachable,
+// counting incomplete answers instead of errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pastas/internal/core"
+	"pastas/internal/engine"
+	"pastas/internal/model"
+	"pastas/internal/query"
+	"pastas/internal/store"
+	"pastas/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		shardAddrs = flag.String("shards", "", "comma-separated shard server addresses; replica groups as \"a|b\"")
+		synthN     = flag.Int("synth", 21000, "synthesize N patients when no -shards is given")
+		workers    = flag.Int("c", 8, "concurrent session workers")
+		duration   = flag.Duration("d", 10*time.Second, "run duration")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-RPC timeout for remote topologies")
+		degraded   = flag.Bool("degraded", false, "serve partial answers when shards are unreachable (count them, don't fail)")
+		jsonOut    = flag.Bool("json", false, "emit the summary as JSON on stdout")
+		seed       = flag.Int64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+
+	wb, err := buildWorkbench(*shardAddrs, *synthN, *timeout, *degraded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wb.Close()
+
+	ids, cohortBits, err := primeWorkload(wb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d patients, %d shards; %d workers for %s",
+		wb.Patients(), wb.Engine.NumShards(), *workers, *duration)
+
+	results := run(wb, ids, cohortBits, *workers, *duration, *seed)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	results.print(os.Stdout)
+}
+
+func buildWorkbench(shardAddrs string, synthN int, timeout time.Duration, degraded bool) (*core.Workbench, error) {
+	if shardAddrs != "" {
+		opts := engine.DefaultOptions()
+		opts.CacheSize = 0 // a load generator must generate load, not cache hits
+		if degraded {
+			opts.Policy = engine.PolicyDegraded
+		}
+		window := model.Period{Start: model.Date(2010, 1, 1), End: model.Date(2012, 1, 1)}
+		return core.Connect(strings.Split(shardAddrs, ","), engine.RemoteOptions{Timeout: timeout}, opts, window)
+	}
+	wb, err := core.Synthesize(synth.DefaultConfig(synthN))
+	if err != nil {
+		return nil, err
+	}
+	wb.Engine.ResetCache()
+	return wb, nil
+}
+
+// primeWorkload resolves the fixed inputs every session reuses: a pool
+// of patient IDs for timeline fetches and a cohort bitset for indicator
+// aggregations. Priming goes through the engine, so it works over any
+// transport.
+func primeWorkload(wb *core.Workbench) ([]model.PatientID, *store.Bitset, error) {
+	ids, err := wb.Engine.Select(query.Has{Pred: query.TypeIs(model.TypeDiagnosis)})
+	if err != nil {
+		return nil, nil, fmt.Errorf("priming timeline pool: %w", err)
+	}
+	if len(ids) == 0 {
+		return nil, nil, fmt.Errorf("no patients with diagnoses to fetch timelines for")
+	}
+	if len(ids) > 4096 {
+		ids = ids[:4096]
+	}
+	bits, err := wb.Query(query.Has{Pred: query.TypeIs(model.TypeDiagnosis)})
+	if err != nil {
+		return nil, nil, fmt.Errorf("priming indicator cohort: %w", err)
+	}
+	return ids, bits, nil
+}
+
+// opClass indexes the three session operations.
+const (
+	opQuery = iota
+	opTimeline
+	opIndicators
+	numClasses
+)
+
+var classNames = [numClasses]string{"query", "timeline", "indicators"}
+
+// sessionExprs is the rotating cohort workload — index-friendly,
+// scan-forcing and demographic shapes, so shard servers see the same
+// operation mix the paper's workbench issues.
+var sessionExprs = []query.Expr{
+	query.Has{Pred: query.AllOf{
+		query.TypeIs(model.TypeDiagnosis), query.MustCode("", `T90|E11(\..*)?`)}},
+	query.Has{Pred: query.MustCode("", `K8.`), MinCount: 2},
+	query.And{
+		query.SexIs(model.SexFemale),
+		query.Has{Pred: query.TypeIs(model.TypeMedication)},
+	},
+}
+
+type sample struct {
+	class int
+	d     time.Duration
+	err   bool
+}
+
+// classSummary is one op class's aggregate, and Summary the whole run's.
+type classSummary struct {
+	Ops    int     `json:"ops"`
+	Errors int     `json:"errors"`
+	P50ms  float64 `json:"p50_ms"`
+	P95ms  float64 `json:"p95_ms"`
+	P99ms  float64 `json:"p99_ms"`
+}
+
+type Summary struct {
+	Seconds    float64                 `json:"seconds"`
+	Workers    int                     `json:"workers"`
+	Throughput float64                 `json:"ops_per_sec"`
+	Incomplete int                     `json:"incomplete_answers"`
+	Classes    map[string]classSummary `json:"classes"`
+	Total      classSummary            `json:"total"`
+}
+
+func run(wb *core.Workbench, ids []model.PatientID, cohortBits *store.Bitset, workers int, d time.Duration, seed int64) *Summary {
+	var (
+		mu         sync.Mutex
+		samples    []sample
+		incomplete int
+	)
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(w)))
+			var local []sample
+			localIncomplete := 0
+			for i := 0; time.Now().Before(deadline); i++ {
+				class := pickClass(r)
+				t0 := time.Now()
+				status, err := doOp(wb, class, r, ids, cohortBits)
+				local = append(local, sample{class: class, d: time.Since(t0), err: err != nil})
+				if !status.Complete() {
+					localIncomplete++
+				}
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			incomplete += localIncomplete
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return summarize(samples, workers, d, incomplete)
+}
+
+// pickClass weights the mix: half cohort queries, a third timelines,
+// the rest indicator aggregations — roughly a workbench session's
+// refine/inspect/aggregate rhythm.
+func pickClass(r *rand.Rand) int {
+	switch n := r.Intn(6); {
+	case n < 3:
+		return opQuery
+	case n < 5:
+		return opTimeline
+	default:
+		return opIndicators
+	}
+}
+
+func doOp(wb *core.Workbench, class int, r *rand.Rand, ids []model.PatientID, cohortBits *store.Bitset) (engine.QueryStatus, error) {
+	switch class {
+	case opQuery:
+		_, status, err := wb.QueryStatus(sessionExprs[r.Intn(len(sessionExprs))])
+		return status, err
+	case opTimeline:
+		_, err := wb.History(ids[r.Intn(len(ids))])
+		return engine.QueryStatus{}, err
+	default:
+		_, status, err := wb.IndicatorsStatus(cohortBits)
+		return status, err
+	}
+}
+
+func summarize(samples []sample, workers int, d time.Duration, incomplete int) *Summary {
+	s := &Summary{
+		Seconds:    d.Seconds(),
+		Workers:    workers,
+		Incomplete: incomplete,
+		Classes:    map[string]classSummary{},
+	}
+	perClass := make([][]time.Duration, numClasses)
+	errs := make([]int, numClasses)
+	var all []time.Duration
+	totalErrs := 0
+	for _, sm := range samples {
+		if sm.err {
+			errs[sm.class]++
+			totalErrs++
+			continue
+		}
+		perClass[sm.class] = append(perClass[sm.class], sm.d)
+		all = append(all, sm.d)
+	}
+	for c := 0; c < numClasses; c++ {
+		s.Classes[classNames[c]] = summarizeClass(perClass[c], errs[c])
+	}
+	s.Total = summarizeClass(all, totalErrs)
+	s.Throughput = float64(s.Total.Ops) / d.Seconds()
+	return s
+}
+
+func summarizeClass(lat []time.Duration, errs int) classSummary {
+	cs := classSummary{Ops: len(lat) + errs, Errors: errs}
+	if len(lat) == 0 {
+		return cs
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		return float64(lat[int(p*float64(len(lat)-1))].Microseconds()) / 1000.0
+	}
+	cs.P50ms, cs.P95ms, cs.P99ms = pct(0.50), pct(0.95), pct(0.99)
+	return cs
+}
+
+func (s *Summary) print(w *os.File) {
+	fmt.Fprintf(w, "%-12s %8s %8s %9s %9s %9s\n", "class", "ops", "errors", "p50", "p95", "p99")
+	for c := 0; c < numClasses; c++ {
+		cs := s.Classes[classNames[c]]
+		fmt.Fprintf(w, "%-12s %8d %8d %8.2fms %8.2fms %8.2fms\n",
+			classNames[c], cs.Ops, cs.Errors, cs.P50ms, cs.P95ms, cs.P99ms)
+	}
+	fmt.Fprintf(w, "%-12s %8d %8d %8.2fms %8.2fms %8.2fms\n",
+		"total", s.Total.Ops, s.Total.Errors, s.Total.P50ms, s.Total.P95ms, s.Total.P99ms)
+	fmt.Fprintf(w, "throughput %.0f ops/s over %.1fs with %d workers\n",
+		s.Throughput, s.Seconds, s.Workers)
+	if s.Incomplete > 0 {
+		fmt.Fprintf(w, "incomplete answers: %d (degraded mode)\n", s.Incomplete)
+	}
+}

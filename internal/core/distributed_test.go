@@ -234,6 +234,115 @@ func TestConnectedSession(t *testing.T) {
 	}
 }
 
+// TestConnectToleratesDeadReplicaMember: replication exists so a down
+// server is survivable — a replica group with one unreachable member
+// must still connect (the survivor carries the load, the dead member
+// joins as a deferred backend), and when something comes back on the
+// dead member's address serving a DIFFERENT snapshot, the dial-time
+// identity re-validation keeps it out of the rotation. Queries stay
+// bit-identical to the local workbench throughout.
+func TestConnectToleratesDeadReplicaMember(t *testing.T) {
+	local, err := Synthesize(synth.DefaultConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveSnap := func(wb *Workbench, name string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wb.Save(f, SnapshotOptions{Shards: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	serve := func(path, addr string) string {
+		t.Helper()
+		srv, err := engine.NewShardServer(path, []int{0, 1, 2, 3}, engine.Options{Shards: 2, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { lis.Close() })
+		go srv.Serve(lis)
+		return lis.Addr().String()
+	}
+	liveAddr := serve(saveSnap(local, "live.snap"), "127.0.0.1:0")
+	// Reserve an address, then free it: the group's second member is
+	// down at connect time.
+	deadLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := deadLis.Addr().String()
+	deadLis.Close()
+
+	remote, err := Connect([]string{liveAddr + "|" + deadAddr},
+		engine.RemoteOptions{Timeout: 5 * time.Second},
+		engine.Options{Workers: 4, CacheSize: 0}, local.Window)
+	if err != nil {
+		t.Fatalf("connect with one dead replica member refused: %v", err)
+	}
+	defer remote.Close()
+
+	expr := query.Has{Pred: query.MustCode("", `T90|E11(\..*)?`)}
+	want, err := local.Query(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(when string) {
+		t.Helper()
+		got, err := remote.Query(expr)
+		if err != nil {
+			t.Fatalf("%s: remote Query: %v", when, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: remote diverges: %d vs %d", when, got.Count(), want.Count())
+		}
+	}
+	check("dead member down")
+	for _, h := range remote.Engine.Health() {
+		if len(h.Replicas) != 2 {
+			t.Fatalf("shard %d has %d replicas in rotation, want 2 (deferred member missing)", h.Shard, len(h.Replicas))
+		}
+	}
+
+	// Resurrect the dead address with a server loading a different
+	// snapshot: the identity check on its first dial must refuse it and
+	// mark it down — never blend the wrong population into a cohort.
+	other, err := Synthesize(synth.DefaultConfig(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve(saveSnap(other, "impostor.snap"), deadAddr)
+	impostorDown := func() bool {
+		for _, h := range remote.Engine.Health() {
+			for _, r := range h.Replicas {
+				if strings.Contains(r.Backend, deadAddr) && !r.Healthy && r.Failures > 0 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for deadline := time.Now().Add(10 * time.Second); !impostorDown(); {
+		if time.Now().After(deadline) {
+			t.Fatal("impostor member never tried and marked down")
+		}
+		check("impostor serving wrong snapshot")
+		time.Sleep(5 * time.Millisecond)
+	}
+	check("impostor marked down")
+}
+
 func TestConnectRejectsPartialTopology(t *testing.T) {
 	local, err := Synthesize(synth.DefaultConfig(200))
 	if err != nil {

@@ -10,6 +10,7 @@ package engine
 // same global bitset a single-process engine would produce.
 
 import (
+	"context"
 	"fmt"
 
 	"pastas/internal/model"
@@ -34,6 +35,12 @@ type ShardMeta struct {
 
 // ShardBackend evaluates plan fragments over one contiguous shard.
 //
+// Every data operation takes a context carrying the coordinator's query
+// deadline: a transport honors it per call (a slow shard cannot pin a
+// worker past the query budget), an in-process view may ignore it. All
+// operations are read-only and idempotent — the property that makes
+// retrying a call on another replica of the same shard safe.
+//
 // EvalPlan runs a plan fragment — a single scan leaf or a whole plan
 // tree — over the shard's patients and returns the matches in shard-local
 // ordinal space. A non-nil mask (also shard-local) restricts the
@@ -55,13 +62,22 @@ type ShardMeta struct {
 // large cohorts from shipping every history over a wire transport.
 type ShardBackend interface {
 	Meta() ShardMeta
-	Stats() (*store.Stats, error)
-	EvalPlan(p Plan, mask *store.Bitset) (*store.Bitset, error)
-	IDsOf(b *store.Bitset) ([]model.PatientID, error)
-	FetchHistories(ordinals []int) ([]*model.History, error)
-	LocateID(id model.PatientID) (int, bool, error)
-	Indicators(mask *store.Bitset, window model.Period) (stats.IndicatorCounts, error)
+	Stats(ctx context.Context) (*store.Stats, error)
+	EvalPlan(ctx context.Context, p Plan, mask *store.Bitset) (*store.Bitset, error)
+	IDsOf(ctx context.Context, b *store.Bitset) ([]model.PatientID, error)
+	FetchHistories(ctx context.Context, ordinals []int) ([]*model.History, error)
+	LocateID(ctx context.Context, id model.PatientID) (int, bool, error)
+	Indicators(ctx context.Context, mask *store.Bitset, window model.Period) (stats.IndicatorCounts, error)
 	Close() error
+}
+
+// Prober is an optional ShardBackend capability: a cheap liveness probe.
+// The replica set's health checker prefers it over Stats — a probe must
+// be O(1) on the far side (the remote transport answers it with the
+// Describe handshake, no payload). A backend without Probe is probed
+// with Stats instead.
+type Prober interface {
+	Probe(ctx context.Context) error
 }
 
 // validateOrdinals enforces the FetchHistories argument contract for both
@@ -108,10 +124,10 @@ func (b *LocalBackend) Meta() ShardMeta { return b.meta }
 
 // Stats implements ShardBackend by popcounting the parent postings over
 // the view's range.
-func (b *LocalBackend) Stats() (*store.Stats, error) { return b.v.Stats(), nil }
+func (b *LocalBackend) Stats(context.Context) (*store.Stats, error) { return b.v.Stats(), nil }
 
 // IDsOf implements ShardBackend.
-func (b *LocalBackend) IDsOf(bits *store.Bitset) ([]model.PatientID, error) {
+func (b *LocalBackend) IDsOf(_ context.Context, bits *store.Bitset) ([]model.PatientID, error) {
 	out := make([]model.PatientID, 0, bits.Count())
 	bits.Range(func(i int) bool {
 		out = append(out, b.v.PatientAt(i))
@@ -122,7 +138,7 @@ func (b *LocalBackend) IDsOf(bits *store.Bitset) ([]model.PatientID, error) {
 
 // FetchHistories implements ShardBackend straight off the view's slice of
 // the collection.
-func (b *LocalBackend) FetchHistories(ordinals []int) ([]*model.History, error) {
+func (b *LocalBackend) FetchHistories(_ context.Context, ordinals []int) ([]*model.History, error) {
 	if err := validateOrdinals(ordinals, b.v.Len()); err != nil {
 		return nil, err
 	}
@@ -134,14 +150,14 @@ func (b *LocalBackend) FetchHistories(ordinals []int) ([]*model.History, error) 
 }
 
 // LocateID implements ShardBackend via the parent store's ordinal map.
-func (b *LocalBackend) LocateID(id model.PatientID) (int, bool, error) {
+func (b *LocalBackend) LocateID(_ context.Context, id model.PatientID) (int, bool, error) {
 	o, ok := b.v.Ordinal(id)
 	return o, ok, nil
 }
 
 // Indicators implements ShardBackend: one pass over the view's histories,
 // restricted to the mask's cohort members (nil = every patient).
-func (b *LocalBackend) Indicators(mask *store.Bitset, window model.Period) (stats.IndicatorCounts, error) {
+func (b *LocalBackend) Indicators(_ context.Context, mask *store.Bitset, window model.Period) (stats.IndicatorCounts, error) {
 	return tallyIndicators(b.v.HistoryAt, b.v.Len(), mask, window)
 }
 
@@ -167,6 +183,9 @@ func tallyIndicators(history func(int) *model.History, patients int, mask *store
 	return counts, nil
 }
 
+// Probe implements Prober; an in-process view is always alive.
+func (b *LocalBackend) Probe(context.Context) error { return nil }
+
 // Close implements ShardBackend; a view holds no resources.
 func (b *LocalBackend) Close() error { return nil }
 
@@ -175,7 +194,7 @@ func (b *LocalBackend) Close() error { return nil }
 // clever parts — candidate masking, bound derivation, sub-plan caching —
 // for itself and sends leaves here; whole trees are handled too, so a
 // backend set is a complete execution target on its own.
-func (b *LocalBackend) EvalPlan(p Plan, mask *store.Bitset) (*store.Bitset, error) {
+func (b *LocalBackend) EvalPlan(_ context.Context, p Plan, mask *store.Bitset) (*store.Bitset, error) {
 	if mask != nil && mask.Len() != b.v.Len() {
 		return nil, fmt.Errorf("engine: shard %d: mask capacity %d, shard has %d patients",
 			b.meta.Shard, mask.Len(), b.v.Len())

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -25,6 +26,15 @@ type Options struct {
 	// CacheSize is the LRU capacity in cached sub-plan bitsets; 0
 	// disables caching.
 	CacheSize int
+	// Policy selects the failure semantics when a shard backend is
+	// unreachable: PolicyStrict (default) fails the operation,
+	// PolicyDegraded answers over the reachable shards and reports the
+	// missing ones in the operation's QueryStatus.
+	Policy Policy
+	// QueryTimeout bounds every engine operation started without an
+	// explicit context deadline (Execute, Select, Histories…). Zero
+	// means no bound.
+	QueryTimeout time.Duration
 }
 
 // DefaultOptions sizes the engine to the machine.
@@ -36,8 +46,10 @@ func DefaultOptions() Options {
 // shardMetric accumulates one backend's evaluation load for the /stats
 // budget audits.
 type shardMetric struct {
-	queries atomic.Uint64
-	nanos   atomic.Uint64
+	queries  atomic.Uint64
+	nanos    atomic.Uint64
+	failures atomic.Uint64 // calls that returned an error
+	skips    atomic.Uint64 // unavailability absorbed by PolicyDegraded
 }
 
 // boundCacheSize caps the LRU of index-derived scan bounds; bounds are
@@ -62,6 +74,8 @@ type Engine struct {
 	backends []ShardBackend
 	metrics  []shardMetric
 	workers  int
+	policy   Policy
+	timeout  time.Duration // default per-operation budget; 0 = unbounded
 	cache    *planCache
 	// boundCache memoizes scanBound results by Scan key, so the
 	// interactive refinement loop re-intersects a cached bound instead
@@ -85,6 +99,8 @@ func New(st *store.Store, opts Options) *Engine {
 		st:         st,
 		stats:      st.Stats(),
 		n:          st.Len(),
+		policy:     opts.Policy,
+		timeout:    opts.QueryTimeout,
 		workers:    normalizeWorkers(opts.Workers),
 		cache:      newPlanCache(opts.CacheSize),
 		boundCache: newPlanCache(boundCacheSize),
@@ -124,6 +140,8 @@ func NewFromBackends(backends []ShardBackend, opts Options) (*Engine, error) {
 	sort.SliceStable(bs, func(i, j int) bool { return bs[i].Meta().Offset < bs[j].Meta().Offset })
 	e := &Engine{
 		backends:   bs,
+		policy:     opts.Policy,
+		timeout:    opts.QueryTimeout,
 		workers:    normalizeWorkers(opts.Workers),
 		cache:      newPlanCache(opts.CacheSize),
 		boundCache: newPlanCache(boundCacheSize),
@@ -139,7 +157,11 @@ func NewFromBackends(backends []ShardBackend, opts Options) (*Engine, error) {
 		e.n += m.Patients
 	}
 	// Merged statistics give the planner population-level cardinality
-	// bounds; fetch per shard, concurrently.
+	// bounds; fetch per shard, concurrently. Construction is strict under
+	// either policy: planning from a topology whose statistics never
+	// loaded would degrade every query silently.
+	ctx, cancel := e.opCtx(context.Background())
+	defer cancel()
 	parts := make([]*store.Stats, len(bs))
 	errs := make([]error, len(bs))
 	var wg sync.WaitGroup
@@ -147,7 +169,7 @@ func NewFromBackends(backends []ShardBackend, opts Options) (*Engine, error) {
 		wg.Add(1)
 		go func(i int, b ShardBackend) {
 			defer wg.Done()
-			parts[i], errs[i] = b.Stats()
+			parts[i], errs[i] = b.Stats(ctx)
 		}(i, b)
 	}
 	wg.Wait()
@@ -192,6 +214,21 @@ func (e *Engine) TotalEntries() int { return e.entries }
 
 // NumShards returns the shard count.
 func (e *Engine) NumShards() int { return len(e.backends) }
+
+// Policy returns the engine's failure-semantics policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// opCtx applies the engine's default query budget to a context that does
+// not already carry a deadline. The returned cancel must always be
+// called.
+func (e *Engine) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.timeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			return context.WithTimeout(ctx, e.timeout)
+		}
+	}
+	return context.WithCancel(ctx)
+}
 
 // BackendInfo returns every backend's shard metadata, in offset order.
 func (e *Engine) BackendInfo() []ShardMeta {
@@ -256,10 +293,17 @@ type ShardStat struct {
 	Offset   int
 	Patients int
 	Entries  int
-	// Backend names the transport ("local", "remote(addr)").
+	// Backend names the transport ("local", "remote(addr)",
+	// "replicas(…)").
 	Backend string
 	Queries uint64
 	Nanos   uint64
+	// Failures counts calls to this backend that returned an error
+	// (after any replica-level failover).
+	Failures uint64
+	// Skipped counts operations where PolicyDegraded absorbed this
+	// backend's unavailability — answers that were served without it.
+	Skipped uint64
 }
 
 // ShardStats returns per-backend evaluation counters for the 0.1 s budget
@@ -276,7 +320,35 @@ func (e *Engine) ShardStats() []ShardStat {
 			Backend:  m.Backend,
 			Queries:  e.metrics[i].queries.Load(),
 			Nanos:    e.metrics[i].nanos.Load(),
+			Failures: e.metrics[i].failures.Load(),
+			Skipped:  e.metrics[i].skips.Load(),
 		}
+	}
+	return out
+}
+
+// ShardHealth is one backend's live health as the engine sees it: for a
+// replica set, the per-member states the health checker maintains; for a
+// plain backend, a single synthetic member that is healthy as long as it
+// exists (plain backends have no checker — failures surface per call).
+type ShardHealth struct {
+	Shard    int             `json:"shard"`
+	Backend  string          `json:"backend"`
+	Healthy  bool            `json:"healthy"`
+	Replicas []ReplicaHealth `json:"replicas,omitempty"`
+}
+
+// Health reports per-shard backend health, in offset order.
+func (e *Engine) Health() []ShardHealth {
+	out := make([]ShardHealth, len(e.backends))
+	for i, b := range e.backends {
+		m := b.Meta()
+		h := ShardHealth{Shard: m.Shard, Backend: m.Backend, Healthy: true}
+		if rb, ok := b.(*ReplicaBackend); ok {
+			h.Healthy = rb.Healthy()
+			h.Replicas = rb.Health()
+		}
+		out[i] = h
 	}
 	return out
 }
@@ -323,17 +395,49 @@ func (e *Engine) FeedbackEpoch() uint64 {
 }
 
 // Execute compiles, optimizes and runs a query expression, returning the
-// matching patients as a bitset in global ordinal space.
+// matching patients as a bitset in global ordinal space. Under
+// PolicyDegraded the result may be partial; use ExecuteStatus to learn
+// which shards contributed.
 func (e *Engine) Execute(q query.Expr) (*store.Bitset, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute under a caller-supplied context: its deadline
+// bounds the whole evaluation, threaded down to every backend call.
+func (e *Engine) ExecuteContext(ctx context.Context, q query.Expr) (*store.Bitset, error) {
+	b, _, err := e.ExecuteStatus(ctx, q)
+	return b, err
+}
+
+// ExecuteStatus is ExecuteContext plus the completeness report: under
+// PolicyDegraded the QueryStatus names the shards that did not
+// contribute (under PolicyStrict it is always complete — incompleteness
+// is an error).
+func (e *Engine) ExecuteStatus(ctx context.Context, q query.Expr) (*store.Bitset, QueryStatus, error) {
 	p, err := Compile(q)
 	if err != nil {
-		return nil, err
+		return nil, QueryStatus{}, err
 	}
-	return e.ExecutePlan(e.plan(p))
+	return e.ExecutePlanStatus(ctx, e.plan(p))
 }
 
 // ExecutePlan runs an already-built plan.
-func (e *Engine) ExecutePlan(p Plan) (*store.Bitset, error) { return e.eval(p) }
+func (e *Engine) ExecutePlan(p Plan) (*store.Bitset, error) {
+	b, _, err := e.ExecutePlanStatus(context.Background(), p)
+	return b, err
+}
+
+// ExecutePlanStatus runs an already-built plan under a context, reporting
+// completeness like ExecuteStatus.
+func (e *Engine) ExecutePlanStatus(ctx context.Context, p Plan) (*store.Bitset, QueryStatus, error) {
+	ctx, cancel := e.opCtx(ctx)
+	defer cancel()
+	b, missing, err := e.eval(ctx, p)
+	if err != nil {
+		return nil, QueryStatus{}, err
+	}
+	return b, e.statusFromMissing(missing), nil
+}
 
 // Explain returns the statically optimized plan for an expression without
 // running it. For cost-annotated plans, use Engine.Explain.
@@ -356,11 +460,16 @@ func (e *Engine) Select(q query.Expr) ([]model.PatientID, error) {
 
 // IDsOf materializes a global-ordinal bitset as patient IDs in collection
 // order. A local engine reads them off the store; a coordinator asks each
-// backend for its slice and concatenates in fixed shard order.
+// backend for its slice and concatenates in fixed shard order. The
+// mapping is strict under either policy — but a bitset produced by a
+// degraded query has no bits on its missing shards, so those backends
+// are never asked.
 func (e *Engine) IDsOf(b *store.Bitset) ([]model.PatientID, error) {
 	if e.st != nil {
 		return e.st.IDsOf(b), nil
 	}
+	ctx, cancel := e.opCtx(context.Background())
+	defer cancel()
 	parts := make([][]model.PatientID, len(e.backends))
 	errs := make([]error, len(e.backends))
 	var wg sync.WaitGroup
@@ -372,7 +481,7 @@ func (e *Engine) IDsOf(b *store.Bitset) ([]model.PatientID, error) {
 		wg.Add(1)
 		go func(i int, bk ShardBackend, m ShardMeta) {
 			defer wg.Done()
-			parts[i], errs[i] = bk.IDsOf(b.SliceRange(m.Offset, m.Offset+m.Patients))
+			parts[i], errs[i] = bk.IDsOf(ctx, b.SliceRange(m.Offset, m.Offset+m.Patients))
 		}(i, bk, m)
 	}
 	wg.Wait()
@@ -386,16 +495,20 @@ func (e *Engine) IDsOf(b *store.Bitset) ([]model.PatientID, error) {
 	return out, nil
 }
 
-// eval computes the exact result of p over the whole population. Results
-// of non-trivial nodes land in the LRU keyed by canonical sub-plan, so a
-// refined query re-uses the unchanged parts of its predecessor. The
-// returned bitset is owned by the caller.
-func (e *Engine) eval(p Plan) (*store.Bitset, error) {
+// eval computes the exact result of p over the whole population, plus the
+// indexes of any backends PolicyDegraded absorbed (always empty under
+// PolicyStrict — their errors fail the evaluation instead). Results of
+// non-trivial nodes land in the LRU keyed by canonical sub-plan, so a
+// refined query re-uses the unchanged parts of its predecessor — but
+// only complete results: a degraded answer is never cached and never
+// feeds the planner's cardinality feedback, both would poison later
+// complete executions. The returned bitset is owned by the caller.
+func (e *Engine) eval(ctx context.Context, p Plan) (*store.Bitset, []int, error) {
 	switch p.(type) {
 	case All:
-		return e.all(), nil
+		return e.all(), nil, nil
 	case None:
-		return e.empty(), nil
+		return e.empty(), nil, nil
 	}
 	useCache := e.cache != nil && cacheable(p)
 	key := ""
@@ -403,43 +516,47 @@ func (e *Engine) eval(p Plan) (*store.Bitset, error) {
 		key = p.Key()
 		if useCache {
 			if b, ok := e.cache.get(key); ok {
-				return b, nil
+				return b, nil, nil
 			}
 		}
 	}
 	var out *store.Bitset
+	var missing []int
 	var err error
 	if e.st == nil {
 		// Coordinator: every expression is per-history, so a whole plan
 		// distributes over the shards — one fan-out round, each backend
 		// evaluating (and locally re-optimizing) the full plan over its
 		// slice, merged in fixed shard order.
-		out, err = e.fanout(func(_ int, b ShardBackend) (*store.Bitset, error) {
-			return b.EvalPlan(p, nil)
+		out, missing, err = e.fanout(ctx, func(ctx context.Context, _ int, b ShardBackend) (*store.Bitset, error) {
+			return b.EvalPlan(ctx, p, nil)
 		})
 	} else {
 		switch n := p.(type) {
 		case IndexScan:
 			out, err = e.evalIndex(n)
 		case Scan:
-			out, err = e.evalScan(n, nil)
+			out, err = e.evalScan(ctx, n, nil)
 		case Not:
-			out, err = e.eval(n.Child)
+			out, _, err = e.eval(ctx, n.Child)
 			if err == nil {
 				out.Not()
 			}
 		case And:
-			out, err = e.evalAnd(n.Children, nil)
+			out, err = e.evalAnd(ctx, n.Children, nil)
 		case Or:
-			out, err = e.evalOr(n.Children, nil)
+			out, err = e.evalOr(ctx, n.Children, nil)
 		default:
 			// Plan is an open interface; fail loudly rather than returning
 			// (nil, nil) for a node type this executor does not know.
-			return nil, fmt.Errorf("engine: unknown plan node %T", p)
+			return nil, nil, fmt.Errorf("engine: unknown plan node %T", p)
 		}
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if len(missing) > 0 {
+		return out, missing, nil
 	}
 	if e.fb != nil {
 		e.fb.observe(key, out.Count())
@@ -447,14 +564,14 @@ func (e *Engine) eval(p Plan) (*store.Bitset, error) {
 	if useCache {
 		e.cache.put(key, out)
 	}
-	return out, nil
+	return out, nil, nil
 }
 
 // evalMasked computes eval(p) ∩ mask, exploiting the mask to skip scan
 // work. Masked results are not cached (they are mask-specific), but a
 // cached unmasked result for any node — leaf or boolean subtree — is
 // consulted first and intersected with the mask.
-func (e *Engine) evalMasked(p Plan, mask *store.Bitset) (*store.Bitset, error) {
+func (e *Engine) evalMasked(ctx context.Context, p Plan, mask *store.Bitset) (*store.Bitset, error) {
 	switch p.(type) {
 	case All:
 		return mask.Clone(), nil
@@ -468,19 +585,19 @@ func (e *Engine) evalMasked(p Plan, mask *store.Bitset) (*store.Bitset, error) {
 	}
 	switch n := p.(type) {
 	case Scan:
-		return e.evalScan(n, mask)
+		return e.evalScan(ctx, n, mask)
 	case Not:
-		b, err := e.evalMasked(n.Child, mask)
+		b, err := e.evalMasked(ctx, n.Child, mask)
 		if err != nil {
 			return nil, err
 		}
 		return mask.Clone().AndNot(b), nil
 	case And:
-		return e.evalAnd(n.Children, mask)
+		return e.evalAnd(ctx, n.Children, mask)
 	case Or:
-		return e.evalOr(n.Children, mask)
+		return e.evalOr(ctx, n.Children, mask)
 	default: // IndexScan: full evaluation is cheap and cache-friendly.
-		b, err := e.eval(p)
+		b, _, err := e.eval(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -492,7 +609,7 @@ func (e *Engine) evalMasked(p Plan, mask *store.Bitset) (*store.Bitset, error) {
 // most-selective-cheapest-first); scan-bearing children only visit
 // patients still in the accumulated candidate set, and an empty
 // accumulator short-circuits the remaining children entirely.
-func (e *Engine) evalAnd(children []Plan, mask *store.Bitset) (*store.Bitset, error) {
+func (e *Engine) evalAnd(ctx context.Context, children []Plan, mask *store.Bitset) (*store.Bitset, error) {
 	var acc *store.Bitset
 	if mask != nil {
 		acc = mask.Clone()
@@ -504,13 +621,13 @@ func (e *Engine) evalAnd(children []Plan, mask *store.Bitset) (*store.Bitset, er
 			return acc, nil
 		}
 		if hasScan(c) {
-			b, err := e.evalMasked(c, acc)
+			b, err := e.evalMasked(ctx, c, acc)
 			if err != nil {
 				return nil, err
 			}
 			acc = b
 		} else {
-			b, err := e.eval(c)
+			b, _, err := e.eval(ctx, c)
 			if err != nil {
 				return nil, err
 			}
@@ -538,7 +655,7 @@ func (e *Engine) evalAnd(children []Plan, mask *store.Bitset) (*store.Bitset, er
 // scan-bearing children only visit patients not already known to match
 // (and, under a mask, inside the mask), and the union short-circuits by
 // absorption the moment it covers every candidate.
-func (e *Engine) evalOr(children []Plan, mask *store.Bitset) (*store.Bitset, error) {
+func (e *Engine) evalOr(ctx context.Context, children []Plan, mask *store.Bitset) (*store.Bitset, error) {
 	acc := e.empty()
 	target := e.n
 	if mask != nil {
@@ -555,13 +672,13 @@ func (e *Engine) evalOr(children []Plan, mask *store.Bitset) (*store.Bitset, err
 			} else {
 				rem = acc.Clone().Not()
 			}
-			b, err := e.evalMasked(c, rem)
+			b, err := e.evalMasked(ctx, c, rem)
 			if err != nil {
 				return nil, err
 			}
 			acc.Or(b)
 		} else {
-			b, err := e.eval(c)
+			b, _, err := e.eval(ctx, c)
 			if err != nil {
 				return nil, err
 			}
@@ -607,7 +724,7 @@ func (e *Engine) evalIndex(n IndexScan) (*store.Bitset, error) {
 // is zero are skipped without a backend call, and an empty candidate set
 // short-circuits before any fan-out. Each backend receives its slice of
 // the candidates in shard-local ordinal space.
-func (e *Engine) evalScan(n Scan, mask *store.Bitset) (*store.Bitset, error) {
+func (e *Engine) evalScan(ctx context.Context, n Scan, mask *store.Bitset) (*store.Bitset, error) {
 	eff := mask
 	if bound := e.cachedBound(n); bound != nil {
 		if mask != nil {
@@ -618,7 +735,9 @@ func (e *Engine) evalScan(n Scan, mask *store.Bitset) (*store.Bitset, error) {
 	if eff != nil && eff.Count() == 0 {
 		return e.empty(), nil
 	}
-	return e.fanout(func(_ int, b ShardBackend) (*store.Bitset, error) {
+	// Local scan fan-out is strict regardless of policy: these backends
+	// are in-process views, an error here is a bug, not an outage.
+	out, _, err := e.strictFanout(ctx, func(ctx context.Context, _ int, b ShardBackend) (*store.Bitset, error) {
 		m := b.Meta()
 		var local *store.Bitset
 		if eff != nil {
@@ -627,8 +746,9 @@ func (e *Engine) evalScan(n Scan, mask *store.Bitset) (*store.Bitset, error) {
 			}
 			local = eff.SliceRange(m.Offset, m.Offset+m.Patients)
 		}
-		return b.EvalPlan(n, local)
+		return b.EvalPlan(ctx, n, local)
 	})
+	return out, err
 }
 
 // cachedBound returns a caller-owned copy of the scan's index-derived
@@ -771,21 +891,31 @@ func unionBounds(bounds []*store.Bitset) *store.Bitset {
 // fanout runs fn against every backend on the worker pool, records each
 // backend's wall time into the /stats counters — uniformly, whatever the
 // transport — and merges the shard-local bitsets into one global bitset
-// in fixed shard order. Any backend error fails the whole evaluation: a
-// partial cohort is never returned.
-func (e *Engine) fanout(fn func(i int, b ShardBackend) (*store.Bitset, error)) (*store.Bitset, error) {
+// in fixed shard order, honoring the engine's policy. Under PolicyStrict
+// any backend error fails the whole evaluation: a partial cohort is
+// never returned. Under PolicyDegraded a backend whose error is
+// transport-level unavailability is skipped — its ordinal range stays
+// zero in the merged bitset and its index is reported in missing — while
+// any other error (a semantic failure, a wrong-sized result) still fails
+// the evaluation under either policy.
+func (e *Engine) fanout(ctx context.Context, fn func(ctx context.Context, i int, b ShardBackend) (*store.Bitset, error)) (*store.Bitset, []int, error) {
+	return e.fanoutPolicy(ctx, e.policy, fn)
+}
+
+// strictFanout is fanout pinned to PolicyStrict, for operations that must
+// not degrade whatever the engine's policy.
+func (e *Engine) strictFanout(ctx context.Context, fn func(ctx context.Context, i int, b ShardBackend) (*store.Bitset, error)) (*store.Bitset, []int, error) {
+	return e.fanoutPolicy(ctx, PolicyStrict, fn)
+}
+
+func (e *Engine) fanoutPolicy(ctx context.Context, policy Policy, fn func(ctx context.Context, i int, b ShardBackend) (*store.Bitset, error)) (*store.Bitset, []int, error) {
 	locals := make([]*store.Bitset, len(e.backends))
+	errs := make([]error, len(e.backends))
 	if len(e.backends) == 1 {
 		t0 := time.Now()
-		local, err := fn(0, e.backends[0])
-		e.record(0, t0)
-		if err != nil {
-			m := e.backends[0].Meta()
-			return nil, fmt.Errorf("engine: shard %d (%s): %w", m.Shard, m.Backend, err)
-		}
-		locals[0] = local
+		locals[0], errs[0] = fn(ctx, 0, e.backends[0])
+		e.record(0, t0, errs[0])
 	} else {
-		errs := make([]error, len(e.backends))
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, e.workers)
 		for i, b := range e.backends {
@@ -795,31 +925,48 @@ func (e *Engine) fanout(fn func(i int, b ShardBackend) (*store.Bitset, error)) (
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				t0 := time.Now()
-				locals[i], errs[i] = fn(i, b)
-				e.record(i, t0)
+				locals[i], errs[i] = fn(ctx, i, b)
+				e.record(i, t0, errs[i])
 			}(i, b)
 		}
 		wg.Wait()
-		for i, err := range errs {
-			if err != nil {
-				m := e.backends[i].Meta()
-				return nil, fmt.Errorf("engine: shard %d (%s): %w", m.Shard, m.Backend, err)
-			}
+	}
+	var missing []int
+	for i, err := range errs {
+		if err == nil {
+			continue
 		}
+		m := e.backends[i].Meta()
+		if policy == PolicyDegraded && IsUnavailable(err) && ctx.Err() == nil {
+			// Absorb the outage: this shard contributes nothing, and the
+			// caller is told exactly which one. (A dead overall context is
+			// not an outage — the caller's budget expired, fail loudly.)
+			e.metrics[i].skips.Add(1)
+			missing = append(missing, i)
+			locals[i] = nil
+			continue
+		}
+		return nil, nil, fmt.Errorf("engine: shard %d (%s): %w", m.Shard, m.Backend, err)
 	}
 	out := e.empty()
 	for i, local := range locals {
+		if local == nil {
+			continue // degraded-away shard: its range stays zero
+		}
 		m := e.backends[i].Meta()
 		if local.Len() != m.Patients {
-			return nil, fmt.Errorf("engine: shard %d (%s): result covers %d patients, shard has %d",
+			return nil, nil, fmt.Errorf("engine: shard %d (%s): result covers %d patients, shard has %d",
 				m.Shard, m.Backend, local.Len(), m.Patients)
 		}
 		out.OrAt(local, m.Offset)
 	}
-	return out, nil
+	return out, missing, nil
 }
 
-func (e *Engine) record(i int, t0 time.Time) {
+func (e *Engine) record(i int, t0 time.Time, err error) {
 	e.metrics[i].queries.Add(1)
 	e.metrics[i].nanos.Add(uint64(time.Since(t0)))
+	if err != nil {
+		e.metrics[i].failures.Add(1)
+	}
 }

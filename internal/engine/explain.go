@@ -33,6 +33,12 @@ type Explained struct {
 	// Backends is the shard topology the plan will execute over, in
 	// offset order — one entry per backend, naming its transport.
 	Backends []ShardMeta
+	// Policy is the engine's failure semantics for this execution.
+	Policy Policy
+	// Unhealthy names the shards whose backends currently have no
+	// healthy replica — the shards a degraded execution would report
+	// missing, and a strict one would fail on.
+	Unhealthy []int
 }
 
 // Explain compiles and cost-optimizes an expression and annotates every
@@ -44,7 +50,13 @@ func (e *Engine) Explain(q query.Expr) (*Explained, error) {
 	}
 	p = e.plan(p)
 	m := newFeedbackCostModel(e.stats, e.fb)
-	return &Explained{Plan: p, Root: annotate(p, m), Patients: e.n, Backends: e.BackendInfo()}, nil
+	x := &Explained{Plan: p, Root: annotate(p, m), Patients: e.n, Backends: e.BackendInfo(), Policy: e.policy}
+	for _, h := range e.Health() {
+		if !h.Healthy {
+			x.Unhealthy = append(x.Unhealthy, h.Shard)
+		}
+	}
+	return x, nil
 }
 
 // backendSummary compresses the topology into "4×local" or
@@ -110,6 +122,12 @@ func (x *Explained) String() string {
 	fmt.Fprintf(&b, "plan over %d patients", x.Patients)
 	if len(x.Backends) > 0 {
 		fmt.Fprintf(&b, " (backends: %s)", backendSummary(x.Backends))
+	}
+	if x.Policy != PolicyStrict {
+		fmt.Fprintf(&b, " [policy: %s]", x.Policy)
+	}
+	if len(x.Unhealthy) > 0 {
+		fmt.Fprintf(&b, " [unhealthy shards: %v]", x.Unhealthy)
 	}
 	b.WriteString(":\n")
 	writeNode(&b, &x.Root, 0)

@@ -1,0 +1,137 @@
+package engine
+
+// Replica health tracking: every replica of a shard carries an observed
+// health state fed from two directions. Passively, every real call
+// records its outcome — a failure marks the replica down immediately
+// (the next call goes elsewhere), a success marks it up and feeds the
+// latency EWMA the load balancer reads. Actively, a background checker
+// probes every replica each interval with a cheap liveness RPC, so a
+// replica that crashed while idle is discovered before a query trips
+// over it and a recovered one rejoins rotation without waiting for
+// traffic to risk it.
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// replicaState is one replica's live health record. All fields are
+// updated lock-free: calls, probes and the health loop race freely.
+type replicaState struct {
+	backend ShardBackend
+	name    string // the replica's transport label, e.g. "remote(addr)"
+
+	healthy  atomic.Bool
+	fails    atomic.Uint64 // cumulative failed calls/probes
+	calls    atomic.Uint64 // cumulative successful calls
+	ewmaBits atomic.Uint64 // float64 bits of the latency EWMA in nanoseconds
+}
+
+// ewmaAlpha weights the newest latency observation; ~0.2 smooths single
+// GC pauses away while still tracking a genuinely degraded replica
+// within a handful of calls.
+const ewmaAlpha = 0.2
+
+// observe folds one successful call's latency into the EWMA (lock-free
+// CAS loop) and marks the replica healthy.
+func (r *replicaState) observe(d time.Duration) {
+	ns := float64(d.Nanoseconds())
+	for {
+		old := r.ewmaBits.Load()
+		prev := math.Float64frombits(old)
+		next := ns
+		if prev > 0 {
+			next = ewmaAlpha*ns + (1-ewmaAlpha)*prev
+		}
+		if r.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
+			break
+		}
+	}
+	r.calls.Add(1)
+	r.healthy.Store(true)
+}
+
+// markFailed records a failed call or probe and takes the replica out of
+// rotation until a probe (or a desperate retry) succeeds.
+func (r *replicaState) markFailed() {
+	r.fails.Add(1)
+	r.healthy.Store(false)
+}
+
+// ewma returns the current latency estimate in nanoseconds (0 = no
+// observation yet, which sorts as "fastest" so new replicas get tried).
+func (r *replicaState) ewma() float64 {
+	return math.Float64frombits(r.ewmaBits.Load())
+}
+
+// probe runs the cheap liveness check: the backend's Probe if it
+// implements Prober, its Stats call otherwise, and updates health and
+// the EWMA from the outcome like any other call.
+func (r *replicaState) probe(ctx context.Context) error {
+	t0 := time.Now()
+	var err error
+	if p, ok := r.backend.(Prober); ok {
+		err = p.Probe(ctx)
+	} else {
+		_, err = r.backend.Stats(ctx)
+	}
+	if err != nil {
+		r.markFailed()
+		return err
+	}
+	r.observe(time.Since(t0))
+	return nil
+}
+
+// ReplicaHealth is a point-in-time snapshot of one replica's state, the
+// unit the webapp's /api/stats health block and cohortctl render.
+type ReplicaHealth struct {
+	// Backend is the replica's transport label ("remote(addr)").
+	Backend string `json:"backend"`
+	// Healthy is the current rotation status.
+	Healthy bool `json:"healthy"`
+	// EWMAMillis is the latency estimate the load balancer ranks by
+	// (0 until the first successful call).
+	EWMAMillis float64 `json:"ewma_ms"`
+	// Calls and Failures are cumulative per-replica outcome counters.
+	Calls    uint64 `json:"calls"`
+	Failures uint64 `json:"failures"`
+}
+
+func (r *replicaState) snapshot() ReplicaHealth {
+	return ReplicaHealth{
+		Backend:    r.name,
+		Healthy:    r.healthy.Load(),
+		EWMAMillis: r.ewma() / 1e6,
+		Calls:      r.calls.Load(),
+		Failures:   r.fails.Load(),
+	}
+}
+
+// healthLoop probes every replica each interval until stop is closed.
+// Probes run sequentially — a replica set is a handful of members, and
+// sequencing keeps a hung replica from stacking up probe goroutines
+// (the probe context still bounds each attempt).
+func healthLoop(stop <-chan struct{}, interval, probeTimeout time.Duration, replicas []*replicaState) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		for _, r := range replicas {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+			_ = r.probe(ctx) // the outcome lands in the replica's state
+			cancel()
+		}
+	}
+}

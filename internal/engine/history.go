@@ -8,8 +8,16 @@ package engine
 // work without a local store — while keeping the wire cost proportional
 // to what the analyst actually looks at: fetches ship only the selected
 // histories, indicator aggregation ships a fixed-size tally per shard.
+//
+// Failure semantics: Histories and HistoryByID are strict under either
+// policy — a timeline with silently absent patients or a "not found"
+// manufactured by a dead shard would be actively misleading. Indicators
+// may degrade (IndicatorsStatus): an aggregate over the reachable shards
+// is still a meaningful aggregate as long as the caller is told which
+// shards are absent from it.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,8 +37,14 @@ var ErrNoPatient = errors.New("no such patient")
 // off the collection; a coordinator fetches each backend's slice of the
 // selection concurrently — shards without a selected patient are never
 // contacted — and concatenates in fixed shard order. Any backend failure
-// fails the whole call: a partial history set is never returned.
+// fails the whole call under either policy: a partial history set is
+// never returned.
 func (e *Engine) Histories(b *store.Bitset) ([]*model.History, error) {
+	return e.HistoriesContext(context.Background(), b)
+}
+
+// HistoriesContext is Histories under a caller-supplied context.
+func (e *Engine) HistoriesContext(ctx context.Context, b *store.Bitset) ([]*model.History, error) {
 	if b.Len() != e.n {
 		return nil, fmt.Errorf("engine: bitset covers %d patients, population has %d", b.Len(), e.n)
 	}
@@ -43,6 +57,8 @@ func (e *Engine) Histories(b *store.Bitset) ([]*model.History, error) {
 		})
 		return out, nil
 	}
+	ctx, cancel := e.opCtx(ctx)
+	defer cancel()
 	parts := make([][]*model.History, len(e.backends))
 	errs := make([]error, len(e.backends))
 	var wg sync.WaitGroup
@@ -56,8 +72,8 @@ func (e *Engine) Histories(b *store.Bitset) ([]*model.History, error) {
 		go func(i int, bk ShardBackend, ordinals []int) {
 			defer wg.Done()
 			t0 := time.Now()
-			parts[i], errs[i] = bk.FetchHistories(ordinals)
-			e.record(i, t0)
+			parts[i], errs[i] = bk.FetchHistories(ctx, ordinals)
+			e.record(i, t0, errs[i])
 		}(i, bk, ordinals)
 	}
 	wg.Wait()
@@ -75,17 +91,25 @@ func (e *Engine) Histories(b *store.Bitset) ([]*model.History, error) {
 // HistoryByID resolves one patient's history wherever its shard lives. A
 // store-backed engine answers from the collection; a coordinator probes
 // every backend for the patient's shard-local ordinal concurrently and
-// fetches from the one that holds it. A failed probe is a loud error —
-// "not found" is only reported when every shard answered and none holds
-// the patient, so a down backend can never masquerade as a missing
-// patient. Absence is reported as an error wrapping ErrNoPatient.
+// fetches from the one that holds it. A failed probe is a loud error
+// under either policy — "not found" is only reported when every shard
+// answered and none holds the patient, so a down backend can never
+// masquerade as a missing patient. Absence is reported as an error
+// wrapping ErrNoPatient.
 func (e *Engine) HistoryByID(id model.PatientID) (*model.History, error) {
+	return e.HistoryByIDContext(context.Background(), id)
+}
+
+// HistoryByIDContext is HistoryByID under a caller-supplied context.
+func (e *Engine) HistoryByIDContext(ctx context.Context, id model.PatientID) (*model.History, error) {
 	if e.st != nil {
 		if h := e.st.Collection().Get(id); h != nil {
 			return h, nil
 		}
 		return nil, fmt.Errorf("engine: %s: %w", id, ErrNoPatient)
 	}
+	ctx, cancel := e.opCtx(ctx)
+	defer cancel()
 	type hit struct {
 		backend int
 		ordinal int
@@ -98,8 +122,8 @@ func (e *Engine) HistoryByID(id model.PatientID) (*model.History, error) {
 		go func(i int, bk ShardBackend) {
 			defer wg.Done()
 			t0 := time.Now()
-			o, ok, err := bk.LocateID(id)
-			e.record(i, t0)
+			o, ok, err := bk.LocateID(ctx, id)
+			e.record(i, t0, err)
 			if err != nil {
 				errs[i] = err
 				return
@@ -129,8 +153,8 @@ func (e *Engine) HistoryByID(id model.PatientID) (*model.History, error) {
 	}
 	bk := e.backends[found.backend]
 	t0 := time.Now()
-	hs, err := bk.FetchHistories([]int{found.ordinal})
-	e.record(found.backend, t0)
+	hs, err := bk.FetchHistories(ctx, []int{found.ordinal})
+	e.record(found.backend, t0, err)
 	if err != nil {
 		return nil, fmt.Errorf("engine: fetch %s from shard %d (%s): %w",
 			id, bk.Meta().Shard, bk.Meta().Backend, err)
@@ -149,35 +173,57 @@ func (e *Engine) HistoryByID(id model.PatientID) (*model.History, error) {
 // associative — so the result is bit-identical to a sequential pass over
 // the same cohort on a single store, at shard counts 1 through N and over
 // any transport mix. Shards without a cohort member are never contacted.
+// Under PolicyDegraded the aggregate may omit unreachable shards; use
+// IndicatorsStatus to learn which.
 func (e *Engine) Indicators(b *store.Bitset, window model.Period) (stats.Indicators, error) {
+	ind, _, err := e.IndicatorsStatus(context.Background(), b, window)
+	return ind, err
+}
+
+// IndicatorsStatus is Indicators under a caller-supplied context, plus
+// the completeness report: under PolicyDegraded the QueryStatus names the
+// shards whose tallies are absent from the aggregate.
+func (e *Engine) IndicatorsStatus(ctx context.Context, b *store.Bitset, window model.Period) (stats.Indicators, QueryStatus, error) {
 	if b.Len() != e.n {
-		return stats.Indicators{}, fmt.Errorf("engine: bitset covers %d patients, population has %d", b.Len(), e.n)
+		return stats.Indicators{}, QueryStatus{}, fmt.Errorf("engine: bitset covers %d patients, population has %d", b.Len(), e.n)
 	}
+	ctx, cancel := e.opCtx(ctx)
+	defer cancel()
 	parts := make([]stats.IndicatorCounts, len(e.backends))
 	errs := make([]error, len(e.backends))
+	asked := make([]bool, len(e.backends))
 	var wg sync.WaitGroup
 	for i, bk := range e.backends {
 		m := bk.Meta()
 		if !b.AnyInRange(m.Offset, m.Offset+m.Patients) {
 			continue
 		}
+		asked[i] = true
 		mask := b.SliceRange(m.Offset, m.Offset+m.Patients)
 		wg.Add(1)
 		go func(i int, bk ShardBackend, mask *store.Bitset) {
 			defer wg.Done()
 			t0 := time.Now()
-			parts[i], errs[i] = bk.Indicators(mask, window)
-			e.record(i, t0)
+			parts[i], errs[i] = bk.Indicators(ctx, mask, window)
+			e.record(i, t0, errs[i])
 		}(i, bk, mask)
 	}
 	wg.Wait()
 	var counts stats.IndicatorCounts
+	var missing []int
 	for i := range parts {
 		if errs[i] != nil {
-			return stats.Indicators{}, fmt.Errorf("engine: indicators from shard %d (%s): %w",
+			if e.policy == PolicyDegraded && IsUnavailable(errs[i]) && ctx.Err() == nil {
+				e.metrics[i].skips.Add(1)
+				missing = append(missing, i)
+				continue
+			}
+			return stats.Indicators{}, QueryStatus{}, fmt.Errorf("engine: indicators from shard %d (%s): %w",
 				e.backends[i].Meta().Shard, e.backends[i].Meta().Backend, errs[i])
 		}
-		counts.Merge(parts[i])
+		if asked[i] {
+			counts.Merge(parts[i])
+		}
 	}
-	return counts.Finalize(window), nil
+	return counts.Finalize(window), e.statusFromMissing(missing), nil
 }

@@ -8,6 +8,7 @@ package engine
 // dead shard server turns every history operation into a loud failure.
 
 import (
+	"context"
 	"errors"
 	"net"
 	"os"
@@ -127,21 +128,21 @@ func TestFetchOrdinalValidation(t *testing.T) {
 	fix := startShardServers(t, col, 4, 2, RemoteOptions{Timeout: 10 * time.Second})
 	for _, b := range append([]ShardBackend{}, fix.eng.backends...) {
 		m := b.Meta()
-		if _, err := b.FetchHistories([]int{m.Patients}); err == nil {
+		if _, err := b.FetchHistories(context.Background(), []int{m.Patients}); err == nil {
 			t.Errorf("shard %d: out-of-range ordinal accepted", m.Shard)
 		}
-		if _, err := b.FetchHistories([]int{1, 1}); err == nil {
+		if _, err := b.FetchHistories(context.Background(), []int{1, 1}); err == nil {
 			t.Errorf("shard %d: duplicate ordinal accepted", m.Shard)
 		}
-		if _, err := b.FetchHistories([]int{2, 1}); err == nil {
+		if _, err := b.FetchHistories(context.Background(), []int{2, 1}); err == nil {
 			t.Errorf("shard %d: decreasing ordinals accepted", m.Shard)
 		}
-		if _, err := b.FetchHistories(nil); err != nil {
+		if _, err := b.FetchHistories(context.Background(), nil); err != nil {
 			t.Errorf("shard %d: empty fetch refused: %v", m.Shard, err)
 		}
 	}
 	lb := NewLocalBackend(st.Slice(0, st.Len()), 0)
-	if _, err := lb.FetchHistories([]int{st.Len()}); err == nil {
+	if _, err := lb.FetchHistories(context.Background(), []int{st.Len()}); err == nil {
 		t.Error("local backend: out-of-range ordinal accepted")
 	}
 }
@@ -213,7 +214,7 @@ func TestShardServerGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bs[0].Stats(); err != nil {
+	if _, err := bs[0].Stats(context.Background()); err != nil {
 		t.Fatalf("pre-shutdown call failed: %v", err)
 	}
 	if err := srv.Shutdown(5 * time.Second); err != nil {
@@ -228,7 +229,7 @@ func TestShardServerGracefulShutdown(t *testing.T) {
 		t.Fatal("Serve did not return after Shutdown")
 	}
 	// Calls on the surviving connection are refused, not hung.
-	if _, err := bs[0].Stats(); err == nil {
+	if _, err := bs[0].Stats(context.Background()); err == nil {
 		t.Error("post-shutdown call succeeded")
 	}
 }

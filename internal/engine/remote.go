@@ -16,11 +16,14 @@ package engine
 // serialization semantics on top of wire.go and the store codecs.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
 	"reflect"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -160,7 +163,11 @@ func (s *ShardServer) begin() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closing.Load() {
-		return errors.New("engine: shard server is shutting down")
+		// The distinct drain refusal: clients match drainingMarker in the
+		// flattened rpc.ServerError and fail over instead of erroring —
+		// an RPC racing Shutdown gets a clean redirect, not a torn
+		// connection.
+		return fmt.Errorf("engine: shard %s (shutting down)", drainingMarker)
 	}
 	s.inflight.Add(1)
 	return nil
@@ -263,7 +270,7 @@ func (r *ShardRPC) Eval(args *EvalArgs, reply *EvalReply) error {
 	p = sh.eng.optimize(p)
 	var bits *store.Bitset
 	if mask != nil {
-		bits, err = sh.eng.evalMasked(p, mask)
+		bits, err = sh.eng.evalMasked(context.Background(), p, mask)
 	} else {
 		bits, err = sh.eng.ExecutePlan(p)
 	}
@@ -452,26 +459,83 @@ type remoteConn struct {
 	addr string
 	opts RemoteOptions
 
+	// expect, when non-nil, is the shard table this server must
+	// advertise before any RPC is allowed through. It is set for
+	// connections built without a live handshake (DeferredShards):
+	// every fresh dial re-runs the Describe validation DialShards
+	// would have done, so a server that comes back serving a
+	// different snapshot is refused, not trusted.
+	expect      []ShardMeta
+	expectTotal int
+
 	mu     sync.Mutex
 	client *rpc.Client
 	closed bool
 }
 
-func (c *remoteConn) get() (*rpc.Client, error) {
+func (c *remoteConn) get(budget time.Duration) (*rpc.Client, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, fmt.Errorf("engine: connection to %s is closed", c.addr)
+		return nil, fmt.Errorf("engine: connection to %s is closed: %w", c.addr, ErrUnavailable)
 	}
 	if c.client != nil {
 		return c.client, nil
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.opts.timeout())
+	conn, err := net.DialTimeout("tcp", c.addr, budget)
 	if err != nil {
-		return nil, fmt.Errorf("engine: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("engine: dial %s: %w: %w", c.addr, ErrUnavailable, err)
 	}
-	c.client = rpc.NewClient(conn)
+	client := rpc.NewClient(conn)
+	if c.expect != nil {
+		if err := verifyIdentity(client, budget, c.addr, c.expect, c.expectTotal); err != nil {
+			client.Close()
+			return nil, err
+		}
+	}
+	c.client = client
 	return c.client, nil
+}
+
+// verifyIdentity performs the Describe handshake on a freshly dialed
+// connection and checks the server still advertises exactly the shard
+// geometry the replica set was assembled with. Mismatches are wrapped as
+// ErrUnavailable on purpose: to the replica set a wrong-snapshot member
+// is indistinguishable from a down one — fail over, keep probing, and
+// let it rejoin only once it advertises the right data again.
+func verifyIdentity(client *rpc.Client, budget time.Duration, addr string, expect []ShardMeta, total int) error {
+	var reply DescribeReply
+	call := client.Go(rpcServiceName+".Describe", &DescribeArgs{}, &reply, make(chan *rpc.Call, 1))
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case done := <-call.Done:
+		if done.Error != nil {
+			return fmt.Errorf("engine: describe %s: %w: %w", addr, ErrUnavailable, done.Error)
+		}
+	case <-timer.C:
+		return fmt.Errorf("engine: describe %s: %w: timeout after %s", addr, ErrUnavailable, budget)
+	}
+	if reply.TotalPatients != total {
+		return fmt.Errorf("engine: %s: %w: identity mismatch: server population %d, expected %d (different snapshot?)",
+			addr, ErrUnavailable, reply.TotalPatients, total)
+	}
+	byShard := make(map[int]ShardMeta, len(reply.Shards))
+	for _, m := range reply.Shards {
+		byShard[m.Shard] = m
+	}
+	for _, want := range expect {
+		got, ok := byShard[want.Shard]
+		if !ok {
+			return fmt.Errorf("engine: %s: %w: identity mismatch: server no longer serves shard %d",
+				addr, ErrUnavailable, want.Shard)
+		}
+		if got.Offset != want.Offset || got.Patients != want.Patients || got.Entries != want.Entries {
+			return fmt.Errorf("engine: %s: %w: identity mismatch: shard %d advertised as offset %d, %d patients, %d entries; expected offset %d, %d patients, %d entries",
+				addr, ErrUnavailable, want.Shard, got.Offset, got.Patients, got.Entries, want.Offset, want.Patients, want.Entries)
+		}
+	}
+	return nil
 }
 
 // reset discards a client after a transport failure so the next call
@@ -501,27 +565,53 @@ func (c *remoteConn) close() error {
 	return nil
 }
 
-// call performs one RPC with per-call timeout and bounded redial-retry.
-// Server-side errors (rpc.ServerError) are deterministic and returned
-// immediately; transport errors and timeouts reset the connection and
-// retry up to the budget. Each attempt decodes into its own fresh reply
-// value — an abandoned attempt's response may still be mid-decode on the
-// old connection when the retry runs, so sharing the caller's reply
-// across attempts would race (and gob's skip-zero-fields decoding could
-// blend stale bytes into the retried answer). The winning attempt's
-// reply is copied out once.
-func (c *remoteConn) call(method string, args, reply any) error {
+// attemptBudget bounds one attempt (dial or RPC round trip): the
+// per-call option, shrunk to whatever remains of the caller's context
+// deadline. Returns 0 when the deadline already passed.
+func (c *remoteConn) attemptBudget(ctx context.Context) time.Duration {
+	budget := c.opts.timeout()
+	if deadline, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(deadline); remaining < budget {
+			budget = remaining
+		}
+	}
+	if budget < 0 {
+		return 0
+	}
+	return budget
+}
+
+// call performs one RPC under the caller's context deadline with bounded
+// redial-retry. The coordinator threads its query budget through ctx, so
+// a slow replica can never pin a worker past it: each attempt is bounded
+// by min(per-call timeout, remaining deadline), and an expired context
+// stops the retry loop outright. Server-side errors (rpc.ServerError)
+// are deterministic and returned immediately — except the drain refusal,
+// which comes back as ErrDraining so replica sets fail over on it.
+// Transport errors and timeouts reset the connection, are marked
+// ErrUnavailable (safe to retry elsewhere: every RPC is read-only and
+// idempotent), and retry up to the budget. Each attempt decodes into its
+// own fresh reply value — an abandoned attempt's response may still be
+// mid-decode on the old connection when the retry runs, so sharing the
+// caller's reply across attempts would race (and gob's skip-zero-fields
+// decoding could blend stale bytes into the retried answer). The winning
+// attempt's reply is copied out once.
+func (c *remoteConn) call(ctx context.Context, method string, args, reply any) error {
 	var lastErr error
 	out := reflect.ValueOf(reply).Elem()
 	for attempt := 0; attempt <= c.opts.retries(); attempt++ {
-		client, err := c.get()
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("engine: call %s: %w: %w", c.addr, ErrUnavailable, err)
+		}
+		budget := c.attemptBudget(ctx)
+		client, err := c.get(budget)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		attemptReply := reflect.New(out.Type())
 		call := client.Go(rpcServiceName+"."+method, args, attemptReply.Interface(), make(chan *rpc.Call, 1))
-		timer := time.NewTimer(c.opts.timeout())
+		timer := time.NewTimer(budget)
 		select {
 		case done := <-call.Done:
 			timer.Stop()
@@ -531,13 +621,21 @@ func (c *remoteConn) call(method string, args, reply any) error {
 			}
 			var serverErr rpc.ServerError
 			if errors.As(done.Error, &serverErr) {
+				if strings.Contains(string(serverErr), drainingMarker) {
+					c.reset(client) // the listener is closing; force a redial next time
+					return fmt.Errorf("engine: %s: %w", c.addr, ErrDraining)
+				}
 				return fmt.Errorf("engine: %s: %s", c.addr, serverErr)
 			}
-			lastErr = fmt.Errorf("engine: call %s: %w", c.addr, done.Error)
+			lastErr = fmt.Errorf("engine: call %s: %w: %w", c.addr, ErrUnavailable, done.Error)
 			c.reset(client)
 		case <-timer.C:
-			lastErr = fmt.Errorf("engine: call %s: timeout after %s", c.addr, c.opts.timeout())
+			lastErr = fmt.Errorf("engine: call %s: %w: timeout after %s", c.addr, ErrUnavailable, budget)
 			c.reset(client)
+		case <-ctx.Done():
+			timer.Stop()
+			c.reset(client)
+			return fmt.Errorf("engine: call %s: %w: %w", c.addr, ErrUnavailable, ctx.Err())
 		}
 	}
 	return lastErr
@@ -556,16 +654,26 @@ type RemoteBackend struct {
 // into NewFromBackends; the total lets a caller assembling several
 // servers verify the shards cover the whole population (see
 // core.Connect) rather than silently answering over a prefix of it.
+//
+// The advertised shard identities are validated here, at dial time: a
+// server announcing duplicate shard ids, negative sizes, overlapping
+// ordinal ranges or shards outside the snapshot's population is a
+// misconfiguration (or a different snapshot), and the error names it now
+// instead of surfacing as a confusing per-query failure later.
 func DialShards(addr string, opts RemoteOptions) ([]ShardBackend, int, error) {
 	conn := &remoteConn{addr: addr, opts: opts}
 	var reply DescribeReply
-	if err := conn.call("Describe", &DescribeArgs{}, &reply); err != nil {
+	if err := conn.call(context.Background(), "Describe", &DescribeArgs{}, &reply); err != nil {
 		conn.close() // the dial may have succeeded even though the call failed
 		return nil, 0, err
 	}
 	if len(reply.Shards) == 0 {
 		conn.close()
 		return nil, 0, fmt.Errorf("engine: %s serves no shards", addr)
+	}
+	if err := validateShardMetas(reply.Shards, reply.TotalPatients); err != nil {
+		conn.close()
+		return nil, 0, fmt.Errorf("engine: %s: %w", addr, err)
 	}
 	backends := make([]ShardBackend, len(reply.Shards))
 	for i, m := range reply.Shards {
@@ -575,14 +683,79 @@ func DialShards(addr string, opts RemoteOptions) ([]ShardBackend, int, error) {
 	return backends, reply.TotalPatients, nil
 }
 
+// DeferredShards builds backends for a replica-group member that is
+// unreachable right now, cloning the already-validated shard table of a
+// live sibling (group members serve identical shard sets by contract).
+// Nothing is dialed here: the member joins its replica sets marked
+// healthy, fails fast on first contact, and rejoins via health probes
+// once it is back — at which point the first successful dial re-runs
+// the identity validation DialShards would have done (see verifyIdentity),
+// so a member resurrected with a different snapshot stays out.
+func DeferredShards(addr string, opts RemoteOptions, like []ShardBackend, total int) []ShardBackend {
+	expect := make([]ShardMeta, len(like))
+	for i, b := range like {
+		expect[i] = b.Meta()
+	}
+	conn := &remoteConn{addr: addr, opts: opts, expect: expect, expectTotal: total}
+	out := make([]ShardBackend, len(expect))
+	for i, m := range expect {
+		m.Backend = fmt.Sprintf("remote(%s)", addr)
+		out[i] = &RemoteBackend{conn: conn, meta: m}
+	}
+	return out
+}
+
+// validateShardMetas sanity-checks one server's advertised shard table
+// against the snapshot total it reports.
+func validateShardMetas(metas []ShardMeta, total int) error {
+	if total < 0 {
+		return fmt.Errorf("server reports negative population %d", total)
+	}
+	seen := make(map[int]bool, len(metas))
+	ordered := append([]ShardMeta(nil), metas...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Offset < ordered[j].Offset })
+	prevEnd, prevShard := -1, -1
+	for _, m := range ordered {
+		if m.Shard < 0 {
+			return fmt.Errorf("server advertises negative shard id %d", m.Shard)
+		}
+		if seen[m.Shard] {
+			return fmt.Errorf("server advertises shard %d twice", m.Shard)
+		}
+		seen[m.Shard] = true
+		if m.Patients < 0 || m.Entries < 0 || m.Offset < 0 {
+			return fmt.Errorf("server advertises shard %d with negative geometry (offset %d, %d patients, %d entries)",
+				m.Shard, m.Offset, m.Patients, m.Entries)
+		}
+		if m.Offset+m.Patients > total {
+			return fmt.Errorf("server advertises shard %d covering ordinals [%d, %d) beyond its own population of %d",
+				m.Shard, m.Offset, m.Offset+m.Patients, total)
+		}
+		if m.Offset < prevEnd {
+			return fmt.Errorf("server advertises overlapping shards %d and %d (shard %d starts at ordinal %d, before shard %d ends at %d)",
+				prevShard, m.Shard, m.Shard, m.Offset, prevShard, prevEnd)
+		}
+		prevEnd, prevShard = m.Offset+m.Patients, m.Shard
+	}
+	return nil
+}
+
 // Meta implements ShardBackend.
 func (b *RemoteBackend) Meta() ShardMeta { return b.meta }
 
+// Probe implements Prober with the Describe handshake — a payload-free
+// round trip the replica set's health checker can afford to send every
+// interval.
+func (b *RemoteBackend) Probe(ctx context.Context) error {
+	var reply DescribeReply
+	return b.conn.call(ctx, "Describe", &DescribeArgs{}, &reply)
+}
+
 // Stats implements ShardBackend by fetching the shard's marshaled
 // cardinalities.
-func (b *RemoteBackend) Stats() (*store.Stats, error) {
+func (b *RemoteBackend) Stats(ctx context.Context) (*store.Stats, error) {
 	var reply StatsReply
-	if err := b.conn.call("Stats", &StatsArgs{Shard: b.meta.Shard}, &reply); err != nil {
+	if err := b.conn.call(ctx, "Stats", &StatsArgs{Shard: b.meta.Shard}, &reply); err != nil {
 		return nil, err
 	}
 	st := new(store.Stats)
@@ -595,7 +768,7 @@ func (b *RemoteBackend) Stats() (*store.Stats, error) {
 // EvalPlan implements ShardBackend: the plan (and candidate mask, if
 // any) crosses the wire, the shard's engine evaluates, and the matches
 // come back in shard-local ordinal space.
-func (b *RemoteBackend) EvalPlan(p Plan, mask *store.Bitset) (*store.Bitset, error) {
+func (b *RemoteBackend) EvalPlan(ctx context.Context, p Plan, mask *store.Bitset) (*store.Bitset, error) {
 	plan, err := EncodePlan(p)
 	if err != nil {
 		return nil, err
@@ -607,7 +780,7 @@ func (b *RemoteBackend) EvalPlan(p Plan, mask *store.Bitset) (*store.Bitset, err
 		}
 	}
 	var reply EvalReply
-	if err := b.conn.call("Eval", &args, &reply); err != nil {
+	if err := b.conn.call(ctx, "Eval", &args, &reply); err != nil {
 		return nil, err
 	}
 	bits := new(store.Bitset)
@@ -622,12 +795,12 @@ func (b *RemoteBackend) EvalPlan(p Plan, mask *store.Bitset) (*store.Bitset, err
 // defensive decoder (store.DecodeHistories) holds a hostile or corrupt
 // reply to an error — the count promised by the request is enforced, so
 // a server cannot answer with more or fewer histories than asked.
-func (b *RemoteBackend) FetchHistories(ordinals []int) ([]*model.History, error) {
+func (b *RemoteBackend) FetchHistories(ctx context.Context, ordinals []int) ([]*model.History, error) {
 	if err := validateOrdinals(ordinals, b.meta.Patients); err != nil {
 		return nil, err
 	}
 	var reply FetchReply
-	if err := b.conn.call("Fetch", &FetchArgs{Shard: b.meta.Shard, Ordinals: ordinals}, &reply); err != nil {
+	if err := b.conn.call(ctx, "Fetch", &FetchArgs{Shard: b.meta.Shard, Ordinals: ordinals}, &reply); err != nil {
 		return nil, err
 	}
 	hs, err := store.DecodeHistories(reply.Histories, reply.Checksum, len(ordinals))
@@ -638,9 +811,9 @@ func (b *RemoteBackend) FetchHistories(ordinals []int) ([]*model.History, error)
 }
 
 // LocateID implements ShardBackend.
-func (b *RemoteBackend) LocateID(id model.PatientID) (int, bool, error) {
+func (b *RemoteBackend) LocateID(ctx context.Context, id model.PatientID) (int, bool, error) {
 	var reply LocateReply
-	if err := b.conn.call("Locate", &LocateArgs{Shard: b.meta.Shard, ID: id}, &reply); err != nil {
+	if err := b.conn.call(ctx, "Locate", &LocateArgs{Shard: b.meta.Shard, ID: id}, &reply); err != nil {
 		return 0, false, err
 	}
 	if reply.Found && (reply.Ordinal < 0 || reply.Ordinal >= b.meta.Patients) {
@@ -653,7 +826,7 @@ func (b *RemoteBackend) LocateID(id model.PatientID) (int, bool, error) {
 // Indicators implements ShardBackend: the cohort mask crosses the wire,
 // a fixed-size integral tally comes back — constant reply size whatever
 // the cohort.
-func (b *RemoteBackend) Indicators(mask *store.Bitset, window model.Period) (stats.IndicatorCounts, error) {
+func (b *RemoteBackend) Indicators(ctx context.Context, mask *store.Bitset, window model.Period) (stats.IndicatorCounts, error) {
 	args := IndicatorsArgs{Shard: b.meta.Shard, Window: window}
 	if mask != nil {
 		if mask.Len() != b.meta.Patients {
@@ -667,7 +840,7 @@ func (b *RemoteBackend) Indicators(mask *store.Bitset, window model.Period) (sta
 		args.Mask = data
 	}
 	var reply IndicatorsReply
-	if err := b.conn.call("Indicators", &args, &reply); err != nil {
+	if err := b.conn.call(ctx, "Indicators", &args, &reply); err != nil {
 		return stats.IndicatorCounts{}, err
 	}
 	if got := reply.Counts.Patients; got < 0 || got > b.meta.Patients {
@@ -678,13 +851,13 @@ func (b *RemoteBackend) Indicators(mask *store.Bitset, window model.Period) (sta
 }
 
 // IDsOf implements ShardBackend.
-func (b *RemoteBackend) IDsOf(bits *store.Bitset) ([]model.PatientID, error) {
+func (b *RemoteBackend) IDsOf(ctx context.Context, bits *store.Bitset) ([]model.PatientID, error) {
 	data, err := bits.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
 	var reply IDsReply
-	if err := b.conn.call("IDs", &IDsArgs{Shard: b.meta.Shard, Bits: data}, &reply); err != nil {
+	if err := b.conn.call(ctx, "IDs", &IDsArgs{Shard: b.meta.Shard, Bits: data}, &reply); err != nil {
 		return nil, err
 	}
 	return reply.IDs, nil

@@ -7,6 +7,7 @@ package engine
 // dead shard server yields a clear error, never a partial cohort.
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"os"
@@ -267,18 +268,18 @@ func TestRemoteMaskedEval(t *testing.T) {
 		for i := 0; i < m.Patients; i += 3 {
 			mask.Set(i)
 		}
-		got, err := b.EvalPlan(p, mask)
+		got, err := b.EvalPlan(context.Background(), p, mask)
 		if err != nil {
 			t.Fatalf("shard %d masked eval: %v", m.Shard, err)
 		}
-		want, err := NewLocalBackend(st.Slice(m.Offset, m.Offset+m.Patients), m.Shard).EvalPlan(p, mask)
+		want, err := NewLocalBackend(st.Slice(m.Offset, m.Offset+m.Patients), m.Shard).EvalPlan(context.Background(), p, mask)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !got.Equal(want) {
 			t.Fatalf("shard %d: masked remote %d vs local %d", m.Shard, got.Count(), want.Count())
 		}
-		if _, err := b.EvalPlan(p, store.NewBitset(m.Patients+1)); err == nil {
+		if _, err := b.EvalPlan(context.Background(), p, store.NewBitset(m.Patients+1)); err == nil {
 			t.Errorf("shard %d: wrong-size mask accepted", m.Shard)
 		}
 	}

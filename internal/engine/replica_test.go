@@ -1,0 +1,280 @@
+package engine
+
+// The replica-set contract: identical-meta validation at assembly,
+// failover on unavailability (and only on unavailability), health
+// tracking fed passively by calls and actively by the probe loop, and
+// a load balancer that keeps serving as long as any member lives.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pastas/internal/model"
+	"pastas/internal/query"
+	"pastas/internal/store"
+)
+
+// replicaFixture builds a replica set of n FaultBackend-wrapped local
+// views over the whole parity population (one shard), probing disabled
+// unless interval > 0.
+func replicaFixture(t *testing.T, n int, interval time.Duration) (*ReplicaBackend, []*FaultBackend, *store.Store) {
+	t.Helper()
+	_, st, _ := parityEngines(t)
+	faults := make([]*FaultBackend, n)
+	members := make([]ShardBackend, n)
+	for i := range faults {
+		faults[i] = NewFaultBackend(NewLocalBackend(st.Slice(0, st.Len()), 0))
+		members[i] = faults[i]
+	}
+	probe := -time.Second
+	if interval > 0 {
+		probe = interval
+	}
+	rb, err := NewReplicaBackend(members, ReplicaOptions{
+		ProbeInterval: probe,
+		ProbeTimeout:  time.Second,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rb.Close() })
+	return rb, faults, st
+}
+
+func parityPlan(t *testing.T) Plan {
+	t.Helper()
+	p, err := Compile(query.Has{Pred: query.TypeIs(model.TypeDiagnosis)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Optimize(p)
+}
+
+// TestReplicaMetaMismatch: members advertising different shard
+// identities are rejected at assembly, with an error naming both sides.
+func TestReplicaMetaMismatch(t *testing.T) {
+	_, st, _ := parityEngines(t)
+	n := st.Len()
+	a := NewLocalBackend(st.Slice(0, n), 0)
+	b := NewLocalBackend(st.Slice(0, n/2), 0) // same shard id, different population
+	if _, err := NewReplicaBackend([]ShardBackend{a, b}, ReplicaOptions{ProbeInterval: -1}); err == nil {
+		t.Fatal("mismatched replica metas accepted")
+	} else if !strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("error does not explain the mismatch: %v", err)
+	}
+	c := NewLocalBackend(st.Slice(0, n), 1) // different shard id
+	if _, err := NewReplicaBackend([]ShardBackend{a, c}, ReplicaOptions{ProbeInterval: -1}); err == nil {
+		t.Fatal("mismatched shard ids accepted")
+	}
+	if _, err := NewReplicaBackend(nil, ReplicaOptions{}); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+}
+
+// TestReplicaFailover: with one member failing, every operation answers
+// from the survivor — same bits — and the failure lands in the health
+// snapshot.
+func TestReplicaFailover(t *testing.T) {
+	rb, faults, st := replicaFixture(t, 2, 0)
+	p := parityPlan(t)
+	want, err := NewLocalBackend(st.Slice(0, st.Len()), 0).EvalPlan(context.Background(), p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faults[0].Fail()
+	// A few rounds: selection is randomized, but an untried member's EWMA
+	// of 0 sorts fastest, so the failed member is guaranteed a try (and a
+	// markdown) within the first two calls.
+	for i := 0; i < 4; i++ {
+		got, err := rb.EvalPlan(context.Background(), p, nil)
+		if err != nil {
+			t.Fatalf("failover eval: %v", err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("failover answer diverges: %d vs %d", got.Count(), want.Count())
+		}
+	}
+	if rb.Meta().Shard != 0 || !strings.HasPrefix(rb.Meta().Backend, "replicas(") {
+		t.Errorf("replica meta = %+v", rb.Meta())
+	}
+
+	// The failed member is out of rotation and its failure is counted.
+	health := rb.Health()
+	if len(health) != 2 {
+		t.Fatalf("got %d health entries, want 2", len(health))
+	}
+	if health[0].Healthy {
+		t.Error("failed replica still marked healthy")
+	}
+	if health[0].Failures == 0 {
+		t.Error("failure not counted")
+	}
+	if !health[1].Healthy || health[1].Calls == 0 {
+		t.Errorf("survivor state = %+v", health[1])
+	}
+	if !rb.Healthy() {
+		t.Error("set with a live member reported unhealthy")
+	}
+
+	// Every other operation fails over the same way.
+	if _, err := rb.Stats(context.Background()); err != nil {
+		t.Errorf("Stats failover: %v", err)
+	}
+	if _, err := rb.IDsOf(context.Background(), want.SliceRange(0, st.Len())); err != nil {
+		t.Errorf("IDsOf failover: %v", err)
+	}
+	if _, err := rb.FetchHistories(context.Background(), []int{0}); err != nil {
+		t.Errorf("FetchHistories failover: %v", err)
+	}
+}
+
+// TestReplicaAllDown: with every member failing, the call errors with an
+// unavailability the degradation layer recognizes, naming the shard and
+// the attempt count.
+func TestReplicaAllDown(t *testing.T) {
+	rb, faults, _ := replicaFixture(t, 2, 0)
+	for _, f := range faults {
+		f.Fail()
+	}
+	_, err := rb.EvalPlan(context.Background(), parityPlan(t), nil)
+	if err == nil {
+		t.Fatal("eval over an all-down replica set succeeded")
+	}
+	if !IsUnavailable(err) {
+		t.Errorf("all-down error is not classified unavailable: %v", err)
+	}
+	if !strings.Contains(err.Error(), "all 2 replicas failed") {
+		t.Errorf("error does not report the exhausted set: %v", err)
+	}
+	if rb.Healthy() {
+		t.Error("all-down set reported healthy")
+	}
+
+	// Recovery: the next call succeeds again without any probe loop
+	// (desperation retry gives downed members a second chance).
+	for _, f := range faults {
+		f.Recover()
+	}
+	if _, err := rb.EvalPlan(context.Background(), parityPlan(t), nil); err != nil {
+		t.Fatalf("post-recovery eval: %v", err)
+	}
+}
+
+// deterministicBackend fails every call with a non-transport error.
+type deterministicBackend struct {
+	ShardBackend
+	calls int
+}
+
+func (d *deterministicBackend) EvalPlan(context.Context, Plan, *store.Bitset) (*store.Bitset, error) {
+	d.calls++
+	return nil, fmt.Errorf("engine: semantic refusal")
+}
+
+// TestReplicaDeterministicErrorNoFailover: a semantic error returns
+// immediately — no retries, no marking down — because every replica
+// would answer the same.
+func TestReplicaDeterministicErrorNoFailover(t *testing.T) {
+	_, st, _ := parityEngines(t)
+	det := &deterministicBackend{ShardBackend: NewLocalBackend(st.Slice(0, st.Len()), 0)}
+	healthy := NewLocalBackend(st.Slice(0, st.Len()), 0)
+	rb, err := NewReplicaBackend([]ShardBackend{det, healthy}, ReplicaOptions{ProbeInterval: -1, MaxAttempts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	sawDeterministic := false
+	for i := 0; i < 32 && !sawDeterministic; i++ {
+		_, err := rb.EvalPlan(context.Background(), parityPlan(t), nil)
+		sawDeterministic = err != nil
+		if err != nil {
+			if IsUnavailable(err) {
+				t.Fatalf("semantic error classified unavailable: %v", err)
+			}
+			if !strings.Contains(err.Error(), "semantic refusal") {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		}
+	}
+	if !sawDeterministic {
+		t.Fatal("selection never routed to the deterministic backend")
+	}
+	if det.calls != 1 {
+		t.Errorf("deterministic backend called %d times in the failing call, want 1", det.calls)
+	}
+	for _, h := range rb.Health() {
+		if !h.Healthy {
+			t.Errorf("semantic error marked %s down", h.Backend)
+		}
+	}
+}
+
+// TestReplicaContextDeadline: an expired caller budget stops the
+// failover loop instead of grinding through backoff rounds.
+func TestReplicaContextDeadline(t *testing.T) {
+	rb, faults, _ := replicaFixture(t, 2, 0)
+	for _, f := range faults {
+		f.Fail()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := rb.EvalPlan(ctx, parityPlan(t), nil)
+	if err == nil {
+		t.Fatal("eval under a dead budget succeeded")
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Errorf("deadline error not classified unavailable: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Errorf("failover loop ran %s past a 10ms budget", elapsed)
+	}
+}
+
+// TestReplicaHealthLoop: the active prober takes a dead member out of
+// rotation while the set is idle, and puts it back after recovery —
+// without any query traffic risking the dead member.
+func TestReplicaHealthLoop(t *testing.T) {
+	rb, faults, _ := replicaFixture(t, 2, 5*time.Millisecond)
+	faults[0].Fail()
+	waitFor(t, time.Second, func() bool { return !rb.Health()[0].Healthy })
+	if !rb.Healthy() {
+		t.Error("set with one live member reported unhealthy")
+	}
+	faults[0].Recover()
+	waitFor(t, time.Second, func() bool { return rb.Health()[0].Healthy })
+}
+
+// TestReplicaBalancesLoad: with both members healthy, sustained traffic
+// reaches both (power-of-two-choices never pins a single member).
+func TestReplicaBalancesLoad(t *testing.T) {
+	rb, faults, _ := replicaFixture(t, 2, 0)
+	p := parityPlan(t)
+	for i := 0; i < 64; i++ {
+		if _, err := rb.EvalPlan(context.Background(), p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if faults[0].Calls() == 0 || faults[1].Calls() == 0 {
+		t.Errorf("load not spread: member calls = %d, %d", faults[0].Calls(), faults[1].Calls())
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

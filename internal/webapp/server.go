@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 
 	"pastas/internal/core"
@@ -114,6 +115,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Queries  uint64  `json:"queries"`
 		TotalMS  float64 `json:"total_ms"`
 		AvgMS    float64 `json:"avg_ms"`
+		Failures uint64  `json:"failures,omitempty"`
+		Skipped  uint64  `json:"skipped,omitempty"`
 	}
 	shardStats := s.wb.Engine.ShardStats()
 	shards := make([]shardJSON, len(shardStats))
@@ -122,7 +125,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		shards[i] = shardJSON{
 			Shard: sh.Shard, Offset: sh.Offset, Patients: sh.Patients,
 			Entries: sh.Entries, Backend: sh.Backend, Queries: sh.Queries,
-			TotalMS: float64(sh.Nanos) / 1e6,
+			TotalMS:  float64(sh.Nanos) / 1e6,
+			Failures: sh.Failures, Skipped: sh.Skipped,
 		}
 		if sh.Queries > 0 {
 			shards[i].AvgMS = shards[i].TotalMS / float64(sh.Queries)
@@ -151,11 +155,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	// local workbench, the backends' merged cardinalities for a
 	// connected one.
 	st := s.wb.Engine.Stats()
+	// Per-shard backend health: for replicated backends the per-member
+	// states the health checker maintains; "degraded: true" means at
+	// least one shard currently has no healthy replica.
+	health := s.wb.Engine.Health()
+	degraded := false
+	for _, h := range health {
+		if !h.Healthy {
+			degraded = true
+		}
+	}
 	writeJSON(w, map[string]any{
 		"patients":       st.Patients,
 		"entries":        st.Entries,
 		"distinct_codes": st.DistinctCodes,
 		"budget_ms":      100,
+		"policy":         s.wb.Engine.Policy().String(),
+		"degraded":       degraded,
+		"health":         health,
 		"shards":         shards,
 		"backends":       backendKinds,
 		"snapshot":       snapshot,
@@ -293,7 +310,7 @@ func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	bits, err := s.wb.Query(expr)
+	bits, status, err := s.wb.QueryStatus(expr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -311,7 +328,36 @@ func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
 	for i, id := range sample {
 		out[i] = uint64(id)
 	}
-	writeJSON(w, map[string]any{"count": count, "sample": out, "query": expr.String()})
+	resp := map[string]any{"count": count, "sample": out, "query": expr.String()}
+	if inc := s.incompleteJSON(status); inc != nil {
+		resp["incomplete"] = inc
+	}
+	writeJSON(w, resp)
+}
+
+// incompleteJSON renders a degraded operation's completeness report —
+// the missing shards, the population they cover, and the incomplete
+// bitmask over shard ids ('1' at position i ⇔ shard i did not answer).
+// Nil when the answer is complete, so complete answers carry no field.
+func (s *Server) incompleteJSON(status engine.QueryStatus) map[string]any {
+	if status.Complete() {
+		return nil
+	}
+	n := s.wb.Engine.NumShards()
+	mask := status.IncompleteMask(n)
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = '0'
+	}
+	mask.Range(func(i int) bool {
+		buf[i] = '1'
+		return true
+	})
+	return map[string]any{
+		"missing_shards":   status.MissingShards,
+		"missing_patients": status.MissingPatients,
+		"mask":             string(buf),
+	}
 }
 
 // handleIndicators computes utilization indicators for the cohort selected
@@ -339,21 +385,57 @@ func (s *Server) handleIndicators(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	bits, err := s.wb.Query(expr)
+	bits, qstatus, err := s.wb.QueryStatus(expr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	ind, err := s.wb.Indicators(bits)
+	ind, istatus, err := s.wb.IndicatorsStatus(bits)
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "%v", err)
 		return
 	}
-	writeJSON(w, map[string]any{
+	// The aggregate is incomplete if either phase skipped shards: the
+	// union names every shard absent from the numbers.
+	status := s.mergeStatus(qstatus, istatus)
+	resp := map[string]any{
 		"query":      expr.String(),
 		"indicators": ind,
 		"table":      ind.Table(),
-	})
+	}
+	if inc := s.incompleteJSON(status); inc != nil {
+		resp["incomplete"] = inc
+	}
+	writeJSON(w, resp)
+}
+
+// mergeStatus unions two completeness reports (e.g. the query's and the
+// aggregation's) into one naming every shard missing from either, with
+// the missing-population bound recomputed over the union.
+func (s *Server) mergeStatus(a, b engine.QueryStatus) engine.QueryStatus {
+	if a.Complete() {
+		return b
+	}
+	if b.Complete() {
+		return a
+	}
+	seen := map[int]bool{}
+	out := engine.QueryStatus{}
+	for _, st := range []engine.QueryStatus{a, b} {
+		for _, id := range st.MissingShards {
+			if !seen[id] {
+				seen[id] = true
+				out.MissingShards = append(out.MissingShards, id)
+			}
+		}
+	}
+	sort.Ints(out.MissingShards)
+	for _, m := range s.wb.Engine.BackendInfo() {
+		if seen[m.Shard] {
+			out.MissingPatients += m.Patients
+		}
+	}
+	return out
 }
 
 var pageTemplate = template.Must(template.New("page").Parse(`<!DOCTYPE html>

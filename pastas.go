@@ -162,7 +162,31 @@ type (
 	ShardServer = engine.ShardServer
 	// OpenedShard is one lazily loaded shard of a sharded snapshot.
 	OpenedShard = store.OpenedShard
+	// ReplicaBackend fronts N same-shard backends with health-checked
+	// failover and load-balanced reads.
+	ReplicaBackend = engine.ReplicaBackend
+	// ReplicaOptions tunes a replica set's health checking and failover.
+	ReplicaOptions = engine.ReplicaOptions
+	// Policy selects strict vs degraded failure semantics for a
+	// coordinating engine.
+	Policy = engine.Policy
+	// QueryStatus reports which shards contributed to a degraded answer.
+	QueryStatus = engine.QueryStatus
 )
+
+// Failure-semantics policies for coordinating engines: strict fails any
+// operation that cannot reach every shard (the default); degraded
+// answers over the reachable shards and names the missing ones.
+const (
+	PolicyStrict   = engine.PolicyStrict
+	PolicyDegraded = engine.PolicyDegraded
+)
+
+// NewReplicaBackend fronts several backends serving the same shard with
+// one that health-checks them, balances reads and fails over mid-query.
+func NewReplicaBackend(replicas []ShardBackend, opts ReplicaOptions) (*ReplicaBackend, error) {
+	return engine.NewReplicaBackend(replicas, opts)
+}
 
 // OpenShards pages the given shards (no ids = all) of a sharded v2
 // snapshot into memory, reading only the header and those segments.
@@ -193,7 +217,9 @@ func NewEngineFromBackends(backends []ShardBackend, opts EngineOptions) (*Engine
 // queries, history fetches (Workbench.History/Histories, sessions,
 // timeline renders) and indicator aggregation (Workbench.Indicators)
 // all execute across the servers with bit-identical results to a local
-// workbench over the same snapshot.
+// workbench over the same snapshot. An address element may be a replica
+// group ("host-a:7070|host-b:7070") naming servers that serve the same
+// shards; each shard then fails over between its replicas.
 func ConnectShards(addrs []string, window Period) (*Workbench, error) {
 	return core.Connect(addrs, engine.RemoteOptions{}, engine.DefaultOptions(), window)
 }

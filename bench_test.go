@@ -1442,3 +1442,108 @@ func BenchmarkE13_ReplicatedFailover(b *testing.B) {
 		reportPercentiles(b, lat)
 	})
 }
+
+// BenchmarkE14_QueryUnderIngest prices the live-ingest tentpole: the
+// same cohort query (a) against a quiescent workbench — the warm-cache
+// baseline, (b) while a writer appends follow-on rounds continuously —
+// every append advances the generation, so plan memos and result caches
+// re-epoch and the query pays planning plus base ∪ delta reads, and
+// (c) after the feed stops and compaction folds the delta — warm-cache
+// latency must recover to the baseline's neighborhood. Each arm reports
+// p50 and p99 alongside ns/op.
+func BenchmarkE14_QueryUnderIngest(b *testing.B) {
+	n := 21000
+	if testing.Short() {
+		n = 5000
+	}
+	cfg := synth.DefaultConfig(n)
+	window := cfg.Window()
+	opts := integrate.DefaultOptions()
+	// Pinned horizon: appended rounds must not move the open-interval end.
+	opts.OpenIntervalEnd = window.End.AddDays(30)
+
+	freshWB := func(b *testing.B) *core.Workbench {
+		b.Helper()
+		wb, err := core.FromBundle(synth.Generate(cfg), opts, window)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wb.IngestOptions = &opts
+		return wb
+	}
+	q := query.And{
+		query.Has{Pred: query.TypeIs(model.TypeDiagnosis)},
+		query.Has{Pred: query.MustCode("ICPC2", "T90|K86")},
+	}
+	measure := func(b *testing.B, wb *core.Workbench) {
+		lat := make([]time.Duration, 0, b.N)
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := wb.Query(q); err != nil {
+				b.Fatal(err)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		b.StopTimer()
+		reportPercentiles(b, lat)
+	}
+
+	b.Run("quiescent", func(b *testing.B) {
+		wb := freshWB(b)
+		if _, err := wb.Query(q); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		measure(b, wb)
+	})
+
+	b.Run("under-ingest", func(b *testing.B) {
+		wb := freshWB(b)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nextNew := uint64(n) + 1
+			for round := 1; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				feed := synth.GenerateAppend(cfg, nextNew, nextNew+49, round)
+				nextNew += 50
+				if err := wb.Append(feed); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		b.ResetTimer()
+		measure(b, wb)
+		close(stop)
+		wg.Wait()
+		st, _ := wb.IngestStats()
+		b.ReportMetric(float64(st.Batches), "appends")
+	})
+
+	b.Run("recovered-after-compaction", func(b *testing.B) {
+		wb := freshWB(b)
+		nextNew := uint64(n) + 1
+		for round := 1; round <= 5; round++ {
+			feed := synth.GenerateAppend(cfg, nextNew, nextNew+49, round)
+			nextNew += 50
+			if err := wb.Append(feed); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := wb.Compact(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wb.Query(q); err != nil { // warm at the final generation
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		measure(b, wb)
+	})
+}

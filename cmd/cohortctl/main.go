@@ -15,12 +15,15 @@
 //	cohortctl snapshot save -synth 168000 -out wb.snap -shards 16
 //	cohortctl snapshot info -in wb.snap
 //	cohortctl shard-server -snapshot wb.snap -serve 0,1 -listen :7070
+//	cohortctl ingest -snapshot wb.snap -feed data/append-001,data/append-002 -compact -out wb2.snap
 //
 // The explain subcommand prints the cost-annotated plan (estimated rows
 // and cost per node, in execution order), then runs the query and reports
 // the actual cohort size and wall time next to the estimate. The snapshot
 // subcommands persist an integrated workbench as a sharded snapshot and
-// inspect a snapshot's header without decoding it.
+// inspect a snapshot's header without decoding it. The ingest subcommand
+// exercises the live-ingest path: it appends follow-on bundle directories
+// to a loaded workbench, optionally compacts, and can save the result.
 //
 // shard-server serves one or more shards of a sharded v2 snapshot over
 // the wire protocol, paging in only the assigned segments; the top-level
@@ -69,6 +72,10 @@ func main() {
 	}
 	if len(args) > 0 && args[0] == "shard-server" {
 		runShardServer(args[1:])
+		return
+	}
+	if len(args) > 0 && args[0] == "ingest" {
+		runIngest(args[1:])
 		return
 	}
 	explainMode := len(args) > 0 && args[0] == "explain"
@@ -319,6 +326,79 @@ func runShardServer(args []string) {
 	fmt.Println("shard server stopped")
 }
 
+// runIngest loads a workbench locally, feeds it one or more append-round
+// bundle directories (datagen -append emits them), and optionally folds
+// the delta and re-saves the result as a snapshot — the command-line face
+// of the live-ingest path.
+func runIngest(args []string) {
+	fs := flag.NewFlagSet("cohortctl ingest", flag.ExitOnError)
+	dataDir := fs.String("data", "", "registry extract directory for the base load")
+	synthN := fs.Int("synth", 0, "synthesize the base population instead")
+	snapshotFile := fs.String("snapshot", "", "reopen a saved snapshot as the base")
+	feed := fs.String("feed", "", "comma-separated bundle directories to append, in order")
+	compact := fs.Bool("compact", false, "fold the delta into containerized postings after the feed")
+	out := fs.String("out", "", "save the post-ingest workbench as a sharded snapshot")
+	shards := fs.Int("shards", 0, "shard count for -out (0 = match the engine)")
+	fs.Parse(args)
+	if *feed == "" {
+		log.Fatal("need -feed DIR[,DIR...]")
+	}
+
+	wb, _, err := loadWorkbench(*dataDir, *synthN, *snapshotFile, "", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d patients, %d entries\n", wb.Patients(), wb.Entries())
+
+	for _, dir := range strings.Split(*feed, ",") {
+		dir = strings.TrimSpace(dir)
+		bundle, err := sources.ReadDir(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		if err := wb.Append(bundle); err != nil {
+			log.Fatalf("%s: %v", dir, err)
+		}
+		st, _ := wb.IngestStats()
+		fmt.Printf("appended %s: %d records in %s (generation %d, delta %d entries / %d patients)\n",
+			dir, bundle.TotalRecords(), time.Since(t0).Round(time.Millisecond),
+			st.Generation, st.DeltaEntries, st.DeltaPatients)
+	}
+
+	if *compact {
+		stats, err := wb.Compact()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("compacted %d entries / %d patients (%d lists) in %s\n",
+			stats.LastEntries, stats.LastPatients, stats.LastLists,
+			stats.LastDuration.Round(time.Millisecond))
+	}
+
+	rep := wb.IngestReport()
+	fmt.Println(rep.String())
+	st, _ := wb.IngestStats()
+	fmt.Printf("now %d patients, %d entries (generation %d, %d batches, %d compactions)\n",
+		wb.Patients(), wb.Entries(), st.Generation, st.Batches, st.Compactions)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err := wb.Save(f, core.SnapshotOptions{Shards: *shards})
+		if err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved %s snapshot (%d shards) to %s\n", info.Format(), info.Shards, *out)
+	}
+}
+
 // runSnapshotCmd dispatches the snapshot save/info subcommands.
 func runSnapshotCmd(args []string) {
 	if len(args) == 0 {
@@ -377,6 +457,10 @@ func runSnapshotCmd(args []string) {
 		fmt.Printf("entries:  %d\n", info.Entries)
 		if info.Bytes > 0 {
 			fmt.Printf("bytes:    %d\n", info.Bytes)
+		}
+		if info.Generation > 0 {
+			fmt.Printf("ingest:   generation %d, %d compactions, delta at save: %d entries / %d patients\n",
+				info.Generation, info.Compactions, info.DeltaEntries, info.DeltaPatients)
 		}
 		for _, sh := range info.ShardDetail {
 			fmt.Printf("  shard %d: offset %d, %d bytes, %d patients, %d entries, crc32c %08x\n",

@@ -38,10 +38,15 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed; equal seeds reproduce identical extracts")
 	out := flag.String("out", "data", "output directory")
 	stream := flag.Bool("stream", false, "generate in constant memory, writing chunk by chunk (same bytes as the default mode)")
+	appendRounds := flag.Int("append", 0, "also emit N follow-on append-round bundles (append-001/, append-002/, …), keyed off the same seed")
+	appendNew := flag.Int("append-new", -1, "new patients per append round (default patients/20; 0 for events-only rounds)")
 	flag.Parse()
 
 	if *patients <= 0 {
 		log.Fatalf("-patients must be > 0 (got %d)", *patients)
+	}
+	if *appendRounds < 0 {
+		log.Fatalf("-append must be >= 0 (got %d)", *appendRounds)
 	}
 
 	cfg := synth.DefaultConfig(*patients)
@@ -53,12 +58,39 @@ func main() {
 
 	if *stream {
 		writeStreamed(cfg, *out)
-		return
+	} else {
+		bundle := synth.Generate(cfg)
+		fmt.Printf("writing %d patients (%d records) to %s\n", *patients, bundle.TotalRecords(), *out)
+		writeBundle(*out, bundle)
 	}
 
-	bundle := synth.Generate(cfg)
+	// Follow-on rounds: each is a self-contained bundle directory a live
+	// workbench can ingest (cohortctl ingest / POST /api/ingest), with new
+	// persons stacked past everything earlier rounds added. The feed is a
+	// pure function of (seed, patients, round), so re-running datagen
+	// reproduces it exactly.
+	perRound := *appendNew
+	if perRound < 0 {
+		perRound = *patients / 20
+	}
+	for round := 1; round <= *appendRounds; round++ {
+		firstNew := uint64(*patients + (round-1)*perRound + 1)
+		lastNew := uint64(*patients + round*perRound)
+		b := synth.GenerateAppend(cfg, firstNew, lastNew, round)
+		dir := filepath.Join(*out, fmt.Sprintf("append-%03d", round))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("writing append round %d (%d new patients, %d records) to %s\n",
+			round, perRound, b.TotalRecords(), dir)
+		writeBundle(dir, b)
+	}
+}
+
+// writeBundle materializes one bundle as the seven extract files.
+func writeBundle(dir string, bundle *sources.Bundle) {
 	write := func(name string, fn func(f *os.File) error) {
-		path := filepath.Join(*out, name)
+		path := filepath.Join(dir, name)
 		f, err := os.Create(path)
 		if err != nil {
 			log.Fatal(err)
@@ -73,8 +105,6 @@ func main() {
 		info, _ := os.Stat(path)
 		fmt.Printf("  %-24s %8.1f KiB\n", name, float64(info.Size())/1024)
 	}
-
-	fmt.Printf("writing %d patients (%d records) to %s\n", *patients, bundle.TotalRecords(), *out)
 	write("persons.csv", func(f *os.File) error { return sources.WritePersons(f, bundle.Persons) })
 	write("gp_claims.csv", func(f *os.File) error { return sources.WriteGPClaims(f, bundle.GPClaims) })
 	write("episodes.csv", func(f *os.File) error { return sources.WriteEpisodes(f, bundle.Episodes) })

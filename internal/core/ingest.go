@@ -1,0 +1,111 @@
+package core
+
+// Live ingest at the workbench level: Append feeds follow-on registry
+// bundles through an incremental integrate.Consumer into the store's
+// mutable tail, while queries keep answering — each query runs against
+// the generation current when it started, and the engine's caches are
+// generation-epoched so no stale answer survives an append. When the
+// pending delta grows past compactThreshold entries, Append kicks off a
+// single-flight background compaction that folds the delta into
+// containerized base postings without advancing the generation (the fold
+// is answer-invariant).
+
+import (
+	"fmt"
+
+	"pastas/internal/integrate"
+	"pastas/internal/model"
+	"pastas/internal/sources"
+	"pastas/internal/store"
+)
+
+// compactThreshold is the pending-delta entry count past which Append
+// schedules a background compaction. Small enough that delta-side reads
+// (linear next to the containerized base) never dominate a query; large
+// enough that compaction work amortizes over many appends.
+const compactThreshold = 4096
+
+// Append integrates one follow-on bundle into the live store. New
+// persons become new patients; event records for already-integrated
+// patients extend their histories; linkage, date validation, duplicate
+// collapsing and interval derivation follow exactly the batch pipeline's
+// rules (see integrate.Consumer). Concurrent queries are never blocked:
+// they keep answering over the pre-append generation until the new
+// revision is published atomically. Only a workbench with a local store
+// can ingest; a connected coordinator returns an error.
+func (wb *Workbench) Append(b *sources.Bundle) error {
+	if wb.Store == nil {
+		return fmt.Errorf("core: append: workbench has no local store (connected to remote shards)")
+	}
+	wb.ingestMu.Lock()
+	defer wb.ingestMu.Unlock()
+	if wb.consumer == nil {
+		opts := integrate.DefaultOptions()
+		if wb.IngestOptions != nil {
+			opts = *wb.IngestOptions
+		}
+		st := wb.Store
+		resolve := func(person uint64) (model.Time, bool) {
+			v := st.Pin()
+			if o, ok := v.Ordinal(model.PatientID(person)); ok {
+				return v.HistoryAt(o).Patient.Birth, true
+			}
+			return 0, false
+		}
+		wb.consumer = integrate.NewConsumer(opts, resolve, st.MaxEntryID()+1)
+	}
+	batch, err := wb.consumer.Consume(b)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if batch.Empty() {
+		return nil
+	}
+	ab := store.AppendBatch{NewHistories: batch.NewPatients}
+	for _, u := range batch.Updates {
+		ab.Updates = append(ab.Updates, store.HistoryUpdate{ID: u.ID, Entries: u.Entries})
+	}
+	if _, err := wb.Store.Append(ab); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if wb.Store.Ingest().DeltaEntries >= compactThreshold && wb.compacting.CompareAndSwap(false, true) {
+		go func() {
+			defer wb.compacting.Store(false)
+			wb.Store.Compact()
+		}()
+	}
+	return nil
+}
+
+// Compact synchronously folds the store's pending delta into its base
+// postings. Queries keep running throughout; answers are identical
+// before and after (compaction does not advance the generation). Returns
+// the compaction statistics, zero-valued when there was nothing to fold.
+func (wb *Workbench) Compact() (store.CompactionStats, error) {
+	if wb.Store == nil {
+		return store.CompactionStats{}, fmt.Errorf("core: compact: workbench has no local store (connected to remote shards)")
+	}
+	return wb.Store.Compact(), nil
+}
+
+// IngestStats reports the store's cumulative ingest counters; ok is
+// false on a connected workbench, which has no local store to ingest
+// into.
+func (wb *Workbench) IngestStats() (store.IngestStats, bool) {
+	if wb.Store == nil {
+		return store.IngestStats{}, false
+	}
+	return wb.Store.Ingest(), true
+}
+
+// IngestReport returns the incremental consumer's accumulated
+// integration report — the Append-side counterpart of Workbench.Report.
+// Zero before the first Append.
+func (wb *Workbench) IngestReport() integrate.Report {
+	wb.ingestMu.Lock()
+	defer wb.ingestMu.Unlock()
+	if wb.consumer == nil {
+		return integrate.Report{}
+	}
+	return wb.consumer.TotalReport()
+}

@@ -13,6 +13,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"pastas/internal/engine"
 	"pastas/internal/integrate"
@@ -46,6 +48,19 @@ type Workbench struct {
 	Snapshot *store.SnapshotInfo
 	// Window is the observation window the data covers.
 	Window model.Period
+	// IngestOptions, when non-nil, configures the incremental consumer
+	// the first Append builds (pin OpenIntervalEnd here when an
+	// incremental run must agree with a batch Build). Nil means
+	// integrate.DefaultOptions(). Changing it after the first Append has
+	// no effect — the consumer's linkage state is built once.
+	IngestOptions *integrate.Options
+
+	// ingestMu serializes Append and the consumer it lazily builds;
+	// queries never take it.
+	ingestMu sync.Mutex
+	consumer *integrate.Consumer
+	// compacting makes background compaction single-flight.
+	compacting atomic.Bool
 }
 
 // FromBundle integrates a registry bundle and indexes it.
@@ -356,9 +371,11 @@ type SnapshotOptions struct {
 	Shards int
 }
 
-// Save persists the collection as a sharded v2 snapshot and returns the
-// layout written. Saving is read-only on the collection, so it is safe
-// while queries are in flight.
+// Save persists the collection as a sharded snapshot and returns the
+// layout written. A store that has ingested (generation > 0) is saved
+// fully merged with its ingest provenance in the v4 header; otherwise
+// the format is v3. Saving pins one revision, so it is safe while
+// queries — and further appends — are in flight.
 func (wb *Workbench) Save(w io.Writer, opts SnapshotOptions) (*store.SnapshotInfo, error) {
 	if wb.Store == nil {
 		return nil, fmt.Errorf("core: save: workbench has no local collection (connected to remote shards)")
@@ -367,7 +384,7 @@ func (wb *Workbench) Save(w io.Writer, opts SnapshotOptions) (*store.SnapshotInf
 	if shards <= 0 {
 		shards = wb.Engine.NumShards()
 	}
-	info, err := store.SaveSharded(w, wb.Store.Collection(), shards)
+	info, err := store.SaveShardedStore(w, wb.Store, shards)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

@@ -7,12 +7,19 @@ import (
 	"pastas/internal/store"
 )
 
-// planCache is a mutex-guarded LRU over canonical plan keys. Values are
-// stored as immutable bitsets; get returns a clone the caller owns, so
-// cached cohorts can never be corrupted by downstream set algebra.
+// planCache is a mutex-guarded LRU over canonical plan keys, epoched by
+// the store generation: every get and put carries the generation its
+// caller evaluated against, entries from any other generation are
+// invisible, and the first access at a newer generation drops the old
+// entries wholesale (invalidate-on-advance — no lock-the-world sweep, and
+// a straggler put from a query that raced an append is silently
+// discarded rather than poisoning the new generation). Values are stored
+// as immutable bitsets; get returns a clone the caller owns, so cached
+// cohorts can never be corrupted by downstream set algebra.
 type planCache struct {
 	mu           sync.Mutex
 	max          int
+	gen          uint64
 	ll           *list.List
 	byKey        map[string]*list.Element
 	hits, misses uint64
@@ -30,8 +37,19 @@ func newPlanCache(max int) *planCache {
 	return &planCache{max: max, ll: list.New(), byKey: make(map[string]*list.Element, max)}
 }
 
-func (c *planCache) get(key string) (*store.Bitset, bool) {
+func (c *planCache) get(gen uint64, key string) (*store.Bitset, bool) {
 	c.mu.Lock()
+	if gen != c.gen {
+		if gen > c.gen {
+			c.clearLocked()
+			c.gen = gen
+		}
+		// gen < c.gen: a reader still on a superseded generation; its
+		// entries are long gone either way.
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
 	el, ok := c.byKey[key]
 	var bits *store.Bitset
 	if ok {
@@ -53,13 +71,20 @@ func (c *planCache) get(key string) (*store.Bitset, bool) {
 	return bits.Clone(), true
 }
 
-func (c *planCache) put(key string, b *store.Bitset) {
+func (c *planCache) put(gen uint64, key string, b *store.Bitset) {
 	// Clone before taking the mutex (see get): the caller owns b and may
 	// mutate it after put returns, so the cache stores a private copy,
 	// but the copy itself need not happen under the lock.
 	clone := b.Clone()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if gen != c.gen {
+		if gen < c.gen {
+			return // stale writer: its generation has been superseded
+		}
+		c.clearLocked()
+		c.gen = gen
+	}
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).bits = clone
@@ -73,11 +98,16 @@ func (c *planCache) put(key string, b *store.Bitset) {
 	}
 }
 
+// clearLocked drops every entry; the caller holds c.mu.
+func (c *planCache) clearLocked() {
+	c.ll.Init()
+	c.byKey = make(map[string]*list.Element, c.max)
+}
+
 func (c *planCache) reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.ll.Init()
-	c.byKey = make(map[string]*list.Element, c.max)
+	c.clearLocked()
 	c.hits, c.misses = 0, 0
 }
 

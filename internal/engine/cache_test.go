@@ -15,10 +15,10 @@ func TestPlanCacheCloneIsolation(t *testing.T) {
 	c := newPlanCache(4)
 	b := store.NewBitset(128)
 	b.Set(3)
-	c.put("k", b)
+	c.put(0, "k", b)
 	b.Set(99) // caller keeps mutating after put
 
-	got, ok := c.get("k")
+	got, ok := c.get(0, "k")
 	if !ok {
 		t.Fatal("miss on just-put key")
 	}
@@ -26,7 +26,7 @@ func TestPlanCacheCloneIsolation(t *testing.T) {
 		t.Error("put did not isolate the cached copy from the caller's bitset")
 	}
 	got.Set(77) // caller mutates the returned clone
-	again, _ := c.get("k")
+	again, _ := c.get(0, "k")
 	if again.Get(77) {
 		t.Error("get returned a shared bitset, not a clone")
 	}
@@ -50,14 +50,14 @@ func TestPlanCacheConcurrentGetPut(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				key := fmt.Sprintf("k%d", (g+i)%16) // 16 keys over capacity 8: constant eviction
-				if b, ok := c.get(key); ok {
+				if b, ok := c.get(0, key); ok {
 					b.Not() // mutate the clone; must not corrupt the cache
 					if b.Len() != 4096 {
 						t.Errorf("clone capacity %d", b.Len())
 						return
 					}
 				} else {
-					c.put(key, n)
+					c.put(0, key, n)
 				}
 				if i%100 == 0 {
 					_ = c.stats()
@@ -66,7 +66,7 @@ func TestPlanCacheConcurrentGetPut(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	if b, ok := c.get("k0"); ok {
+	if b, ok := c.get(0, "k0"); ok {
 		want := n.Count()
 		if b.Count() != want {
 			t.Errorf("cached bitset corrupted: %d set bits, want %d", b.Count(), want)

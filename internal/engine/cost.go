@@ -56,6 +56,9 @@ type costModel struct {
 	// fb holds executor-observed true cardinalities; when non-nil,
 	// observations override the model's row estimates (see feedback.go).
 	fb *feedback
+	// gen is the store generation the model plans for; feedback from any
+	// other generation is ignored.
+	gen uint64
 }
 
 // newCostModel returns nil (meaning: fall back to the static optimizer)
@@ -72,13 +75,15 @@ func newCostModel(st *store.Stats) *costModel {
 	}
 }
 
-// newFeedbackCostModel is newCostModel with execution feedback attached.
-// An empty feedback store contributes nothing, so the model skips the
-// per-node key rendering entirely until the first observation lands.
-func newFeedbackCostModel(st *store.Stats, fb *feedback) *costModel {
+// newFeedbackCostModel is newCostModel with execution feedback attached,
+// scoped to the store generation being planned for. An empty feedback
+// store contributes nothing, so the model skips the per-node key
+// rendering entirely until the first observation lands.
+func newFeedbackCostModel(st *store.Stats, fb *feedback, gen uint64) *costModel {
 	m := newCostModel(st)
 	if m != nil && fb != nil && fb.size() > 0 {
 		m.fb = fb
+		m.gen = gen
 	}
 	return m
 }
@@ -97,7 +102,7 @@ func (m *costModel) estimate(p Plan) Estimate {
 		switch p.(type) {
 		case All, None:
 		default:
-			if rows, ok := m.fb.rowsFor(p.Key()); ok {
+			if rows, ok := m.fb.rowsFor(m.gen, p.Key()); ok {
 				est.Rows = float64(rows)
 			}
 		}
@@ -411,7 +416,7 @@ func (m *costModel) refineAndOrder(children []Plan) {
 					members = append(members, children[j])
 				}
 			}
-			if rows, ok := m.fb.rowsFor(And{Children: members}.Key()); ok {
+			if rows, ok := m.fb.rowsFor(m.gen, And{Children: members}.Key()); ok {
 				sel[S] = clampSel(float64(rows) / m.n)
 			}
 		}

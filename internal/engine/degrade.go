@@ -114,13 +114,13 @@ func (s QueryStatus) String() string {
 // statusFromMissing builds a QueryStatus from the indexes of the failed
 // backends, translating them to shard ids and tallying the population
 // they cover.
-func (e *Engine) statusFromMissing(failed []int) QueryStatus {
+func (e *Engine) statusFromMissing(t *topo, failed []int) QueryStatus {
 	if len(failed) == 0 {
 		return QueryStatus{}
 	}
 	st := QueryStatus{MissingShards: make([]int, 0, len(failed))}
 	for _, i := range failed {
-		m := e.backends[i].Meta()
+		m := t.backends[i].Meta()
 		st.MissingShards = append(st.MissingShards, m.Shard)
 		st.MissingPatients += m.Patients
 	}

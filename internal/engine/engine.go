@@ -53,30 +53,59 @@ type shardMetric struct {
 }
 
 // boundCacheSize caps the LRU of index-derived scan bounds; bounds are
-// pure functions of the immutable store, so a small fixed cache is safe.
+// pure functions of one store generation (the cache is epoched by it), so
+// a small fixed cache is safe.
 const boundCacheSize = 64
+
+// topo is the engine's execution topology pinned to one store generation:
+// the shard views, backends and statistics every evaluation of that
+// generation runs against. It is immutable once published; when the store
+// generation advances, topoNow builds a fresh topo on the side and swaps
+// it in, so one query always runs — start to finish — against a single
+// consistent generation while appends keep landing.
+type topo struct {
+	gen      uint64
+	n        int // total population
+	entries  int // total entries across backends
+	stats    *store.Stats
+	view     *store.View // pinned full-population view; nil for a coordinator
+	backends []ShardBackend
+	metrics  []shardMetric
+}
+
+// empty returns a fresh empty bitset over the topology's population.
+func (t *topo) empty() *store.Bitset { return store.NewBitset(t.n) }
+
+// all returns a bitset with every patient of the topology set.
+func (t *topo) all() *store.Bitset { return t.empty().Not() }
 
 // Engine executes compiled plans over a set of shard backends.
 //
 // Built with New, the backends are in-process views over one global store
 // and the executor exploits that locality: index leaves are answered
-// straight from the global postings, scan candidates are bounded by them,
+// straight from the pinned postings, scan candidates are bounded by them,
 // and only scan evaluation fans out. Built with NewFromBackends, the
 // engine is a coordinator over arbitrary (typically remote) backends: it
 // plans from the backends' merged statistics, pushes whole plans down to
 // every shard in one round, and merges the shard-local results in fixed
 // shard order.
+//
+// A local engine follows its store's live-ingest generation: every
+// operation pins the current topology first, and everything derived from
+// store contents — plan cache, scan-bound cache, planner feedback, plan
+// memo — is epoched by the generation, discarded on advance rather than
+// ever answering for a population it no longer describes.
 type Engine struct {
-	st       *store.Store // nil for a coordinator over remote backends
-	stats    *store.Stats
-	n        int // total population
-	entries  int // total entries across backends
-	backends []ShardBackend
-	metrics  []shardMetric
-	workers  int
-	policy   Policy
-	timeout  time.Duration // default per-operation budget; 0 = unbounded
-	cache    *planCache
+	st     *store.Store // nil for a coordinator over remote backends
+	shards int          // configured shard count (local engines re-shard on rebuild)
+
+	topo   atomic.Pointer[topo]
+	topoMu sync.Mutex // serializes topology rebuilds on generation advance
+
+	workers int
+	policy  Policy
+	timeout time.Duration // default per-operation budget; 0 = unbounded
+	cache   *planCache
 	// boundCache memoizes scanBound results by Scan key, so the
 	// interactive refinement loop re-intersects a cached bound instead
 	// of re-walking the code vocabulary on every repeated scan.
@@ -85,20 +114,20 @@ type Engine struct {
 	// optimizer's cost model reads it back on later planning passes
 	// (adaptive feedback planning, see feedback.go).
 	fb *feedback
-	// plans memoizes optimized plans by (expression, feedback epoch).
+	// plans memoizes optimized plans by (expression, feedback epoch,
+	// store generation).
 	plans *planMemo
 }
 
 // New builds an engine over an already-indexed global store. With more
 // than one shard the population is split into contiguous chunks; each is
-// a local backend viewing the global store's postings, so scan evaluation
+// a local backend viewing the store's pinned postings, so scan evaluation
 // fans out across a worker pool and merges per-shard bitsets by ordinal
 // offset without duplicating any index memory.
 func New(st *store.Store, opts Options) *Engine {
 	e := &Engine{
 		st:         st,
-		stats:      st.Stats(),
-		n:          st.Len(),
+		shards:     opts.Shards,
 		policy:     opts.Policy,
 		timeout:    opts.QueryTimeout,
 		workers:    normalizeWorkers(opts.Workers),
@@ -107,22 +136,56 @@ func New(st *store.Store, opts Options) *Engine {
 		fb:         newFeedback(feedbackSize),
 		plans:      newPlanMemo(planMemoSize),
 	}
-	n := st.Len()
-	shards := opts.Shards
+	e.topo.Store(e.buildTopo(st.Pin()))
+	return e
+}
+
+// buildTopo carves the configured shard layout out of one pinned store
+// revision. Per-backend metrics start fresh with each topology.
+func (e *Engine) buildTopo(pin *store.View) *topo {
+	n := pin.Len()
+	t := &topo{
+		gen:     pin.Generation(),
+		n:       n,
+		entries: pin.Entries(),
+		stats:   pin.Stats(),
+		view:    pin,
+	}
+	shards := e.shards
 	if shards > n {
 		shards = n
 	}
 	if shards <= 1 {
-		e.backends = []ShardBackend{NewLocalBackend(st.Slice(0, n), 0)}
+		t.backends = []ShardBackend{NewLocalBackend(pin.Sub(0, n), 0)}
 	} else {
 		chunk := (n + shards - 1) / shards
 		for off := 0; off < n; off += chunk {
-			e.backends = append(e.backends,
-				NewLocalBackend(st.Slice(off, min(off+chunk, n)), len(e.backends)))
+			t.backends = append(t.backends,
+				NewLocalBackend(pin.Sub(off, min(off+chunk, n)), len(t.backends)))
 		}
 	}
-	e.finishInit()
-	return e
+	t.metrics = make([]shardMetric, len(t.backends))
+	return t
+}
+
+// topoNow returns the execution topology for the store's current
+// generation, rebuilding it (double-checked, on the side — readers of the
+// old topology are never blocked) when an append has advanced the store
+// since the topology was built. Coordinators have no local store and keep
+// their construction-time topology forever.
+func (e *Engine) topoNow() *topo {
+	t := e.topo.Load()
+	if e.st == nil || t.gen == e.st.Generation() {
+		return t
+	}
+	e.topoMu.Lock()
+	defer e.topoMu.Unlock()
+	t = e.topo.Load()
+	if t.gen != e.st.Generation() {
+		t = e.buildTopo(e.st.Pin())
+		e.topo.Store(t)
+	}
+	return t
 }
 
 // NewFromBackends builds a coordinating engine over an explicit backend
@@ -139,7 +202,6 @@ func NewFromBackends(backends []ShardBackend, opts Options) (*Engine, error) {
 	bs := append([]ShardBackend(nil), backends...)
 	sort.SliceStable(bs, func(i, j int) bool { return bs[i].Meta().Offset < bs[j].Meta().Offset })
 	e := &Engine{
-		backends:   bs,
 		policy:     opts.Policy,
 		timeout:    opts.QueryTimeout,
 		workers:    normalizeWorkers(opts.Workers),
@@ -148,13 +210,15 @@ func NewFromBackends(backends []ShardBackend, opts Options) (*Engine, error) {
 		fb:         newFeedback(feedbackSize),
 		plans:      newPlanMemo(planMemoSize),
 	}
+	t := &topo{backends: bs}
 	for _, b := range bs {
 		m := b.Meta()
-		if m.Offset != e.n {
+		if m.Offset != t.n {
 			return nil, fmt.Errorf("engine: backend %q covers ordinals [%d, %d), want start %d (shards must tile the population contiguously)",
-				m.Backend, m.Offset, m.Offset+m.Patients, e.n)
+				m.Backend, m.Offset, m.Offset+m.Patients, t.n)
 		}
-		e.n += m.Patients
+		t.n += m.Patients
+		t.entries += m.Entries
 	}
 	// Merged statistics give the planner population-level cardinality
 	// bounds; fetch per shard, concurrently. Construction is strict under
@@ -178,16 +242,10 @@ func NewFromBackends(backends []ShardBackend, opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("engine: stats from backend %q: %w", bs[i].Meta().Backend, err)
 		}
 	}
-	e.stats = store.MergeStats(parts...)
-	e.finishInit()
+	t.stats = store.MergeStats(parts...)
+	t.metrics = make([]shardMetric, len(bs))
+	e.topo.Store(t)
 	return e, nil
-}
-
-func (e *Engine) finishInit() {
-	e.metrics = make([]shardMetric, len(e.backends))
-	for _, b := range e.backends {
-		e.entries += b.Meta().Entries
-	}
 }
 
 func normalizeWorkers(w int) int {
@@ -204,19 +262,23 @@ func (e *Engine) Store() *store.Store { return e.st }
 // Stats returns the statistics the planner estimates from: the store's
 // own for a local engine, the backends' merged cardinalities for a
 // coordinator.
-func (e *Engine) Stats() *store.Stats { return e.stats }
+func (e *Engine) Stats() *store.Stats { return e.topoNow().stats }
 
 // Patients returns the total population across all backends.
-func (e *Engine) Patients() int { return e.n }
+func (e *Engine) Patients() int { return e.topoNow().n }
 
 // TotalEntries returns the total entry count across all backends.
-func (e *Engine) TotalEntries() int { return e.entries }
+func (e *Engine) TotalEntries() int { return e.topoNow().entries }
 
 // NumShards returns the shard count.
-func (e *Engine) NumShards() int { return len(e.backends) }
+func (e *Engine) NumShards() int { return len(e.topoNow().backends) }
 
 // Policy returns the engine's failure-semantics policy.
 func (e *Engine) Policy() Policy { return e.policy }
+
+// Generation returns the store generation the engine currently answers
+// for (0 for a coordinator). Appends advance it; compaction does not.
+func (e *Engine) Generation() uint64 { return e.topoNow().gen }
 
 // opCtx applies the engine's default query budget to a context that does
 // not already carry a deadline. The returned cancel must always be
@@ -232,8 +294,9 @@ func (e *Engine) opCtx(ctx context.Context) (context.Context, context.CancelFunc
 
 // BackendInfo returns every backend's shard metadata, in offset order.
 func (e *Engine) BackendInfo() []ShardMeta {
-	out := make([]ShardMeta, len(e.backends))
-	for i, b := range e.backends {
+	t := e.topoNow()
+	out := make([]ShardMeta, len(t.backends))
+	for i, b := range t.backends {
 		out[i] = b.Meta()
 	}
 	return out
@@ -243,7 +306,7 @@ func (e *Engine) BackendInfo() []ShardMeta {
 // a no-op for local views).
 func (e *Engine) Close() error {
 	var errs []error
-	for _, b := range e.backends {
+	for _, b := range e.topo.Load().backends {
 		if err := b.Close(); err != nil {
 			errs = append(errs, err)
 		}
@@ -277,17 +340,13 @@ func (e *Engine) ResetCache() {
 	}
 }
 
-// empty returns a fresh empty bitset over the whole population.
-func (e *Engine) empty() *store.Bitset { return store.NewBitset(e.n) }
-
-// all returns a bitset with every patient set.
-func (e *Engine) all() *store.Bitset { return e.empty().Not() }
-
 // ShardStat reports one backend's cumulative evaluation load since the
-// engine was built: every plan fragment the executor fanned out to the
-// backend, timed uniformly at the call site, whatever the transport. For
-// a locally built engine index leaves are answered from the global
-// postings without touching a backend and do not appear here.
+// current topology was built: every plan fragment the executor fanned out
+// to the backend, timed uniformly at the call site, whatever the
+// transport. For a locally built engine index leaves are answered from
+// the pinned postings without touching a backend and do not appear here.
+// Counters restart when an append advances the generation (the topology
+// — and possibly the shard layout — is rebuilt).
 type ShardStat struct {
 	Shard    int
 	Offset   int
@@ -309,8 +368,9 @@ type ShardStat struct {
 // ShardStats returns per-backend evaluation counters for the 0.1 s budget
 // audits (the webapp's /api/stats endpoint serves these).
 func (e *Engine) ShardStats() []ShardStat {
-	out := make([]ShardStat, len(e.backends))
-	for i, b := range e.backends {
+	t := e.topoNow()
+	out := make([]ShardStat, len(t.backends))
+	for i, b := range t.backends {
 		m := b.Meta()
 		out[i] = ShardStat{
 			Shard:    m.Shard,
@@ -318,10 +378,10 @@ func (e *Engine) ShardStats() []ShardStat {
 			Patients: m.Patients,
 			Entries:  m.Entries,
 			Backend:  m.Backend,
-			Queries:  e.metrics[i].queries.Load(),
-			Nanos:    e.metrics[i].nanos.Load(),
-			Failures: e.metrics[i].failures.Load(),
-			Skipped:  e.metrics[i].skips.Load(),
+			Queries:  t.metrics[i].queries.Load(),
+			Nanos:    t.metrics[i].nanos.Load(),
+			Failures: t.metrics[i].failures.Load(),
+			Skipped:  t.metrics[i].skips.Load(),
 		}
 	}
 	return out
@@ -340,8 +400,9 @@ type ShardHealth struct {
 
 // Health reports per-shard backend health, in offset order.
 func (e *Engine) Health() []ShardHealth {
-	out := make([]ShardHealth, len(e.backends))
-	for i, b := range e.backends {
+	t := e.topoNow()
+	out := make([]ShardHealth, len(t.backends))
+	for i, b := range t.backends {
 		m := b.Meta()
 		h := ShardHealth{Shard: m.Shard, Backend: m.Backend, Healthy: true}
 		if rb, ok := b.(*ReplicaBackend); ok {
@@ -354,31 +415,34 @@ func (e *Engine) Health() []ShardHealth {
 }
 
 // optimize runs the cost-based optimizer (estimates corrected by
-// execution feedback) when statistics exist, the static one otherwise
-// (empty store).
-func (e *Engine) optimize(p Plan) Plan {
-	if e.stats != nil && e.stats.Patients > 0 {
-		return optimizeNode(p, newFeedbackCostModel(e.stats, e.fb))
+// execution feedback from the same generation) when statistics exist, the
+// static one otherwise (empty store).
+func (e *Engine) optimize(t *topo, p Plan) Plan {
+	if t.stats != nil && t.stats.Patients > 0 {
+		return optimizeNode(p, newFeedbackCostModel(t.stats, e.fb, t.gen))
 	}
 	return Optimize(p)
 }
 
 // plan returns the optimized form of p, memoized by (canonical
-// expression key, feedback epoch). When execution feedback advances the
-// epoch the expression is re-planned under the corrected estimates; the
-// re-plan lands under the new epoch's key, never evicting the plan the
-// previous epoch produced — an in-flight execution may still hold it,
-// and reverting feedback restores it for free. Opaque plans (per-compile
-// keys) are planned fresh every time.
-func (e *Engine) plan(p Plan) Plan {
+// expression key, feedback epoch, store generation). When execution
+// feedback advances the epoch the expression is re-planned under the
+// corrected estimates; the re-plan lands under the new epoch's key, never
+// evicting the plan the previous epoch produced — an in-flight execution
+// may still hold it, and reverting feedback restores it for free. When an
+// append advances the store generation, every memoized plan keys to a
+// generation that no longer exists and is simply never found again: a
+// plan chosen for a previous population never answers for the new one.
+// Opaque plans (per-compile keys) are planned fresh every time.
+func (e *Engine) plan(t *topo, p Plan) Plan {
 	if e.plans == nil || e.fb == nil || !cacheable(p) {
-		return e.optimize(p)
+		return e.optimize(t, p)
 	}
-	key := planMemoKey(p.Key(), e.fb.epochNow())
+	key := planMemoKey(p.Key(), e.fb.epochNow(), t.gen)
 	if op, ok := e.plans.get(key); ok {
 		return op
 	}
-	op := e.optimize(p)
+	op := e.optimize(t, p)
 	e.plans.put(key, op)
 	return op
 }
@@ -418,7 +482,8 @@ func (e *Engine) ExecuteStatus(ctx context.Context, q query.Expr) (*store.Bitset
 	if err != nil {
 		return nil, QueryStatus{}, err
 	}
-	return e.ExecutePlanStatus(ctx, e.plan(p))
+	t := e.topoNow()
+	return e.executePlanStatus(ctx, t, e.plan(t, p))
 }
 
 // ExecutePlan runs an already-built plan.
@@ -430,13 +495,17 @@ func (e *Engine) ExecutePlan(p Plan) (*store.Bitset, error) {
 // ExecutePlanStatus runs an already-built plan under a context, reporting
 // completeness like ExecuteStatus.
 func (e *Engine) ExecutePlanStatus(ctx context.Context, p Plan) (*store.Bitset, QueryStatus, error) {
+	return e.executePlanStatus(ctx, e.topoNow(), p)
+}
+
+func (e *Engine) executePlanStatus(ctx context.Context, t *topo, p Plan) (*store.Bitset, QueryStatus, error) {
 	ctx, cancel := e.opCtx(ctx)
 	defer cancel()
-	b, missing, err := e.eval(ctx, p)
+	b, missing, err := e.eval(ctx, t, p)
 	if err != nil {
 		return nil, QueryStatus{}, err
 	}
-	return b, e.statusFromMissing(missing), nil
+	return b, e.statusFromMissing(t, missing), nil
 }
 
 // Explain returns the statically optimized plan for an expression without
@@ -459,21 +528,27 @@ func (e *Engine) Select(q query.Expr) ([]model.PatientID, error) {
 }
 
 // IDsOf materializes a global-ordinal bitset as patient IDs in collection
-// order. A local engine reads them off the store; a coordinator asks each
-// backend for its slice and concatenates in fixed shard order. The
-// mapping is strict under either policy — but a bitset produced by a
+// order. A local engine reads them off the pinned view; a coordinator
+// asks each backend for its slice and concatenates in fixed shard order.
+// The mapping is strict under either policy — but a bitset produced by a
 // degraded query has no bits on its missing shards, so those backends
 // are never asked.
 func (e *Engine) IDsOf(b *store.Bitset) ([]model.PatientID, error) {
-	if e.st != nil {
-		return e.st.IDsOf(b), nil
+	t := e.topoNow()
+	if t.view != nil {
+		out := make([]model.PatientID, 0, b.Count())
+		b.Range(func(i int) bool {
+			out = append(out, t.view.PatientAt(i))
+			return true
+		})
+		return out, nil
 	}
 	ctx, cancel := e.opCtx(context.Background())
 	defer cancel()
-	parts := make([][]model.PatientID, len(e.backends))
-	errs := make([]error, len(e.backends))
+	parts := make([][]model.PatientID, len(t.backends))
+	errs := make([]error, len(t.backends))
 	var wg sync.WaitGroup
-	for i, bk := range e.backends {
+	for i, bk := range t.backends {
 		m := bk.Meta()
 		if !b.AnyInRange(m.Offset, m.Offset+m.Patients) {
 			continue
@@ -488,34 +563,35 @@ func (e *Engine) IDsOf(b *store.Bitset) ([]model.PatientID, error) {
 	out := make([]model.PatientID, 0, b.Count())
 	for i := range parts {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("engine: ids from backend %q: %w", e.backends[i].Meta().Backend, errs[i])
+			return nil, fmt.Errorf("engine: ids from backend %q: %w", t.backends[i].Meta().Backend, errs[i])
 		}
 		out = append(out, parts[i]...)
 	}
 	return out, nil
 }
 
-// eval computes the exact result of p over the whole population, plus the
-// indexes of any backends PolicyDegraded absorbed (always empty under
-// PolicyStrict — their errors fail the evaluation instead). Results of
-// non-trivial nodes land in the LRU keyed by canonical sub-plan, so a
-// refined query re-uses the unchanged parts of its predecessor — but
-// only complete results: a degraded answer is never cached and never
-// feeds the planner's cardinality feedback, both would poison later
-// complete executions. The returned bitset is owned by the caller.
-func (e *Engine) eval(ctx context.Context, p Plan) (*store.Bitset, []int, error) {
+// eval computes the exact result of p over the topology's population,
+// plus the indexes of any backends PolicyDegraded absorbed (always empty
+// under PolicyStrict — their errors fail the evaluation instead). Results
+// of non-trivial nodes land in the LRU keyed by canonical sub-plan under
+// the topology's generation, so a refined query re-uses the unchanged
+// parts of its predecessor — but only complete results: a degraded answer
+// is never cached and never feeds the planner's cardinality feedback,
+// both would poison later complete executions. The returned bitset is
+// owned by the caller.
+func (e *Engine) eval(ctx context.Context, t *topo, p Plan) (*store.Bitset, []int, error) {
 	switch p.(type) {
 	case All:
-		return e.all(), nil, nil
+		return t.all(), nil, nil
 	case None:
-		return e.empty(), nil, nil
+		return t.empty(), nil, nil
 	}
 	useCache := e.cache != nil && cacheable(p)
 	key := ""
 	if useCache || e.fb != nil {
 		key = p.Key()
 		if useCache {
-			if b, ok := e.cache.get(key); ok {
+			if b, ok := e.cache.get(t.gen, key); ok {
 				return b, nil, nil
 			}
 		}
@@ -523,29 +599,29 @@ func (e *Engine) eval(ctx context.Context, p Plan) (*store.Bitset, []int, error)
 	var out *store.Bitset
 	var missing []int
 	var err error
-	if e.st == nil {
+	if t.view == nil {
 		// Coordinator: every expression is per-history, so a whole plan
 		// distributes over the shards — one fan-out round, each backend
 		// evaluating (and locally re-optimizing) the full plan over its
 		// slice, merged in fixed shard order.
-		out, missing, err = e.fanout(ctx, func(ctx context.Context, _ int, b ShardBackend) (*store.Bitset, error) {
+		out, missing, err = e.fanout(ctx, t, func(ctx context.Context, _ int, b ShardBackend) (*store.Bitset, error) {
 			return b.EvalPlan(ctx, p, nil)
 		})
 	} else {
 		switch n := p.(type) {
 		case IndexScan:
-			out, err = e.evalIndex(n)
+			out, err = e.evalIndex(t, n)
 		case Scan:
-			out, err = e.evalScan(ctx, n, nil)
+			out, err = e.evalScan(ctx, t, n, nil)
 		case Not:
-			out, _, err = e.eval(ctx, n.Child)
+			out, _, err = e.eval(ctx, t, n.Child)
 			if err == nil {
 				out.Not()
 			}
 		case And:
-			out, err = e.evalAnd(ctx, n.Children, nil)
+			out, err = e.evalAnd(ctx, t, n.Children, nil)
 		case Or:
-			out, err = e.evalOr(ctx, n.Children, nil)
+			out, err = e.evalOr(ctx, t, n.Children, nil)
 		default:
 			// Plan is an open interface; fail loudly rather than returning
 			// (nil, nil) for a node type this executor does not know.
@@ -559,10 +635,10 @@ func (e *Engine) eval(ctx context.Context, p Plan) (*store.Bitset, []int, error)
 		return out, missing, nil
 	}
 	if e.fb != nil {
-		e.fb.observe(key, out.Count())
+		e.fb.observe(t.gen, key, out.Count())
 	}
 	if useCache {
-		e.cache.put(key, out)
+		e.cache.put(t.gen, key, out)
 	}
 	return out, nil, nil
 }
@@ -571,33 +647,33 @@ func (e *Engine) eval(ctx context.Context, p Plan) (*store.Bitset, []int, error)
 // work. Masked results are not cached (they are mask-specific), but a
 // cached unmasked result for any node — leaf or boolean subtree — is
 // consulted first and intersected with the mask.
-func (e *Engine) evalMasked(ctx context.Context, p Plan, mask *store.Bitset) (*store.Bitset, error) {
+func (e *Engine) evalMasked(ctx context.Context, t *topo, p Plan, mask *store.Bitset) (*store.Bitset, error) {
 	switch p.(type) {
 	case All:
 		return mask.Clone(), nil
 	case None:
-		return e.empty(), nil
+		return t.empty(), nil
 	}
 	if e.cache != nil && cacheable(p) {
-		if b, ok := e.cache.get(p.Key()); ok {
+		if b, ok := e.cache.get(t.gen, p.Key()); ok {
 			return b.And(mask), nil
 		}
 	}
 	switch n := p.(type) {
 	case Scan:
-		return e.evalScan(ctx, n, mask)
+		return e.evalScan(ctx, t, n, mask)
 	case Not:
-		b, err := e.evalMasked(ctx, n.Child, mask)
+		b, err := e.evalMasked(ctx, t, n.Child, mask)
 		if err != nil {
 			return nil, err
 		}
 		return mask.Clone().AndNot(b), nil
 	case And:
-		return e.evalAnd(ctx, n.Children, mask)
+		return e.evalAnd(ctx, t, n.Children, mask)
 	case Or:
-		return e.evalOr(ctx, n.Children, mask)
+		return e.evalOr(ctx, t, n.Children, mask)
 	default: // IndexScan: full evaluation is cheap and cache-friendly.
-		b, _, err := e.eval(ctx, p)
+		b, _, err := e.eval(ctx, t, p)
 		if err != nil {
 			return nil, err
 		}
@@ -609,25 +685,25 @@ func (e *Engine) evalMasked(ctx context.Context, p Plan, mask *store.Bitset) (*s
 // most-selective-cheapest-first); scan-bearing children only visit
 // patients still in the accumulated candidate set, and an empty
 // accumulator short-circuits the remaining children entirely.
-func (e *Engine) evalAnd(ctx context.Context, children []Plan, mask *store.Bitset) (*store.Bitset, error) {
+func (e *Engine) evalAnd(ctx context.Context, t *topo, children []Plan, mask *store.Bitset) (*store.Bitset, error) {
 	var acc *store.Bitset
 	if mask != nil {
 		acc = mask.Clone()
 	} else {
-		acc = e.all()
+		acc = t.all()
 	}
 	for i, c := range children {
 		if acc.Count() == 0 {
 			return acc, nil
 		}
 		if hasScan(c) {
-			b, err := e.evalMasked(ctx, c, acc)
+			b, err := e.evalMasked(ctx, t, c, acc)
 			if err != nil {
 				return nil, err
 			}
 			acc = b
 		} else {
-			b, _, err := e.eval(ctx, c)
+			b, _, err := e.eval(ctx, t, c)
 			if err != nil {
 				return nil, err
 			}
@@ -642,9 +718,9 @@ func (e *Engine) evalAnd(ctx context.Context, children []Plan, mask *store.Bitse
 		// found again whatever order is tried next.
 		if mask == nil && e.fb != nil && i < len(children)-1 {
 			if i == 0 {
-				e.fb.observe(c.Key(), acc.Count())
+				e.fb.observe(t.gen, c.Key(), acc.Count())
 			} else {
-				e.fb.observe(And{Children: children[:i+1]}.Key(), acc.Count())
+				e.fb.observe(t.gen, And{Children: children[:i+1]}.Key(), acc.Count())
 			}
 		}
 	}
@@ -655,9 +731,9 @@ func (e *Engine) evalAnd(ctx context.Context, children []Plan, mask *store.Bitse
 // scan-bearing children only visit patients not already known to match
 // (and, under a mask, inside the mask), and the union short-circuits by
 // absorption the moment it covers every candidate.
-func (e *Engine) evalOr(ctx context.Context, children []Plan, mask *store.Bitset) (*store.Bitset, error) {
-	acc := e.empty()
-	target := e.n
+func (e *Engine) evalOr(ctx context.Context, t *topo, children []Plan, mask *store.Bitset) (*store.Bitset, error) {
+	acc := t.empty()
+	target := t.n
 	if mask != nil {
 		target = mask.Count()
 	}
@@ -672,13 +748,13 @@ func (e *Engine) evalOr(ctx context.Context, children []Plan, mask *store.Bitset
 			} else {
 				rem = acc.Clone().Not()
 			}
-			b, err := e.evalMasked(ctx, c, rem)
+			b, err := e.evalMasked(ctx, t, c, rem)
 			if err != nil {
 				return nil, err
 			}
 			acc.Or(b)
 		} else {
-			b, _, err := e.eval(ctx, c)
+			b, _, err := e.eval(ctx, t, c)
 			if err != nil {
 				return nil, err
 			}
@@ -691,23 +767,23 @@ func (e *Engine) evalOr(ctx context.Context, children []Plan, mask *store.Bitset
 	return acc, nil
 }
 
-// evalIndex answers an index leaf straight from the global store's
-// postings — with local backends sharing the parent's postings there is
-// nothing to fan out. (A coordinator has no global postings; index leaves
+// evalIndex answers an index leaf straight from the topology's pinned
+// postings — with local backends sharing the same revision there is
+// nothing to fan out. (A coordinator has no local postings; index leaves
 // reach its backends inside the pushed-down plan instead.)
-func (e *Engine) evalIndex(n IndexScan) (*store.Bitset, error) {
+func (e *Engine) evalIndex(t *topo, n IndexScan) (*store.Bitset, error) {
 	switch n.Op {
 	case OpType:
-		return e.st.WithType(n.Type), nil
+		return t.view.WithType(n.Type), nil
 	case OpSource:
-		return e.st.WithSource(n.Source), nil
+		return t.view.WithSource(n.Source), nil
 	default:
 		if len(n.Systems) == 0 {
-			return e.st.WithCodeRegex("", n.Pattern)
+			return t.view.WithCodeRegex("", n.Pattern)
 		}
-		out := e.empty()
+		out := t.empty()
 		for _, sys := range n.Systems {
-			b, err := e.st.WithCodeRegex(sys, n.Pattern)
+			b, err := t.view.WithCodeRegex(sys, n.Pattern)
 			if err != nil {
 				return nil, err
 			}
@@ -724,20 +800,20 @@ func (e *Engine) evalIndex(n IndexScan) (*store.Bitset, error) {
 // is zero are skipped without a backend call, and an empty candidate set
 // short-circuits before any fan-out. Each backend receives its slice of
 // the candidates in shard-local ordinal space.
-func (e *Engine) evalScan(ctx context.Context, n Scan, mask *store.Bitset) (*store.Bitset, error) {
+func (e *Engine) evalScan(ctx context.Context, t *topo, n Scan, mask *store.Bitset) (*store.Bitset, error) {
 	eff := mask
-	if bound := e.cachedBound(n); bound != nil {
+	if bound := e.cachedBound(t, n); bound != nil {
 		if mask != nil {
 			bound.And(mask)
 		}
 		eff = bound
 	}
 	if eff != nil && eff.Count() == 0 {
-		return e.empty(), nil
+		return t.empty(), nil
 	}
 	// Local scan fan-out is strict regardless of policy: these backends
 	// are in-process views, an error here is a bug, not an outage.
-	out, _, err := e.strictFanout(ctx, func(ctx context.Context, _ int, b ShardBackend) (*store.Bitset, error) {
+	out, _, err := e.strictFanout(ctx, t, func(ctx context.Context, _ int, b ShardBackend) (*store.Bitset, error) {
 		m := b.Meta()
 		var local *store.Bitset
 		if eff != nil {
@@ -752,25 +828,25 @@ func (e *Engine) evalScan(ctx context.Context, n Scan, mask *store.Bitset) (*sto
 }
 
 // cachedBound returns a caller-owned copy of the scan's index-derived
-// candidate bound, memoized by Scan key (opaque scans have per-compile
-// keys, and the bound only depends on the typed predicate structure, so
-// sharing by key is sound). Bound-less outcomes are memoized too — a
-// zero-capacity sentinel — because deriving "no bound" can still walk
-// the code vocabulary (e.g. a Code branch discarded by an unbounded
-// sibling under Or).
-func (e *Engine) cachedBound(n Scan) *store.Bitset {
+// candidate bound, memoized by Scan key under the topology's generation
+// (opaque scans have per-compile keys, and the bound only depends on the
+// typed predicate structure, so sharing by key is sound). Bound-less
+// outcomes are memoized too — a zero-capacity sentinel — because deriving
+// "no bound" can still walk the code vocabulary (e.g. a Code branch
+// discarded by an unbounded sibling under Or).
+func (e *Engine) cachedBound(t *topo, n Scan) *store.Bitset {
 	key := n.Key()
-	if b, ok := e.boundCache.get(key); ok {
-		if b.Len() == 0 && e.n != 0 {
+	if b, ok := e.boundCache.get(t.gen, key); ok {
+		if b.Len() == 0 && t.n != 0 {
 			return nil // negative entry: no index bounds this scan
 		}
 		return b
 	}
-	bound := e.scanBound(n.Expr)
+	bound := e.scanBound(t, n.Expr)
 	if bound == nil {
-		e.boundCache.put(key, store.NewBitset(0))
+		e.boundCache.put(t.gen, key, store.NewBitset(0))
 	} else {
-		e.boundCache.put(key, bound)
+		e.boundCache.put(t.gen, key, bound)
 	}
 	return bound
 }
@@ -782,14 +858,14 @@ func (e *Engine) cachedBound(n Scan) *store.Bitset {
 // evaluators exactly: Has needs ≥1 entry matching Pred; And/Sequence/
 // During need every part satisfied; Or is bounded only when every branch
 // is.
-func (e *Engine) scanBound(x query.Expr) *store.Bitset {
+func (e *Engine) scanBound(t *topo, x query.Expr) *store.Bitset {
 	switch q := x.(type) {
 	case query.Has:
-		return e.predBound(q.Pred)
+		return e.predBound(t, q.Pred)
 	case query.And:
-		return intersectBounds(collectBounds(e, []query.Expr(q)))
+		return intersectBounds(collectBounds(e, t, []query.Expr(q)))
 	case query.Or:
-		bounds := collectBounds(e, []query.Expr(q))
+		bounds := collectBounds(e, t, []query.Expr(q))
 		if len(bounds) != len(q) {
 			return nil // an unbounded branch unbounds the union
 		}
@@ -797,17 +873,17 @@ func (e *Engine) scanBound(x query.Expr) *store.Bitset {
 	case query.Sequence:
 		var bounds []*store.Bitset
 		for _, st := range q.Steps {
-			if b := e.predBound(st.Pred); b != nil {
+			if b := e.predBound(t, st.Pred); b != nil {
 				bounds = append(bounds, b)
 			}
 		}
 		return intersectBounds(bounds)
 	case query.During:
 		var bounds []*store.Bitset
-		if b := e.predBound(q.Interval); b != nil {
+		if b := e.predBound(t, q.Interval); b != nil {
 			bounds = append(bounds, b)
 		}
-		if b := e.predBound(q.Event); b != nil {
+		if b := e.predBound(t, q.Event); b != nil {
 			bounds = append(bounds, b)
 		}
 		return intersectBounds(bounds)
@@ -821,22 +897,22 @@ func (e *Engine) scanBound(x query.Expr) *store.Bitset {
 // entry matching Code necessarily carries a non-zero code matching the
 // pattern (Code.Match rejects code-less entries), so the code postings
 // are a sound superset.
-func (e *Engine) predBound(p query.EventPred) *store.Bitset {
+func (e *Engine) predBound(t *topo, p query.EventPred) *store.Bitset {
 	switch q := p.(type) {
 	case *query.Code:
-		b, err := e.st.WithCodeRegex(q.System, q.Pattern)
+		b, err := t.view.WithCodeRegex(q.System, q.Pattern)
 		if err != nil {
 			return nil
 		}
 		return b
 	case query.TypeIs:
-		return e.st.WithType(model.Type(q))
+		return t.view.WithType(model.Type(q))
 	case query.SourceIs:
-		return e.st.WithSource(model.Source(q))
+		return t.view.WithSource(model.Source(q))
 	case query.AllOf:
 		var bounds []*store.Bitset
 		for _, c := range q {
-			if b := e.predBound(c); b != nil {
+			if b := e.predBound(t, c); b != nil {
 				bounds = append(bounds, b)
 			}
 		}
@@ -844,7 +920,7 @@ func (e *Engine) predBound(p query.EventPred) *store.Bitset {
 	case query.AnyOf:
 		var bounds []*store.Bitset
 		for _, c := range q {
-			b := e.predBound(c)
+			b := e.predBound(t, c)
 			if b == nil {
 				return nil
 			}
@@ -856,10 +932,10 @@ func (e *Engine) predBound(p query.EventPred) *store.Bitset {
 	}
 }
 
-func collectBounds(e *Engine, exprs []query.Expr) []*store.Bitset {
+func collectBounds(e *Engine, t *topo, exprs []query.Expr) []*store.Bitset {
 	var bounds []*store.Bitset
 	for _, c := range exprs {
-		if b := e.scanBound(c); b != nil {
+		if b := e.scanBound(t, c); b != nil {
 			bounds = append(bounds, b)
 		}
 	}
@@ -898,27 +974,27 @@ func unionBounds(bounds []*store.Bitset) *store.Bitset {
 // zero in the merged bitset and its index is reported in missing — while
 // any other error (a semantic failure, a wrong-sized result) still fails
 // the evaluation under either policy.
-func (e *Engine) fanout(ctx context.Context, fn func(ctx context.Context, i int, b ShardBackend) (*store.Bitset, error)) (*store.Bitset, []int, error) {
-	return e.fanoutPolicy(ctx, e.policy, fn)
+func (e *Engine) fanout(ctx context.Context, t *topo, fn func(ctx context.Context, i int, b ShardBackend) (*store.Bitset, error)) (*store.Bitset, []int, error) {
+	return e.fanoutPolicy(ctx, t, e.policy, fn)
 }
 
 // strictFanout is fanout pinned to PolicyStrict, for operations that must
 // not degrade whatever the engine's policy.
-func (e *Engine) strictFanout(ctx context.Context, fn func(ctx context.Context, i int, b ShardBackend) (*store.Bitset, error)) (*store.Bitset, []int, error) {
-	return e.fanoutPolicy(ctx, PolicyStrict, fn)
+func (e *Engine) strictFanout(ctx context.Context, t *topo, fn func(ctx context.Context, i int, b ShardBackend) (*store.Bitset, error)) (*store.Bitset, []int, error) {
+	return e.fanoutPolicy(ctx, t, PolicyStrict, fn)
 }
 
-func (e *Engine) fanoutPolicy(ctx context.Context, policy Policy, fn func(ctx context.Context, i int, b ShardBackend) (*store.Bitset, error)) (*store.Bitset, []int, error) {
-	locals := make([]*store.Bitset, len(e.backends))
-	errs := make([]error, len(e.backends))
-	if len(e.backends) == 1 {
+func (e *Engine) fanoutPolicy(ctx context.Context, t *topo, policy Policy, fn func(ctx context.Context, i int, b ShardBackend) (*store.Bitset, error)) (*store.Bitset, []int, error) {
+	locals := make([]*store.Bitset, len(t.backends))
+	errs := make([]error, len(t.backends))
+	if len(t.backends) == 1 {
 		t0 := time.Now()
-		locals[0], errs[0] = fn(ctx, 0, e.backends[0])
-		e.record(0, t0, errs[0])
+		locals[0], errs[0] = fn(ctx, 0, t.backends[0])
+		t.record(0, t0, errs[0])
 	} else {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, e.workers)
-		for i, b := range e.backends {
+		for i, b := range t.backends {
 			wg.Add(1)
 			go func(i int, b ShardBackend) {
 				defer wg.Done()
@@ -926,7 +1002,7 @@ func (e *Engine) fanoutPolicy(ctx context.Context, policy Policy, fn func(ctx co
 				defer func() { <-sem }()
 				t0 := time.Now()
 				locals[i], errs[i] = fn(ctx, i, b)
-				e.record(i, t0, errs[i])
+				t.record(i, t0, errs[i])
 			}(i, b)
 		}
 		wg.Wait()
@@ -936,24 +1012,24 @@ func (e *Engine) fanoutPolicy(ctx context.Context, policy Policy, fn func(ctx co
 		if err == nil {
 			continue
 		}
-		m := e.backends[i].Meta()
+		m := t.backends[i].Meta()
 		if policy == PolicyDegraded && IsUnavailable(err) && ctx.Err() == nil {
 			// Absorb the outage: this shard contributes nothing, and the
 			// caller is told exactly which one. (A dead overall context is
 			// not an outage — the caller's budget expired, fail loudly.)
-			e.metrics[i].skips.Add(1)
+			t.metrics[i].skips.Add(1)
 			missing = append(missing, i)
 			locals[i] = nil
 			continue
 		}
 		return nil, nil, fmt.Errorf("engine: shard %d (%s): %w", m.Shard, m.Backend, err)
 	}
-	out := e.empty()
+	out := t.empty()
 	for i, local := range locals {
 		if local == nil {
 			continue // degraded-away shard: its range stays zero
 		}
-		m := e.backends[i].Meta()
+		m := t.backends[i].Meta()
 		if local.Len() != m.Patients {
 			return nil, nil, fmt.Errorf("engine: shard %d (%s): result covers %d patients, shard has %d",
 				m.Shard, m.Backend, local.Len(), m.Patients)
@@ -963,10 +1039,10 @@ func (e *Engine) fanoutPolicy(ctx context.Context, policy Policy, fn func(ctx co
 	return out, missing, nil
 }
 
-func (e *Engine) record(i int, t0 time.Time, err error) {
-	e.metrics[i].queries.Add(1)
-	e.metrics[i].nanos.Add(uint64(time.Since(t0)))
+func (t *topo) record(i int, t0 time.Time, err error) {
+	t.metrics[i].queries.Add(1)
+	t.metrics[i].nanos.Add(uint64(time.Since(t0)))
 	if err != nil {
-		e.metrics[i].failures.Add(1)
+		t.metrics[i].failures.Add(1)
 	}
 }

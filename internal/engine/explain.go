@@ -48,9 +48,10 @@ func (e *Engine) Explain(q query.Expr) (*Explained, error) {
 	if err != nil {
 		return nil, err
 	}
-	p = e.plan(p)
-	m := newFeedbackCostModel(e.stats, e.fb)
-	x := &Explained{Plan: p, Root: annotate(p, m), Patients: e.n, Backends: e.BackendInfo(), Policy: e.policy}
+	t := e.topoNow()
+	p = e.plan(t, p)
+	m := newFeedbackCostModel(t.stats, e.fb, t.gen)
+	x := &Explained{Plan: p, Root: annotate(p, m), Patients: t.n, Backends: e.BackendInfo(), Policy: e.policy}
 	for _, h := range e.Health() {
 		if !h.Healthy {
 			x.Unhealthy = append(x.Unhealthy, h.Shard)

@@ -11,9 +11,18 @@ package engine
 // conjunction prefixes evalAnd materializes on the way to its result.
 //
 // Observations carry a monotonically increasing epoch. Plans are
-// memoized per (expression, epoch), so advancing feedback triggers a
-// re-plan under the corrected estimates without evicting the plan an
-// earlier epoch produced — both entries live in the memo side by side.
+// memoized per (expression, epoch, store generation), so advancing
+// feedback triggers a re-plan under the corrected estimates without
+// evicting the plan an earlier epoch produced — both entries live in the
+// memo side by side.
+//
+// Observations are also scoped to the store generation they were measured
+// at: a cardinality observed before an append describes a population that
+// no longer exists, so feedback recorded against an old generation is
+// discarded on the first observation or lookup at a newer one, never
+// poisoning plans for the grown store. The epoch does NOT reset when the
+// generation advances — memo keys carry both components, so (epoch,
+// generation) pairs never recur.
 
 import (
 	"container/list"
@@ -28,11 +37,13 @@ const (
 	planMemoSize = 256
 )
 
-// feedback is a mutex-guarded LRU of observed true cardinalities.
+// feedback is a mutex-guarded LRU of observed true cardinalities, all
+// from one store generation at a time.
 type feedback struct {
 	mu    sync.Mutex
 	max   int
 	epoch uint64
+	gen   uint64
 	ll    *list.List
 	byKey map[string]*list.Element
 }
@@ -46,13 +57,23 @@ func newFeedback(max int) *feedback {
 	return &feedback{max: max, ll: list.New(), byKey: make(map[string]*list.Element, max)}
 }
 
-// observe records the true cardinality of an executed plan node. The
-// epoch advances only when the observation is news — a fresh key, or a
-// value that moved by more than 10% — so repeated executions of a stable
-// workload settle into a fixed epoch and the plan memo stays hot.
-func (f *feedback) observe(key string, rows int) {
+// observe records the true cardinality of an executed plan node, as
+// measured at store generation gen. Observations from a superseded
+// generation are discarded; the first observation at a newer generation
+// drops everything recorded before it. The epoch advances only when the
+// observation is news — a fresh key, or a value that moved by more than
+// 10% — so repeated executions of a stable workload settle into a fixed
+// epoch and the plan memo stays hot.
+func (f *feedback) observe(gen uint64, key string, rows int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if gen != f.gen {
+		if gen < f.gen {
+			return // measured against a population that no longer exists
+		}
+		f.clearLocked()
+		f.gen = gen
+	}
 	if el, ok := f.byKey[key]; ok {
 		e := el.Value.(*fbEntry)
 		f.ll.MoveToFront(el)
@@ -72,10 +93,14 @@ func (f *feedback) observe(key string, rows int) {
 	}
 }
 
-// rowsFor returns the recorded cardinality for a plan key, if any.
-func (f *feedback) rowsFor(key string) (int, bool) {
+// rowsFor returns the cardinality recorded at store generation gen for a
+// plan key, if any; observations from any other generation never answer.
+func (f *feedback) rowsFor(gen uint64, key string) (int, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if gen != f.gen {
+		return 0, false
+	}
 	el, ok := f.byKey[key]
 	if !ok {
 		return 0, false
@@ -98,12 +123,18 @@ func (f *feedback) epochNow() uint64 {
 	return f.epoch
 }
 
+// clearLocked drops every observation; the caller holds f.mu.
+func (f *feedback) clearLocked() {
+	f.ll.Init()
+	f.byKey = make(map[string]*list.Element, f.max)
+}
+
 func (f *feedback) reset() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.ll.Init()
-	f.byKey = make(map[string]*list.Element, f.max)
+	f.clearLocked()
 	f.epoch = 0
+	f.gen = 0
 }
 
 // planMemo is a mutex-guarded LRU of optimized plans keyed by
@@ -168,10 +199,13 @@ func (c *planMemo) reset() {
 	c.byKey = make(map[string]*list.Element, c.max)
 }
 
-// planMemoKey builds the memo key for an expression at a feedback epoch.
-// The epoch is prefixed with a NUL separator — a byte no plan key
-// contains (keys render from expression strings) — so distinct
-// (expression, epoch) pairs can never collide by concatenation.
-func planMemoKey(exprKey string, epoch uint64) string {
-	return strconv.FormatUint(epoch, 10) + "\x00" + exprKey
+// planMemoKey builds the memo key for an expression at a feedback epoch
+// and store generation. Components are joined with NUL separators — a
+// byte no plan key contains (keys render from expression strings) — so
+// distinct (expression, epoch, generation) triples can never collide by
+// concatenation. The generation component is what guarantees a plan
+// memoized before an append is never reused after it: the old key is
+// simply never constructed again.
+func planMemoKey(exprKey string, epoch, gen uint64) string {
+	return strconv.FormatUint(gen, 10) + "\x00" + strconv.FormatUint(epoch, 10) + "\x00" + exprKey
 }

@@ -54,7 +54,7 @@ func TestFeedbackReordersCorrelatedConjunction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold := e.plan(p).(And)
+	cold := e.plan(e.topoNow(), p).(And)
 	if got := cold.Children[0].(Scan).Expr.String(); got != wide.String() {
 		t.Fatalf("cold plan starts with %q, want compile order (tied priors)", got)
 	}
@@ -70,7 +70,7 @@ func TestFeedbackReordersCorrelatedConjunction(t *testing.T) {
 		t.Fatal("execution recorded no feedback")
 	}
 
-	warm := e.plan(p).(And)
+	warm := e.plan(e.topoNow(), p).(And)
 	if got := warm.Children[0].(Scan).Expr.String(); got != narrow.String() {
 		t.Errorf("feedback re-plan starts with %q, want the selective scan %q", got, narrow.String())
 	}
@@ -104,7 +104,7 @@ func TestFeedbackDPBeatsGreedy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coldBits, err := e.ExecutePlan(e.plan(p))
+	coldBits, err := e.ExecutePlan(e.plan(e.topoNow(), p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestFeedbackDPBeatsGreedy(t *testing.T) {
 	// Leaf feedback alone would put c (40%) first; the observed a∧b
 	// prefix (5%) makes [a, b, c] cheaper: 1 + 0.5 + 0.05 < 1 + 0.4 +
 	// 0.4·0.5 in scan units.
-	warm := e.plan(p).(And)
+	warm := e.plan(e.topoNow(), p).(And)
 	last := warm.Children[2].(Scan).Expr.String()
 	if last != c.String() {
 		t.Errorf("DP order = [%s, %s, %s], want the anti-correlated pair first",
@@ -164,7 +164,7 @@ func TestPlanMemoKeepsColdEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cold := e.plan(p)
+	cold := e.plan(e.topoNow(), p)
 	epoch0 := e.FeedbackEpoch()
 	if _, err := e.ExecutePlan(cold); err != nil {
 		t.Fatal(err)
@@ -173,35 +173,38 @@ func TestPlanMemoKeepsColdEntry(t *testing.T) {
 	if epoch1 == epoch0 {
 		t.Fatal("execution did not advance the epoch")
 	}
-	warm := e.plan(p)
+	warm := e.plan(e.topoNow(), p)
 	if warm.String() == cold.String() {
 		t.Fatal("re-plan produced the cold plan; feedback had no effect")
 	}
 
-	if got, ok := e.plans.get(planMemoKey(p.Key(), epoch0)); !ok || got.String() != cold.String() {
+	if got, ok := e.plans.get(planMemoKey(p.Key(), epoch0, 0)); !ok || got.String() != cold.String() {
 		t.Errorf("cold-epoch plan evicted or replaced (ok=%v)", ok)
 	}
-	if got, ok := e.plans.get(planMemoKey(p.Key(), epoch1)); !ok || got.String() != warm.String() {
+	if got, ok := e.plans.get(planMemoKey(p.Key(), epoch1, 0)); !ok || got.String() != warm.String() {
 		t.Errorf("warm-epoch plan missing (ok=%v)", ok)
 	}
 }
 
-// TestPlanMemoKeyCollision: distinct (expression, epoch) pairs must map
-// to distinct memo keys even when naive concatenation would collide.
+// TestPlanMemoKeyCollision: distinct (expression, epoch, generation)
+// triples must map to distinct memo keys even when naive concatenation
+// would collide.
 func TestPlanMemoKeyCollision(t *testing.T) {
-	pairs := []struct {
-		key   string
-		epoch uint64
+	triples := []struct {
+		key        string
+		epoch, gen uint64
 	}{
-		{"a", 1}, {"a", 2}, {"b", 1},
-		{"a1", 2}, {"1a", 2}, {"a", 12},
-		{"2\x00a", 1}, {"a", 21},
+		{"a", 1, 0}, {"a", 2, 0}, {"b", 1, 0},
+		{"a1", 2, 0}, {"1a", 2, 0}, {"a", 12, 0},
+		{"2\x00a", 1, 0}, {"a", 21, 0},
+		{"a", 1, 2}, {"a", 21, 1}, {"a", 2, 1},
+		{"1\x00a", 1, 1}, {"a", 11, 1}, {"a", 1, 11},
 	}
 	seen := make(map[string]int)
-	for i, p := range pairs {
-		k := planMemoKey(p.key, p.epoch)
+	for i, p := range triples {
+		k := planMemoKey(p.key, p.epoch, p.gen)
 		if j, dup := seen[k]; dup {
-			t.Errorf("pairs %d and %d collide on %q", j, i, k)
+			t.Errorf("triples %d and %d collide on %q", j, i, k)
 		}
 		seen[k] = i
 	}
@@ -225,7 +228,7 @@ func TestFeedbackOpaqueScansStayFresh(t *testing.T) {
 		t.Fatal("plan with MatchFunc classified cacheable")
 	}
 	memoBefore := e.plans.len()
-	bits1, err := e.ExecutePlan(e.plan(p))
+	bits1, err := e.ExecutePlan(e.plan(e.topoNow(), p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +237,7 @@ func TestFeedbackOpaqueScansStayFresh(t *testing.T) {
 	}
 	// Same compiled plan, re-planned: feedback applies via the stable
 	// per-compile key.
-	bits2, err := e.ExecutePlan(e.plan(p))
+	bits2, err := e.ExecutePlan(e.plan(e.topoNow(), p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,24 +268,24 @@ func TestFeedbackResetWithCache(t *testing.T) {
 func TestFeedbackLRUBounded(t *testing.T) {
 	f := newFeedback(8)
 	for i := 0; i < 100; i++ {
-		f.observe(fmt.Sprintf("k%d", i), i)
+		f.observe(0, fmt.Sprintf("k%d", i), i)
 	}
 	if f.size() != 8 {
 		t.Fatalf("size = %d, want 8", f.size())
 	}
-	if _, ok := f.rowsFor("k0"); ok {
+	if _, ok := f.rowsFor(0, "k0"); ok {
 		t.Error("oldest entry survived eviction")
 	}
-	if rows, ok := f.rowsFor("k99"); !ok || rows != 99 {
+	if rows, ok := f.rowsFor(0, "k99"); !ok || rows != 99 {
 		t.Errorf("newest entry = %d, %v", rows, ok)
 	}
 	// Confirmations within 10% must not advance the epoch.
 	before := f.epochNow()
-	f.observe("k99", 95)
+	f.observe(0, "k99", 95)
 	if f.epochNow() != before {
 		t.Error("a within-10% confirmation advanced the epoch")
 	}
-	f.observe("k99", 9)
+	f.observe(0, "k99", 9)
 	if f.epochNow() == before {
 		t.Error("a 10× cardinality shift did not advance the epoch")
 	}

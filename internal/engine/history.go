@@ -45,24 +45,24 @@ func (e *Engine) Histories(b *store.Bitset) ([]*model.History, error) {
 
 // HistoriesContext is Histories under a caller-supplied context.
 func (e *Engine) HistoriesContext(ctx context.Context, b *store.Bitset) ([]*model.History, error) {
-	if b.Len() != e.n {
-		return nil, fmt.Errorf("engine: bitset covers %d patients, population has %d", b.Len(), e.n)
+	t := e.topoNow()
+	if b.Len() != t.n {
+		return nil, fmt.Errorf("engine: bitset covers %d patients, population has %d (re-run the query if an append landed since)", b.Len(), t.n)
 	}
-	if e.st != nil {
-		col := e.st.Collection()
+	if t.view != nil {
 		out := make([]*model.History, 0, b.Count())
 		b.Range(func(i int) bool {
-			out = append(out, col.At(i))
+			out = append(out, t.view.HistoryAt(i))
 			return true
 		})
 		return out, nil
 	}
 	ctx, cancel := e.opCtx(ctx)
 	defer cancel()
-	parts := make([][]*model.History, len(e.backends))
-	errs := make([]error, len(e.backends))
+	parts := make([][]*model.History, len(t.backends))
+	errs := make([]error, len(t.backends))
 	var wg sync.WaitGroup
-	for i, bk := range e.backends {
+	for i, bk := range t.backends {
 		m := bk.Meta()
 		if !b.AnyInRange(m.Offset, m.Offset+m.Patients) {
 			continue
@@ -73,7 +73,7 @@ func (e *Engine) HistoriesContext(ctx context.Context, b *store.Bitset) ([]*mode
 			defer wg.Done()
 			t0 := time.Now()
 			parts[i], errs[i] = bk.FetchHistories(ctx, ordinals)
-			e.record(i, t0, errs[i])
+			t.record(i, t0, errs[i])
 		}(i, bk, ordinals)
 	}
 	wg.Wait()
@@ -81,7 +81,7 @@ func (e *Engine) HistoriesContext(ctx context.Context, b *store.Bitset) ([]*mode
 	for i := range parts {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("engine: histories from shard %d (%s): %w",
-				e.backends[i].Meta().Shard, e.backends[i].Meta().Backend, errs[i])
+				t.backends[i].Meta().Shard, t.backends[i].Meta().Backend, errs[i])
 		}
 		out = append(out, parts[i]...)
 	}
@@ -102,9 +102,10 @@ func (e *Engine) HistoryByID(id model.PatientID) (*model.History, error) {
 
 // HistoryByIDContext is HistoryByID under a caller-supplied context.
 func (e *Engine) HistoryByIDContext(ctx context.Context, id model.PatientID) (*model.History, error) {
-	if e.st != nil {
-		if h := e.st.Collection().Get(id); h != nil {
-			return h, nil
+	t := e.topoNow()
+	if t.view != nil {
+		if o, ok := t.view.Ordinal(id); ok {
+			return t.view.HistoryAt(o), nil
 		}
 		return nil, fmt.Errorf("engine: %s: %w", id, ErrNoPatient)
 	}
@@ -114,16 +115,16 @@ func (e *Engine) HistoryByIDContext(ctx context.Context, id model.PatientID) (*m
 		backend int
 		ordinal int
 	}
-	hits := make([]*hit, len(e.backends))
-	errs := make([]error, len(e.backends))
+	hits := make([]*hit, len(t.backends))
+	errs := make([]error, len(t.backends))
 	var wg sync.WaitGroup
-	for i, bk := range e.backends {
+	for i, bk := range t.backends {
 		wg.Add(1)
 		go func(i int, bk ShardBackend) {
 			defer wg.Done()
 			t0 := time.Now()
 			o, ok, err := bk.LocateID(ctx, id)
-			e.record(i, t0, err)
+			t.record(i, t0, err)
 			if err != nil {
 				errs[i] = err
 				return
@@ -135,15 +136,15 @@ func (e *Engine) HistoryByIDContext(ctx context.Context, id model.PatientID) (*m
 	}
 	wg.Wait()
 	var found *hit
-	for i := range e.backends {
+	for i := range t.backends {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("engine: locate %s on shard %d (%s): %w",
-				id, e.backends[i].Meta().Shard, e.backends[i].Meta().Backend, errs[i])
+				id, t.backends[i].Meta().Shard, t.backends[i].Meta().Backend, errs[i])
 		}
 		if hits[i] != nil {
 			if found != nil {
 				return nil, fmt.Errorf("engine: patient %s claimed by shards %d and %d",
-					id, e.backends[found.backend].Meta().Shard, e.backends[i].Meta().Shard)
+					id, t.backends[found.backend].Meta().Shard, t.backends[i].Meta().Shard)
 			}
 			found = hits[i]
 		}
@@ -151,10 +152,10 @@ func (e *Engine) HistoryByIDContext(ctx context.Context, id model.PatientID) (*m
 	if found == nil {
 		return nil, fmt.Errorf("engine: %s: %w", id, ErrNoPatient)
 	}
-	bk := e.backends[found.backend]
+	bk := t.backends[found.backend]
 	t0 := time.Now()
 	hs, err := bk.FetchHistories(ctx, []int{found.ordinal})
-	e.record(found.backend, t0, err)
+	t.record(found.backend, t0, err)
 	if err != nil {
 		return nil, fmt.Errorf("engine: fetch %s from shard %d (%s): %w",
 			id, bk.Meta().Shard, bk.Meta().Backend, err)
@@ -184,16 +185,17 @@ func (e *Engine) Indicators(b *store.Bitset, window model.Period) (stats.Indicat
 // the completeness report: under PolicyDegraded the QueryStatus names the
 // shards whose tallies are absent from the aggregate.
 func (e *Engine) IndicatorsStatus(ctx context.Context, b *store.Bitset, window model.Period) (stats.Indicators, QueryStatus, error) {
-	if b.Len() != e.n {
-		return stats.Indicators{}, QueryStatus{}, fmt.Errorf("engine: bitset covers %d patients, population has %d", b.Len(), e.n)
+	t := e.topoNow()
+	if b.Len() != t.n {
+		return stats.Indicators{}, QueryStatus{}, fmt.Errorf("engine: bitset covers %d patients, population has %d (re-run the query if an append landed since)", b.Len(), t.n)
 	}
 	ctx, cancel := e.opCtx(ctx)
 	defer cancel()
-	parts := make([]stats.IndicatorCounts, len(e.backends))
-	errs := make([]error, len(e.backends))
-	asked := make([]bool, len(e.backends))
+	parts := make([]stats.IndicatorCounts, len(t.backends))
+	errs := make([]error, len(t.backends))
+	asked := make([]bool, len(t.backends))
 	var wg sync.WaitGroup
-	for i, bk := range e.backends {
+	for i, bk := range t.backends {
 		m := bk.Meta()
 		if !b.AnyInRange(m.Offset, m.Offset+m.Patients) {
 			continue
@@ -205,7 +207,7 @@ func (e *Engine) IndicatorsStatus(ctx context.Context, b *store.Bitset, window m
 			defer wg.Done()
 			t0 := time.Now()
 			parts[i], errs[i] = bk.Indicators(ctx, mask, window)
-			e.record(i, t0, errs[i])
+			t.record(i, t0, errs[i])
 		}(i, bk, mask)
 	}
 	wg.Wait()
@@ -214,16 +216,16 @@ func (e *Engine) IndicatorsStatus(ctx context.Context, b *store.Bitset, window m
 	for i := range parts {
 		if errs[i] != nil {
 			if e.policy == PolicyDegraded && IsUnavailable(errs[i]) && ctx.Err() == nil {
-				e.metrics[i].skips.Add(1)
+				t.metrics[i].skips.Add(1)
 				missing = append(missing, i)
 				continue
 			}
 			return stats.Indicators{}, QueryStatus{}, fmt.Errorf("engine: indicators from shard %d (%s): %w",
-				e.backends[i].Meta().Shard, e.backends[i].Meta().Backend, errs[i])
+				t.backends[i].Meta().Shard, t.backends[i].Meta().Backend, errs[i])
 		}
 		if asked[i] {
 			counts.Merge(parts[i])
 		}
 	}
-	return counts.Finalize(window), e.statusFromMissing(missing), nil
+	return counts.Finalize(window), e.statusFromMissing(t, missing), nil
 }

@@ -126,7 +126,7 @@ func TestRemoteHistoryParity(t *testing.T) {
 func TestFetchOrdinalValidation(t *testing.T) {
 	col, st, _ := parityEngines(t)
 	fix := startShardServers(t, col, 4, 2, RemoteOptions{Timeout: 10 * time.Second})
-	for _, b := range append([]ShardBackend{}, fix.eng.backends...) {
+	for _, b := range append([]ShardBackend{}, fix.eng.topoNow().backends...) {
 		m := b.Meta()
 		if _, err := b.FetchHistories(context.Background(), []int{m.Patients}); err == nil {
 			t.Errorf("shard %d: out-of-range ordinal accepted", m.Shard)

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"pastas/internal/model"
+	"pastas/internal/query"
+	"pastas/internal/store"
+)
+
+// memoKeys snapshots the plan memo's key set (white-box).
+func memoKeys(m *planMemo) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.byKey))
+	for k := range m.byKey {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestPlanMemoEpochedByGeneration: a plan memoized before an append must
+// never answer a query after it — the memo key carries the store
+// generation, so the post-append execution plans (and caches) under a
+// fresh key, and the engine's answer reflects the appended patient
+// immediately. This is the no-stale-answers contract observed directly
+// on the memo rather than through timing.
+func TestPlanMemoEpochedByGeneration(t *testing.T) {
+	st := store.New(fbCollection(200))
+	e := New(st, Options{Shards: 2, CacheSize: 8})
+	q := query.And{valueScan(0, 50), valueScan(1000, 1040)}
+
+	before, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys0 := memoKeys(e.plans)
+	if len(keys0) == 0 {
+		t.Fatal("no plan memoized by the first execution")
+	}
+	for _, k := range keys0 {
+		if !strings.HasPrefix(k, "0\x00") {
+			t.Fatalf("pre-append memo key %q not under generation 0", k)
+		}
+	}
+
+	// Append one patient matching both conjuncts.
+	base := model.Date(2012, 1, 1)
+	h := model.NewHistory(model.Patient{ID: 10001, Birth: model.Date(1960, 1, 1)})
+	h.Add(model.Entry{ID: 100001, Kind: model.Point, Start: base, End: base,
+		Type: model.TypeMeasurement, Source: model.Source(1), Value: 25})
+	h.Add(model.Entry{ID: 100002, Kind: model.Point, Start: base, End: base,
+		Type: model.TypeMeasurement, Source: model.Source(1), Value: 1020})
+	if _, err := st.Append(store.AppendBatch{NewHistories: []*model.History{h}}); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Len() != st.Len() {
+		t.Fatalf("post-append bitset spans %d patients, store has %d", after.Len(), st.Len())
+	}
+	if got, want := after.Count(), before.Count()+1; got != want {
+		t.Fatalf("post-append count = %d, want %d — stale answer served", got, want)
+	}
+	i, ok := st.Ordinal(10001)
+	if !ok || !after.Get(i) {
+		t.Fatal("appended patient missing from the post-append answer")
+	}
+
+	gen1 := false
+	for _, k := range memoKeys(e.plans) {
+		if strings.HasPrefix(k, "1\x00") {
+			gen1 = true
+			break
+		}
+	}
+	if !gen1 {
+		t.Error("post-append execution did not memoize under generation 1")
+	}
+}
+
+// TestResultCacheEpochedByGeneration: the result cache keyed at the old
+// generation must miss after an append even for the identical expression.
+func TestResultCacheEpochedByGeneration(t *testing.T) {
+	st := store.New(fbCollection(100))
+	e := New(st, Options{Shards: 1, CacheSize: 8})
+	q := valueScan(0, 30)
+
+	first, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm hit at the same generation.
+	again, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Count() != first.Count() {
+		t.Fatalf("warm re-execution diverged: %d vs %d", again.Count(), first.Count())
+	}
+
+	base := model.Date(2012, 1, 1)
+	h := model.NewHistory(model.Patient{ID: 20001, Birth: model.Date(1960, 1, 1)})
+	h.Add(model.Entry{ID: 200001, Kind: model.Point, Start: base, End: base,
+		Type: model.TypeMeasurement, Source: model.Source(1), Value: 10})
+	if _, err := st.Append(store.AppendBatch{NewHistories: []*model.History{h}}); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fresh.Count(), first.Count()+1; got != want {
+		t.Fatalf("post-append count = %d, want %d — result cache served a stale generation", got, want)
+	}
+}

@@ -267,10 +267,11 @@ func (r *ShardRPC) Eval(args *EvalArgs, reply *EvalReply) error {
 	if err != nil {
 		return err
 	}
-	p = sh.eng.optimize(p)
+	t := sh.eng.topoNow()
+	p = sh.eng.optimize(t, p)
 	var bits *store.Bitset
 	if mask != nil {
-		bits, err = sh.eng.evalMasked(context.Background(), p, mask)
+		bits, err = sh.eng.evalMasked(context.Background(), t, p, mask)
 	} else {
 		bits, err = sh.eng.ExecutePlan(p)
 	}

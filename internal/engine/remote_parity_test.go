@@ -262,7 +262,7 @@ func TestRemoteMaskedEval(t *testing.T) {
 		t.Fatal(err)
 	}
 	p = Optimize(p)
-	for _, b := range fix.eng.backends {
+	for _, b := range fix.eng.topoNow().backends {
 		m := b.Meta()
 		mask := store.NewBitset(m.Patients)
 		for i := 0; i < m.Patients; i += 3 {

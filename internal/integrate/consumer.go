@@ -1,0 +1,177 @@
+package integrate
+
+// Incremental integration. Build is a batch pipeline: one bundle in, one
+// collection out. A live workbench instead receives follow-on extracts —
+// new patients plus new events for patients it already holds — and must
+// fold them in under exactly the rules Build enforces: linkage on the
+// person number, the pre-birth drop, duplicate-claim collapsing, the
+// interval derivations. Consumer is that re-cast: it keeps the linkage
+// state (birth dates, dedup fingerprints, the next entry ID) across
+// calls, and each Consume turns one bundle into a Batch of new histories
+// and per-patient entry appends that a mutable store can apply.
+//
+// Determinism carries over from Build: the registries stage in the same
+// fixed order and entry IDs are assigned sequentially during the merge,
+// so consuming the same bundles in the same order always produces the
+// same batches. Staging is sequential here (batches are small next to an
+// initial load, and the persistent dedup maps and the birth-date resolver
+// are single-threaded state); Build keeps its concurrent staging.
+
+import (
+	"fmt"
+	"sort"
+
+	"pastas/internal/model"
+	"pastas/internal/sources"
+)
+
+// Update is the increment for one already-integrated patient: the entries
+// a consumed bundle adds to its history. Entries are in staging order,
+// not chronological order; the applier is expected to merge-and-sort.
+type Update struct {
+	ID      model.PatientID
+	Entries []model.Entry
+}
+
+// Batch is the integrated form of one consumed bundle.
+type Batch struct {
+	// NewPatients are the histories of persons first seen in this bundle,
+	// sorted by patient ID ascending, each already sorted chronologically.
+	NewPatients []*model.History
+	// Updates are the appends for previously-known patients, sorted by
+	// patient ID ascending.
+	Updates []Update
+	// Report accounts for this bundle alone.
+	Report Report
+}
+
+// Empty reports whether the batch carries nothing to apply.
+func (b *Batch) Empty() bool { return len(b.NewPatients) == 0 && len(b.Updates) == 0 }
+
+// Consumer integrates a stream of bundles incrementally.
+type Consumer struct {
+	opts   Options
+	ctx    *stageCtx
+	nextID uint64
+	total  Report
+}
+
+// NewConsumer returns a consumer whose linkage state starts from an
+// existing population: resolve answers the birth date of any patient
+// integrated before this consumer existed (nil when starting empty), and
+// nextEntryID seeds ID assignment — one past the highest entry ID already
+// in use, or 1 on an empty store. Options follow Build's semantics;
+// OpenIntervalEnd of zero closes open intervals at one day past the
+// latest date of each consumed bundle (so the horizon moves with the
+// feed — pin it explicitly when batch/incremental runs must agree).
+func NewConsumer(opts Options, resolve func(uint64) (model.Time, bool), nextEntryID uint64) *Consumer {
+	if nextEntryID == 0 {
+		nextEntryID = 1
+	}
+	return &Consumer{
+		opts: opts,
+		ctx: &stageCtx{
+			opts:    opts,
+			birthOf: make(map[uint64]model.Time),
+			resolve: resolve,
+			seenGP:  make(map[string]bool),
+			seenSp:  make(map[string]bool),
+		},
+		nextID: nextEntryID,
+	}
+}
+
+// NextEntryID returns the ID the next staged entry will be assigned.
+func (c *Consumer) NextEntryID() uint64 { return c.nextID }
+
+// TotalReport returns the accumulated report over every consumed bundle.
+func (c *Consumer) TotalReport() Report { return c.total }
+
+// Consume integrates one bundle. A person record for an already-known
+// patient is a linkage conflict and fails the whole bundle (nothing is
+// recorded); event records for unknown persons are counted and dropped,
+// exactly as in Build.
+func (c *Consumer) Consume(b *sources.Bundle) (*Batch, error) {
+	rep := Report{RecordsIn: b.TotalRecords()}
+
+	newPatients := make(map[uint64]*model.History)
+	var order []uint64
+	for i := range b.Persons {
+		p := &b.Persons[i]
+		h, birth, err := personHistory(p)
+		if err != nil {
+			rep.DroppedUnparsable++
+			continue
+		}
+		if _, dup := newPatients[p.ID]; dup {
+			return nil, fmt.Errorf("integrate: duplicate person %d in demographic extract", p.ID)
+		}
+		if _, known := c.ctx.birthOf[p.ID]; known {
+			return nil, fmt.Errorf("integrate: person %d already integrated", p.ID)
+		}
+		if c.ctx.resolve != nil {
+			if _, known := c.ctx.resolve(p.ID); known {
+				return nil, fmt.Errorf("integrate: person %d already integrated", p.ID)
+			}
+		}
+		c.ctx.birthOf[p.ID] = birth
+		newPatients[p.ID] = h
+		order = append(order, p.ID)
+	}
+
+	openEnd := c.opts.OpenIntervalEnd
+	if !openEnd.Valid() || openEnd == 0 {
+		openEnd = latestDate(b).AddDays(1)
+	}
+	c.ctx.openEnd = openEnd
+
+	// Same fixed registry order as Build; sequential because the ctx
+	// carries mutable cross-batch state.
+	results := []sourceResult{
+		c.ctx.stageGPClaims(b.GPClaims),
+		c.ctx.stagePrescriptions(b.Prescriptions),
+		c.ctx.stageEpisodes(b.Episodes),
+		c.ctx.stageMunicipal(b.Municipal),
+		c.ctx.stageSpecialist(b.Specialist),
+		c.ctx.stagePhysio(b.Physio),
+	}
+
+	updates := make(map[uint64][]model.Entry)
+	var updateOrder []uint64
+	for _, res := range results {
+		rep.add(res.rep)
+		for _, st := range res.staged {
+			e := st.entry
+			e.ID = c.nextID
+			c.nextID++
+			rep.EntriesOut++
+			if h, isNew := newPatients[st.person]; isNew {
+				h.Add(e)
+				continue
+			}
+			if _, seen := updates[st.person]; !seen {
+				updateOrder = append(updateOrder, st.person)
+			}
+			updates[st.person] = append(updates[st.person], e)
+		}
+	}
+	rep.Patients = len(newPatients)
+
+	out := &Batch{Report: rep}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, id := range order {
+		h := newPatients[id]
+		h.Sort()
+		out.NewPatients = append(out.NewPatients, h)
+	}
+	sort.Slice(updateOrder, func(i, j int) bool { return updateOrder[i] < updateOrder[j] })
+	for _, id := range updateOrder {
+		out.Updates = append(out.Updates, Update{ID: model.PatientID(id), Entries: updates[id]})
+	}
+
+	c.total.RecordsIn += rep.RecordsIn
+	c.total.EntriesOut += rep.EntriesOut
+	c.total.Patients += rep.Patients
+	c.total.add(rep)
+	return out, nil
+}

@@ -94,16 +94,32 @@ type sourceResult struct {
 	rep    Report
 }
 
-// stageCtx is the read-only context the concurrent stagers share.
+// stageCtx is the context the stagers share. Build uses it read-only, so
+// the six registries can stage concurrently. The incremental Consumer
+// reuses one stageCtx across batches and sets the mutable extensions —
+// persistent dedup maps (seenGP, seenSp) so a claim repeated in a later
+// batch still collapses, and a resolve fallback that looks up birth dates
+// of patients integrated before this consumer existed (cached into
+// birthOf on first hit). A ctx with resolve set or persistent dedup maps
+// must stage sequentially; Build leaves them nil.
 type stageCtx struct {
 	opts    Options
 	openEnd model.Time
 	birthOf map[uint64]model.Time
+	resolve func(uint64) (model.Time, bool)
+	seenGP  map[string]bool
+	seenSp  map[string]bool
 }
 
 // admit validates linkage and the pre-birth rule.
 func (c *stageCtx) admit(person uint64, t model.Time, rep *Report) bool {
 	birth, ok := c.birthOf[person]
+	if !ok && c.resolve != nil {
+		if b, found := c.resolve(person); found {
+			birth, ok = b, true
+			c.birthOf[person] = b
+		}
+	}
 	if !ok {
 		rep.UnknownPersons++
 		return false
@@ -200,7 +216,7 @@ func loadPersons(ps []sources.Person, rep *Report) (map[uint64]*model.History, [
 	var order []uint64
 	for i := range ps {
 		p := &ps[i]
-		birth, err := model.ParseDate(p.BirthDate)
+		h, birth, err := personHistory(p)
 		if err != nil {
 			rep.DroppedUnparsable++
 			continue
@@ -208,28 +224,43 @@ func loadPersons(ps []sources.Person, rep *Report) (map[uint64]*model.History, [
 		if _, dup := patients[p.ID]; dup {
 			return nil, nil, nil, fmt.Errorf("integrate: duplicate person %d in demographic extract", p.ID)
 		}
-		sex := model.SexUnknown
-		switch p.Sex {
-		case "F":
-			sex = model.SexFemale
-		case "M":
-			sex = model.SexMale
-		}
-		patients[p.ID] = model.NewHistory(model.Patient{
-			ID:           model.PatientID(p.ID),
-			Birth:        birth,
-			Sex:          sex,
-			Municipality: p.Municipality,
-		})
+		patients[p.ID] = h
 		birthOf[p.ID] = birth
 		order = append(order, p.ID)
 	}
 	return patients, order, birthOf, nil
 }
 
+// personHistory parses one demographic record into an empty history; the
+// single place the person → patient mapping rules live, shared by the
+// batch Build and the incremental Consumer.
+func personHistory(p *sources.Person) (*model.History, model.Time, error) {
+	birth, err := model.ParseDate(p.BirthDate)
+	if err != nil {
+		return nil, 0, err
+	}
+	sex := model.SexUnknown
+	switch p.Sex {
+	case "F":
+		sex = model.SexFemale
+	case "M":
+		sex = model.SexMale
+	}
+	h := model.NewHistory(model.Patient{
+		ID:           model.PatientID(p.ID),
+		Birth:        birth,
+		Sex:          sex,
+		Municipality: p.Municipality,
+	})
+	return h, birth, nil
+}
+
 func (c *stageCtx) stageGPClaims(claims []sources.GPClaim) sourceResult {
 	var res sourceResult
-	seen := make(map[string]bool)
+	seen := c.seenGP
+	if seen == nil {
+		seen = make(map[string]bool)
+	}
 	for i := range claims {
 		cl := &claims[i]
 		t, err := model.ParseDate(cl.Date)
@@ -473,7 +504,10 @@ func mergeOpenPeriods(ps []openPeriod) []openPeriod {
 
 func (c *stageCtx) stageSpecialist(claims []sources.SpecialistClaim) sourceResult {
 	var res sourceResult
-	seen := make(map[string]bool)
+	seen := c.seenSp
+	if seen == nil {
+		seen = make(map[string]bool)
+	}
 	for i := range claims {
 		cl := &claims[i]
 		t, err := model.ParseDate(cl.Date)

@@ -97,13 +97,13 @@ type PhysioClaim struct {
 // Bundle is one extract from every registry for the same population — the
 // integration layer's input.
 type Bundle struct {
-	Persons       []Person
-	GPClaims      []GPClaim
-	Prescriptions []Prescription
-	Episodes      []HospitalEpisode
-	Municipal     []MunicipalService
-	Specialist    []SpecialistClaim
-	Physio        []PhysioClaim
+	Persons       []Person           `json:"persons,omitempty"`
+	GPClaims      []GPClaim          `json:"gp_claims,omitempty"`
+	Prescriptions []Prescription     `json:"prescriptions,omitempty"`
+	Episodes      []HospitalEpisode  `json:"episodes,omitempty"`
+	Municipal     []MunicipalService `json:"municipal,omitempty"`
+	Specialist    []SpecialistClaim  `json:"specialist,omitempty"`
+	Physio        []PhysioClaim      `json:"physio,omitempty"`
 }
 
 // TotalRecords counts all records across registries (persons excluded).

@@ -1,0 +1,102 @@
+package store
+
+import (
+	"time"
+
+	"pastas/internal/model"
+)
+
+// CompactionStats describes the fold history of a store.
+type CompactionStats struct {
+	Runs         uint64        `json:"runs"`
+	LastEntries  int           `json:"last_entries"`  // delta entries folded by the last run
+	LastPatients int           `json:"last_patients"` // delta patients folded by the last run
+	LastLists    int           `json:"last_lists"`    // delta posting lists folded by the last run
+	LastDuration time.Duration `json:"last_duration_ns"`
+}
+
+// Compact folds the delta postings into a fresh base layer sized to the
+// current population and publishes the result. Queries keep running
+// against the previous revision throughout — the fold happens entirely on
+// the side, then lands with one atomic pointer store.
+//
+// Compaction does NOT advance the generation: the folded revision answers
+// every query identically to the revision it replaces (base ∪ delta is an
+// exact invariant), so caches and pinned views keyed by generation stay
+// valid. Only Append advances the generation.
+func (s *Store) Compact() CompactionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.loadRev()
+	if cur.deltaEntries == 0 && cur.deltaPatients == 0 {
+		return cur.compaction
+	}
+	t0 := time.Now()
+	n := len(cur.hists)
+
+	comp := cur.compaction
+	comp.Runs++
+	comp.LastEntries = cur.deltaEntries
+	comp.LastPatients = cur.deltaPatients
+	comp.LastLists = cur.delta.lists()
+
+	ordBase := make(map[model.PatientID]int, n)
+	for k, v := range cur.ordBase {
+		ordBase[k] = v
+	}
+	for k, v := range cur.ordDelta {
+		ordBase[k] = v
+	}
+
+	folded := &postings{
+		byCodeValue: foldLayer(cur.base.byCodeValue, cur.delta.byCodeValue, cur.baseN, n),
+		byType:      foldLayer(cur.base.byType, cur.delta.byType, cur.baseN, n),
+		bySource:    foldLayer(cur.base.bySource, cur.delta.bySource, cur.baseN, n),
+	}
+
+	comp.LastDuration = time.Since(t0)
+	next := &storeRev{
+		gen:        cur.gen, // unchanged: the fold is invisible to readers
+		hists:      cur.hists,
+		ids:        cur.ids,
+		ordBase:    ordBase,
+		ordDelta:   map[model.PatientID]int{},
+		entries:    cur.entries,
+		base:       folded,
+		baseN:      n,
+		delta:      newPostings(),
+		codes:      cur.codes,
+		stats:      cur.stats,
+		ingest:     cur.ingest,
+		compaction: comp,
+		// col deliberately left nil: reading cur.col here would race its
+		// lazy Once-guarded build; the folded revision rebuilds on demand.
+		maxEntryID: cur.computeMaxEntryID(),
+	}
+	next.maxIDOnce.Do(func() {})
+	s.rev.Store(next)
+	return comp
+}
+
+// foldLayer merges base and delta posting maps into one layer at capacity
+// n. Keys untouched by the delta keep sharing the base bitset when it is
+// already at full capacity; everything else is materialized fresh.
+func foldLayer[K comparable](base, delta map[K]*Bitset, baseN, n int) map[K]*Bitset {
+	out := make(map[K]*Bitset, len(base)+len(delta))
+	for k, bs := range base {
+		if delta[k] == nil && baseN == n {
+			out[k] = bs
+			continue
+		}
+		nb := growClone(bs, n)
+		layerOrInto(nb, delta[k])
+		out[k] = nb
+	}
+	for k, bs := range delta {
+		if _, ok := out[k]; ok {
+			continue
+		}
+		out[k] = growClone(bs, n)
+	}
+	return out
+}

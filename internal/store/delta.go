@@ -1,0 +1,374 @@
+package store
+
+import (
+	"fmt"
+
+	"pastas/internal/model"
+)
+
+// This file is the mutable-tail half of the live-ingest design: the
+// append path that absorbs new entries and patients into per-key delta
+// postings, the clamped layered-read helpers every consumer of
+// base ∪ delta goes through, and the revision-pinning API (Pin / Freeze)
+// that gives multi-call readers one consistent generation.
+
+// HistoryUpdate appends entries to an existing patient's history.
+type HistoryUpdate struct {
+	ID      model.PatientID
+	Entries []model.Entry
+}
+
+// AppendBatch is one unit of ingest: brand-new patients plus new entries
+// for patients already in the store. Append takes ownership of the
+// histories and entry slices; callers must not retain or mutate them.
+type AppendBatch struct {
+	NewHistories []*model.History
+	Updates      []HistoryUpdate
+}
+
+// IngestStats reports cumulative append activity and the pending delta
+// size. Snapshotted per revision — read it again after an Append to see
+// the new numbers.
+type IngestStats struct {
+	Generation     uint64 `json:"generation"`
+	Batches        uint64 `json:"batches"`
+	EntriesApplied uint64 `json:"entries_applied"`
+	PatientsAdded  uint64 `json:"patients_added"`
+	DeltaEntries   int    `json:"delta_entries"`
+	DeltaPatients  int    `json:"delta_patients"`
+	DeltaLists     int    `json:"delta_lists"`
+	Compactions    uint64 `json:"compactions"`
+}
+
+// Generation returns the store's generation counter. It advances on every
+// Append (compaction is semantically invisible and does not advance it);
+// everything derived from store contents — plan caches, scan bounds,
+// planner feedback, memoized stats — is epoched by this value.
+func (s *Store) Generation() uint64 { return s.loadRev().gen }
+
+// Ingest returns cumulative ingest counters for the current revision.
+func (s *Store) Ingest() IngestStats {
+	r := s.loadRev()
+	st := r.ingest
+	st.Generation = r.gen
+	st.DeltaEntries = r.deltaEntries
+	st.DeltaPatients = r.deltaPatients
+	st.DeltaLists = r.delta.lists()
+	st.Compactions = r.compaction.Runs
+	return st
+}
+
+// LastCompaction reports background-compaction statistics.
+func (s *Store) LastCompaction() CompactionStats { return s.loadRev().compaction }
+
+// Pin returns a full-population View over the current revision. Unlike
+// the Store's ad-hoc read methods, every call on the returned view
+// answers from the same generation.
+func (s *Store) Pin() *View {
+	r := s.loadRev()
+	return &View{r: r, lo: 0, hi: len(r.hists)}
+}
+
+// Freeze returns a read-only Store pinned to the current revision —
+// appends to the original are invisible to it. Used where an API needs a
+// *Store but the caller needs generation consistency across calls (the
+// reference interpreter under concurrent ingest). Appending to a frozen
+// store diverges it from the original; don't.
+func (s *Store) Freeze() *Store {
+	out := &Store{}
+	out.rev.Store(s.loadRev())
+	return out
+}
+
+// MaxEntryID returns the largest entry ID present, so an incremental
+// consumer can seed its ID counter past everything batch-built. Computed
+// lazily per revision (appends track it incrementally).
+func (s *Store) MaxEntryID() uint64 { return s.loadRev().computeMaxEntryID() }
+
+// computeMaxEntryID scans for the max entry ID the first time it is
+// asked for on a revision whose constructor did not stamp it (snapshot
+// loads); constructor- and append-built revisions consume the Once at
+// build time so the scan never runs.
+func (r *storeRev) computeMaxEntryID() uint64 {
+	r.maxIDOnce.Do(func() {
+		var max uint64
+		for _, h := range r.hists {
+			for j := range h.Entries {
+				if h.Entries[j].ID > max {
+					max = h.Entries[j].ID
+				}
+			}
+		}
+		r.maxEntryID = max
+	})
+	return r.maxEntryID
+}
+
+// --- layered read helpers -------------------------------------------------
+//
+// Bitsets in a layer may be shorter than the current population (they were
+// created at an older revision's size), so every helper clamps the range it
+// touches to the bitset's own capacity; bits past it are implicitly zero.
+
+// layerOrInto ORs a whole layer bitset into out (out at least as long).
+func layerOrInto(out, bs *Bitset) {
+	if bs != nil {
+		out.OrAt(bs, 0)
+	}
+}
+
+// layerGet reports bit i across one layer bitset.
+func layerGet(bs *Bitset, i int) bool {
+	return bs != nil && i < bs.Len() && bs.Get(i)
+}
+
+// layeredHas reports bit i across both layers.
+func layeredHas(base, delta *Bitset, i int) bool {
+	return layerGet(base, i) || layerGet(delta, i)
+}
+
+// layerCountRange counts set bits in [lo, hi) of one layer bitset.
+func layerCountRange(bs *Bitset, lo, hi int) int {
+	if bs == nil {
+		return 0
+	}
+	if n := bs.Len(); hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return 0
+	}
+	return bs.CountRange(lo, hi)
+}
+
+// layerAnyInRange reports whether any bit in [lo, hi) is set in one layer.
+func layerAnyInRange(bs *Bitset, lo, hi int) bool {
+	if bs == nil {
+		return false
+	}
+	if n := bs.Len(); hi > n {
+		hi = n
+	}
+	return lo < hi && bs.AnyInRange(lo, hi)
+}
+
+// layerOrSlice ORs bits [lo, hi) of one layer bitset into out, where out's
+// bit 0 corresponds to absolute ordinal lo.
+func layerOrSlice(out, bs *Bitset, lo, hi int) {
+	if bs == nil {
+		return
+	}
+	if n := bs.Len(); hi > n {
+		hi = n
+	}
+	if lo < hi {
+		out.OrSliceOf(bs, lo, hi)
+	}
+}
+
+// growClone returns a copy of bs with capacity n (bs may be nil or short).
+func growClone(bs *Bitset, n int) *Bitset {
+	out := NewBitset(n)
+	if bs != nil {
+		out.OrAt(bs, 0)
+	}
+	return out
+}
+
+// --- append ---------------------------------------------------------------
+
+// deltaWriter copy-on-writes one posting map for an append batch: the map
+// itself is cloned up front (shallow — bitset pointers shared with the
+// previous revision), and each key's bitset is cloned-with-growth the
+// first time the batch touches it.
+type mapCOW[K comparable] struct {
+	m      map[K]*Bitset
+	cloned map[K]bool
+	n      int // capacity for grown bitsets
+}
+
+func newMapCOW[K comparable](src map[K]*Bitset, n int) *mapCOW[K] {
+	m := make(map[K]*Bitset, len(src)+8)
+	for k, v := range src {
+		m[k] = v
+	}
+	return &mapCOW[K]{m: m, cloned: make(map[K]bool), n: n}
+}
+
+// set sets bit i for key k, cloning the key's bitset on first touch.
+func (c *mapCOW[K]) set(k K, i int) {
+	if !c.cloned[k] {
+		c.m[k] = growClone(c.m[k], c.n)
+		c.cloned[k] = true
+	}
+	c.m[k].Set(i)
+}
+
+// Append applies one batch and publishes a new revision with the
+// generation advanced by one. New-patient IDs must be absent from the
+// store and unique within the batch; update IDs must be present. The
+// batch is validated before anything is published, so a failed Append
+// leaves the store untouched. Readers are never blocked: they keep
+// answering from the previous revision until the atomic publish.
+func (s *Store) Append(b AppendBatch) (uint64, error) {
+	if len(b.NewHistories) == 0 {
+		empty := true
+		for _, u := range b.Updates {
+			if len(u.Entries) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return s.Generation(), nil
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.loadRev()
+	n := len(cur.hists)
+	n2 := n + len(b.NewHistories)
+
+	// Validate the whole batch before building anything.
+	seen := make(map[model.PatientID]bool, len(b.NewHistories))
+	for _, h := range b.NewHistories {
+		if h == nil {
+			return cur.gen, fmt.Errorf("store: append: nil history")
+		}
+		id := h.Patient.ID
+		if _, ok := cur.ordinalOf(id); ok {
+			return cur.gen, fmt.Errorf("store: append: patient %d already present", id)
+		}
+		if seen[id] {
+			return cur.gen, fmt.Errorf("store: append: duplicate new patient %d in batch", id)
+		}
+		seen[id] = true
+	}
+	for _, u := range b.Updates {
+		if _, ok := cur.ordinalOf(u.ID); !ok {
+			return cur.gen, fmt.Errorf("store: append: update for unknown patient %d", u.ID)
+		}
+	}
+
+	hists2 := make([]*model.History, n, n2)
+	copy(hists2, cur.hists)
+	ids2 := make([]model.PatientID, n, n2)
+	copy(ids2, cur.ids)
+	ordDelta2 := make(map[model.PatientID]int, len(cur.ordDelta)+len(b.NewHistories))
+	for k, v := range cur.ordDelta {
+		ordDelta2[k] = v
+	}
+
+	codeCOW := newMapCOW(cur.delta.byCodeValue, n2)
+	typeCOW := newMapCOW(cur.delta.byType, n2)
+	sourceCOW := newMapCOW(cur.delta.bySource, n2)
+
+	stats2 := cur.stats.clone()
+	codes2 := cur.codes
+	codesGrown := false
+	maxID := cur.computeMaxEntryID()
+
+	added := 0
+	// mark indexes one entry at ordinal i, honoring the disjointness
+	// invariant: a delta bit is set only when the patient is absent from
+	// base ∪ delta for that key, which also makes stats increments exact.
+	mark := func(i int, e *model.Entry) {
+		if e.ID > maxID {
+			maxID = e.ID
+		}
+		if !e.Code.IsZero() {
+			k := codeKey{e.Code.System, e.Code.Value}
+			if !layeredHas(cur.base.byCodeValue[k], codeCOW.m[k], i) {
+				if _, known := codeCOW.m[k]; !known {
+					if _, inBase := cur.base.byCodeValue[k]; !inBase {
+						if !codesGrown {
+							codes2 = append([]model.Code(nil), cur.codes...)
+							codesGrown = true
+						}
+						codes2 = append(codes2, model.Code{System: k.system, Value: k.value})
+					}
+				}
+				codeCOW.set(k, i)
+				stats2.codeCard[k]++
+			}
+		}
+		if !layeredHas(cur.base.byType[e.Type], typeCOW.m[e.Type], i) {
+			typeCOW.set(e.Type, i)
+			stats2.typeCard[e.Type]++
+		}
+		if !layeredHas(cur.base.bySource[e.Source], sourceCOW.m[e.Source], i) {
+			sourceCOW.set(e.Source, i)
+			stats2.sourceCard[e.Source]++
+		}
+	}
+
+	for _, u := range b.Updates {
+		if len(u.Entries) == 0 {
+			continue
+		}
+		i, _ := cur.ordinalOf(u.ID)
+		old := hists2[i]
+		// Build the merged history through the public History API and
+		// sort before publishing: a published history must have its
+		// sorted flag set, or concurrent readers calling Sort would race.
+		merged := model.NewHistory(old.Patient)
+		for j := range old.Entries {
+			merged.Add(old.Entries[j])
+		}
+		for j := range u.Entries {
+			merged.Add(u.Entries[j])
+			mark(i, &u.Entries[j])
+		}
+		merged.Sort()
+		hists2[i] = merged
+		added += len(u.Entries)
+	}
+
+	for _, h := range b.NewHistories {
+		i := len(hists2)
+		h.Sort()
+		hists2 = append(hists2, h)
+		ids2 = append(ids2, h.Patient.ID)
+		ordDelta2[h.Patient.ID] = i
+		for j := range h.Entries {
+			mark(i, &h.Entries[j])
+		}
+		added += len(h.Entries)
+	}
+
+	if codesGrown {
+		sortCodes(codes2)
+	}
+	stats2.Patients = n2
+	stats2.Entries = cur.entries + added
+	stats2.codes = codes2
+	stats2.DistinctCodes = len(codes2)
+
+	ingest2 := cur.ingest
+	ingest2.Batches++
+	ingest2.EntriesApplied += uint64(added)
+	ingest2.PatientsAdded += uint64(len(b.NewHistories))
+
+	next := &storeRev{
+		gen:           cur.gen + 1,
+		hists:         hists2,
+		ids:           ids2,
+		ordBase:       cur.ordBase,
+		ordDelta:      ordDelta2,
+		entries:       cur.entries + added,
+		base:          cur.base,
+		baseN:         cur.baseN,
+		delta:         &postings{byCodeValue: codeCOW.m, byType: typeCOW.m, bySource: sourceCOW.m},
+		deltaEntries:  cur.deltaEntries + added,
+		deltaPatients: cur.deltaPatients + len(b.NewHistories),
+		codes:         codes2,
+		stats:         stats2,
+		ingest:        ingest2,
+		compaction:    cur.compaction,
+		maxEntryID:    maxID,
+	}
+	next.maxIDOnce.Do(func() {})
+	s.rev.Store(next)
+	return next.gen, nil
+}

@@ -300,23 +300,15 @@ func NewFromPostings(col *model.Collection, sp *ShardPostings) (*Store, error) {
 	if sp.Patients != n {
 		return nil, fmt.Errorf("store: postings cover %d patients, collection has %d", sp.Patients, n)
 	}
-	s := &Store{
-		col:         col,
-		ordinal:     make(map[model.PatientID]int, n),
-		ids:         make([]model.PatientID, n),
+	base := &postings{
 		byCodeValue: make(map[codeKey]*Bitset, len(sp.Codes)),
 		byType:      sp.Types,
 		bySource:    sp.Sources,
 	}
-	for i, h := range col.Histories() {
-		s.ordinal[h.Patient.ID] = i
-		s.ids[i] = h.Patient.ID
-	}
-	s.codes = make([]model.Code, len(sp.Codes))
+	codes := make([]model.Code, len(sp.Codes))
 	for i, cp := range sp.Codes {
-		s.codes[i] = cp.Code
-		s.byCodeValue[codeKey{cp.Code.System, cp.Code.Value}] = cp.Bits
+		codes[i] = cp.Code
+		base.byCodeValue[codeKey{cp.Code.System, cp.Code.Value}] = cp.Bits
 	}
-	s.stats = collectStats(s)
-	return s, nil
+	return finishStore(col, base, codes), nil
 }

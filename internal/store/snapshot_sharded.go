@@ -53,6 +53,20 @@ const snapshotVersionSharded = 2
 // history segments are byte-identical to v2.
 const snapshotVersionPostings = 3
 
+// snapshotVersionIngest records live-ingest provenance: a 32-byte
+// extension after the fixed header (generation, pending delta entries and
+// patients, compaction runs) describing the store revision the snapshot
+// was taken from. The payload is unchanged from v3 — histories are saved
+// fully merged, base ∪ delta — so the counters are provenance, not
+// reconstruction state: a reload starts a fresh generation 0 over the
+// merged data. Save writes this version only for stores that have
+// actually ingested (generation > 0); pristine batch-built stores keep
+// writing v3.
+const snapshotVersionIngest = 4
+
+// snapshotIngestExt is the v4 header extension size.
+const snapshotIngestExt = 8 + 8 + 8 + 8
+
 // maxSnapshotShards bounds the shard count a header may claim, so a
 // corrupt or hostile header cannot demand a gigantic shard table.
 const maxSnapshotShards = 1 << 16
@@ -90,6 +104,14 @@ type SnapshotInfo struct {
 	// Postings describes the per-shard containerized postings segments
 	// (v3+ snapshots only): sizes, checksums, and container histograms.
 	Postings []PostingsInfo `json:"postings,omitempty"`
+	// Live-ingest provenance (v4 snapshots only): the generation of the
+	// store revision the snapshot was taken from, the delta still pending
+	// compaction at that moment, and how many compactions had run. The
+	// snapshot payload is always fully merged; these are informational.
+	Generation    uint64 `json:"generation,omitempty"`
+	DeltaEntries  int    `json:"delta_entries,omitempty"`
+	DeltaPatients int    `json:"delta_patients,omitempty"`
+	Compactions   uint64 `json:"compactions,omitempty"`
 }
 
 // headerLen returns the full header size: fixed part, shard table, and —
@@ -97,6 +119,9 @@ type SnapshotInfo struct {
 // offsets are relative to this point.
 func (si *SnapshotInfo) headerLen() int64 {
 	l := int64(snapshotHeaderFixed) + int64(si.Shards)*snapshotShardRow
+	if si.Version >= snapshotVersionIngest {
+		l += snapshotIngestExt
+	}
 	if si.Version >= snapshotVersionPostings {
 		l += int64(si.Shards) * snapshotPostingsRow
 	}
@@ -143,6 +168,39 @@ func shardBounds(n, shards int) [][2]int {
 // Segments are encoded concurrently on a worker pool; like Save, it is
 // read-only on the collection. Returns the layout it wrote.
 func SaveSharded(w io.Writer, col *model.Collection, shards int) (*SnapshotInfo, error) {
+	return saveSharded(w, col, shards, nil)
+}
+
+// SaveShardedStore snapshots a store: the current revision is pinned
+// once, its histories (fully merged, base ∪ delta) are saved like
+// SaveSharded, and — when the store has ingested (generation > 0) — the
+// header is written as v4 with the revision's ingest provenance. A
+// pristine store produces a byte-identical v3 snapshot to
+// SaveSharded(w, s.Collection(), shards). Safe while appends and queries
+// run: the pinned revision is immutable.
+func SaveShardedStore(w io.Writer, s *Store, shards int) (*SnapshotInfo, error) {
+	r := s.loadRev()
+	col := r.collection()
+	if r.gen == 0 {
+		return saveSharded(w, col, shards, nil)
+	}
+	return saveSharded(w, col, shards, &ingestProvenance{
+		generation:    r.gen,
+		deltaEntries:  r.deltaEntries,
+		deltaPatients: r.deltaPatients,
+		compactions:   r.compaction.Runs,
+	})
+}
+
+// ingestProvenance is the v4 header extension's content.
+type ingestProvenance struct {
+	generation    uint64
+	deltaEntries  int
+	deltaPatients int
+	compactions   uint64
+}
+
+func saveSharded(w io.Writer, col *model.Collection, shards int, prov *ingestProvenance) (*SnapshotInfo, error) {
 	hs := col.Histories()
 	bounds := shardBounds(len(hs), shards)
 	segs := make([][]byte, len(bounds))
@@ -176,19 +234,33 @@ func SaveSharded(w io.Writer, col *model.Collection, shards int) (*SnapshotInfo,
 		}
 	}
 
+	version := uint32(snapshotVersionPostings)
+	if prov != nil {
+		version = snapshotVersionIngest
+	}
 	info := &SnapshotInfo{
-		Version:  snapshotVersionPostings,
+		Version:  int(version),
 		Shards:   len(bounds),
 		Patients: len(hs),
 		Entries:  col.TotalEntries(),
 		Postings: postInfos,
 	}
-	header := make([]byte, 0, snapshotHeaderFixed+len(bounds)*(snapshotShardRow+snapshotPostingsRow))
+	header := make([]byte, 0, snapshotHeaderFixed+snapshotIngestExt+len(bounds)*(snapshotShardRow+snapshotPostingsRow))
 	header = append(header, snapshotMagic...)
-	header = binary.BigEndian.AppendUint32(header, snapshotVersionPostings)
+	header = binary.BigEndian.AppendUint32(header, version)
 	header = binary.BigEndian.AppendUint32(header, uint32(len(bounds)))
 	header = binary.BigEndian.AppendUint64(header, uint64(info.Patients))
 	header = binary.BigEndian.AppendUint64(header, uint64(info.Entries))
+	if prov != nil {
+		info.Generation = prov.generation
+		info.DeltaEntries = prov.deltaEntries
+		info.DeltaPatients = prov.deltaPatients
+		info.Compactions = prov.compactions
+		header = binary.BigEndian.AppendUint64(header, prov.generation)
+		header = binary.BigEndian.AppendUint64(header, uint64(prov.deltaEntries))
+		header = binary.BigEndian.AppendUint64(header, uint64(prov.deltaPatients))
+		header = binary.BigEndian.AppendUint64(header, prov.compactions)
+	}
 	offset := int64(0)
 	for i, b := range bounds {
 		entries := 0
@@ -257,7 +329,7 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 		return nil, fmt.Errorf("store: load snapshot: bad magic %q", fixed[:len(snapshotMagic)])
 	}
 	version := binary.BigEndian.Uint32(fixed[8:])
-	if version != snapshotVersionSharded && version != snapshotVersionPostings {
+	if version < snapshotVersionSharded || version > snapshotVersionIngest {
 		return nil, fmt.Errorf("store: load snapshot: unsupported version %d", version)
 	}
 	shards := binary.BigEndian.Uint32(fixed[12:])
@@ -270,15 +342,37 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 	patients := binary.BigEndian.Uint64(fixed[16:])
 	entries := binary.BigEndian.Uint64(fixed[24:])
 
+	var prov ingestProvenance
+	if version >= snapshotVersionIngest {
+		ext := make([]byte, snapshotIngestExt)
+		if _, err := io.ReadFull(r, ext); err != nil {
+			return nil, fmt.Errorf("store: load snapshot: ingest header: %w", err)
+		}
+		prov.generation = binary.BigEndian.Uint64(ext[0:])
+		de := binary.BigEndian.Uint64(ext[8:])
+		dp := binary.BigEndian.Uint64(ext[16:])
+		prov.compactions = binary.BigEndian.Uint64(ext[24:])
+		if de > entries || dp > patients {
+			return nil, fmt.Errorf("store: load snapshot: ingest header claims delta %d/%d larger than totals %d/%d",
+				de, dp, entries, patients)
+		}
+		prov.deltaEntries = int(de)
+		prov.deltaPatients = int(dp)
+	}
+
 	table := make([]byte, int(shards)*snapshotShardRow)
 	if _, err := io.ReadFull(r, table); err != nil {
 		return nil, fmt.Errorf("store: load snapshot: shard table: %w", err)
 	}
 	info := &SnapshotInfo{
-		Version:  int(version),
-		Shards:   int(shards),
-		Patients: int(patients),
-		Entries:  int(entries),
+		Version:       int(version),
+		Shards:        int(shards),
+		Patients:      int(patients),
+		Entries:       int(entries),
+		Generation:    prov.generation,
+		DeltaEntries:  prov.deltaEntries,
+		DeltaPatients: prov.deltaPatients,
+		Compactions:   prov.compactions,
 	}
 	// maxPayload caps the summed segment sizes so info.Bytes (header +
 	// payload) can never overflow int64 — a hostile shard table claiming

@@ -12,11 +12,13 @@ import (
 // Statistics and shard views.
 //
 // Stats are the exact per-index cardinalities a cost-based planner needs,
-// collected once at New time (one popcount per posting list). View is a
-// contiguous ordinal slice of a store that answers index lookups by
-// slicing the parent's postings on the fly instead of rebuilding the
-// inverted indexes per shard — the memory-duplication fix ROADMAP.md
-// flags: N shards now share one set of postings with the global store.
+// collected once per store revision (one popcount per posting list at
+// build time; appends maintain them incrementally). View is a contiguous
+// ordinal slice pinned to one revision: it answers index lookups by
+// slicing that revision's layered postings on the fly instead of
+// rebuilding the inverted indexes per shard, and — because the revision is
+// immutable — every call on a view answers from the same generation even
+// while appends land on the owning store.
 
 // Stats holds exact cardinalities over one store's population. All counts
 // are patient-level (a patient with five T90 entries counts once), which
@@ -32,30 +34,60 @@ type Stats struct {
 	codeCard   map[codeKey]int
 	typeCard   map[model.Type]int
 	sourceCard map[model.Source]int
-	codes      []model.Code // shared with the owning store; do not mutate
+	codes      []model.Code // shared with the owning revision; do not mutate
 }
 
-// collectStats popcounts every posting list once.
-func collectStats(s *Store) *Stats {
+// collectStats popcounts every posting list of a revision once, summing
+// the base and delta layers (additive by the disjointness invariant).
+func collectStats(r *storeRev) *Stats {
 	st := &Stats{
-		Patients:      s.Len(),
-		Entries:       s.col.TotalEntries(),
-		DistinctCodes: len(s.codes),
-		codeCard:      make(map[codeKey]int, len(s.byCodeValue)),
-		typeCard:      make(map[model.Type]int, len(s.byType)),
-		sourceCard:    make(map[model.Source]int, len(s.bySource)),
-		codes:         s.codes,
+		Patients:      len(r.hists),
+		Entries:       r.entries,
+		DistinctCodes: len(r.codes),
+		codeCard:      make(map[codeKey]int, len(r.base.byCodeValue)),
+		typeCard:      make(map[model.Type]int, len(r.base.byType)),
+		sourceCard:    make(map[model.Source]int, len(r.base.bySource)),
+		codes:         r.codes,
 	}
-	for k, bs := range s.byCodeValue {
-		st.codeCard[k] = bs.Count()
-	}
-	for t, bs := range s.byType {
-		st.typeCard[t] = bs.Count()
-	}
-	for src, bs := range s.bySource {
-		st.sourceCard[src] = bs.Count()
-	}
+	addCounts(st.codeCard, r.base.byCodeValue)
+	addCounts(st.codeCard, r.delta.byCodeValue)
+	addCounts(st.typeCard, r.base.byType)
+	addCounts(st.typeCard, r.delta.byType)
+	addCounts(st.sourceCard, r.base.bySource)
+	addCounts(st.sourceCard, r.delta.bySource)
 	return st
+}
+
+func addCounts[K comparable](dst map[K]int, layer map[K]*Bitset) {
+	for k, bs := range layer {
+		if n := bs.Count(); n > 0 {
+			dst[k] += n
+		}
+	}
+}
+
+// clone deep-copies the cardinality maps so an append can increment them
+// without mutating the Stats published with the previous revision.
+func (st *Stats) clone() *Stats {
+	out := &Stats{
+		Patients:      st.Patients,
+		Entries:       st.Entries,
+		DistinctCodes: st.DistinctCodes,
+		codeCard:      make(map[codeKey]int, len(st.codeCard)+8),
+		typeCard:      make(map[model.Type]int, len(st.typeCard)),
+		sourceCard:    make(map[model.Source]int, len(st.sourceCard)),
+		codes:         st.codes,
+	}
+	for k, v := range st.codeCard {
+		out.codeCard[k] = v
+	}
+	for k, v := range st.typeCard {
+		out.typeCard[k] = v
+	}
+	for k, v := range st.sourceCard {
+		out.sourceCard[k] = v
+	}
+	return out
 }
 
 // AvgEntries returns the mean entries per history — the calibration input
@@ -207,37 +239,49 @@ func MergeStats(parts ...*Stats) *Stats {
 	return out
 }
 
-// View is a contiguous ordinal slice [Lo, Hi) of a store. It answers the
-// same index lookups as a dedicated shard store, in the shard's local
-// ordinal space (local bit i is parent bit Lo+i), by slicing the parent's
-// postings — no per-shard index memory, and an empty slice of a posting
-// list is detected in O(words) without materializing anything.
+// View is a contiguous ordinal slice [Lo, Hi) of one store revision. It
+// answers the same index lookups as a dedicated shard store, in the
+// shard's local ordinal space (local bit i is revision bit Lo+i), by
+// slicing the revision's layered postings — no per-shard index memory,
+// and an empty slice of a posting list is detected in O(words) without
+// materializing anything.
 //
-// The in-process engine answers index leaves from the global postings
-// directly (strictly cheaper than slice-and-remerge) and uses views for
-// scan fan-out and per-shard accounting; the WithType/WithSource/
-// WithCodeRegex lookups are the shard-local index API the planned
-// cross-process shard distribution serves over RPC, held equivalent to a
-// dedicated shard store by the property tests in stats_test.go.
+// A view is pinned: it keeps answering from the revision it was created
+// on, untouched by later appends to the owning store. The engine rebuilds
+// its views when the store generation advances, so one query always runs
+// against one generation.
 type View struct {
-	parent *Store
+	r      *storeRev
 	lo, hi int
 }
 
-// Slice returns the view over ordinals [lo, hi); bounds are clamped to
-// the population.
+// Slice returns a view over ordinals [lo, hi) of the current revision;
+// bounds are clamped to the population.
 func (s *Store) Slice(lo, hi int) *View {
+	r := s.loadRev()
+	return sliceRev(r, lo, hi)
+}
+
+func sliceRev(r *storeRev, lo, hi int) *View {
 	if lo < 0 {
 		lo = 0
 	}
-	if hi > s.Len() {
-		hi = s.Len()
+	if hi > len(r.hists) {
+		hi = len(r.hists)
 	}
 	if hi < lo {
 		hi = lo
 	}
-	return &View{parent: s, lo: lo, hi: hi}
+	return &View{r: r, lo: lo, hi: hi}
 }
+
+// Sub returns a view over ordinals [lo, hi) of the same revision as v
+// (absolute ordinals, independent of v's own range) — how the engine
+// carves shard views out of one pinned full-population view.
+func (v *View) Sub(lo, hi int) *View { return sliceRev(v.r, lo, hi) }
+
+// Generation returns the generation of the revision the view is pinned to.
+func (v *View) Generation() uint64 { return v.r.gen }
 
 // Len returns the number of patients in the view.
 func (v *View) Len() int { return v.hi - v.lo }
@@ -248,11 +292,14 @@ func (v *View) Offset() int { return v.lo }
 // Histories returns the view's histories in display order. Like
 // Collection.Histories, the slice must not be structurally mutated.
 func (v *View) Histories() []*model.History {
-	return v.parent.col.Histories()[v.lo:v.hi]
+	return v.r.hists[v.lo:v.hi]
 }
 
 // Entries returns the total entry count inside the view.
 func (v *View) Entries() int {
+	if v.lo == 0 && v.hi == len(v.r.hists) {
+		return v.r.entries
+	}
 	n := 0
 	for _, h := range v.Histories() {
 		n += len(h.Entries)
@@ -264,12 +311,12 @@ func (v *View) Entries() int {
 func (v *View) Empty() *Bitset { return NewBitset(v.Len()) }
 
 // PatientAt returns the patient ID at a local bit position.
-func (v *View) PatientAt(local int) model.PatientID { return v.parent.ids[v.lo+local] }
+func (v *View) PatientAt(local int) model.PatientID { return v.r.ids[v.lo+local] }
 
 // Ordinal returns the local bit position of a patient within the view;
 // ok=false when the patient is absent or lives outside the view's range.
 func (v *View) Ordinal(id model.PatientID) (int, bool) {
-	o, ok := v.parent.ordinal[id]
+	o, ok := v.r.ordinalOf(id)
 	if !ok || o < v.lo || o >= v.hi {
 		return 0, false
 	}
@@ -278,13 +325,18 @@ func (v *View) Ordinal(id model.PatientID) (int, bool) {
 
 // HistoryAt returns the history at a local bit position.
 func (v *View) HistoryAt(local int) *model.History {
-	return v.parent.col.Histories()[v.lo+local]
+	return v.r.hists[v.lo+local]
 }
 
 // Stats collects the view's exact cardinalities by popcounting the
-// parent's postings over the view's ordinal range — the per-shard
-// statistics a shard backend reports without owning dedicated indexes.
+// revision's layered postings over the view's ordinal range — the
+// per-shard statistics a shard backend reports without owning dedicated
+// indexes. The full-population view returns the revision's precomputed
+// statistics directly.
 func (v *View) Stats() *Stats {
+	if v.lo == 0 && v.hi == len(v.r.hists) {
+		return v.r.stats
+	}
 	st := &Stats{
 		Patients:   v.Len(),
 		Entries:    v.Entries(),
@@ -292,55 +344,86 @@ func (v *View) Stats() *Stats {
 		typeCard:   make(map[model.Type]int),
 		sourceCard: make(map[model.Source]int),
 	}
-	for _, c := range v.parent.codes {
+	for _, c := range v.r.codes {
 		k := codeKey{c.System, c.Value}
-		if n := v.parent.byCodeValue[k].CountRange(v.lo, v.hi); n > 0 {
+		base, delta := v.r.codeBits(k)
+		n := layerCountRange(base, v.lo, v.hi) + layerCountRange(delta, v.lo, v.hi)
+		if n > 0 {
 			st.codeCard[k] = n
-			st.codes = append(st.codes, c) // parent vocabulary is sorted
+			st.codes = append(st.codes, c) // revision vocabulary is sorted
 		}
 	}
 	st.DistinctCodes = len(st.codes)
-	for t, bs := range v.parent.byType {
-		if n := bs.CountRange(v.lo, v.hi); n > 0 {
+	for t := range layerKeys(v.r.base.byType, v.r.delta.byType) {
+		n := layerCountRange(v.r.base.byType[t], v.lo, v.hi) +
+			layerCountRange(v.r.delta.byType[t], v.lo, v.hi)
+		if n > 0 {
 			st.typeCard[t] = n
 		}
 	}
-	for src, bs := range v.parent.bySource {
-		if n := bs.CountRange(v.lo, v.hi); n > 0 {
+	for src := range layerKeys(v.r.base.bySource, v.r.delta.bySource) {
+		n := layerCountRange(v.r.base.bySource[src], v.lo, v.hi) +
+			layerCountRange(v.r.delta.bySource[src], v.lo, v.hi)
+		if n > 0 {
 			st.sourceCard[src] = n
 		}
 	}
 	return st
 }
 
-// slice extracts a parent posting into local ordinal space, fast-pathing
-// the empty range (the per-shard zero-cardinality skip).
-func (v *View) slice(bs *Bitset) *Bitset {
-	if bs == nil || !bs.AnyInRange(v.lo, v.hi) {
-		return v.Empty()
+// layerKeys returns the union of both layers' key sets.
+func layerKeys[K comparable](base, delta map[K]*Bitset) map[K]struct{} {
+	out := make(map[K]struct{}, len(base)+len(delta))
+	for k := range base {
+		out[k] = struct{}{}
 	}
-	return bs.SliceRange(v.lo, v.hi)
+	for k := range delta {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// slice extracts a layered posting into local ordinal space, fast-pathing
+// the empty range (the per-shard zero-cardinality skip).
+func (v *View) slice(base, delta *Bitset) *Bitset {
+	anyBase := layerAnyInRange(base, v.lo, v.hi)
+	anyDelta := layerAnyInRange(delta, v.lo, v.hi)
+	out := v.Empty()
+	if !anyBase && !anyDelta {
+		return out
+	}
+	if anyBase {
+		layerOrSlice(out, base, v.lo, v.hi)
+	}
+	if anyDelta {
+		layerOrSlice(out, delta, v.lo, v.hi)
+	}
+	return out
 }
 
 // WithType returns the view's patients having at least one entry of the
 // type, in local ordinal space.
-func (v *View) WithType(t model.Type) *Bitset { return v.slice(v.parent.byType[t]) }
+func (v *View) WithType(t model.Type) *Bitset {
+	return v.slice(v.r.base.byType[t], v.r.delta.byType[t])
+}
 
 // WithSource returns the view's patients having at least one entry from
 // the source, in local ordinal space.
-func (v *View) WithSource(src model.Source) *Bitset { return v.slice(v.parent.bySource[src]) }
+func (v *View) WithSource(src model.Source) *Bitset {
+	return v.slice(v.r.base.bySource[src], v.r.delta.bySource[src])
+}
 
 // WithCodeRegex returns the view's patients with a code (in the system;
 // "" = any) matching the anchored pattern, in local ordinal space. The
-// pattern is matched against the parent's distinct-code vocabulary; codes
-// absent from the slice contribute no bits, so the result is identical to
-// a dedicated shard index.
+// pattern is matched against the revision's distinct-code vocabulary;
+// codes absent from the slice contribute no bits, so the result is
+// identical to a dedicated shard index.
 func (v *View) WithCodeRegex(system, pattern string) (*Bitset, error) {
 	out := v.Empty()
-	err := matchCodes(v.parent.codes, system, pattern, func(c model.Code) {
-		if bs := v.parent.byCodeValue[codeKey{c.System, c.Value}]; bs.AnyInRange(v.lo, v.hi) {
-			out.OrSliceOf(bs, v.lo, v.hi)
-		}
+	err := matchCodes(v.r.codes, system, pattern, func(c model.Code) {
+		base, delta := v.r.codeBits(codeKey{c.System, c.Value})
+		layerOrSlice(out, base, v.lo, v.hi)
+		layerOrSlice(out, delta, v.lo, v.hi)
 	})
 	if err != nil {
 		return nil, err

@@ -4,28 +4,99 @@
 // drawing and to become more independent of the database schema"; Store is
 // that structure plus code/type/source inverted indexes over patients, and
 // snapshot persistence so a 168k-patient load survives process restarts.
+//
+// Since the live-ingest refactor the store is appendable: every batch of
+// new entries/patients publishes a fresh immutable revision (see delta.go)
+// under an atomic pointer, so readers never block behind writers and never
+// observe a half-applied batch. Postings are layered — an immutable base
+// fold plus a small mutable-tail delta absorbing appends — and background
+// compaction (compact.go) folds the delta back into the base.
 package store
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pastas/internal/model"
 	"pastas/internal/terminology"
 )
 
-// Store is an immutable indexed collection.
+// Store is an indexed collection. All read methods answer from one
+// immutable revision loaded once per call; Append and Compact serialize on
+// an internal mutex and publish new revisions atomically. A single method
+// call is therefore always generation-consistent, but a *sequence* of
+// calls may straddle an append — callers needing multi-call consistency
+// (the engine, the reference interpreter under ingest) pin a revision with
+// Pin or Freeze.
 type Store struct {
-	col     *model.Collection
-	ordinal map[model.PatientID]int // patient -> bit position
-	ids     []model.PatientID       // bit position -> patient
+	mu  sync.Mutex // serializes Append and Compact
+	rev atomic.Pointer[storeRev]
+}
 
+// postings is one layer of inverted indexes. Bitsets in a layer may have a
+// smaller capacity than the current population (they were built when the
+// population was smaller); bits past a bitset's capacity are implicitly
+// zero, and every layered read clamps accordingly.
+type postings struct {
 	byCodeValue map[codeKey]*Bitset
 	byType      map[model.Type]*Bitset
 	bySource    map[model.Source]*Bitset
-	codes       []model.Code // distinct codes, sorted
+}
 
-	stats *Stats // exact cardinalities, collected at New time
+func newPostings() *postings {
+	return &postings{
+		byCodeValue: make(map[codeKey]*Bitset),
+		byType:      make(map[model.Type]*Bitset),
+		bySource:    make(map[model.Source]*Bitset),
+	}
+}
+
+// lists returns the number of posting lists in the layer.
+func (p *postings) lists() int {
+	return len(p.byCodeValue) + len(p.byType) + len(p.bySource)
+}
+
+// storeRev is one immutable published revision of the store. Everything a
+// read needs hangs off the revision, so a reader that loaded it once can
+// never see torn state — an in-flight append builds the next revision on
+// the side and publishes it with a single pointer store.
+type storeRev struct {
+	gen   uint64
+	hists []*model.History
+	ids   []model.PatientID
+
+	// ordBase is the fold-time ordinal map, shared across revisions until
+	// the next compaction; ordDelta covers only patients appended since,
+	// and is small enough to copy per batch.
+	ordBase  map[model.PatientID]int
+	ordDelta map[model.PatientID]int
+
+	entries int
+
+	// base holds the compacted postings (capacity baseN); delta absorbs
+	// appends since the last compaction. A patient bit lives in exactly
+	// one layer (the append path checks base ∪ delta before setting), so
+	// per-key cardinalities are additive across layers.
+	base  *postings
+	baseN int
+	delta *postings
+
+	deltaEntries  int // entries absorbed into delta since last compaction
+	deltaPatients int // patients appended since last compaction
+
+	codes []model.Code // distinct codes, sorted
+	stats *Stats       // exact cardinalities for this revision
+
+	ingest     IngestStats
+	compaction CompactionStats
+
+	colOnce sync.Once
+	col     *model.Collection
+
+	maxIDOnce  sync.Once
+	maxEntryID uint64
 }
 
 type codeKey struct {
@@ -33,90 +104,151 @@ type codeKey struct {
 	value  string
 }
 
+// loadRev returns the current revision.
+func (s *Store) loadRev() *storeRev { return s.rev.Load() }
+
+// collection lazily materializes the revision's histories as a Collection
+// (appends invalidate the previous revision's, and most revisions are
+// never asked for one).
+func (r *storeRev) collection() *model.Collection {
+	r.colOnce.Do(func() {
+		if r.col == nil {
+			col, err := model.NewCollection(r.hists...)
+			if err != nil {
+				// Append validated ID uniqueness before publishing.
+				panic(fmt.Sprintf("store: corrupt revision: %v", err))
+			}
+			r.col = col
+		}
+	})
+	return r.col
+}
+
+// ordinalOf resolves a patient to its bit position within the revision.
+func (r *storeRev) ordinalOf(id model.PatientID) (int, bool) {
+	if o, ok := r.ordDelta[id]; ok {
+		return o, true
+	}
+	o, ok := r.ordBase[id]
+	return o, ok
+}
+
 // New indexes a collection. The collection must not be mutated afterwards.
 func New(col *model.Collection) *Store {
-	n := col.Len()
-	s := &Store{
-		col:         col,
-		ordinal:     make(map[model.PatientID]int, n),
-		ids:         make([]model.PatientID, n),
-		byCodeValue: make(map[codeKey]*Bitset),
-		byType:      make(map[model.Type]*Bitset),
-		bySource:    make(map[model.Source]*Bitset),
-	}
-	for i, h := range col.Histories() {
-		s.ordinal[h.Patient.ID] = i
-		s.ids[i] = h.Patient.ID
-	}
-	for i, h := range col.Histories() {
+	hists := col.Histories()
+	n := len(hists)
+	p := newPostings()
+	var maxID uint64
+	for i, h := range hists {
 		for j := range h.Entries {
 			e := &h.Entries[j]
+			if e.ID > maxID {
+				maxID = e.ID
+			}
 			if !e.Code.IsZero() {
 				k := codeKey{e.Code.System, e.Code.Value}
-				bs := s.byCodeValue[k]
+				bs := p.byCodeValue[k]
 				if bs == nil {
 					bs = NewBitset(n)
-					s.byCodeValue[k] = bs
+					p.byCodeValue[k] = bs
 				}
 				bs.Set(i)
 			}
-			tb := s.byType[e.Type]
+			tb := p.byType[e.Type]
 			if tb == nil {
 				tb = NewBitset(n)
-				s.byType[e.Type] = tb
+				p.byType[e.Type] = tb
 			}
 			tb.Set(i)
-			sb := s.bySource[e.Source]
+			sb := p.bySource[e.Source]
 			if sb == nil {
 				sb = NewBitset(n)
-				s.bySource[e.Source] = sb
+				p.bySource[e.Source] = sb
 			}
 			sb.Set(i)
 		}
 	}
-	for k := range s.byCodeValue {
-		s.codes = append(s.codes, model.Code{System: k.system, Value: k.value})
+	codes := make([]model.Code, 0, len(p.byCodeValue))
+	for k := range p.byCodeValue {
+		codes = append(codes, model.Code{System: k.system, Value: k.value})
 	}
-	sort.Slice(s.codes, func(i, j int) bool {
-		if s.codes[i].System != s.codes[j].System {
-			return s.codes[i].System < s.codes[j].System
-		}
-		return s.codes[i].Value < s.codes[j].Value
-	})
-	s.stats = collectStats(s)
+	sortCodes(codes)
+	s := finishStore(col, p, codes)
+	r := s.loadRev()
+	r.maxEntryID = maxID
+	r.maxIDOnce.Do(func() {})
 	return s
 }
 
-// Stats returns the store's exact index cardinalities (immutable, shared).
-func (s *Store) Stats() *Stats { return s.stats }
+// finishStore builds a gen-0 revision around base postings that cover the
+// whole collection (shared by New and NewFromPostings).
+func finishStore(col *model.Collection, base *postings, codes []model.Code) *Store {
+	hists := col.Histories()
+	n := len(hists)
+	r := &storeRev{
+		hists:    hists,
+		ids:      make([]model.PatientID, n),
+		ordBase:  make(map[model.PatientID]int, n),
+		ordDelta: map[model.PatientID]int{},
+		entries:  col.TotalEntries(),
+		base:     base,
+		baseN:    n,
+		delta:    newPostings(),
+		codes:    codes,
+		col:      col,
+	}
+	for i, h := range hists {
+		r.ordBase[h.Patient.ID] = i
+		r.ids[i] = h.Patient.ID
+	}
+	r.stats = collectStats(r)
+	s := &Store{}
+	s.rev.Store(r)
+	return s
+}
 
-// Collection returns the underlying collection.
-func (s *Store) Collection() *model.Collection { return s.col }
+func sortCodes(codes []model.Code) {
+	sort.Slice(codes, func(i, j int) bool {
+		if codes[i].System != codes[j].System {
+			return codes[i].System < codes[j].System
+		}
+		return codes[i].Value < codes[j].Value
+	})
+}
+
+// Stats returns the exact index cardinalities of the current revision
+// (immutable once published; a later append publishes a new Stats rather
+// than mutating this one).
+func (s *Store) Stats() *Stats { return s.loadRev().stats }
+
+// Collection returns the underlying collection of the current revision.
+func (s *Store) Collection() *model.Collection { return s.loadRev().collection() }
 
 // Len returns the number of patients.
-func (s *Store) Len() int { return s.col.Len() }
+func (s *Store) Len() int { return len(s.loadRev().hists) }
 
 // DistinctCodes returns every code present, sorted by system then value.
 func (s *Store) DistinctCodes() []model.Code {
-	out := make([]model.Code, len(s.codes))
-	copy(out, s.codes)
+	r := s.loadRev()
+	out := make([]model.Code, len(r.codes))
+	copy(out, r.codes)
 	return out
 }
 
 // Ordinal returns the bit position of a patient (ok=false if absent).
 func (s *Store) Ordinal(id model.PatientID) (int, bool) {
-	o, ok := s.ordinal[id]
-	return o, ok
+	return s.loadRev().ordinalOf(id)
 }
 
 // PatientAt returns the patient ID at a bit position.
-func (s *Store) PatientAt(ordinal int) model.PatientID { return s.ids[ordinal] }
+func (s *Store) PatientAt(ordinal int) model.PatientID { return s.loadRev().ids[ordinal] }
 
 // IDsOf materializes a bitset as patient IDs in collection order.
 func (s *Store) IDsOf(b *Bitset) []model.PatientID {
+	r := s.loadRev()
 	out := make([]model.PatientID, 0, b.Count())
 	b.Range(func(i int) bool {
-		out = append(out, s.ids[i])
+		out = append(out, r.ids[i])
 		return true
 	})
 	return out
@@ -128,20 +260,26 @@ func (s *Store) Empty() *Bitset { return NewBitset(s.Len()) }
 // All returns a bitset with every patient set.
 func (s *Store) All() *Bitset { return s.Empty().Not() }
 
+// codeBits returns both layers of one code's posting (either may be nil).
+func (r *storeRev) codeBits(k codeKey) (base, delta *Bitset) {
+	return r.base.byCodeValue[k], r.delta.byCodeValue[k]
+}
+
 // WithCode returns the patients carrying an exact code (any system if
 // system == "").
 func (s *Store) WithCode(system, value string) *Bitset {
+	r := s.loadRev()
+	out := NewBitset(len(r.hists))
 	if system != "" {
-		if bs := s.byCodeValue[codeKey{system, value}]; bs != nil {
-			return bs.Clone()
-		}
-		return s.Empty()
+		base, delta := r.codeBits(codeKey{system, value})
+		layerOrInto(out, base)
+		layerOrInto(out, delta)
+		return out
 	}
-	out := s.Empty()
 	for _, sys := range []string{"ICPC2", "ICD10", "ATC"} {
-		if bs := s.byCodeValue[codeKey{sys, value}]; bs != nil {
-			out.Or(bs)
-		}
+		base, delta := r.codeBits(codeKey{sys, value})
+		layerOrInto(out, base)
+		layerOrInto(out, delta)
 	}
 	return out
 }
@@ -172,9 +310,12 @@ func matchCodes(codes []model.Code, system, pattern string, fn func(model.Code))
 // distinct-code vocabulary (a few hundred strings) and unions the
 // pre-computed patient sets, rather than scanning millions of entries.
 func (s *Store) WithCodeRegex(system, pattern string) (*Bitset, error) {
-	out := s.Empty()
-	err := matchCodes(s.codes, system, pattern, func(c model.Code) {
-		out.Or(s.byCodeValue[codeKey{c.System, c.Value}])
+	r := s.loadRev()
+	out := NewBitset(len(r.hists))
+	err := matchCodes(r.codes, system, pattern, func(c model.Code) {
+		base, delta := r.codeBits(codeKey{c.System, c.Value})
+		layerOrInto(out, base)
+		layerOrInto(out, delta)
 	})
 	if err != nil {
 		return nil, err
@@ -190,8 +331,9 @@ func (s *Store) WithCodeRegexScan(system, pattern string) (*Bitset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	out := s.Empty()
-	for i, h := range s.col.Histories() {
+	r := s.loadRev()
+	out := NewBitset(len(r.hists))
+	for i, h := range r.hists {
 		for j := range h.Entries {
 			e := &h.Entries[j]
 			if e.Code.IsZero() {
@@ -211,25 +353,28 @@ func (s *Store) WithCodeRegexScan(system, pattern string) (*Bitset, error) {
 
 // WithType returns the patients having at least one entry of the type.
 func (s *Store) WithType(t model.Type) *Bitset {
-	if bs := s.byType[t]; bs != nil {
-		return bs.Clone()
-	}
-	return s.Empty()
+	r := s.loadRev()
+	out := NewBitset(len(r.hists))
+	layerOrInto(out, r.base.byType[t])
+	layerOrInto(out, r.delta.byType[t])
+	return out
 }
 
 // WithSource returns the patients having at least one entry from the source.
 func (s *Store) WithSource(src model.Source) *Bitset {
-	if bs := s.bySource[src]; bs != nil {
-		return bs.Clone()
-	}
-	return s.Empty()
+	r := s.loadRev()
+	out := NewBitset(len(r.hists))
+	layerOrInto(out, r.base.bySource[src])
+	layerOrInto(out, r.delta.bySource[src])
+	return out
 }
 
 // Where returns the patients whose history satisfies pred; the general
 // (scan) fallback for predicates the indexes cannot answer.
 func (s *Store) Where(pred func(*model.History) bool) *Bitset {
-	out := s.Empty()
-	for i, h := range s.col.Histories() {
+	r := s.loadRev()
+	out := NewBitset(len(r.hists))
+	for i, h := range r.hists {
 		if pred(h) {
 			out.Set(i)
 		}
@@ -240,5 +385,6 @@ func (s *Store) Where(pred func(*model.History) bool) *Bitset {
 // Subset materializes a bitset as a sub-collection in display order — the
 // paper's "extraction of sub-collections".
 func (s *Store) Subset(b *Bitset) *model.Collection {
-	return s.col.Subset(s.IDsOf(b))
+	r := s.loadRev()
+	return r.collection().Subset(s.IDsOf(b))
 }

@@ -1,0 +1,99 @@
+package synth
+
+// Follow-on feed generation for the live-ingest path. An append round is
+// one bundle a running workbench would receive after its initial load:
+// some brand-new persons (with their full registry history, exactly as
+// GenerateRange would have produced them) plus fresh events for a sample
+// of the patients already loaded. Rounds are keyed off (Config.Seed,
+// patient ID, round), so the feed is deterministic: the same config and
+// round numbers always produce the same bundles, independent of what was
+// consumed before.
+
+import (
+	"pastas/internal/model"
+	"pastas/internal/sources"
+)
+
+// appendFollowRate is the chance an existing patient receives follow-on
+// events in a given round.
+const appendFollowRate = 0.10
+
+// roundSeed derives the per-(patient, round) stream: the person's base
+// seed re-mixed with the round number, so each round's events are
+// independent of the base history and of every other round.
+func roundSeed(seed int64, id uint64, round int) int64 {
+	return personSeed(personSeed(seed, id), uint64(round)+1)
+}
+
+// GenerateAppend produces one follow-on bundle for a population built
+// from cfg: new persons firstNew..lastNew (1-based, inclusive; pass
+// firstNew > lastNew for none), plus new events for a deterministic
+// ~10% sample of the base patients 1..cfg.Patients, drawn for the given
+// round (1-based). Follow-on events always postdate the patient's birth,
+// so integration admits them; duplicate-delivery noise applies like in
+// the base feed.
+func GenerateAppend(cfg Config, firstNew, lastNew uint64, round int) *sources.Bundle {
+	out := &sources.Bundle{}
+	if firstNew != 0 && firstNew <= lastNew {
+		out = GenerateRange(cfg, firstNew, lastNew)
+	}
+	window := cfg.Window()
+	for id := uint64(1); id <= uint64(cfg.Patients); id++ {
+		r := NewRand(roundSeed(cfg.Seed, id, round))
+		if !r.Bernoulli(appendFollowRate) {
+			continue
+		}
+		// Recover the patient's deterministic birth date so every
+		// follow-on event is admissible.
+		birth, _, _ := sampleDemographics(NewRand(personSeed(cfg.Seed, id)), cfg.WindowStart)
+		emitFollowOn(&cfg, r, id, birth, window, out)
+	}
+	return out
+}
+
+// followICPC/followATC/followICD are the code pools follow-on events draw
+// from — common primary-care presentations, not tied to the base
+// condition emitters.
+var (
+	followICPC = []string{"R74", "L03", "K86", "T90", "A04", "L89"}
+	followATC  = []string{"M01AE01", "C07AB02", "N02BE01", "J01CA04"}
+	followICD  = []string{"J06", "M54", "I10", "E11"}
+)
+
+// emitFollowOn writes one round's events for one existing patient: one
+// to three GP visits, sometimes a prescription, occasionally a
+// specialist contact. Dates are drawn from the window but clamped past
+// birth (a patient born mid-window only gets post-birth events).
+func emitFollowOn(cfg *Config, r *Rand, id uint64, birth model.Time, window model.Period, out *sources.Bundle) {
+	day := func() model.Time {
+		t := r.DayIn(window)
+		if t < birth {
+			t = birth.AddDays(r.Intn(30) + 1)
+		}
+		return t
+	}
+	visits := 1 + r.Intn(3)
+	for i := 0; i < visits; i++ {
+		claim := sources.GPClaim{
+			Person: id,
+			Date:   dateStr(day()),
+			ICPC:   Pick(r, followICPC),
+			Amount: 140 + float64(r.Intn(220)),
+			Text:   "follow-up consultation",
+		}
+		out.GPClaims = append(out.GPClaims, claim)
+		if r.Bernoulli(cfg.DuplicateRate) {
+			out.GPClaims = append(out.GPClaims, claim)
+		}
+	}
+	if r.Bernoulli(0.4) {
+		out.Prescriptions = append(out.Prescriptions, sources.Prescription{
+			Person: id, Date: dateStr(day()), ATC: Pick(r, followATC), DurationDays: 30,
+		})
+	}
+	if r.Bernoulli(0.15) {
+		out.Specialist = append(out.Specialist, sources.SpecialistClaim{
+			Person: id, Date: dateStr(day()), ICD: Pick(r, followICD), Specialty: "internal medicine",
+		})
+	}
+}

@@ -140,28 +140,7 @@ type patientCtx struct {
 
 func generatePatient(cfg *Config, id uint64, out *sources.Bundle) {
 	r := NewRand(personSeed(cfg.Seed, id))
-
-	// Age structure: [0-17], [18-39], [40-59], [60-74], [75-94].
-	bracket := r.Weighted([]float64{22, 29, 26, 15, 8})
-	var lo, hi int
-	switch bracket {
-	case 0:
-		lo, hi = 0, 17
-	case 1:
-		lo, hi = 18, 39
-	case 2:
-		lo, hi = 40, 59
-	case 3:
-		lo, hi = 60, 74
-	default:
-		lo, hi = 75, 94
-	}
-	age := lo + r.Intn(hi-lo+1)
-	birth := cfg.WindowStart.AddDays(-age*365 - r.Intn(365))
-	sex := model.SexFemale
-	if r.Bernoulli(0.5) {
-		sex = model.SexMale
-	}
+	birth, sex, age := sampleDemographics(r, cfg.WindowStart)
 
 	p := &patientCtx{
 		cfg:    cfg,
@@ -188,6 +167,37 @@ func generatePatient(cfg *Config, id uint64, out *sources.Bundle) {
 		}
 	}
 	p.emitAcuteEvents()
+}
+
+// sampleDemographics draws one patient's birth date, sex and age at
+// window start. It is the first thing generatePatient draws from the
+// person's stream, so redrawing it from a fresh Rand seeded with the
+// same personSeed recovers the identical demographics — which is how
+// append rounds (GenerateAppend) know an existing patient's birth date
+// without regenerating their history.
+func sampleDemographics(r *Rand, windowStart model.Time) (birth model.Time, sex model.Sex, age int) {
+	// Age structure: [0-17], [18-39], [40-59], [60-74], [75-94].
+	bracket := r.Weighted([]float64{22, 29, 26, 15, 8})
+	var lo, hi int
+	switch bracket {
+	case 0:
+		lo, hi = 0, 17
+	case 1:
+		lo, hi = 18, 39
+	case 2:
+		lo, hi = 40, 59
+	case 3:
+		lo, hi = 60, 74
+	default:
+		lo, hi = 75, 94
+	}
+	age = lo + r.Intn(hi-lo+1)
+	birth = windowStart.AddDays(-age*365 - r.Intn(365))
+	sex = model.SexFemale
+	if r.Bernoulli(0.5) {
+		sex = model.SexMale
+	}
+	return birth, sex, age
 }
 
 // years is the window length in (365-day) years.

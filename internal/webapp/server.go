@@ -21,6 +21,7 @@ import (
 	"pastas/internal/model"
 	"pastas/internal/query"
 	"pastas/internal/render"
+	"pastas/internal/sources"
 )
 
 // Config tunes the service.
@@ -57,6 +58,7 @@ func NewServer(wb *core.Workbench, cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/details", s.auth(s.handleDetails))
 	s.mux.HandleFunc("POST /api/cohort", s.auth(s.handleCohort))
 	s.mux.HandleFunc("POST /api/indicators", s.auth(s.handleIndicators))
+	s.mux.HandleFunc("POST /api/ingest", s.auth(s.handleIngest))
 	s.mux.HandleFunc("GET /timeline", s.auth(s.handleTimelinePage))
 	s.mux.HandleFunc("GET /cohort-view", s.auth(s.handleCohortView))
 	s.mux.HandleFunc("GET /{$}", s.auth(s.handleIndex))
@@ -165,6 +167,28 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			degraded = true
 		}
 	}
+	// Live-ingest state: the store generation the engine is serving and
+	// the cumulative append/compaction counters. Null for a connected
+	// workbench, which has no local store to ingest into.
+	var ingest map[string]any
+	if ing, ok := s.wb.IngestStats(); ok {
+		last := s.wb.Store.LastCompaction()
+		ingest = map[string]any{
+			"batches":         ing.Batches,
+			"entries_applied": ing.EntriesApplied,
+			"patients_added":  ing.PatientsAdded,
+			"delta_entries":   ing.DeltaEntries,
+			"delta_patients":  ing.DeltaPatients,
+			"delta_lists":     ing.DeltaLists,
+			"compactions":     ing.Compactions,
+			"last_compaction": map[string]any{
+				"entries":     last.LastEntries,
+				"patients":    last.LastPatients,
+				"lists":       last.LastLists,
+				"duration_ms": float64(last.LastDuration.Nanoseconds()) / 1e6,
+			},
+		}
+	}
 	writeJSON(w, map[string]any{
 		"patients":       st.Patients,
 		"entries":        st.Entries,
@@ -176,6 +200,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"shards":         shards,
 		"backends":       backendKinds,
 		"snapshot":       snapshot,
+		"generation":     s.wb.Engine.Generation(),
+		"ingest":         ingest,
 		"cache": map[string]any{
 			"hits":     cache.Hits,
 			"misses":   cache.Misses,
@@ -184,6 +210,43 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		},
 	})
 }
+
+// handleIngest accepts one registry bundle as JSON and appends it to the
+// live store: new persons become new patients, event records for known
+// patients extend their histories, and in-flight queries keep answering
+// over the pre-append generation. Responds with the post-append ingest
+// counters. 409 for a workbench without a local store (connected to
+// remote shards), 400 for a bundle integration rejects.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.wb.Store == nil {
+		http.Error(w, "ingest requires a local store (this workbench coordinates remote shards)", http.StatusConflict)
+		return
+	}
+	var bundle sources.Bundle
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&bundle); err != nil {
+		http.Error(w, fmt.Sprintf("bad bundle: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := s.wb.Append(&bundle); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ing, _ := s.wb.IngestStats()
+	writeJSON(w, map[string]any{
+		"generation":      ing.Generation,
+		"batches":         ing.Batches,
+		"entries_applied": ing.EntriesApplied,
+		"patients_added":  ing.PatientsAdded,
+		"delta_entries":   ing.DeltaEntries,
+		"patients":        s.wb.Patients(),
+	})
+}
+
+// maxIngestBytes bounds one POST /api/ingest body (64 MiB — roughly a
+// 100k-patient bundle as JSON).
+const maxIngestBytes = 64 << 20
 
 // firstIDs resolves the first n patient IDs in collection order through
 // the engine — the same bytes whether the histories are local or live in

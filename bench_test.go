@@ -7,6 +7,7 @@ package pastas_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -1545,5 +1546,109 @@ func BenchmarkE14_QueryUnderIngest(b *testing.B) {
 		}
 		b.ResetTimer()
 		measure(b, wb)
+	})
+}
+
+// BenchmarkE15_RefineLoop prices the cohort-workspace tentpole: the
+// explore loop as O(delta) instead of O(population). A 5%-selective
+// parent cohort is materialized once over the E12 million-patient
+// population; the refined expression adds one more conjunct. The
+// from-scratch arm re-executes the whole conjunction (caches reset
+// every iteration — the pre-workspace explore loop); the refine arm
+// seeds from the cached parent and executes only the delta, masked.
+// The remote arms contrast the two distribution strategies for the
+// same refinement: pull-leaves ships every shard's full delta leaf to
+// the coordinator and intersects there; pushed-mask ships the parent
+// mask down (container-encoded, crc-checked) so each shard evaluates
+// the delta over candidates only. All results are parity-checked
+// against each other every iteration.
+func BenchmarkE15_RefineLoop(b *testing.B) {
+	st := e12Store(b)
+	n := e12Scale()
+	vb := func(lo, hi float64) query.Expr {
+		return query.Has{Pred: query.ValueBetween{Lo: lo, Hi: hi}}
+	}
+	parent := vb(90, 94)    // 5% of the population
+	delta := vb(1000, 1039) // 40% band on the decorrelated cycle
+	refined := query.And{parent, delta}
+	want := n / 100 * 2 // the two residues of the joint cycle
+	check := func(b *testing.B, bits *store.Bitset, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bits.Count() != want {
+			b.Fatalf("refined cohort drifted: %d, want %d", bits.Count(), want)
+		}
+	}
+	ctx := context.Background()
+
+	eng := engine.New(st, engine.Options{Shards: engine.DefaultOptions().Shards, CacheSize: 0})
+	b.Run("from-scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.ResetCache()
+			bits, err := eng.Execute(refined)
+			check(b, bits, err)
+		}
+	})
+	b.Run("refine", func(b *testing.B) {
+		eng.ResetCache()
+		if _, err := eng.Materialize(ctx, "parent", parent); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			info, ref, err := eng.Refine(ctx, "r", refined)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ref.Mode != engine.RefineNarrow {
+				b.Fatalf("refine mode %q, want narrow", ref.Mode)
+			}
+			if info.Count != want {
+				b.Fatalf("refined cohort drifted: %d, want %d", info.Count, want)
+			}
+		}
+	})
+
+	// Distributed: the same refinement over two loopback shard servers.
+	window := model.Period{Start: model.Date(2010, 1, 1), End: model.Date(2012, 1, 1)}
+	wb := core.FromCollection(st.Collection(), window)
+	coordOpts := engine.DefaultOptions()
+	coordOpts.CacheSize = 0
+	remote, _ := startBenchClusterOpts(b, wb, coordOpts)
+	if _, err := remote.Engine.Materialize(ctx, "parent", parent); err != nil {
+		b.Fatal(err)
+	}
+	parentBits, _, err := remote.Engine.CohortBits("parent")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("remote-pull-leaves", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// The pre-push-down strategy: evaluate the delta unmasked (every
+			// shard ships its full leaf) and intersect at the coordinator.
+			leaf, err := remote.Engine.Execute(delta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc := parentBits.Clone()
+			acc.And(leaf)
+			check(b, acc, nil)
+		}
+	})
+	b.Run("remote-pushed-mask", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			info, ref, err := remote.Engine.Refine(ctx, "r", refined)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ref.Mode != engine.RefineNarrow || !ref.Pushed {
+				b.Fatalf("refinement %+v, want pushed narrow", ref)
+			}
+			if info.Count != want {
+				b.Fatalf("refined cohort drifted: %d, want %d", info.Count, want)
+			}
+		}
 	})
 }

@@ -16,6 +16,10 @@
 //	cohortctl snapshot info -in wb.snap
 //	cohortctl shard-server -snapshot wb.snap -serve 0,1 -listen :7070
 //	cohortctl ingest -snapshot wb.snap -feed data/append-001,data/append-002 -compact -out wb2.snap
+//	cohortctl cohort save -snapshot wb.snap -name diabetics -query q.json
+//	cohortctl cohort list -snapshot wb.snap
+//	cohortctl cohort refine -snapshot wb.snap -name dm-elderly -query q2.json
+//	cohortctl cohort compare -snapshot wb.snap -a diabetics -b dm-elderly
 //
 // The explain subcommand prints the cost-annotated plan (estimated rows
 // and cost per node, in execution order), then runs the query and reports
@@ -76,6 +80,10 @@ func main() {
 	}
 	if len(args) > 0 && args[0] == "ingest" {
 		runIngest(args[1:])
+		return
+	}
+	if len(args) > 0 && args[0] == "cohort" {
+		runCohortCmd(args[1:])
 		return
 	}
 	explainMode := len(args) > 0 && args[0] == "explain"
@@ -191,6 +199,11 @@ func runExplain(wb *core.Workbench, expr query.Expr) {
 		log.Fatal(err)
 	}
 	fmt.Print(ex)
+	if ex.Seed == nil {
+		if cs := wb.Cohorts(); len(cs) > 0 {
+			fmt.Printf("no saved cohort seeds this plan (%d in the workspace; a refine would run from scratch)\n", len(cs))
+		}
+	}
 
 	t0 := time.Now()
 	bits, err := wb.Engine.Execute(expr)
@@ -399,6 +412,151 @@ func runIngest(args []string) {
 	}
 }
 
+// runCohortCmd dispatches the cohort workspace subcommands: save a named
+// cohort into a snapshot's workspace, list a snapshot's cohorts, refine
+// one incrementally (only the delta executes, masked by the saved
+// bitset), and compare two cohorts' profiles. save and refine write the
+// updated workspace back as a v5 snapshot (in place unless -out names a
+// different file).
+func runCohortCmd(args []string) {
+	if len(args) == 0 {
+		log.Fatal("usage: cohortctl cohort save|list|refine|compare|drop [flags]")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("cohortctl cohort "+sub, flag.ExitOnError)
+	snapshotFile := fs.String("snapshot", "", "snapshot file holding the workbench and its cohort workspace")
+	dataDir := fs.String("data", "", "registry extract directory (instead of -snapshot; workspace starts empty)")
+	synthN := fs.Int("synth", 0, "synthesize the population instead (workspace starts empty)")
+	var name, queryFile, out, cohortA, cohortB *string
+	switch sub {
+	case "save", "refine":
+		name = fs.String("name", "", "cohort name to save the result under")
+		queryFile = fs.String("query", "", "JSON query-spec file")
+		out = fs.String("out", "", "snapshot file to write the updated workspace to (default: -snapshot, in place)")
+	case "drop":
+		name = fs.String("name", "", "cohort name to drop")
+		out = fs.String("out", "", "snapshot file to write the updated workspace to (default: -snapshot, in place)")
+	case "compare":
+		cohortA = fs.String("a", "", "first cohort name")
+		cohortB = fs.String("b", "", "second cohort name")
+	case "list":
+	default:
+		log.Fatalf("unknown cohort subcommand %q (want save, list, refine, compare or drop)", sub)
+	}
+	fs.Parse(args[1:])
+
+	wb, _, err := loadWorkbench(*dataDir, *synthN, *snapshotFile, "", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d patients, %d entries, %d saved cohorts\n", wb.Patients(), wb.Entries(), len(wb.Cohorts()))
+
+	persist := func() {
+		path := ""
+		if out != nil {
+			path = *out
+		}
+		if path == "" {
+			path = *snapshotFile
+		}
+		if path == "" {
+			log.Print("warning: no -out and no -snapshot input; the workspace change was not persisted")
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err := wb.Save(f, core.SnapshotOptions{})
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved %s snapshot (%d shards, %d cohorts) to %s\n", info.Format(), info.Shards, info.Cohorts, path)
+	}
+
+	switch sub {
+	case "save":
+		if *name == "" || *queryFile == "" {
+			log.Fatal("need -name NAME and -query FILE")
+		}
+		expr, err := loadQueryExpr(*queryFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		info, err := wb.SaveCohort(*name, expr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cohort %q: %d of %d patients in %s (generation %d)\n",
+			info.Name, info.Count, wb.Patients(), time.Since(t0).Round(time.Microsecond), info.Generation)
+		persist()
+	case "refine":
+		if *name == "" || *queryFile == "" {
+			log.Fatal("need -name NAME and -query FILE")
+		}
+		expr, err := loadQueryExpr(*queryFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		info, ref, err := wb.RefineCohort(*name, expr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("refinement: %s\n", ref)
+		fmt.Printf("cohort %q: %d of %d patients in %s (generation %d)\n",
+			info.Name, info.Count, wb.Patients(), time.Since(t0).Round(time.Microsecond), info.Generation)
+		persist()
+	case "list":
+		cohorts := wb.Cohorts()
+		if len(cohorts) == 0 {
+			fmt.Println("no saved cohorts")
+			return
+		}
+		for _, c := range cohorts {
+			fmt.Printf("  %-24s %8d patients  generation %d  %s\n", c.Name, c.Count, c.Generation, c.Expr)
+		}
+	case "compare":
+		if *cohortA == "" || *cohortB == "" {
+			log.Fatal("need -a NAME and -b NAME")
+		}
+		cmp, err := wb.CompareCohorts(*cohortA, *cohortB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("overlap: %d in both, %d only in %q, %d only in %q\n\n",
+			cmp.Both, cmp.OnlyA, cmp.A.Name, cmp.OnlyB, cmp.B.Name)
+		fmt.Printf("── %s (%d patients) ──\n%s\n", cmp.A.Name, cmp.A.Count, cmp.ProfileA.Table())
+		fmt.Printf("── %s (%d patients) ──\n%s", cmp.B.Name, cmp.B.Count, cmp.ProfileB.Table())
+	case "drop":
+		if *name == "" {
+			log.Fatal("need -name NAME")
+		}
+		if !wb.DropCohort(*name) {
+			log.Fatalf("no cohort %q", *name)
+		}
+		fmt.Printf("dropped cohort %q\n", *name)
+		persist()
+	}
+}
+
+// loadQueryExpr reads and compiles a JSON query-spec file.
+func loadQueryExpr(path string) (query.Expr, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := query.ParseSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Compile()
+}
+
 // runSnapshotCmd dispatches the snapshot save/info subcommands.
 func runSnapshotCmd(args []string) {
 	if len(args) == 0 {
@@ -461,6 +619,9 @@ func runSnapshotCmd(args []string) {
 		if info.Generation > 0 {
 			fmt.Printf("ingest:   generation %d, %d compactions, delta at save: %d entries / %d patients\n",
 				info.Generation, info.Compactions, info.DeltaEntries, info.DeltaPatients)
+		}
+		if info.Cohorts > 0 {
+			fmt.Printf("cohorts:  %d (%d bytes, crc32c %08x)\n", info.Cohorts, info.CohortBytes, info.CohortChecksum)
 		}
 		for _, sh := range info.ShardDetail {
 			fmt.Printf("  shard %d: offset %d, %d bytes, %d patients, %d entries, crc32c %08x\n",

@@ -117,15 +117,16 @@ func primeWorkload(wb *core.Workbench) ([]model.PatientID, *store.Bitset, error)
 	return ids, bits, nil
 }
 
-// opClass indexes the three session operations.
+// opClass indexes the four session operations.
 const (
 	opQuery = iota
 	opTimeline
 	opIndicators
+	opRefine
 	numClasses
 )
 
-var classNames = [numClasses]string{"query", "timeline", "indicators"}
+var classNames = [numClasses]string{"query", "timeline", "indicators", "refine"}
 
 // sessionExprs is the rotating cohort workload — index-friendly,
 // scan-forcing and demographic shapes, so shard servers see the same
@@ -182,7 +183,7 @@ func run(wb *core.Workbench, ids []model.PatientID, cohortBits *store.Bitset, wo
 			for i := 0; time.Now().Before(deadline); i++ {
 				class := pickClass(r)
 				t0 := time.Now()
-				status, err := doOp(wb, class, r, ids, cohortBits)
+				status, err := doOp(wb, class, r, ids, cohortBits, fmt.Sprintf("lg-%d-%d", w, i))
 				local = append(local, sample{class: class, d: time.Since(t0), err: err != nil})
 				if !status.Complete() {
 					localIncomplete++
@@ -198,21 +199,23 @@ func run(wb *core.Workbench, ids []model.PatientID, cohortBits *store.Bitset, wo
 	return summarize(samples, workers, d, incomplete)
 }
 
-// pickClass weights the mix: half cohort queries, a third timelines,
-// the rest indicator aggregations — roughly a workbench session's
-// refine/inspect/aggregate rhythm.
+// pickClass weights the mix: cohort queries lead, then timelines, with
+// indicator aggregations and full refine sessions (save → narrow ×3 →
+// compare) rounding out a workbench session's rhythm.
 func pickClass(r *rand.Rand) int {
-	switch n := r.Intn(6); {
+	switch n := r.Intn(8); {
 	case n < 3:
 		return opQuery
 	case n < 5:
 		return opTimeline
-	default:
+	case n < 6:
 		return opIndicators
+	default:
+		return opRefine
 	}
 }
 
-func doOp(wb *core.Workbench, class int, r *rand.Rand, ids []model.PatientID, cohortBits *store.Bitset) (engine.QueryStatus, error) {
+func doOp(wb *core.Workbench, class int, r *rand.Rand, ids []model.PatientID, cohortBits *store.Bitset, name string) (engine.QueryStatus, error) {
 	switch class {
 	case opQuery:
 		_, status, err := wb.QueryStatus(sessionExprs[r.Intn(len(sessionExprs))])
@@ -220,10 +223,61 @@ func doOp(wb *core.Workbench, class int, r *rand.Rand, ids []model.PatientID, co
 	case opTimeline:
 		_, err := wb.History(ids[r.Intn(len(ids))])
 		return engine.QueryStatus{}, err
+	case opRefine:
+		return doRefineSession(wb, name)
 	default:
 		_, status, err := wb.IndicatorsStatus(cohortBits)
 		return status, err
 	}
+}
+
+// refineNarrowers are applied one at a time on top of the session's base
+// expression — each step is base ∧ (narrowers so far), which the engine
+// recognizes and answers from the previously saved cohort plus the new
+// conjunct only.
+var refineNarrowers = []query.Expr{
+	query.SexIs(model.SexFemale),
+	query.Has{Pred: query.TypeIs(model.TypeMedication)},
+	query.Has{Pred: query.MustCode("", `K8.`), MinCount: 2},
+}
+
+// doRefineSession runs one full explore loop under a session-unique name:
+// save a base cohort, narrow it three times (each refinement seeded by
+// the previous save), compare first against last, then drop the
+// session's cohorts. Materialization is strict by design, so with shards
+// down the save step fails with an unavailability error — counted as an
+// incomplete answer, like a degraded query, not as a load-generator
+// error.
+func doRefineSession(wb *core.Workbench, name string) (engine.QueryStatus, error) {
+	incomplete := func(err error) (engine.QueryStatus, error) {
+		if engine.IsUnavailable(err) {
+			return engine.QueryStatus{MissingShards: []int{-1}}, nil
+		}
+		return engine.QueryStatus{}, err
+	}
+	names := []string{name + "-base"}
+	defer func() {
+		for _, n := range names {
+			wb.DropCohort(n)
+		}
+	}()
+	base := query.Expr(sessionExprs[0])
+	if _, err := wb.SaveCohort(names[0], base); err != nil {
+		return incomplete(err)
+	}
+	conj := []query.Expr{base}
+	for j, n := range refineNarrowers {
+		conj = append(conj, n)
+		step := fmt.Sprintf("%s-n%d", name, j)
+		names = append(names, step)
+		if _, _, err := wb.RefineCohort(step, query.And(append([]query.Expr(nil), conj...))); err != nil {
+			return incomplete(err)
+		}
+	}
+	if _, err := wb.CompareCohorts(names[0], names[len(names)-1]); err != nil {
+		return incomplete(err)
+	}
+	return engine.QueryStatus{}, nil
 }
 
 func summarize(samples []sample, workers int, d time.Duration, incomplete int) *Summary {

@@ -374,8 +374,11 @@ type SnapshotOptions struct {
 // Save persists the collection as a sharded snapshot and returns the
 // layout written. A store that has ingested (generation > 0) is saved
 // fully merged with its ingest provenance in the v4 header; otherwise
-// the format is v3. Saving pins one revision, so it is safe while
-// queries — and further appends — are in flight.
+// the format is v3. Materialized cohorts valid at the current generation
+// are persisted alongside (promoting the snapshot to v5); with none the
+// output is byte-identical to before cohorts existed. Saving pins one
+// revision, so it is safe while queries — and further appends — are in
+// flight.
 func (wb *Workbench) Save(w io.Writer, opts SnapshotOptions) (*store.SnapshotInfo, error) {
 	if wb.Store == nil {
 		return nil, fmt.Errorf("core: save: workbench has no local collection (connected to remote shards)")
@@ -384,7 +387,11 @@ func (wb *Workbench) Save(w io.Writer, opts SnapshotOptions) (*store.SnapshotInf
 	if shards <= 0 {
 		shards = wb.Engine.NumShards()
 	}
-	info, err := store.SaveShardedStore(w, wb.Store, shards)
+	cohorts, err := cohortRecords(wb.Engine.ExportCohorts())
+	if err != nil {
+		return nil, err
+	}
+	info, err := store.SaveShardedStoreCohorts(w, wb.Store, shards, cohorts)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -396,12 +403,25 @@ func (wb *Workbench) Save(w io.Writer, opts SnapshotOptions) (*store.SnapshotInf
 // gob snapshots are detected transparently and fall back to the gob
 // decoder. The resulting workbench records the snapshot's provenance.
 func Open(r io.Reader, window model.Period) (*Workbench, error) {
-	col, info, err := store.LoadInfo(r)
+	col, cohorts, info, err := store.LoadInfoCohorts(r)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	wb := FromCollection(col, window)
 	wb.Snapshot = info
+	// Re-adopt the persisted cohorts into the fresh engine's workspace:
+	// the expressions round-trip through the engine's wire codec (re-
+	// validated on decode) and the bitsets were crc-checked with the rest
+	// of the snapshot.
+	for _, c := range cohorts {
+		e, err := engine.DecodeExpr(c.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("core: open: cohort %q: %w", c.Name, err)
+		}
+		if err := wb.Engine.AdoptCohort(c.Name, e, c.Bits); err != nil {
+			return nil, fmt.Errorf("core: open: %w", err)
+		}
+	}
 	return wb, nil
 }
 

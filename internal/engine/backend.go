@@ -68,6 +68,7 @@ type ShardBackend interface {
 	FetchHistories(ctx context.Context, ordinals []int) ([]*model.History, error)
 	LocateID(ctx context.Context, id model.PatientID) (int, bool, error)
 	Indicators(ctx context.Context, mask *store.Bitset, window model.Period) (stats.IndicatorCounts, error)
+	Profile(ctx context.Context, mask *store.Bitset, window model.Period) (stats.CohortProfile, error)
 	Close() error
 }
 
@@ -181,6 +182,34 @@ func tallyIndicators(history func(int) *model.History, patients int, mask *store
 		}
 	}
 	return counts, nil
+}
+
+// Profile implements ShardBackend: the cohort-characteristics analogue
+// of Indicators — one pass over the masked histories producing the
+// fixed-size dimension tally compare-cohorts merges.
+func (b *LocalBackend) Profile(_ context.Context, mask *store.Bitset, window model.Period) (stats.CohortProfile, error) {
+	return tallyProfile(b.v.HistoryAt, b.v.Len(), mask, window)
+}
+
+// tallyProfile mirrors tallyIndicators for cohort characteristics: the
+// one loop both transports run, so the mask contract and the per-history
+// accounting can never diverge between them.
+func tallyProfile(history func(int) *model.History, patients int, mask *store.Bitset, window model.Period) (stats.CohortProfile, error) {
+	var prof stats.CohortProfile
+	if mask != nil && mask.Len() != patients {
+		return prof, fmt.Errorf("engine: profile mask covers %d patients, shard has %d", mask.Len(), patients)
+	}
+	if mask != nil {
+		mask.Range(func(i int) bool {
+			prof.AddHistory(history(i), window)
+			return true
+		})
+	} else {
+		for i := 0; i < patients; i++ {
+			prof.AddHistory(history(i), window)
+		}
+	}
+	return prof, nil
 }
 
 // Probe implements Prober; an in-process view is always alive.

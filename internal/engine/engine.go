@@ -117,6 +117,11 @@ type Engine struct {
 	// plans memoizes optimized plans by (expression, feedback epoch,
 	// store generation).
 	plans *planMemo
+	// ws holds the materialized cohorts (cohorts.go), epoched by store
+	// generation like the caches — but NOT cleared by ResetCache: a saved
+	// cohort is user state, not derived state, and benchmark cold arms
+	// must be able to drop the caches without losing the workspace.
+	ws *workspace
 }
 
 // New builds an engine over an already-indexed global store. With more
@@ -135,6 +140,7 @@ func New(st *store.Store, opts Options) *Engine {
 		boundCache: newPlanCache(boundCacheSize),
 		fb:         newFeedback(feedbackSize),
 		plans:      newPlanMemo(planMemoSize),
+		ws:         newWorkspace(),
 	}
 	e.topo.Store(e.buildTopo(st.Pin()))
 	return e
@@ -209,6 +215,7 @@ func NewFromBackends(backends []ShardBackend, opts Options) (*Engine, error) {
 		boundCache: newPlanCache(boundCacheSize),
 		fb:         newFeedback(feedbackSize),
 		plans:      newPlanMemo(planMemoSize),
+		ws:         newWorkspace(),
 	}
 	t := &topo{backends: bs}
 	for _, b := range bs {

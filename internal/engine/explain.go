@@ -39,6 +39,27 @@ type Explained struct {
 	// healthy replica — the shards a degraded execution would report
 	// missing, and a strict one would fail on.
 	Unhealthy []int
+	// Seed, when non-nil, reports that a materialized cohort would seed
+	// this plan's execution through Engine.Refine — the mask-provenance
+	// annotation that makes the O(delta) refinement observable.
+	Seed *SeedInfo
+}
+
+// SeedInfo names the materialized cohort a refinement of this plan would
+// be seeded by, and how.
+type SeedInfo struct {
+	// Cohort is the seeding cohort's name; Count its cardinality — the
+	// candidate set the delta would be bounded to.
+	Cohort string `json:"cohort"`
+	Count  int    `json:"count"`
+	// Mode is RefineExact, RefineNarrow or RefineWiden.
+	Mode string `json:"mode"`
+	// Delta is the canonical key of the plan fragment that would actually
+	// run (empty for an exact match).
+	Delta string `json:"delta,omitempty"`
+	// Pushed reports whether the seed mask would be shipped to remote
+	// shards (a coordinator) or applied in-process (a local engine).
+	Pushed bool `json:"pushed"`
 }
 
 // Explain compiles and cost-optimizes an expression and annotates every
@@ -55,6 +76,17 @@ func (e *Engine) Explain(q query.Expr) (*Explained, error) {
 	for _, h := range e.Health() {
 		if !h.Healthy {
 			x.Unhealthy = append(x.Unhealthy, h.Shard)
+		}
+	}
+	if seed, remaining, mode := e.refineSeed(t, p); seed != nil {
+		x.Seed = &SeedInfo{Cohort: seed.name, Count: seed.count, Mode: mode, Pushed: t.view == nil}
+		switch mode {
+		case RefineNarrow:
+			x.Seed.Delta = andOf(remaining).Key()
+		case RefineWiden:
+			x.Seed.Delta = orOf(remaining).Key()
+		case RefineExact:
+			x.Seed.Pushed = false // nothing executes, nothing is shipped
 		}
 	}
 	return x, nil
@@ -131,6 +163,19 @@ func (x *Explained) String() string {
 		fmt.Fprintf(&b, " [unhealthy shards: %v]", x.Unhealthy)
 	}
 	b.WriteString(":\n")
+	if s := x.Seed; s != nil {
+		where := "masked locally"
+		if s.Pushed {
+			where = "mask pushed down to remote shards"
+		}
+		switch s.Mode {
+		case RefineExact:
+			fmt.Fprintf(&b, "seed: cohort %q (%d patients) answers exactly — refine executes nothing\n", s.Cohort, s.Count)
+		default:
+			fmt.Fprintf(&b, "seed: cohort %q (%d patients, %s) bounds the scan, delta %s, %s\n",
+				s.Cohort, s.Count, s.Mode, s.Delta, where)
+		}
+	}
 	writeNode(&b, &x.Root, 0)
 	return b.String()
 }

@@ -225,6 +225,14 @@ func (f *FaultBackend) Indicators(ctx context.Context, mask *store.Bitset, windo
 	return f.inner.Indicators(ctx, mask, window)
 }
 
+// Profile implements ShardBackend.
+func (f *FaultBackend) Profile(ctx context.Context, mask *store.Bitset, window model.Period) (stats.CohortProfile, error) {
+	if err := f.gate(ctx); err != nil {
+		return stats.CohortProfile{}, err
+	}
+	return f.inner.Profile(ctx, mask, window)
+}
+
 // Probe implements Prober, under the same fault schedule as real calls —
 // a health checker must see the injected outage.
 func (f *FaultBackend) Probe(ctx context.Context) error {

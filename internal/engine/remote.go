@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"net/rpc"
 	"reflect"
@@ -35,6 +36,24 @@ import (
 
 // rpcServiceName is the registered net/rpc service.
 const rpcServiceName = "PastasShard"
+
+// maskCRCTable checksums container-encoded masks shipped to shards
+// (crc32c, the same polynomial the snapshot format uses). The bitset
+// codec validates structure; the checksum catches the corruption class
+// structure validation can miss — a bit flip inside a container payload
+// that still decodes to a plausible bitset would silently evaluate the
+// delta over the wrong candidates.
+var maskCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checkMaskCRC validates a shipped mask's checksum before any decode
+// work; crc 0 with a non-empty mask means the client predates the
+// checksum, which no supported client does — refuse loudly.
+func checkMaskCRC(data []byte, crc uint32) error {
+	if got := crc32.Checksum(data, maskCRCTable); got != crc {
+		return fmt.Errorf("engine: mask checksum mismatch (got %08x, want %08x): corrupt or truncated mask", got, crc)
+	}
+	return nil
+}
 
 // servedShard is one shard a server answers for.
 type servedShard struct {
@@ -230,11 +249,15 @@ func (r *ShardRPC) Stats(args *StatsArgs, reply *StatsReply) error {
 }
 
 // EvalArgs/EvalReply: plan evaluation. Plan is a wire.go-encoded plan;
-// Mask, when non-empty, is a shard-local bitset restricting candidates.
+// Mask, when non-empty, is a container-encoded shard-local bitset
+// restricting candidates, with MaskCRC its crc32c — validated server-side
+// before the mask is decoded, so a corrupted mask is a loud error, never
+// a silently wrong cohort.
 type EvalArgs struct {
-	Shard int
-	Plan  []byte
-	Mask  []byte
+	Shard   int
+	Plan    []byte
+	Mask    []byte
+	MaskCRC uint32
 }
 type EvalReply struct{ Bits []byte }
 
@@ -255,6 +278,9 @@ func (r *ShardRPC) Eval(args *EvalArgs, reply *EvalReply) error {
 	}
 	var mask *store.Bitset
 	if len(args.Mask) > 0 {
+		if err := checkMaskCRC(args.Mask, args.MaskCRC); err != nil {
+			return err
+		}
 		mask = new(store.Bitset)
 		if err := mask.UnmarshalBinary(args.Mask); err != nil {
 			return err
@@ -416,6 +442,51 @@ func (r *ShardRPC) Indicators(args *IndicatorsArgs, reply *IndicatorsReply) erro
 		return err
 	}
 	reply.Counts = counts
+	return nil
+}
+
+// ProfileArgs/ProfileReply: server-side cohort-characteristics
+// aggregation. Mask, when non-empty, is a container-encoded shard-local
+// cohort bitset with its crc32c; the reply is the shard's mergeable
+// dimension tally — fixed size whatever the cohort, so compare-cohorts
+// never ships a history.
+type ProfileArgs struct {
+	Shard   int
+	Mask    []byte
+	MaskCRC uint32
+	Window  model.Period
+}
+type ProfileReply struct {
+	Profile stats.CohortProfile
+}
+
+// Profile tallies the cohort characteristics over the shard's slice of
+// the cohort.
+func (r *ShardRPC) Profile(args *ProfileArgs, reply *ProfileReply) error {
+	if err := r.s.begin(); err != nil {
+		return err
+	}
+	defer r.s.end()
+	sh, err := r.s.shard(args.Shard)
+	if err != nil {
+		return err
+	}
+	var mask *store.Bitset
+	if len(args.Mask) > 0 {
+		if err := checkMaskCRC(args.Mask, args.MaskCRC); err != nil {
+			return err
+		}
+		mask = new(store.Bitset)
+		if err := mask.UnmarshalBinary(args.Mask); err != nil {
+			return err
+		}
+	}
+	col := sh.eng.Store().Collection()
+	prof, err := tallyProfile(col.At, col.Len(), mask, args.Window)
+	if err != nil {
+		return err
+	}
+	reply.Profile = prof
 	return nil
 }
 
@@ -779,6 +850,7 @@ func (b *RemoteBackend) EvalPlan(ctx context.Context, p Plan, mask *store.Bitset
 		if args.Mask, err = mask.MarshalBinary(); err != nil {
 			return nil, err
 		}
+		args.MaskCRC = crc32.Checksum(args.Mask, maskCRCTable)
 	}
 	var reply EvalReply
 	if err := b.conn.call(ctx, "Eval", &args, &reply); err != nil {
@@ -849,6 +921,33 @@ func (b *RemoteBackend) Indicators(ctx context.Context, mask *store.Bitset, wind
 			b.conn.addr, got, b.meta.Patients)
 	}
 	return reply.Counts, nil
+}
+
+// Profile implements ShardBackend: the cohort mask crosses the wire
+// crc-checked, a fixed-size dimension tally comes back.
+func (b *RemoteBackend) Profile(ctx context.Context, mask *store.Bitset, window model.Period) (stats.CohortProfile, error) {
+	args := ProfileArgs{Shard: b.meta.Shard, Window: window}
+	if mask != nil {
+		if mask.Len() != b.meta.Patients {
+			return stats.CohortProfile{}, fmt.Errorf("engine: profile mask covers %d patients, shard has %d",
+				mask.Len(), b.meta.Patients)
+		}
+		data, err := mask.MarshalBinary()
+		if err != nil {
+			return stats.CohortProfile{}, err
+		}
+		args.Mask = data
+		args.MaskCRC = crc32.Checksum(data, maskCRCTable)
+	}
+	var reply ProfileReply
+	if err := b.conn.call(ctx, "Profile", &args, &reply); err != nil {
+		return stats.CohortProfile{}, err
+	}
+	if got := reply.Profile.Patients; got < 0 || got > b.meta.Patients {
+		return stats.CohortProfile{}, fmt.Errorf("engine: %s: profile tally covers %d patients, shard has %d",
+			b.conn.addr, got, b.meta.Patients)
+	}
+	return reply.Profile, nil
 }
 
 // IDsOf implements ShardBackend.

@@ -336,6 +336,17 @@ func (rb *ReplicaBackend) Indicators(ctx context.Context, mask *store.Bitset, wi
 	return out, err
 }
 
+// Profile implements ShardBackend.
+func (rb *ReplicaBackend) Profile(ctx context.Context, mask *store.Bitset, window model.Period) (stats.CohortProfile, error) {
+	var out stats.CohortProfile
+	err := rb.do(ctx, func(ctx context.Context, b ShardBackend) error {
+		var err error
+		out, err = b.Profile(ctx, mask, window)
+		return err
+	})
+	return out, err
+}
+
 // Probe implements Prober: the set is alive if any member answers.
 func (rb *ReplicaBackend) Probe(ctx context.Context) error {
 	var lastErr error

@@ -134,6 +134,34 @@ func DecodePlan(data []byte) (Plan, error) {
 	return planFromWire(w)
 }
 
+// EncodeExpr serializes a query expression in the same tagged wire form
+// plans use. The store's cohort segment persists expressions through this
+// codec without importing the query package's types: the bytes are opaque
+// to the snapshot format and re-validated on decode. Opaque expressions
+// (closures, unknown types) error like EncodePlan does.
+func EncodeExpr(e query.Expr) ([]byte, error) {
+	w, err := exprToWire(e)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("engine: encode expression: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeExpr reconstructs an expression serialized by EncodeExpr,
+// re-validating patterns like DecodePlan — a hostile payload errors, it
+// never produces an expression that panics at evaluation time.
+func DecodeExpr(data []byte) (query.Expr, error) {
+	var w wireExpr
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("engine: decode expression: %w", err)
+	}
+	return exprFromWire(w)
+}
+
 func planToWire(p Plan) (wirePlan, error) {
 	switch n := p.(type) {
 	case All:

@@ -84,6 +84,19 @@ func LoadInfo(r io.Reader) (*model.Collection, *SnapshotInfo, error) {
 	return loadLegacy(br)
 }
 
+// LoadInfoCohorts is LoadInfo plus any materialized cohorts persisted in
+// the snapshot (v5 sharded snapshots only; earlier versions and legacy
+// gob snapshots return nil cohorts).
+func LoadInfoCohorts(r io.Reader) (*model.Collection, []CohortRecord, *SnapshotInfo, error) {
+	br := bufio.NewReaderSize(r, snapshotBufSize)
+	head, err := br.Peek(len(snapshotMagic))
+	if err == nil && bytes.Equal(head, []byte(snapshotMagic)) {
+		return loadShardedFull(br)
+	}
+	col, info, err := loadLegacy(br)
+	return col, nil, info, err
+}
+
 // loadLegacy decodes a v1 single-gob snapshot.
 func loadLegacy(br *bufio.Reader) (*model.Collection, *SnapshotInfo, error) {
 	var f snapshotFile

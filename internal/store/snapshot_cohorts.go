@@ -1,0 +1,194 @@
+package store
+
+// The v5 cohort segment: materialized cohorts persisted inside the
+// sharded snapshot, after the postings segments. Each record is a name,
+// an opaque expression blob (the engine's wire codec; the store never
+// interprets it) and a container-encoded bitset over the full
+// population. The header carries the record count, the segment size and
+// a crc32c over the whole segment, so a truncated or tampered segment is
+// refused before a single record is parsed — and every inner length is
+// re-validated against the remaining bytes, so a hostile header can
+// never drive an allocation or a slice past the payload.
+//
+// Snapshots without cohorts keep their previous version (v3 pristine, v4
+// ingested) byte for byte; v5 is only written when there is a cohort to
+// persist, so live-ingest batch-vs-incremental byte-identity diffs are
+// unaffected.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"pastas/internal/model"
+)
+
+// snapshotVersionCohorts adds the cohort extension (record count,
+// segment size, crc32c) after the ingest extension, and the cohort
+// segment after the postings segments. The ingest extension is always
+// present in a v5 header (zeros for a pristine store).
+const snapshotVersionCohorts = 5
+
+// snapshotCohortExt is the v5 header extension size: count uint32,
+// segment bytes uint64, crc32c uint32.
+const snapshotCohortExt = 4 + 8 + 4
+
+// maxSnapshotCohorts bounds the cohort count a header may claim.
+const maxSnapshotCohorts = 1 << 12
+
+// maxCohortNameLen bounds one persisted cohort name; the engine enforces
+// 200 bytes at save time, the decoder allows a little slack but never an
+// attacker-sized allocation.
+const maxCohortNameLen = 1 << 10
+
+// CohortRecord is one persisted cohort: the saved expression in the
+// engine's wire codec (opaque to the store) and the materialized bitset
+// over the snapshot's full population.
+type CohortRecord struct {
+	Name string
+	Expr []byte
+	Bits *Bitset
+}
+
+// encodeCohortSegment renders the records back to back:
+// uvarint name length + name, uvarint expr length + expr, uvarint bits
+// length + container-encoded bits.
+func encodeCohortSegment(cohorts []CohortRecord) ([]byte, error) {
+	var out []byte
+	for _, c := range cohorts {
+		if c.Name == "" || len(c.Name) > maxCohortNameLen {
+			return nil, fmt.Errorf("store: cohort name length %d out of range [1, %d]", len(c.Name), maxCohortNameLen)
+		}
+		if c.Bits == nil {
+			return nil, fmt.Errorf("store: cohort %q has no bitset", c.Name)
+		}
+		bits, err := c.Bits.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("store: cohort %q: %w", c.Name, err)
+		}
+		out = binary.AppendUvarint(out, uint64(len(c.Name)))
+		out = append(out, c.Name...)
+		out = binary.AppendUvarint(out, uint64(len(c.Expr)))
+		out = append(out, c.Expr...)
+		out = binary.AppendUvarint(out, uint64(len(bits)))
+		out = append(out, bits...)
+	}
+	return out, nil
+}
+
+// decodeCohortSegment parses a crc-verified cohort segment. count and
+// patients come from the (already sanity-checked) header; every record
+// field is still validated against the bytes actually present, duplicate
+// names and trailing bytes are refused, and each bitset must cover the
+// population exactly.
+func decodeCohortSegment(data []byte, count, patients int) ([]CohortRecord, error) {
+	out := make([]CohortRecord, 0, count)
+	seen := make(map[string]bool, count)
+	for i := 0; i < count; i++ {
+		name, rest, err := readCohortField(data, maxCohortNameLen, "name")
+		if err != nil {
+			return nil, fmt.Errorf("store: cohort segment: record %d: %w", i, err)
+		}
+		if len(name) == 0 {
+			return nil, fmt.Errorf("store: cohort segment: record %d: empty name", i)
+		}
+		expr, rest, err := readCohortField(rest, len(rest), "expression")
+		if err != nil {
+			return nil, fmt.Errorf("store: cohort segment: record %d (%q): %w", i, name, err)
+		}
+		bits, rest, err := readCohortField(rest, len(rest), "bitset")
+		if err != nil {
+			return nil, fmt.Errorf("store: cohort segment: record %d (%q): %w", i, name, err)
+		}
+		b := new(Bitset)
+		if err := b.UnmarshalBinary(bits); err != nil {
+			return nil, fmt.Errorf("store: cohort segment: record %d (%q): %w", i, name, err)
+		}
+		if b.Len() != patients {
+			return nil, fmt.Errorf("store: cohort segment: record %d (%q): bitset covers %d patients, snapshot has %d",
+				i, name, b.Len(), patients)
+		}
+		if seen[string(name)] {
+			return nil, fmt.Errorf("store: cohort segment: duplicate cohort %q", name)
+		}
+		seen[string(name)] = true
+		out = append(out, CohortRecord{
+			Name: string(name),
+			Expr: append([]byte(nil), expr...),
+			Bits: b,
+		})
+		data = rest
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("store: cohort segment: %d trailing bytes after last record", len(data))
+	}
+	return out, nil
+}
+
+// readCohortField reads one uvarint-length-prefixed field, bounding the
+// claimed length by both the caller's cap and the bytes remaining.
+func readCohortField(data []byte, maxLen int, what string) (field, rest []byte, err error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, nil, fmt.Errorf("%s length: truncated varint", what)
+	}
+	data = data[used:]
+	if n > uint64(maxLen) || n > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("%s length %d exceeds remaining %d bytes", what, n, len(data))
+	}
+	return data[:n], data[n:], nil
+}
+
+// SaveShardedStoreCohorts is SaveShardedStore plus a cohort segment:
+// when cohorts is non-empty the snapshot is written as v5, carrying the
+// materialized cohorts; with no cohorts it is byte-identical to
+// SaveShardedStore.
+func SaveShardedStoreCohorts(w io.Writer, s *Store, shards int, cohorts []CohortRecord) (*SnapshotInfo, error) {
+	r := s.loadRev()
+	col := r.collection()
+	// A cohort exported just before a concurrent append no longer covers
+	// the pinned population — the very append that outdated it has already
+	// invalidated it in the workspace, so it is dropped here too rather
+	// than failing the save.
+	kept := make([]CohortRecord, 0, len(cohorts))
+	for _, c := range cohorts {
+		if c.Bits != nil && c.Bits.Len() == col.Len() {
+			kept = append(kept, c)
+		}
+	}
+	cohorts = kept
+	var prov *ingestProvenance
+	if r.gen != 0 {
+		prov = &ingestProvenance{
+			generation:    r.gen,
+			deltaEntries:  r.deltaEntries,
+			deltaPatients: r.deltaPatients,
+			compactions:   r.compaction.Runs,
+		}
+	}
+	return saveSharded(w, col, shards, prov, cohorts)
+}
+
+// LoadShardedCohorts is LoadSharded plus the decoded cohort records
+// (nil for pre-v5 snapshots).
+func LoadShardedCohorts(r io.Reader) (*model.Collection, []CohortRecord, *SnapshotInfo, error) {
+	return loadShardedFull(bufio.NewReaderSize(r, snapshotBufSize))
+}
+
+// readCohortSegment drains and decodes the cohort segment off the
+// stream; call after the postings segments have been consumed.
+func readCohortSegment(r io.Reader, info *SnapshotInfo) ([]CohortRecord, error) {
+	if info.Version < snapshotVersionCohorts || info.Cohorts == 0 {
+		return nil, nil
+	}
+	seg := make([]byte, int(info.CohortBytes))
+	if _, err := io.ReadFull(r, seg); err != nil {
+		return nil, fmt.Errorf("store: load snapshot: cohort segment: read %d bytes: %w", info.CohortBytes, err)
+	}
+	if got := crc32.Checksum(seg, crcTable); got != info.CohortChecksum {
+		return nil, fmt.Errorf("store: load snapshot: cohort segment: checksum mismatch (got %08x, want %08x)", got, info.CohortChecksum)
+	}
+	return decodeCohortSegment(seg, info.Cohorts, info.Patients)
+}

@@ -112,6 +112,11 @@ type SnapshotInfo struct {
 	DeltaEntries  int    `json:"delta_entries,omitempty"`
 	DeltaPatients int    `json:"delta_patients,omitempty"`
 	Compactions   uint64 `json:"compactions,omitempty"`
+	// Materialized cohorts persisted with the snapshot (v5 only): record
+	// count, segment size, and the segment's crc32c.
+	Cohorts        int    `json:"cohorts,omitempty"`
+	CohortBytes    int64  `json:"cohort_bytes,omitempty"`
+	CohortChecksum uint32 `json:"cohort_checksum,omitempty"`
 }
 
 // headerLen returns the full header size: fixed part, shard table, and —
@@ -121,6 +126,9 @@ func (si *SnapshotInfo) headerLen() int64 {
 	l := int64(snapshotHeaderFixed) + int64(si.Shards)*snapshotShardRow
 	if si.Version >= snapshotVersionIngest {
 		l += snapshotIngestExt
+	}
+	if si.Version >= snapshotVersionCohorts {
+		l += snapshotCohortExt
 	}
 	if si.Version >= snapshotVersionPostings {
 		l += int64(si.Shards) * snapshotPostingsRow
@@ -168,7 +176,7 @@ func shardBounds(n, shards int) [][2]int {
 // Segments are encoded concurrently on a worker pool; like Save, it is
 // read-only on the collection. Returns the layout it wrote.
 func SaveSharded(w io.Writer, col *model.Collection, shards int) (*SnapshotInfo, error) {
-	return saveSharded(w, col, shards, nil)
+	return saveSharded(w, col, shards, nil, nil)
 }
 
 // SaveShardedStore snapshots a store: the current revision is pinned
@@ -182,14 +190,14 @@ func SaveShardedStore(w io.Writer, s *Store, shards int) (*SnapshotInfo, error) 
 	r := s.loadRev()
 	col := r.collection()
 	if r.gen == 0 {
-		return saveSharded(w, col, shards, nil)
+		return saveSharded(w, col, shards, nil, nil)
 	}
 	return saveSharded(w, col, shards, &ingestProvenance{
 		generation:    r.gen,
 		deltaEntries:  r.deltaEntries,
 		deltaPatients: r.deltaPatients,
 		compactions:   r.compaction.Runs,
-	})
+	}, nil)
 }
 
 // ingestProvenance is the v4 header extension's content.
@@ -200,8 +208,16 @@ type ingestProvenance struct {
 	compactions   uint64
 }
 
-func saveSharded(w io.Writer, col *model.Collection, shards int, prov *ingestProvenance) (*SnapshotInfo, error) {
+func saveSharded(w io.Writer, col *model.Collection, shards int, prov *ingestProvenance, cohorts []CohortRecord) (*SnapshotInfo, error) {
 	hs := col.Histories()
+	if len(cohorts) > maxSnapshotCohorts {
+		return nil, fmt.Errorf("store: save snapshot: %d cohorts exceeds limit %d", len(cohorts), maxSnapshotCohorts)
+	}
+	for _, c := range cohorts {
+		if c.Bits == nil || c.Bits.Len() != len(hs) {
+			return nil, fmt.Errorf("store: save snapshot: cohort %q bitset does not cover the %d-patient population", c.Name, len(hs))
+		}
+	}
 	bounds := shardBounds(len(hs), shards)
 	segs := make([][]byte, len(bounds))
 	postSegs := make([][]byte, len(bounds))
@@ -234,9 +250,21 @@ func saveSharded(w io.Writer, col *model.Collection, shards int, prov *ingestPro
 		}
 	}
 
+	// Version selection preserves byte-identity for cohortless saves: a
+	// pristine store stays v3, an ingested one v4, and only a snapshot
+	// actually carrying cohorts is promoted to v5 (whose header always
+	// includes the ingest extension, zeroed for a pristine store).
 	version := uint32(snapshotVersionPostings)
 	if prov != nil {
 		version = snapshotVersionIngest
+	}
+	var cohortSeg []byte
+	if len(cohorts) > 0 {
+		version = snapshotVersionCohorts
+		var err error
+		if cohortSeg, err = encodeCohortSegment(cohorts); err != nil {
+			return nil, fmt.Errorf("store: save snapshot: %w", err)
+		}
 	}
 	info := &SnapshotInfo{
 		Version:  int(version),
@@ -245,21 +273,33 @@ func saveSharded(w io.Writer, col *model.Collection, shards int, prov *ingestPro
 		Entries:  col.TotalEntries(),
 		Postings: postInfos,
 	}
-	header := make([]byte, 0, snapshotHeaderFixed+snapshotIngestExt+len(bounds)*(snapshotShardRow+snapshotPostingsRow))
+	header := make([]byte, 0, snapshotHeaderFixed+snapshotIngestExt+snapshotCohortExt+len(bounds)*(snapshotShardRow+snapshotPostingsRow))
 	header = append(header, snapshotMagic...)
 	header = binary.BigEndian.AppendUint32(header, version)
 	header = binary.BigEndian.AppendUint32(header, uint32(len(bounds)))
 	header = binary.BigEndian.AppendUint64(header, uint64(info.Patients))
 	header = binary.BigEndian.AppendUint64(header, uint64(info.Entries))
-	if prov != nil {
-		info.Generation = prov.generation
-		info.DeltaEntries = prov.deltaEntries
-		info.DeltaPatients = prov.deltaPatients
-		info.Compactions = prov.compactions
-		header = binary.BigEndian.AppendUint64(header, prov.generation)
-		header = binary.BigEndian.AppendUint64(header, uint64(prov.deltaEntries))
-		header = binary.BigEndian.AppendUint64(header, uint64(prov.deltaPatients))
-		header = binary.BigEndian.AppendUint64(header, prov.compactions)
+	if version >= snapshotVersionIngest {
+		p := ingestProvenance{}
+		if prov != nil {
+			p = *prov
+			info.Generation = p.generation
+			info.DeltaEntries = p.deltaEntries
+			info.DeltaPatients = p.deltaPatients
+			info.Compactions = p.compactions
+		}
+		header = binary.BigEndian.AppendUint64(header, p.generation)
+		header = binary.BigEndian.AppendUint64(header, uint64(p.deltaEntries))
+		header = binary.BigEndian.AppendUint64(header, uint64(p.deltaPatients))
+		header = binary.BigEndian.AppendUint64(header, p.compactions)
+	}
+	if version >= snapshotVersionCohorts {
+		info.Cohorts = len(cohorts)
+		info.CohortBytes = int64(len(cohortSeg))
+		info.CohortChecksum = crc32.Checksum(cohortSeg, crcTable)
+		header = binary.BigEndian.AppendUint32(header, uint32(info.Cohorts))
+		header = binary.BigEndian.AppendUint64(header, uint64(info.CohortBytes))
+		header = binary.BigEndian.AppendUint32(header, info.CohortChecksum)
 	}
 	offset := int64(0)
 	for i, b := range bounds {
@@ -293,7 +333,7 @@ func saveSharded(w io.Writer, col *model.Collection, shards int, prov *ingestPro
 		header = binary.BigEndian.AppendUint32(header, uint32(pi.Runs))
 		postBytes += pi.Bytes
 	}
-	info.Bytes = int64(len(header)) + offset + postBytes
+	info.Bytes = int64(len(header)) + offset + postBytes + int64(len(cohortSeg))
 
 	if _, err := w.Write(header); err != nil {
 		return nil, fmt.Errorf("store: save snapshot: %w", err)
@@ -305,6 +345,11 @@ func saveSharded(w io.Writer, col *model.Collection, shards int, prov *ingestPro
 	}
 	for _, seg := range postSegs {
 		if _, err := w.Write(seg); err != nil {
+			return nil, fmt.Errorf("store: save snapshot: %w", err)
+		}
+	}
+	if len(cohortSeg) > 0 {
+		if _, err := w.Write(cohortSeg); err != nil {
 			return nil, fmt.Errorf("store: save snapshot: %w", err)
 		}
 	}
@@ -329,7 +374,7 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 		return nil, fmt.Errorf("store: load snapshot: bad magic %q", fixed[:len(snapshotMagic)])
 	}
 	version := binary.BigEndian.Uint32(fixed[8:])
-	if version < snapshotVersionSharded || version > snapshotVersionIngest {
+	if version < snapshotVersionSharded || version > snapshotVersionCohorts {
 		return nil, fmt.Errorf("store: load snapshot: unsupported version %d", version)
 	}
 	shards := binary.BigEndian.Uint32(fixed[12:])
@@ -360,6 +405,25 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 		prov.deltaPatients = int(dp)
 	}
 
+	var cohortCount uint32
+	var cohortBytes uint64
+	var cohortCRC uint32
+	if version >= snapshotVersionCohorts {
+		ext := make([]byte, snapshotCohortExt)
+		if _, err := io.ReadFull(r, ext); err != nil {
+			return nil, fmt.Errorf("store: load snapshot: cohort header: %w", err)
+		}
+		cohortCount = binary.BigEndian.Uint32(ext[0:])
+		cohortBytes = binary.BigEndian.Uint64(ext[4:])
+		cohortCRC = binary.BigEndian.Uint32(ext[12:])
+		if cohortCount > maxSnapshotCohorts {
+			return nil, fmt.Errorf("store: load snapshot: cohort count %d exceeds limit %d", cohortCount, maxSnapshotCohorts)
+		}
+		if (cohortCount == 0) != (cohortBytes == 0) {
+			return nil, fmt.Errorf("store: load snapshot: cohort header claims %d cohorts in %d bytes", cohortCount, cohortBytes)
+		}
+	}
+
 	table := make([]byte, int(shards)*snapshotShardRow)
 	if _, err := io.ReadFull(r, table); err != nil {
 		return nil, fmt.Errorf("store: load snapshot: shard table: %w", err)
@@ -373,6 +437,10 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 		DeltaEntries:  prov.deltaEntries,
 		DeltaPatients: prov.deltaPatients,
 		Compactions:   prov.compactions,
+
+		Cohorts:        int(cohortCount),
+		CohortBytes:    int64(cohortBytes),
+		CohortChecksum: cohortCRC,
 	}
 	// maxPayload caps the summed segment sizes so info.Bytes (header +
 	// payload) can never overflow int64 — a hostile shard table claiming
@@ -437,6 +505,10 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 			info.Postings = append(info.Postings, pi)
 		}
 	}
+	if cohortBytes > maxPayload-offset {
+		return nil, fmt.Errorf("store: load snapshot: cohort segment size overflows")
+	}
+	offset += cohortBytes
 	info.Bytes = headerLen + int64(offset)
 	return info, nil
 }
@@ -447,9 +519,18 @@ func readHeader(r io.Reader) (*SnapshotInfo, error) {
 // moment its bytes arrive, so decode overlaps both the remaining reads
 // and the other shards' decodes.
 func loadSharded(r io.Reader) (*model.Collection, *SnapshotInfo, error) {
+	col, _, info, err := loadShardedFull(r)
+	return col, info, err
+}
+
+// loadShardedFull is loadSharded plus the decoded cohort records. The
+// cohort segment is always drained, checksummed, and parsed when present
+// — even callers that discard cohorts get the whole-file integrity
+// check.
+func loadShardedFull(r io.Reader) (*model.Collection, []CohortRecord, *SnapshotInfo, error) {
 	info, err := readHeader(r)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	type result struct {
 		hs      []*model.History
@@ -467,7 +548,7 @@ func loadSharded(r io.Reader) (*model.Collection, *SnapshotInfo, error) {
 		buf.Grow(int(min(si.Bytes, 4<<20)))
 		if _, err := io.CopyN(&buf, r, si.Bytes); err != nil {
 			wg.Wait()
-			return nil, nil, fmt.Errorf("store: load snapshot: shard %d: read %d bytes: %w", i, si.Bytes, err)
+			return nil, nil, nil, fmt.Errorf("store: load snapshot: shard %d: read %d bytes: %w", i, si.Bytes, err)
 		}
 		wg.Add(1)
 		go func(i int, si ShardInfo, seg []byte) {
@@ -500,12 +581,19 @@ func loadSharded(r io.Reader) (*model.Collection, *SnapshotInfo, error) {
 		buf.Grow(int(min(pi.Bytes, 4<<20)))
 		if _, err := io.CopyN(&buf, r, pi.Bytes); err != nil {
 			wg.Wait()
-			return nil, nil, fmt.Errorf("store: load snapshot: postings %d: read %d bytes: %w", i, pi.Bytes, err)
+			return nil, nil, nil, fmt.Errorf("store: load snapshot: postings %d: read %d bytes: %w", i, pi.Bytes, err)
 		}
 		if got := crc32.Checksum(buf.Bytes(), crcTable); got != pi.Checksum {
 			wg.Wait()
-			return nil, nil, fmt.Errorf("store: load snapshot: postings %d: checksum mismatch (got %08x, want %08x)", i, got, pi.Checksum)
+			return nil, nil, nil, fmt.Errorf("store: load snapshot: postings %d: checksum mismatch (got %08x, want %08x)", i, got, pi.Checksum)
 		}
+	}
+	// The cohort segment (v5) trails the postings; drain, verify, and
+	// decode it whether or not the caller wants the records.
+	cohorts, cohortErr := readCohortSegment(r, info)
+	if cohortErr != nil {
+		wg.Wait()
+		return nil, nil, nil, cohortErr
 	}
 	wg.Wait()
 
@@ -517,7 +605,7 @@ func loadSharded(r io.Reader) (*model.Collection, *SnapshotInfo, error) {
 	total := 0
 	for i := range results {
 		if results[i].err != nil {
-			return nil, nil, results[i].err
+			return nil, nil, nil, results[i].err
 		}
 		total += len(results[i].hs)
 	}
@@ -532,9 +620,9 @@ func loadSharded(r io.Reader) (*model.Collection, *SnapshotInfo, error) {
 	}
 	col, err := model.NewCollection(all...)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: load snapshot: %w", err)
+		return nil, nil, nil, fmt.Errorf("store: load snapshot: %w", err)
 	}
-	return col, info, nil
+	return col, cohorts, info, nil
 }
 
 // Inspect reads a snapshot's provenance without materializing the

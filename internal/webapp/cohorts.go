@@ -1,0 +1,154 @@
+package webapp
+
+// The cohort-workspace API: save a named cohort, refine it (the engine
+// executes only the delta, masked by the saved bitset), list, profile,
+// compare, and drop. The Query-Builder front end drives the paper's
+// iterative cohort-identification loop through these endpoints.
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"pastas/internal/engine"
+	"pastas/internal/query"
+)
+
+// cohortRequest is the body of POST /api/cohorts and
+// POST /api/cohorts/refine: a workspace name plus a query spec.
+type cohortRequest struct {
+	Name string          `json:"name"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+func (s *Server) parseCohortRequest(w http.ResponseWriter, r *http.Request) (string, query.Expr, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return "", nil, false
+	}
+	var req cohortRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return "", nil, false
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, `need {"name": ..., "spec": ...}`)
+		return "", nil, false
+	}
+	spec, err := query.ParseSpec(req.Spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return "", nil, false
+	}
+	expr, err := spec.Compile()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return "", nil, false
+	}
+	return req.Name, expr, true
+}
+
+// handleCohortList reports the cohorts valid at the current generation.
+func (s *Server) handleCohortList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"generation": s.wb.Engine.Generation(),
+		"cohorts":    s.wb.Cohorts(),
+	})
+}
+
+// handleCohortSave materializes a named cohort from scratch. Strict
+// whatever the engine's policy: a degraded answer is a 502, never a
+// saved cohort.
+func (s *Server) handleCohortSave(w http.ResponseWriter, r *http.Request) {
+	name, expr, ok := s.parseCohortRequest(w, r)
+	if !ok {
+		return
+	}
+	info, err := s.wb.SaveCohort(name, expr)
+	if err != nil {
+		httpError(w, cohortErrStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"cohort": info})
+}
+
+// handleCohortRefine evaluates an expression seeded by the saved
+// cohorts and saves the result, reporting how the answer was produced —
+// the mode (exact/narrow/widen/scratch), the seeding cohort, and
+// whether the mask was pushed down to remote shards.
+func (s *Server) handleCohortRefine(w http.ResponseWriter, r *http.Request) {
+	name, expr, ok := s.parseCohortRequest(w, r)
+	if !ok {
+		return
+	}
+	info, ref, err := s.wb.RefineCohort(name, expr)
+	if err != nil {
+		httpError(w, cohortErrStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"cohort":     info,
+		"refinement": ref,
+		"summary":    ref.String(),
+	})
+}
+
+// handleCohortProfile aggregates the dimension breakdown for one saved
+// cohort, server-side per shard.
+func (s *Server) handleCohortProfile(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	prof, info, err := s.wb.CohortProfile(name)
+	if err != nil {
+		httpError(w, cohortErrStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"cohort":  info,
+		"profile": prof,
+		"table":   prof.Table(),
+	})
+}
+
+// handleCohortCompare profiles two saved cohorts side by side and
+// reports their membership overlap.
+func (s *Server) handleCohortCompare(w http.ResponseWriter, r *http.Request) {
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if a == "" || b == "" {
+		httpError(w, http.StatusBadRequest, "need ?a=<cohort>&b=<cohort>")
+		return
+	}
+	cmp, err := s.wb.CompareCohorts(a, b)
+	if err != nil {
+		httpError(w, cohortErrStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, cmp)
+}
+
+// handleCohortDrop removes a saved cohort.
+func (s *Server) handleCohortDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.wb.DropCohort(name) {
+		httpError(w, http.StatusNotFound, "no cohort %q", name)
+		return
+	}
+	writeJSON(w, map[string]any{"dropped": name})
+}
+
+// cohortErrStatus maps workspace errors to HTTP: a bad name is a 400,
+// a missing cohort a 404, an unreachable shard a 502, anything else a
+// 500.
+func cohortErrStatus(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrInvalidName):
+		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrNoCohort):
+		return http.StatusNotFound
+	case engine.IsUnavailable(err):
+		return http.StatusBadGateway
+	default:
+		return http.StatusInternalServerError
+	}
+}

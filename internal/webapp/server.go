@@ -57,6 +57,12 @@ func NewServer(wb *core.Workbench, cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/timeline", s.auth(s.handleTimelineJSON))
 	s.mux.HandleFunc("GET /api/details", s.auth(s.handleDetails))
 	s.mux.HandleFunc("POST /api/cohort", s.auth(s.handleCohort))
+	s.mux.HandleFunc("GET /api/cohorts", s.auth(s.handleCohortList))
+	s.mux.HandleFunc("POST /api/cohorts", s.auth(s.handleCohortSave))
+	s.mux.HandleFunc("POST /api/cohorts/refine", s.auth(s.handleCohortRefine))
+	s.mux.HandleFunc("GET /api/cohorts/compare", s.auth(s.handleCohortCompare))
+	s.mux.HandleFunc("GET /api/cohorts/{name}", s.auth(s.handleCohortProfile))
+	s.mux.HandleFunc("DELETE /api/cohorts/{name}", s.auth(s.handleCohortDrop))
 	s.mux.HandleFunc("POST /api/indicators", s.auth(s.handleIndicators))
 	s.mux.HandleFunc("POST /api/ingest", s.auth(s.handleIngest))
 	s.mux.HandleFunc("GET /timeline", s.auth(s.handleTimelinePage))

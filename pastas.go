@@ -254,6 +254,43 @@ func NewCohort(wb *Workbench, name string, q Query) (*Cohort, error) {
 // (the 168k→13k query) for an observation window.
 func StudyCriteria(window Period) Query { return cohort.StudyCriteria(window) }
 
+// --- cohort workspace -------------------------------------------------------
+
+type (
+	// CohortInfo describes one materialized cohort in the workspace:
+	// name, saved expression, generation and cardinality.
+	CohortInfo = engine.CohortInfo
+	// Refinement reports how a refined cohort was computed: exact /
+	// narrow / widen / scratch, the seeding cohort, and whether the seed
+	// mask was pushed down to remote shards.
+	Refinement = engine.Refinement
+	// CohortProfile is the mergeable dimension breakdown (sex, age
+	// bands, entries by source and type) cohort comparison renders.
+	CohortProfile = stats.CohortProfile
+	// CohortComparison is two cohorts side by side: profiles plus
+	// membership overlap.
+	CohortComparison = core.CohortComparison
+)
+
+// SaveNamedCohort materializes a query and saves it in the workbench's
+// cohort workspace at the current store generation (an append
+// invalidates it). Later refinements of the query execute only their
+// delta, masked by the saved bitset.
+func SaveNamedCohort(wb *Workbench, name string, q Query) (CohortInfo, error) {
+	return wb.SaveCohort(name, q)
+}
+
+// RefineCohort evaluates a query seeded by the workspace's materialized
+// cohorts and saves the result under the given name.
+func RefineCohort(wb *Workbench, name string, q Query) (CohortInfo, Refinement, error) {
+	return wb.RefineCohort(name, q)
+}
+
+// CompareCohorts profiles two saved cohorts and reports their overlap.
+func CompareCohorts(wb *Workbench, a, b string) (*CohortComparison, error) {
+	return wb.CompareCohorts(a, b)
+}
+
 // AlignFirst anchors histories on the first entry whose diagnosis code
 // matches the anchored regular expression pattern.
 func AlignFirst(pattern string) (Anchor, error) {

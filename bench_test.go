@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"pastas/internal/abstraction"
 	"pastas/internal/align"
 	"pastas/internal/cluster"
 	"pastas/internal/cohort"
@@ -1649,6 +1650,97 @@ func BenchmarkE15_RefineLoop(b *testing.B) {
 			if info.Count != want {
 				b.Fatalf("refined cohort drifted: %d, want %d", info.Count, want)
 			}
+		}
+	})
+}
+
+// BenchmarkE16_DistributedMining prices the analytics tentpole: mining
+// chapter-level co-occurrence rules over a whole-population cohort,
+// (a) in-process — the local map-reduce over store slices, (b) remote
+// with the pre-Analyze strategy — every cohort history shipped to the
+// coordinator and mined there, and (c) remote map-reduce — only the
+// pushed-down mask and fixed-size integer partials cross the wire. All
+// arms are parity-checked against each other; (c) beating (b) is the
+// acceptance bar for distributing the analytics tier.
+func BenchmarkE16_DistributedMining(b *testing.B) {
+	n := 21000
+	if testing.Short() {
+		n = 5000
+	}
+	wb := workbenchAt(b, n)
+	remote, _ := startBenchCluster(b, wb)
+	cohortExpr := query.Expr(query.Has{Pred: query.TypeIs(model.TypeDiagnosis)})
+	if _, err := wb.SaveCohort("e16", cohortExpr); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := remote.SaveCohort("e16", cohortExpr); err != nil {
+		b.Fatal(err)
+	}
+	params := engine.MineParams{System: "ICPC2", Chapter: true}
+	opt := mining.Options{MinSupport: 0.01, MinCount: 2}
+	want, _, _, err := wb.MineRules("e16", params, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(want) == 0 {
+		b.Fatal("no rules over the benchmark population")
+	}
+	checkRules := func(b *testing.B, got []mining.Rule) {
+		b.Helper()
+		if len(got) != len(want) || got[0] != want[0] {
+			b.Fatalf("mined rules diverged: %d rules, want %d", len(got), len(want))
+		}
+	}
+
+	b.Run("local-map-reduce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rules, _, _, err := wb.MineRules("e16", params, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			checkRules(b, rules)
+		}
+	})
+
+	b.Run("remote-ship-histories", func(b *testing.B) {
+		bits, _, err := remote.Engine.CohortBits("e16")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The pre-Analyze strategy: page every cohort history across
+			// the wire and count at the coordinator.
+			hs, err := remote.Engine.Histories(bits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := mining.NewCounts(false, 0)
+			for _, h := range hs {
+				var seq []string
+				for _, code := range h.CodeSequenceStable(model.TypeDiagnosis) {
+					if code.System != "ICPC2" {
+						continue
+					}
+					if ch := abstraction.ChapterOf(code); ch != "" {
+						seq = append(seq, ch)
+					}
+				}
+				if len(seq) > 0 {
+					c.AddSequence(seq)
+				}
+			}
+			checkRules(b, c.Rules(opt))
+		}
+	})
+
+	b.Run("remote-map-reduce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rules, _, _, err := remote.MineRules("e16", params, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			checkRules(b, rules)
 		}
 	})
 }

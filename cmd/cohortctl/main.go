@@ -48,6 +48,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -57,12 +58,14 @@ import (
 	"pastas/internal/core"
 	"pastas/internal/engine"
 	"pastas/internal/integrate"
+	"pastas/internal/mining"
 	"pastas/internal/model"
 	"pastas/internal/query"
 	"pastas/internal/render"
 	"pastas/internal/sources"
 	"pastas/internal/store"
 	"pastas/internal/synth"
+	"pastas/internal/temporal"
 )
 
 func main() {
@@ -84,6 +87,10 @@ func main() {
 	}
 	if len(args) > 0 && args[0] == "cohort" {
 		runCohortCmd(args[1:])
+		return
+	}
+	if len(args) > 0 && args[0] == "analyze" {
+		runAnalyze(args[1:])
 		return
 	}
 	explainMode := len(args) > 0 && args[0] == "explain"
@@ -542,6 +549,189 @@ func runCohortCmd(args []string) {
 		fmt.Printf("dropped cohort %q\n", *name)
 		persist()
 	}
+}
+
+// runAnalyze dispatches the cohort-analytics subcommands. Each runs one
+// registered analytics kind over a cohort — a saved one named with
+// -cohort, or an ad-hoc one defined by -query/-study — through the same
+// map-reduce path whatever the topology, so stdout is byte-comparable
+// between a -snapshot run and a -shards run over the same data. Load
+// progress and degradation warnings go to stderr, results to stdout.
+func runAnalyze(args []string) {
+	if len(args) == 0 {
+		log.Fatal("usage: cohortctl analyze mine|episodes|scenario|cluster [flags]")
+	}
+	kind := args[0]
+	fs := flag.NewFlagSet("cohortctl analyze "+kind, flag.ExitOnError)
+	dataDir := fs.String("data", "", "registry extract directory (from datagen)")
+	synthN := fs.Int("synth", 0, "generate a synthetic population of this size instead")
+	snapshotFile := fs.String("snapshot", "", "reopen a saved snapshot instead of ingesting")
+	shardAddrs := fs.String("shards", "", "comma-separated shard-server addresses to analyze across")
+	degraded := fs.Bool("degraded", false, "with -shards: answer over reachable shards when some are down")
+	cohortName := fs.String("cohort", "", "saved cohort to analyze")
+	queryFile := fs.String("query", "", "JSON query-spec file defining an ad-hoc cohort")
+	study := fs.Bool("study", false, "use the paper's predefined-characteristics selection as the cohort")
+	gapDays := fs.Int("gap", 90, "episode gap in days (episodes, scenario)")
+
+	var sequential, chapter *bool
+	var maxGap, minCount, top, k *int
+	var minSupport *float64
+	var system, steps, relations *string
+	switch kind {
+	case "mine":
+		sequential = fs.Bool("sequential", false, "mine A-then-B ordering rules instead of co-occurrence")
+		maxGap = fs.Int("max-gap", 0, "max position distance for sequential pairs (0 = unbounded)")
+		system = fs.String("system", "", "restrict to one coding system (e.g. ICPC2; empty = all)")
+		chapter = fs.Bool("chapter", false, "mine over chapter labels instead of full codes")
+		minSupport = fs.Float64("min-support", 0, "minimum support fraction (0 = default)")
+		minCount = fs.Int("min-count", 0, "minimum absolute pair count (0 = default)")
+		top = fs.Int("top", 20, "rules to print (0 = all)")
+	case "episodes":
+	case "scenario":
+		steps = fs.String("steps", "", "comma-separated step labels (episode chapter labels)")
+		relations = fs.String("relations", "", `pairwise constraints "i:j:rel[,rel...]" joined with ";" (e.g. "0:1:before;1:2:before,meets")`)
+	case "cluster":
+		k = fs.Int("k", 2, "number of clusters")
+	default:
+		log.Fatalf("unknown analyze subcommand %q (want mine, episodes, scenario or cluster)", kind)
+	}
+	fs.Parse(args[1:])
+
+	wb, window, err := loadWorkbench(*dataDir, *synthN, *snapshotFile, *shardAddrs, *degraded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d patients, %d entries, %d saved cohorts", wb.Patients(), wb.Entries(), len(wb.Cohorts()))
+
+	name := *cohortName
+	if name == "" {
+		var expr query.Expr
+		switch {
+		case *study:
+			expr = cohort.StudyCriteria(window)
+		case *queryFile != "":
+			if expr, err = loadQueryExpr(*queryFile); err != nil {
+				log.Fatal(err)
+			}
+		default:
+			log.Fatal("need -cohort NAME, -query FILE or -study")
+		}
+		info, err := wb.SaveCohort("analyze-adhoc", expr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ad-hoc cohort: %d of %d patients", info.Count, wb.Patients())
+		name = info.Name
+	}
+
+	gap := model.Time(*gapDays) * model.Day
+	switch kind {
+	case "mine":
+		p := engine.MineParams{Sequential: *sequential, MaxGap: *maxGap, System: *system, Chapter: *chapter}
+		opt := mining.Options{MinSupport: *minSupport, MinCount: *minCount, MaxGap: *maxGap}
+		rules, info, status, err := wb.MineRules(name, p, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		warnIncomplete(wb, status)
+		if *top > 0 {
+			rules = mining.Top(rules, *top)
+		}
+		fmt.Printf("cohort %q: %d patients\n", info.Name, info.Count)
+		fmt.Printf("rules: %d\n", len(rules))
+		for _, r := range rules {
+			fmt.Printf("  %s\n", r)
+		}
+	case "episodes":
+		tally, info, status, err := wb.Episodes(name, gap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		warnIncomplete(wb, status)
+		fmt.Printf("cohort %q: %d patients\n", info.Name, info.Count)
+		fmt.Printf("histories: %d  with episodes: %d\n", tally.Histories, tally.WithEpisodes)
+		fmt.Printf("episodes: %d over %d entries\n", tally.Episodes, tally.Entries)
+		if tally.Episodes > 0 {
+			fmt.Printf("mean entries/episode: %.2f  mean span: %.1f days\n",
+				float64(tally.Entries)/float64(tally.Episodes),
+				float64(tally.SpanTotal)/float64(tally.Episodes)/float64(model.Day))
+		}
+		keys := make([]string, 0, len(tally.ByDominant))
+		for ch := range tally.ByDominant {
+			keys = append(keys, ch)
+		}
+		sort.Strings(keys)
+		for _, ch := range keys {
+			fmt.Printf("  chapter %-4s %d episodes\n", ch, tally.ByDominant[ch])
+		}
+	case "scenario":
+		sc, err := parseScenario(*steps, *relations)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tally, info, status, err := wb.MatchScenario(name, gap, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		warnIncomplete(wb, status)
+		fmt.Printf("cohort %q: %d patients\n", info.Name, info.Count)
+		fmt.Printf("histories: %d  bound: %d  matched: %d\n", tally.Histories, tally.Bound, tally.Matched)
+		if tally.Histories > 0 {
+			fmt.Printf("match rate: %.4f\n", float64(tally.Matched)/float64(tally.Histories))
+		}
+	case "cluster":
+		clusters, info, err := wb.ClusterCohort(name, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cohort %q: %d patients (%d with diagnosis sequences)\n", info.Name, clusters.Histories, clusters.Clustered)
+		fmt.Printf("silhouette: %.4f\n", clusters.Silhouette)
+		for i, size := range clusters.Sizes {
+			fmt.Printf("  cluster %d: %d members", i, size)
+			show := clusters.Members[i]
+			if len(show) > 8 {
+				show = show[:8]
+			}
+			for _, id := range show {
+				fmt.Printf(" %s", id)
+			}
+			if size > len(show) {
+				fmt.Printf(" …")
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// parseScenario compiles the CLI scenario flags: step labels plus
+// "i:j:rel" constraints with temporal.ParseRel relation names.
+func parseScenario(steps, relations string) (temporal.Scenario, error) {
+	var sc temporal.Scenario
+	if steps == "" {
+		return sc, fmt.Errorf("need -steps LABEL[,LABEL...]")
+	}
+	for _, s := range strings.Split(steps, ",") {
+		sc.Steps = append(sc.Steps, strings.TrimSpace(s))
+	}
+	if relations != "" {
+		for _, part := range strings.Split(relations, ";") {
+			fields := strings.SplitN(strings.TrimSpace(part), ":", 3)
+			if len(fields) != 3 {
+				return sc, fmt.Errorf("bad relation %q (want i:j:rel)", part)
+			}
+			i, err1 := strconv.Atoi(strings.TrimSpace(fields[0]))
+			j, err2 := strconv.Atoi(strings.TrimSpace(fields[1]))
+			if err1 != nil || err2 != nil {
+				return sc, fmt.Errorf("bad relation %q (want i:j:rel)", part)
+			}
+			rel, err := temporal.ParseRel(fields[2])
+			if err != nil {
+				return sc, err
+			}
+			sc.Relations = append(sc.Relations, temporal.StepRel{I: i, J: j, Rel: rel})
+		}
+	}
+	return sc, sc.Validate()
 }
 
 // loadQueryExpr reads and compiles a JSON query-spec file.

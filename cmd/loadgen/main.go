@@ -31,6 +31,7 @@ import (
 
 	"pastas/internal/core"
 	"pastas/internal/engine"
+	"pastas/internal/mining"
 	"pastas/internal/model"
 	"pastas/internal/query"
 	"pastas/internal/store"
@@ -95,10 +96,14 @@ func buildWorkbench(shardAddrs string, synthN int, timeout time.Duration, degrad
 	return wb, nil
 }
 
+// analyticsCohort is the saved cohort the analytics class mines over,
+// materialized once at priming time.
+const analyticsCohort = "lg-analytics"
+
 // primeWorkload resolves the fixed inputs every session reuses: a pool
-// of patient IDs for timeline fetches and a cohort bitset for indicator
-// aggregations. Priming goes through the engine, so it works over any
-// transport.
+// of patient IDs for timeline fetches, a cohort bitset for indicator
+// aggregations, and a saved cohort for the analytics class. Priming goes
+// through the engine, so it works over any transport.
 func primeWorkload(wb *core.Workbench) ([]model.PatientID, *store.Bitset, error) {
 	ids, err := wb.Engine.Select(query.Has{Pred: query.TypeIs(model.TypeDiagnosis)})
 	if err != nil {
@@ -114,19 +119,23 @@ func primeWorkload(wb *core.Workbench) ([]model.PatientID, *store.Bitset, error)
 	if err != nil {
 		return nil, nil, fmt.Errorf("priming indicator cohort: %w", err)
 	}
+	if _, err := wb.SaveCohort(analyticsCohort, sessionExprs[0]); err != nil {
+		return nil, nil, fmt.Errorf("priming analytics cohort: %w", err)
+	}
 	return ids, bits, nil
 }
 
-// opClass indexes the four session operations.
+// opClass indexes the five session operations.
 const (
 	opQuery = iota
 	opTimeline
 	opIndicators
 	opRefine
+	opAnalytics
 	numClasses
 )
 
-var classNames = [numClasses]string{"query", "timeline", "indicators", "refine"}
+var classNames = [numClasses]string{"query", "timeline", "indicators", "refine", "analytics"}
 
 // sessionExprs is the rotating cohort workload — index-friendly,
 // scan-forcing and demographic shapes, so shard servers see the same
@@ -200,18 +209,21 @@ func run(wb *core.Workbench, ids []model.PatientID, cohortBits *store.Bitset, wo
 }
 
 // pickClass weights the mix: cohort queries lead, then timelines, with
-// indicator aggregations and full refine sessions (save → narrow ×3 →
-// compare) rounding out a workbench session's rhythm.
+// indicator aggregations, full refine sessions (save → narrow ×3 →
+// compare) and cohort analytics (distributed rule mining and episode
+// tallies) rounding out a workbench session's rhythm.
 func pickClass(r *rand.Rand) int {
-	switch n := r.Intn(8); {
+	switch n := r.Intn(9); {
 	case n < 3:
 		return opQuery
 	case n < 5:
 		return opTimeline
 	case n < 6:
 		return opIndicators
-	default:
+	case n < 8:
 		return opRefine
+	default:
+		return opAnalytics
 	}
 }
 
@@ -225,6 +237,16 @@ func doOp(wb *core.Workbench, class int, r *rand.Rand, ids []model.PatientID, co
 		return engine.QueryStatus{}, err
 	case opRefine:
 		return doRefineSession(wb, name)
+	case opAnalytics:
+		// The map step runs where the histories live; only fixed-size
+		// partials cross the wire, whatever the cohort size.
+		if r.Intn(2) == 0 {
+			_, _, status, err := wb.MineRules(analyticsCohort,
+				engine.MineParams{System: "ICPC2", Chapter: true}, mining.Options{})
+			return status, err
+		}
+		_, _, status, err := wb.Episodes(analyticsCohort, 90*model.Day)
+		return status, err
 	default:
 		_, status, err := wb.IndicatorsStatus(cohortBits)
 		return status, err

@@ -60,15 +60,33 @@ type Episode struct {
 
 // Episodes groups a history's entries into episodes separated by quiet
 // gaps of at least gap. Interval entries extend an episode to their end.
+// It sorts the history in place, so it is the single-threaded,
+// direct-collection form; distributed callers (and anything running
+// concurrently over shared histories) go through EpisodesStable, which is
+// what cohort-level tallies (core.Workbench.Episodes) use per shard.
 func Episodes(h *model.History, gap model.Time) []Episode {
 	h.Sort()
-	if h.Len() == 0 {
+	return episodesOf(h.Entries, gap)
+}
+
+// EpisodesStable is Episodes without mutating the history: it reads the
+// entries through SortedEntries, so concurrent map steps over shared
+// histories (a shard server answering several Analyze RPCs at once)
+// never reorder entries under each other.
+func EpisodesStable(h *model.History, gap model.Time) []Episode {
+	return episodesOf(h.SortedEntries(), gap)
+}
+
+// episodesOf is the one episode-derivation loop both entry points run;
+// entries must already be in chronological order.
+func episodesOf(entries []model.Entry, gap model.Time) []Episode {
+	if len(entries) == 0 {
 		return nil
 	}
 	var eps []Episode
 	var cur *Episode
-	for i := range h.Entries {
-		e := &h.Entries[i]
+	for i := range entries {
+		e := &entries[i]
 		end := e.Start
 		if e.Kind == model.Interval {
 			end = e.End
@@ -190,6 +208,79 @@ func MedicationBands(h *model.History, level ATCLevel, bridge model.Time) []Band
 	}
 	return out
 }
+
+// EpisodeTally is the mergeable map-step partial for distributed episode
+// abstraction: integer sums over disjoint history sets, so per-shard
+// partials merged in any grouping equal a sequential pass over the whole
+// cohort — the same integral-tally discipline stats.CohortProfile uses.
+type EpisodeTally struct {
+	// Histories is how many histories were tallied; WithEpisodes how many
+	// produced at least one episode.
+	Histories    int
+	WithEpisodes int
+	// Episodes and Entries sum the derived episodes and the entries they
+	// absorbed.
+	Episodes int
+	Entries  int
+	// SpanTotal sums every episode's period length — the numerator of the
+	// mean episode span.
+	SpanTotal model.Time
+	// ByDominant counts episodes by the chapter of their dominant
+	// diagnosis ("-" when an episode has none).
+	ByDominant map[string]int
+}
+
+// NewEpisodeTally creates an empty tally.
+func NewEpisodeTally() *EpisodeTally {
+	return &EpisodeTally{ByDominant: make(map[string]int)}
+}
+
+// AddHistory derives one history's episodes (without mutating it) and
+// folds them into the tally.
+func (t *EpisodeTally) AddHistory(h *model.History, gap model.Time) {
+	t.Histories++
+	eps := EpisodesStable(h, gap)
+	if len(eps) == 0 {
+		return
+	}
+	t.WithEpisodes++
+	t.Episodes += len(eps)
+	for i := range eps {
+		t.Entries += len(eps[i].Entries)
+		t.SpanTotal += eps[i].Period.End - eps[i].Period.Start
+		key := "-"
+		if !eps[i].Dominant.IsZero() {
+			if ch := ChapterOf(eps[i].Dominant); ch != "" {
+				key = ch
+			} else {
+				key = eps[i].Dominant.Value
+			}
+		}
+		t.ByDominant[key]++
+	}
+}
+
+// Merge folds another partial into the receiver; integer sums over
+// disjoint histories are exactly associative.
+func (t *EpisodeTally) Merge(o *EpisodeTally) {
+	if o == nil {
+		return
+	}
+	t.Histories += o.Histories
+	t.WithEpisodes += o.WithEpisodes
+	t.Episodes += o.Episodes
+	t.Entries += o.Entries
+	t.SpanTotal += o.SpanTotal
+	if t.ByDominant == nil {
+		t.ByDominant = make(map[string]int, len(o.ByDominant))
+	}
+	for k, n := range o.ByDominant {
+		t.ByDominant[k] += n
+	}
+}
+
+// HistoryCount reports how many histories the partial tallied.
+func (t *EpisodeTally) HistoryCount() int { return t.Histories }
 
 // ServiceBands extracts stay/service intervals as bands labeled by source,
 // for the admission and municipal-care background colorings.

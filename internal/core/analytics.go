@@ -1,0 +1,152 @@
+package core
+
+// Cohort-keyed analytics at the workbench level — the characterization
+// half of the paper's workflow, seeded from the cohort workspace instead
+// of requiring a local collection. Per-history work (rule support
+// counting, episode abstraction, scenario matching) rides the engine's
+// Analyze map-reduce: each shard maps over only its masked-in histories
+// and the integer partials merge exactly, so a connected workbench
+// reports bit-identical results to a local one at any shard count.
+// Genuinely cross-history work (clustering over alignment distances)
+// pages the cohort's histories in through the engine's strict fetch path
+// and runs coordinator-side.
+
+import (
+	"context"
+	"fmt"
+
+	"pastas/internal/abstraction"
+	"pastas/internal/cluster"
+	"pastas/internal/engine"
+	"pastas/internal/mining"
+	"pastas/internal/model"
+	"pastas/internal/seqalign"
+	"pastas/internal/temporal"
+)
+
+// analyze resolves a saved cohort and runs one registered map step over
+// it — the shared plumbing under MineRules, Episodes and MatchScenario.
+func (wb *Workbench) analyze(name string, req engine.AnalyzeRequest, err error) (engine.Partial, engine.CohortInfo, engine.QueryStatus, error) {
+	if err != nil {
+		return nil, engine.CohortInfo{}, engine.QueryStatus{}, fmt.Errorf("core: %w", err)
+	}
+	bits, info, err := wb.Engine.CohortBits(name)
+	if err != nil {
+		return nil, engine.CohortInfo{}, engine.QueryStatus{}, fmt.Errorf("core: %w", err)
+	}
+	part, status, err := wb.Engine.AnalyzeStatus(context.Background(), bits, req)
+	if err != nil {
+		return nil, engine.CohortInfo{}, engine.QueryStatus{}, fmt.Errorf("core: %w", err)
+	}
+	return part, info, status, nil
+}
+
+// MineRules mines co-occurrence or sequential diagnosis rules over a
+// saved cohort. The support counting runs server-side per shard; the
+// thresholds in opt apply once, at finalization here, so they can never
+// change what the shards count.
+func (wb *Workbench) MineRules(name string, p engine.MineParams, opt mining.Options) ([]mining.Rule, engine.CohortInfo, engine.QueryStatus, error) {
+	req, err := engine.MineRequest(p)
+	part, info, status, err := wb.analyze(name, req, err)
+	if err != nil {
+		return nil, engine.CohortInfo{}, engine.QueryStatus{}, err
+	}
+	return part.(*mining.Counts).Rules(opt), info, status, nil
+}
+
+// Episodes derives care episodes for every history in a saved cohort and
+// returns the merged tally — counts, spans, and the dominant-diagnosis
+// breakdown — without a single history leaving its shard.
+func (wb *Workbench) Episodes(name string, gap model.Time) (*abstraction.EpisodeTally, engine.CohortInfo, engine.QueryStatus, error) {
+	req, err := engine.EpisodesRequest(engine.EpisodeParams{Gap: gap})
+	part, info, status, err := wb.analyze(name, req, err)
+	if err != nil {
+		return nil, engine.CohortInfo{}, engine.QueryStatus{}, err
+	}
+	return part.(*abstraction.EpisodeTally), info, status, nil
+}
+
+// MatchScenario matches an Allen-relation scenario against every history
+// in a saved cohort, tallying how many bind the steps and how many
+// satisfy the relations.
+func (wb *Workbench) MatchScenario(name string, gap model.Time, sc temporal.Scenario) (*temporal.ScenarioTally, engine.CohortInfo, engine.QueryStatus, error) {
+	req, err := engine.ScenarioRequest(engine.ScenarioParams{Gap: gap, Scenario: sc})
+	part, info, status, err := wb.analyze(name, req, err)
+	if err != nil {
+		return nil, engine.CohortInfo{}, engine.QueryStatus{}, err
+	}
+	return part.(*temporal.ScenarioTally), info, status, nil
+}
+
+// CohortClusters is the coordinator-side clustering result for a saved
+// cohort: members grouped by diagnosis-sequence similarity.
+type CohortClusters struct {
+	// Histories is the cohort size; Clustered how many members carried an
+	// ICPC-2 diagnosis sequence and took part.
+	Histories int `json:"histories"`
+	Clustered int `json:"clustered"`
+	// Sizes are the cluster sizes, largest first (the cluster.Result
+	// order); Members the patient IDs per cluster, same order.
+	Sizes      []int               `json:"sizes"`
+	Members    [][]model.PatientID `json:"members"`
+	Silhouette float64             `json:"silhouette"`
+}
+
+// ClusterCohort clusters a saved cohort's members by diagnosis-sequence
+// alignment distance. Clustering is genuinely cross-history — every
+// pairwise distance matters — so it cannot ride the map-reduce: the
+// cohort's histories are paged in through the engine's strict fetch path
+// (candidate sets, not populations) and clustered coordinator-side.
+// Quadratic in cohort size; intended for refined cohorts, not raw
+// populations.
+func (wb *Workbench) ClusterCohort(name string, k int) (*CohortClusters, engine.CohortInfo, error) {
+	if k < 1 {
+		return nil, engine.CohortInfo{}, fmt.Errorf("core: cluster: k must be at least 1, got %d", k)
+	}
+	bits, info, err := wb.Engine.CohortBits(name)
+	if err != nil {
+		return nil, engine.CohortInfo{}, fmt.Errorf("core: %w", err)
+	}
+	hs, err := wb.Engine.Histories(bits)
+	if err != nil {
+		return nil, engine.CohortInfo{}, fmt.Errorf("core: %w", err)
+	}
+	var ids []model.PatientID
+	var seqs [][]string
+	for _, h := range hs {
+		var seq []string
+		for _, c := range h.CodeSequenceStable(model.TypeDiagnosis) {
+			if c.System == "ICPC2" {
+				seq = append(seq, c.Value)
+			}
+		}
+		if len(seq) > 0 {
+			ids = append(ids, h.Patient.ID)
+			seqs = append(seqs, seq)
+		}
+	}
+	out := &CohortClusters{Histories: len(hs), Clustered: len(seqs)}
+	if len(seqs) == 0 {
+		return out, info, nil
+	}
+	if k > len(seqs) {
+		return nil, engine.CohortInfo{}, fmt.Errorf("core: cluster: k=%d exceeds the %d cohort members with diagnosis sequences", k, len(seqs))
+	}
+	cost := seqalign.ChapterCost{System: "ICPC2"}
+	dist := cluster.DistanceMatrix(seqs, cost)
+	res, err := cluster.Agglomerative(dist, k)
+	if err != nil {
+		return nil, engine.CohortInfo{}, fmt.Errorf("core: cluster: %w", err)
+	}
+	out.Sizes = res.Sizes()
+	out.Silhouette = cluster.Silhouette(dist, res)
+	for c := range out.Sizes {
+		members := res.Members(c)
+		row := make([]model.PatientID, len(members))
+		for i, m := range members {
+			row[i] = ids[m]
+		}
+		out.Members = append(out.Members, row)
+	}
+	return out, info, nil
+}

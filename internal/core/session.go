@@ -343,7 +343,10 @@ func (s *Session) RenderTimeline(opt render.TimelineOptions) string {
 }
 
 // DiagnosisSequences extracts the view's ICPC-2 diagnosis-code sequences —
-// NSEPter's input.
+// NSEPter's input. This is the direct-collection form: it reads the
+// histories already paged into the session's view, so it is local-only by
+// construction. For cohort-scale sequence analytics that must not ship
+// histories, use Workbench.MineRules, which counts server-side per shard.
 func (s *Session) DiagnosisSequences() [][]string {
 	out := make([][]string, 0, s.view.Len())
 	for _, h := range s.view.Histories() {

@@ -1,0 +1,479 @@
+package engine
+
+// The distributed analytics tier: a generic per-history map-reduce over
+// the backend set. An analyzer kind names a registered map step (rule
+// support counting, episode abstraction, temporal scenario matching);
+// AnalyzeArgs carries the kind, its gob-encoded parameters and a
+// shard-local cohort mask, and every backend runs the map step over only
+// the masked-in histories, returning a mergeable integer partial. The
+// coordinator reduces the partials exactly — the same integral-tally
+// discipline stats.IndicatorCounts and stats.CohortProfile follow — so a
+// distributed mine/abstract/match is bit-identical to a sequential pass
+// at any shard count over any transport mix, and no history ever leaves
+// its shard for the map step. Genuinely cross-history analytics (MSA,
+// clustering) stay coordinator-side over candidate sets paged in through
+// FetchHistories.
+//
+// Kinds are strings rather than iota for the same reason wire.go's node
+// tags are: a reordered constant block can never silently re-interpret a
+// peer's payload. Parameters and partials cross the wire gob-encoded per
+// kind; decode validates before any map or merge work, so a hostile
+// payload (unknown kind, truncated params, out-of-range relation) is a
+// loud error, never a panic and never a silently wrong tally.
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"pastas/internal/abstraction"
+	"pastas/internal/mining"
+	"pastas/internal/model"
+	"pastas/internal/store"
+	"pastas/internal/temporal"
+)
+
+// Registered analyzer kinds.
+const (
+	// AnalyzeMine counts co-occurrence / sequential rule support over
+	// per-history diagnosis code sequences (partial: *mining.Counts).
+	AnalyzeMine = "mine"
+	// AnalyzeEpisodes derives care episodes per history and tallies them
+	// (partial: *abstraction.EpisodeTally).
+	AnalyzeEpisodes = "episodes"
+	// AnalyzeScenario matches an Allen-relation scenario against each
+	// history's episodes (partial: *temporal.ScenarioTally).
+	AnalyzeScenario = "scenario"
+)
+
+// Partial is one shard's mergeable map-step result. The concrete type is
+// per analyzer kind (see the kind constants); HistoryCount is the sanity
+// bound a transport checks a reply against — a shard can never claim to
+// have tallied more histories than it holds.
+type Partial interface {
+	HistoryCount() int
+}
+
+// AnalyzeArgs is one backend's share of a map step: the analyzer kind,
+// its encoded parameters, and the shard-local candidate mask (nil means
+// the whole shard).
+type AnalyzeArgs struct {
+	Kind   string
+	Params []byte
+	Mask   *store.Bitset
+}
+
+// AnalyzeRequest is a coordinator-level analysis: the kind plus encoded
+// parameters, built by MineRequest / EpisodesRequest / ScenarioRequest.
+type AnalyzeRequest struct {
+	Kind   string
+	Params []byte
+}
+
+// MineParams parameterizes the AnalyzeMine map step. Thresholds
+// (support, count floors) are not here on purpose: they apply once, at
+// finalization on the coordinator (mining.Counts.Rules), so they can
+// never change what the shards count.
+type MineParams struct {
+	// Sequential selects ordered A-then-B counting; false counts
+	// unordered co-occurrence.
+	Sequential bool
+	// MaxGap bounds the position distance for sequential pairs; 0 means
+	// unbounded.
+	MaxGap int
+	// System filters diagnosis codes to one code system ("" = all).
+	System string
+	// Chapter abstracts codes to chapter level before counting (T89 and
+	// T90 both count as T).
+	Chapter bool
+}
+
+func (p MineParams) validate() error {
+	if p.MaxGap < 0 {
+		return fmt.Errorf("engine: mine params: negative MaxGap %d", p.MaxGap)
+	}
+	return nil
+}
+
+// EpisodeParams parameterizes the AnalyzeEpisodes map step.
+type EpisodeParams struct {
+	// Gap is the quiet time separating episodes; must be positive.
+	Gap model.Time
+}
+
+func (p EpisodeParams) validate() error {
+	if p.Gap <= 0 {
+		return fmt.Errorf("engine: episode params: gap must be positive, got %d", p.Gap)
+	}
+	return nil
+}
+
+// ScenarioParams parameterizes the AnalyzeScenario map step.
+type ScenarioParams struct {
+	// Gap is the episode-derivation gap; must be positive.
+	Gap model.Time
+	// Scenario is the temporal pattern to match per history.
+	Scenario temporal.Scenario
+}
+
+func (p ScenarioParams) validate() error {
+	if p.Gap <= 0 {
+		return fmt.Errorf("engine: scenario params: gap must be positive, got %d", p.Gap)
+	}
+	return p.Scenario.Validate()
+}
+
+// MineRequest validates and encodes mine parameters into a request.
+func MineRequest(p MineParams) (AnalyzeRequest, error) {
+	if err := p.validate(); err != nil {
+		return AnalyzeRequest{}, err
+	}
+	data, err := gobEncode(&p)
+	if err != nil {
+		return AnalyzeRequest{}, err
+	}
+	return AnalyzeRequest{Kind: AnalyzeMine, Params: data}, nil
+}
+
+// EpisodesRequest validates and encodes episode parameters into a request.
+func EpisodesRequest(p EpisodeParams) (AnalyzeRequest, error) {
+	if err := p.validate(); err != nil {
+		return AnalyzeRequest{}, err
+	}
+	data, err := gobEncode(&p)
+	if err != nil {
+		return AnalyzeRequest{}, err
+	}
+	return AnalyzeRequest{Kind: AnalyzeEpisodes, Params: data}, nil
+}
+
+// ScenarioRequest validates and encodes scenario parameters into a request.
+func ScenarioRequest(p ScenarioParams) (AnalyzeRequest, error) {
+	if err := p.validate(); err != nil {
+		return AnalyzeRequest{}, err
+	}
+	data, err := gobEncode(&p)
+	if err != nil {
+		return AnalyzeRequest{}, err
+	}
+	return AnalyzeRequest{Kind: AnalyzeScenario, Params: data}, nil
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("engine: encode analyze payload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	if len(data) == 0 {
+		return fmt.Errorf("engine: empty analyze payload")
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("engine: decode analyze payload: %w", err)
+	}
+	return nil
+}
+
+// analyzer is one registered kind: parameter decoding (with validation),
+// the per-history map step, the exact reduce, and the partial's wire
+// codec. Everything a transport needs, so the local backend, the shard
+// server and the coordinator can never disagree on semantics.
+type analyzer struct {
+	decodeParams  func([]byte) (any, error)
+	newPartial    func(params any) Partial
+	addHistory    func(p Partial, params any, h *model.History)
+	merge         func(dst, src Partial) error
+	encodePartial func(Partial) ([]byte, error)
+	decodePartial func([]byte) (Partial, error)
+}
+
+// analyzers is the kind registry. All three built-in map steps read
+// histories through the non-mutating accessors (SortedEntries and
+// friends): a shard server runs them concurrently over shared histories,
+// so a map step that re-sorted entries in place would race.
+var analyzers = map[string]analyzer{
+	AnalyzeMine: {
+		decodeParams: func(data []byte) (any, error) {
+			var p MineParams
+			if err := gobDecode(data, &p); err != nil {
+				return nil, err
+			}
+			if err := p.validate(); err != nil {
+				return nil, err
+			}
+			return &p, nil
+		},
+		newPartial: func(params any) Partial {
+			p := params.(*MineParams)
+			return mining.NewCounts(p.Sequential, p.MaxGap)
+		},
+		addHistory: func(part Partial, params any, h *model.History) {
+			p := params.(*MineParams)
+			seq := mineSequence(h, p)
+			if len(seq) > 0 {
+				part.(*mining.Counts).AddSequence(seq)
+			}
+		},
+		merge: func(dst, src Partial) error {
+			return dst.(*mining.Counts).Merge(src.(*mining.Counts))
+		},
+		encodePartial: func(p Partial) ([]byte, error) { return gobEncode(p.(*mining.Counts)) },
+		decodePartial: func(data []byte) (Partial, error) {
+			c := new(mining.Counts)
+			if err := gobDecode(data, c); err != nil {
+				return nil, err
+			}
+			if err := validateCounts(c); err != nil {
+				return nil, err
+			}
+			return c, nil
+		},
+	},
+	AnalyzeEpisodes: {
+		decodeParams: func(data []byte) (any, error) {
+			var p EpisodeParams
+			if err := gobDecode(data, &p); err != nil {
+				return nil, err
+			}
+			if err := p.validate(); err != nil {
+				return nil, err
+			}
+			return &p, nil
+		},
+		newPartial: func(any) Partial { return abstraction.NewEpisodeTally() },
+		addHistory: func(part Partial, params any, h *model.History) {
+			part.(*abstraction.EpisodeTally).AddHistory(h, params.(*EpisodeParams).Gap)
+		},
+		merge: func(dst, src Partial) error {
+			dst.(*abstraction.EpisodeTally).Merge(src.(*abstraction.EpisodeTally))
+			return nil
+		},
+		encodePartial: func(p Partial) ([]byte, error) { return gobEncode(p.(*abstraction.EpisodeTally)) },
+		decodePartial: func(data []byte) (Partial, error) {
+			t := new(abstraction.EpisodeTally)
+			if err := gobDecode(data, t); err != nil {
+				return nil, err
+			}
+			if err := validateEpisodeTally(t); err != nil {
+				return nil, err
+			}
+			return t, nil
+		},
+	},
+	AnalyzeScenario: {
+		decodeParams: func(data []byte) (any, error) {
+			var p ScenarioParams
+			if err := gobDecode(data, &p); err != nil {
+				return nil, err
+			}
+			if err := p.validate(); err != nil {
+				return nil, err
+			}
+			return &p, nil
+		},
+		newPartial: func(any) Partial { return new(temporal.ScenarioTally) },
+		addHistory: func(part Partial, params any, h *model.History) {
+			p := params.(*ScenarioParams)
+			eps := abstraction.EpisodesStable(h, p.Gap)
+			part.(*temporal.ScenarioTally).Add(p.Scenario.MatchEpisodes(eps))
+		},
+		merge: func(dst, src Partial) error {
+			dst.(*temporal.ScenarioTally).Merge(src.(*temporal.ScenarioTally))
+			return nil
+		},
+		encodePartial: func(p Partial) ([]byte, error) { return gobEncode(p.(*temporal.ScenarioTally)) },
+		decodePartial: func(data []byte) (Partial, error) {
+			t := new(temporal.ScenarioTally)
+			if err := gobDecode(data, t); err != nil {
+				return nil, err
+			}
+			if t.Histories < 0 || t.Bound < 0 || t.Matched < 0 ||
+				t.Bound > t.Histories || t.Matched > t.Bound {
+				return nil, fmt.Errorf("engine: scenario tally is inconsistent (%d/%d/%d)",
+					t.Histories, t.Bound, t.Matched)
+			}
+			return t, nil
+		},
+	},
+}
+
+// mineSequence extracts one history's code sequence for the mine map
+// step: chronological diagnosis codes, optionally filtered to one system
+// and abstracted to chapter level.
+func mineSequence(h *model.History, p *MineParams) []string {
+	codes := h.CodeSequenceStable(model.TypeDiagnosis)
+	out := make([]string, 0, len(codes))
+	for _, c := range codes {
+		if p.System != "" && c.System != p.System {
+			continue
+		}
+		if p.Chapter {
+			if ch := abstraction.ChapterOf(c); ch != "" {
+				out = append(out, ch)
+			}
+			continue
+		}
+		out = append(out, c.Value)
+	}
+	return out
+}
+
+// validateCounts holds a hostile or corrupt mine partial to an error: the
+// integer tallies must be internally consistent before they are merged.
+func validateCounts(c *mining.Counts) error {
+	if c.N < 0 || c.MaxGap < 0 {
+		return fmt.Errorf("engine: mine tally is inconsistent (n=%d gap=%d)", c.N, c.MaxGap)
+	}
+	for code, n := range c.Single {
+		if n < 1 || n > c.N {
+			return fmt.Errorf("engine: mine tally: code %q counted %d times over %d histories", code, n, c.N)
+		}
+	}
+	for p, n := range c.Pair {
+		if n < 1 || n > c.N {
+			return fmt.Errorf("engine: mine tally: pair %v counted %d times over %d histories", p, n, c.N)
+		}
+	}
+	return nil
+}
+
+func validateEpisodeTally(t *abstraction.EpisodeTally) error {
+	if t.Histories < 0 || t.WithEpisodes < 0 || t.Episodes < 0 || t.Entries < 0 || t.SpanTotal < 0 ||
+		t.WithEpisodes > t.Histories || t.Episodes < t.WithEpisodes {
+		return fmt.Errorf("engine: episode tally is inconsistent (%d/%d/%d)", t.Histories, t.WithEpisodes, t.Episodes)
+	}
+	for k, n := range t.ByDominant {
+		if n < 1 || n > t.Episodes {
+			return fmt.Errorf("engine: episode tally: dominant %q counted %d times over %d episodes", k, n, t.Episodes)
+		}
+	}
+	return nil
+}
+
+// tallyAnalyze is the one map loop both transports run — the local view
+// directly, the shard server over its own collection — so the mask
+// contract, the parameter validation and the per-history map step can
+// never diverge between them. This mirrors tallyIndicators/tallyProfile.
+func tallyAnalyze(history func(int) *model.History, patients int, args AnalyzeArgs) (Partial, error) {
+	spec, ok := analyzers[args.Kind]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown analyzer kind %q", args.Kind)
+	}
+	params, err := spec.decodeParams(args.Params)
+	if err != nil {
+		return nil, fmt.Errorf("engine: analyzer %q: %w", args.Kind, err)
+	}
+	if args.Mask != nil && args.Mask.Len() != patients {
+		return nil, fmt.Errorf("engine: analyze mask covers %d patients, shard has %d", args.Mask.Len(), patients)
+	}
+	part := spec.newPartial(params)
+	if args.Mask != nil {
+		args.Mask.Range(func(i int) bool {
+			spec.addHistory(part, params, history(i))
+			return true
+		})
+	} else {
+		for i := 0; i < patients; i++ {
+			spec.addHistory(part, params, history(i))
+		}
+	}
+	return part, nil
+}
+
+// encodeAnalyzePartial serializes a partial for the wire, keyed by kind.
+func encodeAnalyzePartial(kind string, p Partial) ([]byte, error) {
+	spec, ok := analyzers[kind]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown analyzer kind %q", kind)
+	}
+	return spec.encodePartial(p)
+}
+
+// decodeAnalyzePartial reconstructs and validates a wire partial.
+func decodeAnalyzePartial(kind string, data []byte) (Partial, error) {
+	spec, ok := analyzers[kind]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown analyzer kind %q", kind)
+	}
+	return spec.decodePartial(data)
+}
+
+// Analyze runs a registered map step over the cohort a global-ordinal
+// bitset selects and reduces the per-shard partials exactly. Under
+// PolicyDegraded the reduce may omit unreachable shards; use
+// AnalyzeStatus to learn which.
+func (e *Engine) Analyze(b *store.Bitset, req AnalyzeRequest) (Partial, error) {
+	part, _, err := e.AnalyzeStatus(context.Background(), b, req)
+	return part, err
+}
+
+// AnalyzeStatus is Analyze under a caller-supplied context, plus the
+// completeness report. The fan-out is the same shape Profile and
+// Indicators use: shards without a cohort member are never contacted,
+// each contacted shard maps over only its slice of the mask, and the
+// partials merge in fixed shard order — integer tallies, so grouping
+// cannot change the result and the reduce is exact.
+func (e *Engine) AnalyzeStatus(ctx context.Context, b *store.Bitset, req AnalyzeRequest) (Partial, QueryStatus, error) {
+	spec, ok := analyzers[req.Kind]
+	if !ok {
+		return nil, QueryStatus{}, fmt.Errorf("engine: unknown analyzer kind %q", req.Kind)
+	}
+	params, err := spec.decodeParams(req.Params)
+	if err != nil {
+		return nil, QueryStatus{}, fmt.Errorf("engine: analyzer %q: %w", req.Kind, err)
+	}
+	t := e.topoNow()
+	if b.Len() != t.n {
+		return nil, QueryStatus{}, fmt.Errorf("engine: bitset covers %d patients, population has %d (re-run the query if an append landed since)", b.Len(), t.n)
+	}
+	ctx, cancel := e.opCtx(ctx)
+	defer cancel()
+	parts := make([]Partial, len(t.backends))
+	errs := make([]error, len(t.backends))
+	asked := make([]bool, len(t.backends))
+	var wg sync.WaitGroup
+	for i, bk := range t.backends {
+		m := bk.Meta()
+		if !b.AnyInRange(m.Offset, m.Offset+m.Patients) {
+			continue
+		}
+		asked[i] = true
+		mask := b.SliceRange(m.Offset, m.Offset+m.Patients)
+		wg.Add(1)
+		go func(i int, bk ShardBackend, mask *store.Bitset) {
+			defer wg.Done()
+			t0 := time.Now()
+			parts[i], errs[i] = bk.Analyze(ctx, AnalyzeArgs{Kind: req.Kind, Params: req.Params, Mask: mask})
+			t.record(i, t0, errs[i])
+		}(i, bk, mask)
+	}
+	wg.Wait()
+	out := spec.newPartial(params)
+	var missing []int
+	for i := range parts {
+		if errs[i] != nil {
+			if e.policy == PolicyDegraded && IsUnavailable(errs[i]) && ctx.Err() == nil {
+				t.metrics[i].skips.Add(1)
+				missing = append(missing, i)
+				continue
+			}
+			return nil, QueryStatus{}, &ShardError{Shard: t.backends[i].Meta().Shard,
+				Err: fmt.Errorf("engine: analyze %q on shard %d (%s): %w",
+					req.Kind, t.backends[i].Meta().Shard, t.backends[i].Meta().Backend, errs[i])}
+		}
+		if asked[i] {
+			if err := spec.merge(out, parts[i]); err != nil {
+				return nil, QueryStatus{}, &ShardError{Shard: t.backends[i].Meta().Shard,
+					Err: fmt.Errorf("engine: analyze %q on shard %d (%s): %w",
+						req.Kind, t.backends[i].Meta().Shard, t.backends[i].Meta().Backend, err)}
+			}
+		}
+	}
+	return out, e.statusFromMissing(t, missing), nil
+}

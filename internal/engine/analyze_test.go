@@ -1,0 +1,379 @@
+package engine
+
+// The distributed-analytics contract: every registered analyzer kind
+// returns partials identical to a single-threaded reference pass at
+// shard counts {1, 4, 16}, over remote shard servers and in-process
+// local backends alike, with the cohort mask pushed down; hostile
+// AnalyzeArgs (unknown kind, truncated params, corrupt mask) are loud
+// errors, never panics; and fault injection degrades or fails over
+// exactly like every other fan-out. Runs under -race in CI — the map
+// steps read shared histories concurrently, so a mutating step would
+// fail here.
+
+import (
+	"context"
+	"hash/crc32"
+	"net/rpc"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pastas/internal/abstraction"
+	"pastas/internal/mining"
+	"pastas/internal/model"
+	"pastas/internal/query"
+	"pastas/internal/store"
+	"pastas/internal/temporal"
+)
+
+// analyzeRequests sweeps every registered kind with representative
+// parameters: plain and sequential mining, episode tallies, and a
+// scenario over chapter labels the synthetic population actually emits.
+func analyzeRequests(t testing.TB) []AnalyzeRequest {
+	t.Helper()
+	var reqs []AnalyzeRequest
+	mk := func(r AnalyzeRequest, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, r)
+	}
+	mk(MineRequest(MineParams{System: "ICPC2"}))
+	mk(MineRequest(MineParams{Sequential: true, MaxGap: 3, Chapter: true}))
+	mk(EpisodesRequest(EpisodeParams{Gap: 90 * model.Day}))
+	mk(ScenarioRequest(ScenarioParams{Gap: 90 * model.Day, Scenario: temporal.Scenario{
+		Steps: []string{"T", "K"},
+		Relations: []temporal.StepRel{
+			{I: 0, J: 1, Rel: temporal.Before | temporal.Meets | temporal.Overlaps},
+		},
+	}}))
+	return reqs
+}
+
+// refAnalyze is the single-threaded reference: the same map step, run
+// sequentially over the masked-in histories in global order, with no
+// sharding, no merge and no wire codec in the path.
+func refAnalyze(t testing.TB, col *model.Collection, bits *store.Bitset, req AnalyzeRequest) Partial {
+	t.Helper()
+	spec := analyzers[req.Kind]
+	params, err := spec.decodeParams(req.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := spec.newPartial(params)
+	for i, h := range col.Histories() {
+		if bits.Get(i) {
+			spec.addHistory(part, params, h)
+		}
+	}
+	return part
+}
+
+// normalizePartial maps nil and empty maps to the same representation:
+// gob transports an empty map as an absent field, which decodes to nil —
+// semantically identical, so the comparison must not distinguish them.
+func normalizePartial(p Partial) Partial {
+	switch v := p.(type) {
+	case *mining.Counts:
+		if v.Single == nil {
+			v.Single = map[string]int{}
+		}
+		if v.Pair == nil {
+			v.Pair = map[[2]string]int{}
+		}
+	case *abstraction.EpisodeTally:
+		if v.ByDominant == nil {
+			v.ByDominant = map[string]int{}
+		}
+	}
+	return p
+}
+
+// TestAnalyzeParity is the acceptance property: remote shard servers and
+// a local-backend fan-out both reproduce the sequential reference
+// exactly, for every kind, at shard counts {1, 4, 16}, over the whole
+// population and over a pushed-down cohort mask.
+func TestAnalyzeParity(t *testing.T) {
+	col, st, _ := parityEngines(t)
+	reqs := analyzeRequests(t)
+	cohortExpr := query.Expr(query.Has{Pred: query.AllOf{
+		query.TypeIs(model.TypeDiagnosis), query.MustCode("", `T90|E11(\..*)?`)}})
+	for _, shards := range []int{1, 4, 16} {
+		fix := startShardServers(t, col, shards, 2, RemoteOptions{Timeout: 30 * time.Second})
+		var locals []ShardBackend
+		for i, m := range New(st, Options{Shards: shards, Workers: 2}).BackendInfo() {
+			locals = append(locals, NewLocalBackend(st.Slice(m.Offset, m.Offset+m.Patients), i))
+		}
+		localDist, err := NewFromBackends(locals, Options{Workers: 4, CacheSize: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, expr := range []query.Expr{query.TrueExpr{}, cohortExpr} {
+			bits, err := fix.eng.Execute(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, req := range reqs {
+				want := normalizePartial(refAnalyze(t, col, bits, req))
+				for name, eng := range map[string]*Engine{"remote": fix.eng, "local-dist": localDist} {
+					got, err := eng.Analyze(bits, req)
+					if err != nil {
+						t.Fatalf("shards=%d %s Analyze(%s over %s): %v", shards, name, req.Kind, expr, err)
+					}
+					if !reflect.DeepEqual(normalizePartial(got), want) {
+						t.Fatalf("shards=%d %s kind=%s over %s: partial mismatch\n got %+v\nwant %+v",
+							shards, name, req.Kind, expr, got, want)
+					}
+					if got.HistoryCount() > bits.Count() {
+						t.Fatalf("shards=%d %s kind=%s: tallied %d histories from a %d-member cohort",
+							shards, name, req.Kind, got.HistoryCount(), bits.Count())
+					}
+				}
+			}
+		}
+		localDist.Close()
+	}
+}
+
+// TestAnalyzeRulesDeterministic: the coordinator-side finalization over
+// merged counts yields the same ruleset, in the same order, from the
+// remote partials as from the reference — the end-to-end byte-identity
+// the CLI diff test relies on.
+func TestAnalyzeRulesDeterministic(t *testing.T) {
+	col, _, _ := parityEngines(t)
+	fix := startShardServers(t, col, 4, 2, RemoteOptions{Timeout: 30 * time.Second})
+	bits, err := fix.eng.Execute(query.TrueExpr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := MineRequest(MineParams{System: "ICPC2", Chapter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := fix.eng.Analyze(bits, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mining.Options{MinSupport: 0.01, MinCount: 2}
+	got := part.(*mining.Counts).Rules(opt)
+	want := refAnalyze(t, col, bits, req).(*mining.Counts).Rules(opt)
+	if len(got) == 0 {
+		t.Fatal("no rules mined from the parity population; the fixture no longer exercises mining")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("distributed rules differ from reference:\n got %v\nwant %v", got, want)
+	}
+	if !reflect.DeepEqual(mining.Top(got, 5), mining.Top(want, 5)) {
+		t.Fatalf("Top(5) differs between distributed and reference rules")
+	}
+}
+
+// TestAnalyzeHostileRPC drives raw wire payloads at a live shard server:
+// every malformed request is a loud per-call error, the connection and
+// server survive, and a well-formed call still answers afterwards.
+func TestAnalyzeHostileRPC(t *testing.T) {
+	col, _, _ := parityEngines(t)
+	fix := startShardServers(t, col, 4, 1, RemoteOptions{Timeout: 10 * time.Second})
+	client, err := rpc.Dial("tcp", fix.listeners[0].Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	valid, err := MineRequest(MineParams{System: "ICPC2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardPatients := fix.eng.BackendInfo()[0].Patients
+	call := func(args AnalyzeRPCArgs) (AnalyzeRPCReply, error) {
+		var reply AnalyzeRPCReply
+		err := client.Call(rpcServiceName+".Analyze", &args, &reply)
+		return reply, err
+	}
+
+	if _, err := call(AnalyzeRPCArgs{Shard: 0, Kind: "bogus", Params: valid.Params}); err == nil {
+		t.Fatal("unknown analyzer kind: want error, got success")
+	}
+	if _, err := call(AnalyzeRPCArgs{Shard: 0, Kind: AnalyzeMine}); err == nil {
+		t.Fatal("missing params: want error, got success")
+	}
+	if _, err := call(AnalyzeRPCArgs{Shard: 0, Kind: AnalyzeMine, Params: valid.Params[:3]}); err == nil {
+		t.Fatal("truncated params: want error, got success")
+	}
+
+	mask := store.NewBitset(shardPatients)
+	mask.Set(0)
+	maskData, err := mask.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crc := crc32.Checksum(maskData, maskCRCTable)
+	if _, err := call(AnalyzeRPCArgs{
+		Shard: 0, Kind: AnalyzeMine, Params: valid.Params, Mask: maskData, MaskCRC: crc ^ 1,
+	}); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt mask crc: want checksum error, got %v", err)
+	}
+
+	wrong := store.NewBitset(shardPatients + 17)
+	wrongData, err := wrong.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call(AnalyzeRPCArgs{
+		Shard: 0, Kind: AnalyzeMine, Params: valid.Params,
+		Mask: wrongData, MaskCRC: crc32.Checksum(wrongData, maskCRCTable),
+	}); err == nil {
+		t.Fatal("wrong-length mask: want error, got success")
+	}
+
+	// The server must still answer a well-formed request on the same
+	// connection — the abuse above cannot have wedged or killed it.
+	reply, err := call(AnalyzeRPCArgs{
+		Shard: 0, Kind: AnalyzeMine, Params: valid.Params, Mask: maskData, MaskCRC: crc,
+	})
+	if err != nil {
+		t.Fatalf("well-formed call after hostile ones: %v", err)
+	}
+	part, err := decodeAnalyzePartial(AnalyzeMine, reply.Partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := part.HistoryCount(); got < 0 || got > 1 {
+		t.Fatalf("one-member mask tallied %d histories", got)
+	}
+}
+
+// TestAnalyzeBadBitset: a coordinator-level request with an unknown kind
+// or a stale-generation bitset fails before any fan-out.
+func TestAnalyzeBadRequest(t *testing.T) {
+	_, st, engines := parityEngines(t)
+	eng := engines[1]
+	bits, err := eng.Execute(query.TrueExpr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Analyze(bits, AnalyzeRequest{Kind: "bogus"}); err == nil {
+		t.Fatal("unknown kind: want error")
+	}
+	if _, err := eng.Analyze(bits, AnalyzeRequest{Kind: AnalyzeMine, Params: []byte{0x01}}); err == nil {
+		t.Fatal("garbage params: want error")
+	}
+	if _, err := MineRequest(MineParams{MaxGap: -1}); err == nil {
+		t.Fatal("negative MaxGap: want error")
+	}
+	if _, err := EpisodesRequest(EpisodeParams{}); err == nil {
+		t.Fatal("zero gap: want error")
+	}
+	if _, err := ScenarioRequest(ScenarioParams{Gap: model.Day, Scenario: temporal.Scenario{
+		Steps: []string{"T"}, Relations: []temporal.StepRel{{I: 0, J: 5, Rel: temporal.Before}},
+	}}); err == nil {
+		t.Fatal("out-of-range scenario relation: want error")
+	}
+	short := store.NewBitset(st.Len() - 1)
+	req, err := EpisodesRequest(EpisodeParams{Gap: 90 * model.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Analyze(short, req); err == nil {
+		t.Fatal("wrong-length bitset: want error")
+	}
+}
+
+// TestAnalyzeDegradedAndStrict: under PolicyDegraded a dead shard is
+// absorbed and reported — the tally covers exactly the reachable
+// population — while the default strict policy turns the same outage
+// into a hard error naming the shard.
+func TestAnalyzeDegradedAndStrict(t *testing.T) {
+	col, st, _ := parityEngines(t)
+	const shards = 4
+	build := func(policy Policy) (*Engine, []*FaultBackend) {
+		var faults []*FaultBackend
+		var backends []ShardBackend
+		for i, m := range New(st, Options{Shards: shards, Workers: 2}).BackendInfo() {
+			f := NewFaultBackend(NewLocalBackend(st.Slice(m.Offset, m.Offset+m.Patients), i))
+			faults = append(faults, f)
+			backends = append(backends, f)
+		}
+		eng, err := NewFromBackends(backends, Options{Workers: 4, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		return eng, faults
+	}
+	req, err := EpisodesRequest(EpisodeParams{Gap: 90 * model.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deg, faults := build(PolicyDegraded)
+	bits, err := deg.Execute(query.TrueExpr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, status, err := deg.AnalyzeStatus(context.Background(), bits, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !status.Complete() || part.HistoryCount() != col.Len() {
+		t.Fatalf("healthy degraded run: tallied %d of %d, status %+v", part.HistoryCount(), col.Len(), status)
+	}
+
+	faults[1].Fail()
+	part, status, err = deg.AnalyzeStatus(context.Background(), bits, req)
+	if err != nil {
+		t.Fatalf("degraded analyze with one shard down: %v", err)
+	}
+	if len(status.MissingShards) != 1 || status.MissingShards[0] != 1 {
+		t.Fatalf("missing shards = %v, want [1]", status.MissingShards)
+	}
+	wantHistories := col.Len() - deg.BackendInfo()[1].Patients
+	if part.HistoryCount() != wantHistories {
+		t.Fatalf("degraded tally covers %d histories, want %d", part.HistoryCount(), wantHistories)
+	}
+
+	strict, sfaults := build(PolicyStrict)
+	sfaults[2].Fail()
+	if _, err := strict.Analyze(bits, req); err == nil || !strings.Contains(err.Error(), "shard 2") {
+		t.Fatalf("strict analyze with shard 2 down: want error naming the shard, got %v", err)
+	}
+}
+
+// TestAnalyzeReplicaFailover: a replica set whose primary is down serves
+// Analyze from the secondary with results identical to the reference.
+func TestAnalyzeReplicaFailover(t *testing.T) {
+	col, st, _ := parityEngines(t)
+	const shards = 4
+	var backends []ShardBackend
+	for i, m := range New(st, Options{Shards: shards, Workers: 2}).BackendInfo() {
+		slice := st.Slice(m.Offset, m.Offset+m.Patients)
+		primary := NewFaultBackend(NewLocalBackend(slice, i))
+		primary.Fail()
+		rb, err := NewReplicaBackend(
+			[]ShardBackend{primary, NewLocalBackend(slice, i)}, ReplicaOptions{ProbeInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends = append(backends, rb)
+	}
+	eng, err := NewFromBackends(backends, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	bits, err := eng.Execute(query.TrueExpr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range analyzeRequests(t) {
+		got, err := eng.Analyze(bits, req)
+		if err != nil {
+			t.Fatalf("replica analyze %s: %v", req.Kind, err)
+		}
+		want := normalizePartial(refAnalyze(t, col, bits, req))
+		if !reflect.DeepEqual(normalizePartial(got), want) {
+			t.Fatalf("replica analyze %s: partial mismatch\n got %+v\nwant %+v", req.Kind, got, want)
+		}
+	}
+}

@@ -60,6 +60,11 @@ type ShardMeta struct {
 // elsewhere), and Indicators tallies the mergeable utilization counts for
 // the shard's slice of a cohort — the server-side aggregate that keeps
 // large cohorts from shipping every history over a wire transport.
+//
+// Analyze generalizes that server-side aggregation into a map-reduce: a
+// registered analyzer kind maps over only the masked-in histories and
+// returns a mergeable partial the coordinator reduces exactly (see
+// analyze.go). Like Indicators and Profile, no history crosses the wire.
 type ShardBackend interface {
 	Meta() ShardMeta
 	Stats(ctx context.Context) (*store.Stats, error)
@@ -69,6 +74,7 @@ type ShardBackend interface {
 	LocateID(ctx context.Context, id model.PatientID) (int, bool, error)
 	Indicators(ctx context.Context, mask *store.Bitset, window model.Period) (stats.IndicatorCounts, error)
 	Profile(ctx context.Context, mask *store.Bitset, window model.Period) (stats.CohortProfile, error)
+	Analyze(ctx context.Context, args AnalyzeArgs) (Partial, error)
 	Close() error
 }
 
@@ -210,6 +216,13 @@ func tallyProfile(history func(int) *model.History, patients int, mask *store.Bi
 		}
 	}
 	return prof, nil
+}
+
+// Analyze implements ShardBackend: the registered map step runs over the
+// view's masked-in histories through the same shared loop the shard
+// server uses (tallyAnalyze), so the two transports cannot diverge.
+func (b *LocalBackend) Analyze(_ context.Context, args AnalyzeArgs) (Partial, error) {
+	return tallyAnalyze(b.v.HistoryAt, b.v.Len(), args)
 }
 
 // Probe implements Prober; an in-process view is always alive.

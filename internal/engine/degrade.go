@@ -68,6 +68,42 @@ func IsUnavailable(err error) bool {
 	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrDraining)
 }
 
+// ShardError attributes a fan-out failure to the shard it came from, so
+// API layers can name the failing shard structurally (an error envelope's
+// shards_missing list) instead of parsing error text.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+// Error implements error; the message is the wrapped error's — the
+// attribution rides alongside, it does not reformat.
+func (e *ShardError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// FailedShards collects every shard id attributed anywhere in err's
+// wrap chain, sorted ascending and deduplicated. Nil when no ShardError
+// is present — a local failure, not an outage.
+func FailedShards(err error) []int {
+	seen := map[int]bool{}
+	var out []int
+	for {
+		var se *ShardError
+		if !errors.As(err, &se) {
+			break
+		}
+		if !seen[se.Shard] {
+			seen[se.Shard] = true
+			out = append(out, se.Shard)
+		}
+		err = se.Err
+	}
+	sort.Ints(out)
+	return out
+}
+
 // QueryStatus reports the completeness of one coordinator operation.
 // Under PolicyStrict it is always complete (incomplete answers become
 // errors before they reach a caller); under PolicyDegraded it names

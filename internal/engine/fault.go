@@ -233,6 +233,14 @@ func (f *FaultBackend) Profile(ctx context.Context, mask *store.Bitset, window m
 	return f.inner.Profile(ctx, mask, window)
 }
 
+// Analyze implements ShardBackend.
+func (f *FaultBackend) Analyze(ctx context.Context, args AnalyzeArgs) (Partial, error) {
+	if err := f.gate(ctx); err != nil {
+		return nil, err
+	}
+	return f.inner.Analyze(ctx, args)
+}
+
 // Probe implements Prober, under the same fault schedule as real calls —
 // a health checker must see the injected outage.
 func (f *FaultBackend) Probe(ctx context.Context) error {

@@ -490,6 +490,60 @@ func (r *ShardRPC) Profile(args *ProfileArgs, reply *ProfileReply) error {
 	return nil
 }
 
+// AnalyzeRPCArgs/AnalyzeRPCReply: the generic map-reduce RPC. Kind names
+// a registered analyzer, Params its gob-encoded parameters (validated
+// server-side before any map work), and Mask, when non-empty, is the
+// container-encoded shard-local cohort mask with its crc32c — the same
+// push-down discipline Eval and Profile use. The reply is the shard's
+// gob-encoded mergeable partial: integer tallies whose size depends on
+// the code vocabulary, never on the cohort, so the map step ships no
+// history to the coordinator.
+type AnalyzeRPCArgs struct {
+	Shard   int
+	Kind    string
+	Params  []byte
+	Mask    []byte
+	MaskCRC uint32
+}
+type AnalyzeRPCReply struct {
+	Partial []byte
+}
+
+// Analyze runs the registered map step over the shard's slice of the
+// cohort. A hostile request — unknown kind, truncated params, corrupt
+// mask — is refused loudly before any per-history work.
+func (r *ShardRPC) Analyze(args *AnalyzeRPCArgs, reply *AnalyzeRPCReply) error {
+	if err := r.s.begin(); err != nil {
+		return err
+	}
+	defer r.s.end()
+	sh, err := r.s.shard(args.Shard)
+	if err != nil {
+		return err
+	}
+	var mask *store.Bitset
+	if len(args.Mask) > 0 {
+		if err := checkMaskCRC(args.Mask, args.MaskCRC); err != nil {
+			return err
+		}
+		mask = new(store.Bitset)
+		if err := mask.UnmarshalBinary(args.Mask); err != nil {
+			return err
+		}
+	}
+	col := sh.eng.Store().Collection()
+	part, err := tallyAnalyze(col.At, col.Len(), AnalyzeArgs{Kind: args.Kind, Params: args.Params, Mask: mask})
+	if err != nil {
+		return err
+	}
+	data, err := encodeAnalyzePartial(args.Kind, part)
+	if err != nil {
+		return err
+	}
+	reply.Partial = data
+	return nil
+}
+
 // RemoteOptions tunes the client side of the shard transport.
 type RemoteOptions struct {
 	// Timeout bounds each dial and each RPC round trip. 0 means
@@ -948,6 +1002,39 @@ func (b *RemoteBackend) Profile(ctx context.Context, mask *store.Bitset, window 
 			b.conn.addr, got, b.meta.Patients)
 	}
 	return reply.Profile, nil
+}
+
+// Analyze implements ShardBackend: the kind, parameters and crc-checked
+// cohort mask cross the wire, the shard runs the map step server-side,
+// and a validated mergeable partial comes back — the reply is bounded by
+// the code vocabulary, never the cohort size.
+func (b *RemoteBackend) Analyze(ctx context.Context, a AnalyzeArgs) (Partial, error) {
+	args := AnalyzeRPCArgs{Shard: b.meta.Shard, Kind: a.Kind, Params: a.Params}
+	if a.Mask != nil {
+		if a.Mask.Len() != b.meta.Patients {
+			return nil, fmt.Errorf("engine: analyze mask covers %d patients, shard has %d",
+				a.Mask.Len(), b.meta.Patients)
+		}
+		data, err := a.Mask.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		args.Mask = data
+		args.MaskCRC = crc32.Checksum(data, maskCRCTable)
+	}
+	var reply AnalyzeRPCReply
+	if err := b.conn.call(ctx, "Analyze", &args, &reply); err != nil {
+		return nil, err
+	}
+	part, err := decodeAnalyzePartial(a.Kind, reply.Partial)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s: %w", b.conn.addr, err)
+	}
+	if got := part.HistoryCount(); got < 0 || got > b.meta.Patients {
+		return nil, fmt.Errorf("engine: %s: analyze partial covers %d histories, shard has %d",
+			b.conn.addr, got, b.meta.Patients)
+	}
+	return part, nil
 }
 
 // IDsOf implements ShardBackend.

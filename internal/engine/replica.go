@@ -347,6 +347,19 @@ func (rb *ReplicaBackend) Profile(ctx context.Context, mask *store.Bitset, windo
 	return out, err
 }
 
+// Analyze implements ShardBackend. A map step is read-only and
+// idempotent like every other backend op, so retrying it on another
+// replica after a transport failure is safe.
+func (rb *ReplicaBackend) Analyze(ctx context.Context, args AnalyzeArgs) (Partial, error) {
+	var out Partial
+	err := rb.do(ctx, func(ctx context.Context, b ShardBackend) error {
+		var err error
+		out, err = b.Analyze(ctx, args)
+		return err
+	})
+	return out, err
+}
+
 // Probe implements Prober: the set is alive if any member answers.
 func (rb *ReplicaBackend) Probe(ctx context.Context) error {
 	var lastErr error

@@ -55,73 +55,50 @@ func (o *Options) defaults() {
 	}
 }
 
-// CoOccurrence mines unordered pair rules over code sequences (one
-// sequence per history). For each rule A∧B only the (A<B) orientation with
-// the code-order normalized is emitted once, but confidence is computed
-// for the A side; callers wanting both directions can swap.
-func CoOccurrence(seqs [][]string, opt Options) []Rule {
-	opt.defaults()
-	n := len(seqs)
-	if n == 0 {
-		return nil
-	}
-	single := make(map[string]int)
-	pair := make(map[[2]string]int)
-	for _, seq := range seqs {
-		present := make(map[string]bool)
-		for _, c := range seq {
-			present[c] = true
-		}
-		codes := make([]string, 0, len(present))
-		for c := range present {
-			codes = append(codes, c)
-		}
-		sort.Strings(codes)
-		for _, c := range codes {
-			single[c]++
-		}
-		for i := 0; i < len(codes); i++ {
-			for j := i + 1; j < len(codes); j++ {
-				pair[[2]string{codes[i], codes[j]}]++
-			}
-		}
-	}
-	var out []Rule
-	for p, cnt := range pair {
-		supp := float64(cnt) / float64(n)
-		if supp < opt.MinSupport || cnt < opt.MinCount {
-			continue
-		}
-		a, b := p[0], p[1]
-		conf := float64(cnt) / float64(single[a])
-		lift := conf / (float64(single[b]) / float64(n))
-		out = append(out, Rule{
-			A: a, B: b, Support: supp, Confidence: conf, Lift: lift,
-			CountPair: cnt, CountA: single[a], CountB: single[b], N: n,
-		})
-	}
-	sortRules(out)
-	return out
+// Counts is the mergeable map-step partial behind rule mining: per-code
+// and per-pair presence tallies over disjoint history sets. Every field
+// is an integer sum, so partials produced by different shards merge in
+// any grouping to exactly what a sequential pass over the union would
+// count — and because Rules derives every ratio once from the merged
+// integers, a distributed mine is bit-identical to a local one at any
+// shard count.
+type Counts struct {
+	// Sequential selects ordered (A-then-B) counting; false counts
+	// unordered co-occurrence with A<B normalized.
+	Sequential bool
+	// MaxGap bounds the position distance for sequential pairs; 0 means
+	// unbounded. Ignored for co-occurrence.
+	MaxGap int
+	// N is the number of sequences tallied.
+	N int
+	// Single counts histories where the code appears at least once.
+	Single map[string]int
+	// Pair counts histories exhibiting the pair.
+	Pair map[[2]string]int
 }
 
-// Sequential mines ordered rules: A appears and B appears later (within
-// MaxGap positions when set). Each history contributes at most one count
-// per ordered pair.
-func Sequential(seqs [][]string, opt Options) []Rule {
-	opt.defaults()
-	n := len(seqs)
-	if n == 0 {
-		return nil
+// NewCounts creates an empty partial for one counting mode.
+func NewCounts(sequential bool, maxGap int) *Counts {
+	return &Counts{
+		Sequential: sequential,
+		MaxGap:     maxGap,
+		Single:     make(map[string]int),
+		Pair:       make(map[[2]string]int),
 	}
-	single := make(map[string]int)
-	pair := make(map[[2]string]int)
-	for _, seq := range seqs {
+}
+
+// AddSequence tallies one history's code sequence. Each history
+// contributes at most one count per code and per pair, whatever the
+// repetition inside the sequence.
+func (c *Counts) AddSequence(seq []string) {
+	c.N++
+	if c.Sequential {
 		present := make(map[string]bool)
 		ordered := make(map[[2]string]bool)
 		for i, a := range seq {
 			present[a] = true
 			for j := i + 1; j < len(seq); j++ {
-				if opt.MaxGap > 0 && j-i > opt.MaxGap {
+				if c.MaxGap > 0 && j-i > c.MaxGap {
 					break
 				}
 				if seq[j] != a {
@@ -129,30 +106,121 @@ func Sequential(seqs [][]string, opt Options) []Rule {
 				}
 			}
 		}
-		for c := range present {
-			single[c]++
+		for code := range present {
+			c.Single[code]++
 		}
 		for p := range ordered {
-			pair[p]++
+			c.Pair[p]++
+		}
+		return
+	}
+	present := make(map[string]bool)
+	for _, code := range seq {
+		present[code] = true
+	}
+	codes := make([]string, 0, len(present))
+	for code := range present {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		c.Single[code]++
+	}
+	for i := 0; i < len(codes); i++ {
+		for j := i + 1; j < len(codes); j++ {
+			c.Pair[[2]string{codes[i], codes[j]}]++
 		}
 	}
+}
+
+// Merge folds another partial into the receiver. The partials must have
+// been produced with the same counting mode: merging a sequential tally
+// into a co-occurrence tally (or across MaxGap settings) would silently
+// mix incompatible pair semantics, so it errors instead.
+func (c *Counts) Merge(o *Counts) error {
+	if o == nil {
+		return nil
+	}
+	if c.Sequential != o.Sequential || c.MaxGap != o.MaxGap {
+		return fmt.Errorf("mining: cannot merge counts (sequential=%v gap=%d) into (sequential=%v gap=%d)",
+			o.Sequential, o.MaxGap, c.Sequential, c.MaxGap)
+	}
+	c.N += o.N
+	if c.Single == nil {
+		c.Single = make(map[string]int, len(o.Single))
+	}
+	if c.Pair == nil {
+		c.Pair = make(map[[2]string]int, len(o.Pair))
+	}
+	for code, n := range o.Single {
+		c.Single[code] += n
+	}
+	for p, n := range o.Pair {
+		c.Pair[p] += n
+	}
+	return nil
+}
+
+// HistoryCount reports how many sequences the partial tallied — the
+// sanity bound a transport checks a reply against.
+func (c *Counts) HistoryCount() int { return c.N }
+
+// Rules finalizes the tally into scored rules. All ratios are computed
+// here, once, from the integer counts, so partials merged in any
+// grouping finalize to the identical rule list.
+func (c *Counts) Rules(opt Options) []Rule {
+	opt.defaults()
+	if c.N == 0 {
+		return nil
+	}
+	n := c.N
 	var out []Rule
-	for p, cnt := range pair {
+	for p, cnt := range c.Pair {
 		supp := float64(cnt) / float64(n)
 		if supp < opt.MinSupport || cnt < opt.MinCount {
 			continue
 		}
 		a, b := p[0], p[1]
-		conf := float64(cnt) / float64(single[a])
-		lift := conf / (float64(single[b]) / float64(n))
+		conf := float64(cnt) / float64(c.Single[a])
+		lift := conf / (float64(c.Single[b]) / float64(n))
 		out = append(out, Rule{
-			A: a, B: b, Sequential: true,
+			A: a, B: b, Sequential: c.Sequential,
 			Support: supp, Confidence: conf, Lift: lift,
-			CountPair: cnt, CountA: single[a], CountB: single[b], N: n,
+			CountPair: cnt, CountA: c.Single[a], CountB: c.Single[b], N: n,
 		})
 	}
 	sortRules(out)
 	return out
+}
+
+// CoOccurrence mines unordered pair rules over code sequences (one
+// sequence per history). For each rule A∧B only the (A<B) orientation with
+// the code-order normalized is emitted once, but confidence is computed
+// for the A side; callers wanting both directions can swap.
+//
+// This is the local-only convenience form over an in-memory sequence set;
+// a connected workbench mines through the engine's Analyze map-reduce
+// (core.Workbench.MineRules), which runs the same Counts tally per shard.
+func CoOccurrence(seqs [][]string, opt Options) []Rule {
+	c := NewCounts(false, 0)
+	for _, seq := range seqs {
+		c.AddSequence(seq)
+	}
+	return c.Rules(opt)
+}
+
+// Sequential mines ordered rules: A appears and B appears later (within
+// MaxGap positions when set). Each history contributes at most one count
+// per ordered pair.
+//
+// Like CoOccurrence, this is the local-only convenience form; distributed
+// callers go through core.Workbench.MineRules.
+func Sequential(seqs [][]string, opt Options) []Rule {
+	c := NewCounts(true, opt.MaxGap)
+	for _, seq := range seqs {
+		c.AddSequence(seq)
+	}
+	return c.Rules(opt)
 }
 
 // sortRules orders by lift, then support, then lexicographically — the
@@ -172,10 +240,27 @@ func sortRules(rs []Rule) {
 	})
 }
 
-// Top returns the first k rules (or all).
+// Top returns the k highest-support rules. The cut is fully
+// deterministic — support descending, then the rule key (A, B,
+// sequential flag) — so two rule lists that carry the same rules in
+// different orders truncate to the identical top-k, and distributed and
+// local mines diff byte-identical.
 func Top(rs []Rule, k int) []Rule {
-	if k >= len(rs) {
-		return rs
+	out := append([]Rule(nil), rs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		if out[i].B != out[j].B {
+			return out[i].B < out[j].B
+		}
+		return !out[i].Sequential && out[j].Sequential
+	})
+	if k < len(out) {
+		out = out[:k]
 	}
-	return rs[:k]
+	return out
 }

@@ -2,6 +2,7 @@ package mining
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -145,5 +146,76 @@ func TestStringer(t *testing.T) {
 	r := Rule{A: "T90", B: "F83", Support: 0.1, Confidence: 0.5, Lift: 2, CountPair: 4}
 	if !strings.Contains(r.String(), "∧") {
 		t.Error("co-occurrence stringer broken")
+	}
+}
+
+// Partials built over any partition of the histories must finalize to
+// the identical rule list — the property distributed mining rests on.
+func TestCountsMergeParity(t *testing.T) {
+	seqs := assocSeqs()
+	opt := Options{MinSupport: 0.01}
+	want := CoOccurrence(seqs, opt)
+
+	for _, cut := range [][]int{{3}, {1, 5}, {2, 4, 6}} {
+		merged := NewCounts(false, 0)
+		prev := 0
+		for _, end := range append(cut, len(seqs)) {
+			part := NewCounts(false, 0)
+			for _, s := range seqs[prev:end] {
+				part.AddSequence(s)
+			}
+			if err := merged.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+			prev = end
+		}
+		if merged.HistoryCount() != len(seqs) {
+			t.Fatalf("cut %v: merged %d histories, want %d", cut, merged.HistoryCount(), len(seqs))
+		}
+		if got := merged.Rules(opt); !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut %v: merged rules differ from direct mine\n got %v\nwant %v", cut, got, want)
+		}
+	}
+}
+
+func TestCountsMergeModeMismatch(t *testing.T) {
+	if err := NewCounts(false, 0).Merge(NewCounts(true, 0)); err == nil {
+		t.Error("merging sequential into co-occurrence counts should error")
+	}
+	if err := NewCounts(true, 2).Merge(NewCounts(true, 3)); err == nil {
+		t.Error("merging across MaxGap settings should error")
+	}
+	c := NewCounts(true, 2)
+	if err := c.Merge(nil); err != nil {
+		t.Errorf("nil merge should be a no-op, got %v", err)
+	}
+}
+
+// Top's cut must not depend on the incoming order: rules that tie on
+// support break the tie on the rule key, so any permutation of the same
+// rule list truncates to the identical top-k.
+func TestTopDeterministicOnTies(t *testing.T) {
+	tied := []Rule{
+		{A: "T90", B: "K86", Support: 0.5, Lift: 3},
+		{A: "A01", B: "B02", Support: 0.5, Lift: 1},
+		{A: "A01", B: "B02", Support: 0.5, Lift: 2, Sequential: true},
+		{A: "L03", B: "R74", Support: 0.7, Lift: 1},
+		{A: "A01", B: "A09", Support: 0.5, Lift: 9},
+	}
+	want := Top(tied, 3)
+	// Every rotation of the input must truncate identically.
+	for shift := 1; shift < len(tied); shift++ {
+		rotated := append(append([]Rule(nil), tied[shift:]...), tied[:shift]...)
+		if got := Top(rotated, 3); !reflect.DeepEqual(got, want) {
+			t.Fatalf("rotation %d: Top differs\n got %v\nwant %v", shift, got, want)
+		}
+	}
+	if want[0].A != "L03" {
+		t.Errorf("highest support rule should lead, got %v", want[0])
+	}
+	// Within the 0.5 tie, (A01,A09) sorts before (A01,B02), and the
+	// co-occurrence form of (A01,B02) before its sequential twin.
+	if want[1].B != "A09" || want[2].B != "B02" || want[2].Sequential {
+		t.Errorf("tie-break order wrong: %v", want[1:])
 	}
 }

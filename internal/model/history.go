@@ -204,6 +204,22 @@ func (h *History) CodeSequence(t Type) []Code {
 	return out
 }
 
+// CodeSequenceStable is CodeSequence without mutating the history: it
+// reads through SortedEntries, so concurrent readers of a shared history
+// (shard servers running map steps over the same collection) never
+// reorder entries under each other.
+func (h *History) CodeSequenceStable(t Type) []Code {
+	var out []Code
+	entries := h.SortedEntries()
+	for i := range entries {
+		e := &entries[i]
+		if e.Type == t && !e.Code.IsZero() {
+			out = append(out, e.Code)
+		}
+	}
+	return out
+}
+
 // Clone returns a deep copy of the history.
 func (h *History) Clone() *History {
 	c := &History{Patient: h.Patient, sorted: h.sorted}

@@ -7,11 +7,10 @@ package webapp
 
 import (
 	"encoding/json"
-	"errors"
+	"fmt"
 	"io"
 	"net/http"
 
-	"pastas/internal/engine"
 	"pastas/internal/query"
 )
 
@@ -25,26 +24,26 @@ type cohortRequest struct {
 func (s *Server) parseCohortRequest(w http.ResponseWriter, r *http.Request) (string, query.Expr, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		s.apiInvalid(w, "read body: %v", err)
 		return "", nil, false
 	}
 	var req cohortRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		s.apiInvalid(w, "bad request: %v", err)
 		return "", nil, false
 	}
 	if req.Name == "" {
-		httpError(w, http.StatusBadRequest, `need {"name": ..., "spec": ...}`)
+		s.apiInvalid(w, `need {"name": ..., "spec": ...}`)
 		return "", nil, false
 	}
 	spec, err := query.ParseSpec(req.Spec)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.apiInvalid(w, "%v", err)
 		return "", nil, false
 	}
 	expr, err := spec.Compile()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.apiInvalid(w, "%v", err)
 		return "", nil, false
 	}
 	return req.Name, expr, true
@@ -68,7 +67,7 @@ func (s *Server) handleCohortSave(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.wb.SaveCohort(name, expr)
 	if err != nil {
-		httpError(w, cohortErrStatus(err), "%v", err)
+		s.apiError(w, err)
 		return
 	}
 	writeJSON(w, map[string]any{"cohort": info})
@@ -85,7 +84,7 @@ func (s *Server) handleCohortRefine(w http.ResponseWriter, r *http.Request) {
 	}
 	info, ref, err := s.wb.RefineCohort(name, expr)
 	if err != nil {
-		httpError(w, cohortErrStatus(err), "%v", err)
+		s.apiError(w, err)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -101,7 +100,7 @@ func (s *Server) handleCohortProfile(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	prof, info, err := s.wb.CohortProfile(name)
 	if err != nil {
-		httpError(w, cohortErrStatus(err), "%v", err)
+		s.apiError(w, err)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -116,12 +115,12 @@ func (s *Server) handleCohortProfile(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCohortCompare(w http.ResponseWriter, r *http.Request) {
 	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
 	if a == "" || b == "" {
-		httpError(w, http.StatusBadRequest, "need ?a=<cohort>&b=<cohort>")
+		s.apiInvalid(w, "need ?a=<cohort>&b=<cohort>")
 		return
 	}
 	cmp, err := s.wb.CompareCohorts(a, b)
 	if err != nil {
-		httpError(w, cohortErrStatus(err), "%v", err)
+		s.apiError(w, err)
 		return
 	}
 	writeJSON(w, cmp)
@@ -131,24 +130,8 @@ func (s *Server) handleCohortCompare(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCohortDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !s.wb.DropCohort(name) {
-		httpError(w, http.StatusNotFound, "no cohort %q", name)
+		s.writeAPIError(w, http.StatusNotFound, "no_cohort", fmt.Sprintf("no cohort %q", name), nil)
 		return
 	}
 	writeJSON(w, map[string]any{"dropped": name})
-}
-
-// cohortErrStatus maps workspace errors to HTTP: a bad name is a 400,
-// a missing cohort a 404, an unreachable shard a 502, anything else a
-// 500.
-func cohortErrStatus(err error) int {
-	switch {
-	case errors.Is(err, engine.ErrInvalidName):
-		return http.StatusBadRequest
-	case errors.Is(err, engine.ErrNoCohort):
-		return http.StatusNotFound
-	case engine.IsUnavailable(err):
-		return http.StatusBadGateway
-	default:
-		return http.StatusInternalServerError
-	}
 }

@@ -56,10 +56,15 @@ func NewServer(wb *core.Workbench, cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/patients", s.auth(s.handlePatients))
 	s.mux.HandleFunc("GET /api/timeline", s.auth(s.handleTimelineJSON))
 	s.mux.HandleFunc("GET /api/details", s.auth(s.handleDetails))
-	s.mux.HandleFunc("POST /api/cohort", s.auth(s.handleCohort))
+	// POST /api/cohort is the deprecated spelling of POST
+	// /api/cohorts/query — same handler, same bytes — kept so existing
+	// Query-Builder deployments keep working.
+	s.mux.HandleFunc("POST /api/cohort", s.auth(s.handleCohortQuery))
 	s.mux.HandleFunc("GET /api/cohorts", s.auth(s.handleCohortList))
 	s.mux.HandleFunc("POST /api/cohorts", s.auth(s.handleCohortSave))
+	s.mux.HandleFunc("POST /api/cohorts/query", s.auth(s.handleCohortQuery))
 	s.mux.HandleFunc("POST /api/cohorts/refine", s.auth(s.handleCohortRefine))
+	s.mux.HandleFunc("POST /api/analytics/{kind}", s.auth(s.handleAnalytics))
 	s.mux.HandleFunc("GET /api/cohorts/compare", s.auth(s.handleCohortCompare))
 	s.mux.HandleFunc("GET /api/cohorts/{name}", s.auth(s.handleCohortProfile))
 	s.mux.HandleFunc("DELETE /api/cohorts/{name}", s.auth(s.handleCohortDrop))
@@ -363,25 +368,28 @@ func (s *Server) handleDetails(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"details": render.Details(h, at, 3*model.Day)})
 }
 
-func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
+// handleCohortQuery runs one ad-hoc cohort query — count plus an ID
+// sample. Canonically POST /api/cohorts/query; also serves the
+// deprecated POST /api/cohort alias.
+func (s *Server) handleCohortQuery(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		s.apiInvalid(w, "read body: %v", err)
 		return
 	}
 	spec, err := query.ParseSpec(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.apiInvalid(w, "%v", err)
 		return
 	}
 	expr, err := spec.Compile()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.apiInvalid(w, "%v", err)
 		return
 	}
 	bits, status, err := s.wb.QueryStatus(expr)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		s.apiError(w, err)
 		return
 	}
 	// Engine-side ID resolution works over remote backends too; only the
@@ -390,7 +398,7 @@ func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
 	count := bits.Count()
 	sample, err := s.wb.Engine.IDsOf(bits.FirstN(s.cfg.MaxCohortSample))
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		s.apiError(w, err)
 		return
 	}
 	out := make([]uint64, len(sample))

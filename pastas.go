@@ -22,6 +22,7 @@ import (
 	"pastas/internal/core"
 	"pastas/internal/engine"
 	"pastas/internal/integrate"
+	"pastas/internal/mining"
 	"pastas/internal/model"
 	"pastas/internal/perception"
 	"pastas/internal/query"
@@ -30,6 +31,7 @@ import (
 	"pastas/internal/stats"
 	"pastas/internal/store"
 	"pastas/internal/synth"
+	"pastas/internal/temporal"
 	"pastas/internal/webapp"
 )
 
@@ -289,6 +291,72 @@ func RefineCohort(wb *Workbench, name string, q Query) (CohortInfo, Refinement, 
 // CompareCohorts profiles two saved cohorts and reports their overlap.
 func CompareCohorts(wb *Workbench, a, b string) (*CohortComparison, error) {
 	return wb.CompareCohorts(a, b)
+}
+
+// --- cohort analytics -------------------------------------------------------
+//
+// Analytics are keyed by saved cohort name and execute through the
+// engine's generic Analyze map-reduce: per-history map steps run on the
+// shard holding each history (only the cohort mask and fixed-size
+// integer partials cross the wire) and the coordinator finalizes the
+// ratios once from the exactly-merged integers, so a connected workbench
+// answers byte-for-byte what a local one would. Direct-collection forms
+// (mining.CoOccurrence / mining.Sequential over extracted sequences,
+// Session.DiagnosisSequences) remain available but are local-only
+// conveniences: they require every history in coordinator memory and do
+// not distribute.
+
+type (
+	// MineParams selects what the distributed rule miner counts per
+	// history (co-occurrence vs sequential, coding system, chapter
+	// granularity). Thresholds live in MiningOptions and apply once at
+	// finalization, never in the map step.
+	MineParams = engine.MineParams
+	// MiningOptions bounds rule finalization (support/count floors).
+	MiningOptions = mining.Options
+	// MiningRule is one mined association rule with its exact counts.
+	MiningRule = mining.Rule
+	// EpisodeTally is the merged per-cohort episode summary.
+	EpisodeTally = abstraction.EpisodeTally
+	// Scenario is a temporal pattern over episode steps constrained by
+	// Allen relations.
+	Scenario = temporal.Scenario
+	// StepRel constrains two scenario steps with an Allen relation set.
+	StepRel = temporal.StepRel
+	// ScenarioTally counts how many cohort histories bind and match a
+	// scenario.
+	ScenarioTally = temporal.ScenarioTally
+	// CohortClusters groups a cohort's members by diagnosis-sequence
+	// similarity (coordinator-side; clustering is cross-history).
+	CohortClusters = core.CohortClusters
+)
+
+// ParseAllenRel parses comma-separated Allen relation names ("before" or
+// "b,m") into a relation set for Scenario constraints.
+func ParseAllenRel(s string) (temporal.Rel, error) { return temporal.ParseRel(s) }
+
+// MineCohortRules mines association rules over a saved cohort,
+// distributing the support counting to the shards holding the histories.
+func MineCohortRules(wb *Workbench, cohort string, p MineParams, opt MiningOptions) ([]MiningRule, CohortInfo, QueryStatus, error) {
+	return wb.MineRules(cohort, p, opt)
+}
+
+// CohortEpisodes tallies care episodes (contacts closer than gap fused)
+// across a saved cohort without shipping any history to the coordinator.
+func CohortEpisodes(wb *Workbench, cohort string, gap Time) (*EpisodeTally, CohortInfo, QueryStatus, error) {
+	return wb.Episodes(cohort, gap)
+}
+
+// MatchCohortScenario matches an Allen-relation scenario against every
+// history in a saved cohort, server-side per shard.
+func MatchCohortScenario(wb *Workbench, cohort string, gap Time, sc Scenario) (*ScenarioTally, CohortInfo, QueryStatus, error) {
+	return wb.MatchScenario(cohort, gap, sc)
+}
+
+// ClusterCohort clusters a saved cohort's members by diagnosis-sequence
+// alignment distance (pages the histories in; quadratic in cohort size).
+func ClusterCohort(wb *Workbench, cohort string, k int) (*CohortClusters, CohortInfo, error) {
+	return wb.ClusterCohort(cohort, k)
 }
 
 // AlignFirst anchors histories on the first entry whose diagnosis code
